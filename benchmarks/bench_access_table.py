@@ -1,0 +1,71 @@
+"""T1 -- Section 4's "allowed communications" table.
+
+Regenerates the paper's 6-element / 4-group access table from the
+``access``/``contained`` predicates and times access computation on
+progressively deeper and wider group structures.
+"""
+
+import pytest
+
+from repro.core import GroupDecl, GroupStructure
+
+#: The paper's table, verbatim.
+PAPER_TABLE = {
+    "EL1": {"EL1", "EL6"},
+    "EL2": {"EL2", "EL3", "EL6"},
+    "EL3": {"EL2", "EL3", "EL4", "EL6"},
+    "EL4": {"EL3", "EL4", "EL5", "EL6"},
+    "EL5": {"EL4", "EL5", "EL6"},
+    "EL6": {"EL6"},
+}
+
+
+def paper_structure() -> GroupStructure:
+    return GroupStructure(
+        [f"EL{i}" for i in range(1, 7)],
+        [
+            GroupDecl.make("G1", ["EL2", "EL3"]),
+            GroupDecl.make("G2", ["EL4", "EL5"]),
+            GroupDecl.make("G3", ["EL3", "EL4"]),
+            GroupDecl.make("G4", ["EL1"]),
+        ],
+    )
+
+
+def big_structure(width: int, depth: int) -> GroupStructure:
+    """width chains of depth nested groups, one element per group."""
+    elements = []
+    groups = []
+    for w in range(width):
+        prev = None
+        for d in range(depth):
+            el = f"e{w}_{d}"
+            elements.append(el)
+            members = [el] + ([prev] if prev else [])
+            name = f"g{w}_{d}"
+            groups.append(GroupDecl.make(name, members))
+            prev = name
+    return GroupStructure(elements, groups)
+
+
+def test_t1_table_matches_paper(benchmark):
+    structure = paper_structure()
+    table = benchmark(structure.access_table)
+    assert {src: set(d) for src, d in table.items()} == PAPER_TABLE
+    print("\nT1 regenerated access table:")
+    for src in sorted(PAPER_TABLE):
+        print(f"  {src}: {', '.join(sorted(table[src]))}")
+
+
+@pytest.mark.parametrize("width,depth", [(4, 4), (8, 8), (12, 12)])
+def test_t1_access_scaling(benchmark, width, depth):
+    def build_and_tabulate():
+        return big_structure(width, depth).access_table()
+
+    table = benchmark(build_and_tabulate)
+    # sanity: the innermost element can reach every element of its own
+    # chain (they are global to it), but nothing inside other chains'
+    # nested groups except the outermost
+    deep = f"e0_0"
+    assert f"e0_{depth - 1}" not in table[f"e1_{depth - 1}"] or width == 1
+    assert deep in table[deep]

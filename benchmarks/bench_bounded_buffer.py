@@ -1,0 +1,89 @@
+"""E4 -- the Bounded Buffer verified in all three languages (Section 11),
+plus a capacity sweep showing the spec's capacity bound is tight."""
+
+import pytest
+
+from repro.langs.ada import (
+    AdaProgram,
+    ada_program_spec,
+    bounded_buffer_ada_system,
+)
+from repro.langs.csp import (
+    CspProgram,
+    bounded_buffer_csp_system,
+    csp_program_spec,
+)
+from repro.langs.monitor import (
+    MonitorProgram,
+    bounded_buffer_system,
+    monitor_program_spec,
+)
+from repro.problems.bounded_buffer import (
+    ada_correspondence,
+    bounded_buffer_spec,
+    csp_correspondence,
+    monitor_correspondence,
+)
+from repro.verify import verify_program
+
+ITEMS = (1, 2, 3)
+
+
+def test_e4_monitor(benchmark):
+    system = bounded_buffer_system(capacity=2, items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            MonitorProgram(system),
+            bounded_buffer_spec(2, with_exclusion=True),
+            monitor_correspondence("bb"),
+            program_spec=monitor_program_spec(system)),
+        rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    print(f"\nE4 monitor: VERIFIED over {report.runs_checked} executions")
+
+
+def test_e4_csp(benchmark):
+    system = bounded_buffer_csp_system(capacity=2, items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            CspProgram(system),
+            bounded_buffer_spec(2, temporal_safety=False),
+            csp_correspondence(),
+            program_spec=csp_program_spec(system)),
+        rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    print(f"\nE4 CSP: VERIFIED over {report.runs_checked} executions")
+
+
+def test_e4_ada(benchmark):
+    system = bounded_buffer_ada_system(capacity=2, items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            AdaProgram(system),
+            bounded_buffer_spec(2),
+            ada_correspondence(),
+            program_spec=ada_program_spec(system)),
+        rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    print(f"\nE4 ADA: VERIFIED over {report.runs_checked} executions")
+
+
+@pytest.mark.parametrize("claimed_capacity,expect_ok", [(1, False), (2, True),
+                                                        (3, True)])
+def test_e4_capacity_bound_is_tight(benchmark, claimed_capacity, expect_ok):
+    """A capacity-2 buffer satisfies capacity-k specs exactly for k ≥ 2.
+
+    (k=3 passes because a 2-slot buffer never holds more than 3; the
+    *occupancy* claim is an upper bound.)
+    """
+    system = bounded_buffer_system(capacity=2, items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            MonitorProgram(system),
+            bounded_buffer_spec(claimed_capacity),
+            monitor_correspondence("bb")),
+        rounds=1, iterations=1)
+    verdict = report.verdict(f"capacity-{claimed_capacity}")
+    assert verdict.holds == expect_ok
+    print(f"\nE4 sweep: capacity-2 buffer vs capacity-{claimed_capacity} "
+          f"spec -> {'OK' if verdict.holds else 'REJECTED'}")

@@ -1,0 +1,87 @@
+"""F1 -- Section 7's history-lattice example, and lattice scaling.
+
+Regenerates the paper's worked example exactly -- five non-empty
+histories, three valid history sequences, including the one that adds
+e2 and e3 "at the same time" -- then measures history/vhs enumeration
+on wider computations (fork-join ladders).
+"""
+
+import pytest
+
+from repro.core import (
+    ComputationBuilder,
+    all_histories,
+    count_maximal_history_sequences,
+    maximal_history_sequences,
+)
+
+
+def paper_diamond():
+    b = ComputationBuilder()
+    e1 = b.add_event("E1", "A")
+    e2 = b.add_event("E2", "A")
+    e3 = b.add_event("E3", "A")
+    e4 = b.add_event("E4", "A")
+    b.add_enable(e1, e2)
+    b.add_enable(e1, e3)
+    b.add_enable(e2, e4)
+    b.add_enable(e3, e4)
+    return b.freeze(), (e1, e2, e3, e4)
+
+
+def fork_join_ladder(width: int, rungs: int):
+    """rungs sequential fork-join diamonds, each of the given width."""
+    b = ComputationBuilder()
+    prev = b.add_event("root", "Fork")
+    for r in range(rungs):
+        branches = []
+        for w in range(width):
+            ev = b.add_event(f"branch{w}", "Work")
+            b.add_enable(prev, ev)
+            branches.append(ev)
+        join = b.add_event("root", "Join")
+        for ev in branches:
+            b.add_enable(ev, join)
+        prev = join
+    return b.freeze()
+
+
+def test_f1_histories_match_paper(benchmark):
+    comp, _events = paper_diamond()
+    histories = benchmark(lambda: all_histories(comp, include_empty=False))
+    assert len(histories) == 5  # the paper lists α0..α4
+    print(f"\nF1: {len(histories)} non-empty histories (paper: 5)")
+
+
+def test_f1_vhs_match_paper(benchmark):
+    comp, (e1, e2, e3, e4) = paper_diamond()
+    seqs = benchmark(
+        lambda: list(maximal_history_sequences(comp, max_step=None)))
+    assert len(seqs) == 3  # the paper lists exactly three
+    simultaneous = [
+        seq for seq in seqs
+        if any(len(b.events - a.events) == 2
+               for a, b in zip(seq.histories, seq.histories[1:]))
+    ]
+    assert len(simultaneous) == 1  # "e2 and e3 occur at the same time"
+    print(f"\nF1: {len(seqs)} valid history sequences (paper: 3), "
+          f"{len(simultaneous)} with a simultaneous step")
+
+
+@pytest.mark.parametrize("width,rungs", [(2, 2), (3, 2), (2, 4)])
+def test_f1_history_enumeration_scaling(benchmark, width, rungs):
+    comp = fork_join_ladder(width, rungs)
+    histories = benchmark(lambda: all_histories(comp, cap=500_000))
+    # each diamond contributes (2^width + width) proper down-sets...
+    # just sanity-check monotone growth and boundedness
+    assert len(histories) >= (2 ** width) * rungs
+
+
+@pytest.mark.parametrize("width,rungs", [(2, 2), (3, 2)])
+def test_f1_vhs_counting_scaling(benchmark, width, rungs):
+    comp = fork_join_ladder(width, rungs)
+    linear = benchmark(
+        lambda: count_maximal_history_sequences(comp, max_step=1))
+    import math
+
+    assert linear == math.factorial(width) ** rungs

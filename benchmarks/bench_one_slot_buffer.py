@@ -1,0 +1,84 @@
+"""E3 -- the One-Slot Buffer verified in all three languages (Section 11)."""
+
+import pytest
+
+from repro.langs.ada import (
+    AdaProgram,
+    ada_program_spec,
+    one_slot_buffer_ada_system,
+)
+from repro.langs.csp import (
+    CspProgram,
+    csp_program_spec,
+    one_slot_buffer_csp_system,
+)
+from repro.langs.monitor import (
+    MonitorProgram,
+    monitor_program_spec,
+    one_slot_buffer_monitor_unguarded,
+    one_slot_buffer_system,
+)
+from repro.problems.one_slot_buffer import (
+    ada_correspondence,
+    csp_correspondence,
+    monitor_correspondence,
+    one_slot_buffer_spec,
+)
+from repro.verify import verify_program
+
+ITEMS = (1, 2, 3)
+
+
+def test_e3_monitor(benchmark):
+    system = one_slot_buffer_system(items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            MonitorProgram(system),
+            one_slot_buffer_spec(with_exclusion=True),
+            monitor_correspondence("osb"),
+            program_spec=monitor_program_spec(system)),
+        rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    print(f"\nE3 monitor: VERIFIED over {report.runs_checked} executions")
+
+
+def test_e3_csp(benchmark):
+    system = one_slot_buffer_csp_system(items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            CspProgram(system),
+            one_slot_buffer_spec(temporal_safety=False),
+            csp_correspondence(),
+            program_spec=csp_program_spec(system)),
+        rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    print(f"\nE3 CSP: VERIFIED over {report.runs_checked} executions")
+
+
+def test_e3_ada(benchmark):
+    system = one_slot_buffer_ada_system(items=ITEMS)
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            AdaProgram(system),
+            one_slot_buffer_spec(),
+            ada_correspondence(),
+            program_spec=ada_program_spec(system)),
+        rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    print(f"\nE3 ADA: VERIFIED over {report.runs_checked} executions")
+
+
+def test_e3_negative_control(benchmark):
+    system = one_slot_buffer_system(
+        items=ITEMS, monitor=one_slot_buffer_monitor_unguarded())
+    report = benchmark.pedantic(
+        lambda: verify_program(
+            MonitorProgram(system),
+            one_slot_buffer_spec(),
+            monitor_correspondence("osb")),
+        rounds=1, iterations=1)
+    assert not report.ok
+    failed = {v.name for v in report.verdicts.values() if not v.holds}
+    assert "capacity-1" in failed
+    print(f"\nE3 negative control: unguarded Remove rejected "
+          f"({sorted(failed)})")

@@ -1,0 +1,65 @@
+"""E2 -- the Mutual Exclusion Restriction (Section 8.3), all languages.
+
+"Writers exclude readers, and writers exclude other writers" verified
+for the Monitor, CSP, and ADA Readers/Writers solutions over all
+bounded executions.
+"""
+
+import pytest
+
+from repro.langs.ada import AdaProgram, rw_ada_system
+from repro.langs.csp import CspProgram, rw_csp_system
+from repro.langs.monitor import MonitorProgram, readers_writers_system
+from repro.problems.readers_writers import (
+    ada_correspondence,
+    csp_correspondence,
+    monitor_correspondence,
+    rw_problem_spec,
+)
+from repro.verify import verify_program
+
+MUTEX = ("writers-exclude-readers", "writers-exclude-writers")
+
+
+def _check(report):
+    for name in MUTEX:
+        assert report.verdict(name).holds, report.summary()
+
+
+def test_e2_monitor_mutex(benchmark):
+    system = readers_writers_system(n_readers=2, n_writers=1)
+    users = [c.name for c in system.callers]
+    spec = rw_problem_spec(users, variant="weak")
+
+    report = benchmark.pedantic(
+        lambda: verify_program(MonitorProgram(system), spec,
+                               monitor_correspondence("rw")),
+        rounds=1, iterations=1)
+    _check(report)
+    print(f"\nE2 monitor: mutual exclusion over {report.runs_checked} runs")
+
+
+def test_e2_csp_mutex(benchmark):
+    system = rw_csp_system(n_readers=2, n_writers=1)
+    readers, writers = ["reader1", "reader2"], ["writer1"]
+    spec = rw_problem_spec(readers + writers, variant="weak")
+
+    report = benchmark.pedantic(
+        lambda: verify_program(CspProgram(system), spec,
+                               csp_correspondence(readers, writers)),
+        rounds=1, iterations=1)
+    _check(report)
+    print(f"\nE2 CSP: mutual exclusion over {report.runs_checked} runs")
+
+
+def test_e2_ada_mutex(benchmark):
+    system = rw_ada_system(n_readers=2, n_writers=1)
+    users = ["reader1", "reader2", "writer1"]
+    spec = rw_problem_spec(users, variant="weak")
+
+    report = benchmark.pedantic(
+        lambda: verify_program(AdaProgram(system), spec,
+                               ada_correspondence()),
+        rounds=1, iterations=1)
+    _check(report)
+    print(f"\nE2 ADA: mutual exclusion over {report.runs_checked} runs")

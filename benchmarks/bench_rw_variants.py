@@ -1,0 +1,84 @@
+"""E5 -- the five Readers/Writers versions (Section 11).
+
+One exploration of the paper's readers-priority monitor, checked against
+all five problem variants.  The expected verdict pattern is the
+experiment: the solution satisfies exactly the variants its signalling
+discipline implements.
+"""
+
+import pytest
+
+from repro.langs.monitor import MonitorProgram, readers_writers_system
+from repro.problems.readers_writers import (
+    VARIANTS,
+    monitor_correspondence,
+    rw_problem_spec,
+)
+from repro.sim import explore_or_sample
+from repro.verify import verify_program
+
+#: variant -> (distinguishing restriction, expected verdict for the
+#: paper's readers-priority monitor)
+EXPECTED = {
+    "weak": (None, True),
+    "readers-priority": ("readers-priority", True),
+    "writers-priority": ("writers-priority", False),
+    "fifo": ("fifo-service", False),
+    "no-starvation": ("every-write-request-served", True),
+}
+
+
+@pytest.fixture(scope="module")
+def exploration():
+    system = readers_writers_system(n_readers=1, n_writers=2)
+    users = [c.name for c in system.callers]
+    return system, users, explore_or_sample(MonitorProgram(system))
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_e5_variant_verdicts(benchmark, exploration, variant):
+    system, users, runs = exploration
+    spec = rw_problem_spec(users, variant=variant)
+    correspondence = monitor_correspondence("rw")
+
+    report = benchmark.pedantic(
+        lambda: verify_program(MonitorProgram(system), spec, correspondence,
+                               exploration=runs),
+        rounds=1, iterations=1)
+
+    key, expect = EXPECTED[variant]
+    if key is None:
+        assert report.ok == expect, report.summary()
+    else:
+        assert report.verdict(key).holds == expect, report.summary()
+    verdict = "SATISFIED" if (report.ok if key is None
+                              else report.verdict(key).holds) else "VIOLATED"
+    print(f"\nE5: readers-priority monitor vs {variant!r}: {verdict}")
+
+
+def test_e5_writers_priority_monitor_mirror(benchmark):
+    """The complementary solution: a writers-priority monitor satisfies
+    writers-priority and fails readers-priority."""
+    from repro.langs.monitor import readers_writers_monitor_writers_priority
+
+    system = readers_writers_system(
+        n_readers=2, n_writers=1,
+        monitor=readers_writers_monitor_writers_priority())
+    users = [c.name for c in system.callers]
+    correspondence = monitor_correspondence("rw")
+
+    def run():
+        runs = explore_or_sample(MonitorProgram(system))
+        return {
+            variant: verify_program(
+                MonitorProgram(system),
+                rw_problem_spec(users, variant=variant),
+                correspondence, exploration=runs)
+            for variant in ("writers-priority", "readers-priority")
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert reports["writers-priority"].ok
+    assert not reports["readers-priority"].verdict("readers-priority").holds
+    print("\nE5 mirror: writers-priority monitor satisfies its variant, "
+          "fails readers-priority")

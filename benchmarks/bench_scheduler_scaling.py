@@ -1,0 +1,63 @@
+"""S2 -- interleaving-explorer scaling (added).
+
+Executions explored per second, and how the run count grows with the
+number of processes, for all three language interpreters on the
+Readers/Writers workload.  Also measures the soundness-preserving
+reductions' effect indirectly: every reported run is a distinct partial
+order (fingerprints are deduplicated and counted).
+"""
+
+import pytest
+
+from repro.langs.ada import AdaProgram, rw_ada_system
+from repro.langs.csp import CspProgram, rw_csp_system
+from repro.langs.monitor import MonitorProgram, readers_writers_system
+from repro.sim import explore, sample_runs
+
+
+@pytest.mark.parametrize("readers,writers", [(1, 1), (2, 1), (1, 2), (2, 2)])
+def test_s2_monitor_exploration(benchmark, readers, writers):
+    program = MonitorProgram(readers_writers_system(readers, writers))
+
+    def run():
+        fingerprints = set()
+        count = 0
+        for r in explore(program):
+            count += 1
+            fingerprints.add(r.computation.fingerprint())
+        return count, len(fingerprints)
+
+    count, unique = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == unique, "reductions should leave only distinct orders"
+    print(f"\nS2 monitor {readers}R{writers}W: {count} runs, all distinct")
+
+
+@pytest.mark.parametrize("readers,writers", [(1, 1), (1, 2), (2, 1)])
+def test_s2_csp_exploration(benchmark, readers, writers):
+    program = CspProgram(rw_csp_system(readers, writers))
+
+    def run():
+        return sum(1 for _ in explore(program))
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count >= 1
+    print(f"\nS2 CSP {readers}R{writers}W: {count} runs")
+
+
+@pytest.mark.parametrize("readers,writers", [(1, 1), (1, 2), (2, 1)])
+def test_s2_ada_exploration(benchmark, readers, writers):
+    program = AdaProgram(rw_ada_system(readers, writers))
+
+    def run():
+        return sum(1 for _ in explore(program))
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count >= 1
+    print(f"\nS2 ADA {readers}R{writers}W: {count} runs")
+
+
+def test_s2_random_run_throughput(benchmark):
+    """Seeded-run throughput on a configuration too big to exhaust."""
+    program = MonitorProgram(readers_writers_system(3, 3))
+    runs = benchmark(lambda: sample_runs(program, 20, seed=0))
+    assert all(r.completed for r in runs)

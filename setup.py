@@ -1,0 +1,8 @@
+"""Shim so that ``pip install -e .`` works on environments without the
+``wheel`` package (PEP 660 editable installs need it; the legacy
+``setup.py develop`` path does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro -- a reproduction of GEM (Lansky & Owicki, 1983).
+
+GEM is an event-oriented model of concurrent computation: a computation
+is a set of partially ordered events, and languages, problems, and
+programs are described as logic restrictions on the domain of possible
+computations.  This package provides:
+
+* :mod:`repro.core` -- the GEM model: events, elements, groups,
+  computations, histories, the restriction language, threads, types,
+  specifications, and the legality/restriction checker;
+* :mod:`repro.sim` -- an interleaving explorer that generates the legal
+  executions of instrumented concurrent programs as GEM computations;
+* :mod:`repro.langs` -- Monitor, CSP, and ADA-tasking interpreters whose
+  executions are emitted as GEM computations (the paper's three language
+  primitives);
+* :mod:`repro.problems` -- GEM problem specifications: variables, one-slot
+  and bounded buffers, five Readers/Writers variants, the distributed
+  database update, and the asynchronous Game of Life;
+* :mod:`repro.verify` -- the paper's verification method: significant
+  objects, projection, and ``PROG sat R`` checking.
+
+Quickstart::
+
+    from repro.core import ComputationBuilder
+
+    b = ComputationBuilder()
+    e1 = b.add_event("P", "Fork")
+    e2 = b.add_event("Q", "Work")
+    e3 = b.add_event("R", "Work")
+    b.add_enable(e1, e2)
+    b.add_enable(e1, e3)
+    c = b.freeze()
+    assert c.concurrent(e2.eid, e3.eid)
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

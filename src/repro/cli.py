@@ -1,0 +1,308 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``verify <case>`` -- run one of the paper's verification cases
+  (language × problem) over all bounded executions and print the
+  report; ``--mutant`` runs the negative control;
+* ``list`` -- list the available cases;
+* ``dot <case>`` -- print one execution of a case as Graphviz DOT;
+* ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
+* ``examples`` -- print the paper's two inline worked examples
+  (the §4 access table and the §7 history/vhs counts).
+
+The CLI is a thin veneer over the library; every command's work is one
+or two public API calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+
+def _build_cases() -> Dict[str, Callable]:
+    """case name -> factory() returning (program, problem_spec,
+    correspondence, program_spec)."""
+    from .langs.ada import (
+        AdaProgram,
+        ada_program_spec,
+        bounded_buffer_ada_system,
+        one_slot_buffer_ada_system,
+        rw_ada_system,
+    )
+    from .langs.csp import (
+        CspProgram,
+        bounded_buffer_csp_system,
+        csp_program_spec,
+        one_slot_buffer_csp_system,
+        rw_csp_system,
+    )
+    from .langs.monitor import (
+        MonitorProgram,
+        bounded_buffer_system,
+        monitor_program_spec,
+        one_slot_buffer_monitor_unguarded,
+        one_slot_buffer_system,
+        readers_writers_monitor_writers_first,
+        readers_writers_system,
+    )
+    from .problems import bounded_buffer, one_slot_buffer, readers_writers
+
+    def monitor_rw(mutant: bool):
+        monitor = readers_writers_monitor_writers_first() if mutant else None
+        system = readers_writers_system(1, 2, monitor=monitor)
+        users = [c.name for c in system.callers]
+        return (MonitorProgram(system),
+                readers_writers.rw_problem_spec(users,
+                                                variant="readers-priority"),
+                readers_writers.monitor_correspondence("rw"),
+                None if mutant else monitor_program_spec(system))
+
+    def csp_rw(mutant: bool):
+        system = rw_csp_system(1, 2, writers_first=mutant)
+        readers, writers = ["reader1"], ["writer1", "writer2"]
+        return (CspProgram(system),
+                readers_writers.rw_problem_spec(readers + writers,
+                                                variant="readers-priority"),
+                readers_writers.csp_correspondence(readers, writers),
+                None if mutant else csp_program_spec(system))
+
+    def ada_rw(mutant: bool):
+        system = rw_ada_system(1, 2, writers_first=mutant)
+        users = ["reader1", "writer1", "writer2"]
+        return (AdaProgram(system),
+                readers_writers.rw_problem_spec(users,
+                                                variant="readers-priority"),
+                readers_writers.ada_correspondence(),
+                None if mutant else ada_program_spec(system))
+
+    def monitor_osb(mutant: bool):
+        monitor = one_slot_buffer_monitor_unguarded() if mutant else None
+        system = one_slot_buffer_system(items=(1, 2, 3), monitor=monitor)
+        return (MonitorProgram(system),
+                one_slot_buffer.one_slot_buffer_spec(),
+                one_slot_buffer.monitor_correspondence("osb"),
+                None if mutant else monitor_program_spec(system))
+
+    def csp_osb(mutant: bool):
+        system = one_slot_buffer_csp_system(items=(1, 2, 3))
+        return (CspProgram(system),
+                one_slot_buffer.one_slot_buffer_spec(temporal_safety=False),
+                one_slot_buffer.csp_correspondence(),
+                csp_program_spec(system))
+
+    def ada_osb(mutant: bool):
+        system = one_slot_buffer_ada_system(items=(1, 2, 3))
+        return (AdaProgram(system),
+                one_slot_buffer.one_slot_buffer_spec(),
+                one_slot_buffer.ada_correspondence(),
+                ada_program_spec(system))
+
+    def monitor_bb(mutant: bool):
+        system = bounded_buffer_system(capacity=2, items=(1, 2, 3))
+        claimed = 1 if mutant else 2
+        return (MonitorProgram(system),
+                bounded_buffer.bounded_buffer_spec(claimed),
+                bounded_buffer.monitor_correspondence("bb"),
+                None if mutant else monitor_program_spec(system))
+
+    def csp_bb(mutant: bool):
+        system = bounded_buffer_csp_system(capacity=2, items=(1, 2, 3))
+        return (CspProgram(system),
+                bounded_buffer.bounded_buffer_spec(2, temporal_safety=False),
+                bounded_buffer.csp_correspondence(),
+                csp_program_spec(system))
+
+    def ada_bb(mutant: bool):
+        system = bounded_buffer_ada_system(capacity=2, items=(1, 2, 3))
+        return (AdaProgram(system),
+                bounded_buffer.bounded_buffer_spec(2),
+                bounded_buffer.ada_correspondence(),
+                ada_program_spec(system))
+
+    return {
+        "monitor-readers-writers": monitor_rw,
+        "csp-readers-writers": csp_rw,
+        "ada-readers-writers": ada_rw,
+        "monitor-one-slot-buffer": monitor_osb,
+        "csp-one-slot-buffer": csp_osb,
+        "ada-one-slot-buffer": ada_osb,
+        "monitor-bounded-buffer": monitor_bb,
+        "csp-bounded-buffer": csp_bb,
+        "ada-bounded-buffer": ada_bb,
+    }
+
+
+def cmd_list(_args) -> int:
+    for name in sorted(_build_cases()):
+        print(name)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .verify import verify_program
+
+    cases = _build_cases()
+    if args.case not in cases:
+        print(f"unknown case {args.case!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    program, spec, correspondence, program_spec = cases[args.case](args.mutant)
+    report = verify_program(program, spec, correspondence,
+                            program_spec=program_spec)
+    print(report.summary())
+    if args.witness and not report.ok:
+        _print_witness(program, spec, correspondence, report)
+    if args.mutant:
+        return 0 if not report.ok else 1
+    return 0 if report.ok else 1
+
+
+def _print_witness(program, spec, correspondence, report) -> int:
+    """Extract and print a counterexample for the first failed verdict."""
+    from .core.witness import find_witness
+    from .sim import explore
+    from .verify import project
+
+    failing = [v for v in report.verdicts.values() if not v.holds]
+    if not failing:
+        return 0
+    verdict = failing[0]
+    run_index = verdict.failing_runs[0]
+    for i, run in enumerate(explore(program)):
+        if i == run_index:
+            projected = spec.label_threads(
+                project(run.computation, correspondence))
+            witness = find_witness(projected, spec.restriction(verdict.name))
+            print(f"\ncounterexample for {verdict.name!r} (run {run_index}):")
+            if witness is None:
+                print("  (witness search did not localise the failure)")
+            else:
+                for line in witness.describe().splitlines():
+                    print("  " + line)
+            break
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from .core.dot import computation_to_dot
+    from .sim import run_random
+
+    cases = _build_cases()
+    if args.case not in cases:
+        print(f"unknown case {args.case!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    program, _spec, _corr, _pspec = cases[args.case](False)
+    run = run_random(program, seed=args.seed)
+    print(computation_to_dot(run.computation, title=args.case,
+                             show_params=args.params))
+    return 0
+
+
+def cmd_lattice(_args) -> int:
+    from .core import ComputationBuilder
+    from .core.dot import history_lattice_to_dot
+
+    b = ComputationBuilder()
+    e1 = b.add_event("E1", "A")
+    e2 = b.add_event("E2", "A")
+    e3 = b.add_event("E3", "A")
+    e4 = b.add_event("E4", "A")
+    b.add_enable(e1, e2)
+    b.add_enable(e1, e3)
+    b.add_enable(e2, e4)
+    b.add_enable(e3, e4)
+    print(history_lattice_to_dot(b.freeze(), title="section-7"))
+    return 0
+
+
+def cmd_examples(_args) -> int:
+    from .core import (
+        ComputationBuilder,
+        GroupDecl,
+        GroupStructure,
+        all_histories,
+        count_maximal_history_sequences,
+    )
+
+    structure = GroupStructure(
+        [f"EL{i}" for i in range(1, 7)],
+        [
+            GroupDecl.make("G1", ["EL2", "EL3"]),
+            GroupDecl.make("G2", ["EL4", "EL5"]),
+            GroupDecl.make("G3", ["EL3", "EL4"]),
+            GroupDecl.make("G4", ["EL1"]),
+        ],
+    )
+    print("Section 4 allowed communications:")
+    for src, dsts in structure.access_table().items():
+        print(f"  {src}: {', '.join(sorted(dsts))}")
+
+    b = ComputationBuilder()
+    e1 = b.add_event("E1", "A")
+    e2 = b.add_event("E2", "A")
+    e3 = b.add_event("E3", "A")
+    e4 = b.add_event("E4", "A")
+    b.add_enable(e1, e2)
+    b.add_enable(e1, e3)
+    b.add_enable(e2, e4)
+    b.add_enable(e3, e4)
+    comp = b.freeze()
+    print("\nSection 7 diamond:")
+    print(f"  non-empty histories: "
+          f"{len(all_histories(comp, include_empty=False))} (paper: 5)")
+    print(f"  valid history sequences: "
+          f"{count_maximal_history_sequences(comp, max_step=None)} "
+          "(paper: 3)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GEM (Lansky & Owicki 1983) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list verification cases")
+
+    p_verify = sub.add_parser("verify", help="run a verification case")
+    p_verify.add_argument("case")
+    p_verify.add_argument("--mutant", action="store_true",
+                          help="run the case's negative control")
+    p_verify.add_argument("--witness", action="store_true",
+                          help="on failure, print a counterexample")
+
+    p_dot = sub.add_parser("dot", help="print one execution as DOT")
+    p_dot.add_argument("case")
+    p_dot.add_argument("--seed", type=int, default=0)
+    p_dot.add_argument("--params", action="store_true",
+                       help="show event parameters in labels")
+
+    sub.add_parser("lattice", help="print the §7 history lattice as DOT")
+    sub.add_parser("examples", help="print the paper's inline examples")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "verify": cmd_verify,
+        "dot": cmd_dot,
+        "lattice": cmd_lattice,
+        "examples": cmd_examples,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # downstream consumer (head, less) closed the pipe: not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,353 @@
+"""Checking computations against GEM specifications.
+
+This is the "tool" half of the paper's title: given a computation C and
+a specification σ, decide ``legal(C, σ)`` and report *why not* when the
+answer is no.
+
+Immediate restrictions are evaluated at the complete computation (its
+full history).  Temporal restrictions (containing □ or ◇) are
+interpreted over valid history sequences (Section 7) in one of two
+modes:
+
+``exact``
+    Enumerate maximal valid history sequences from the empty history and
+    require the formula to hold on every one.  With ``max_step=1`` the
+    sequences are the linear extensions of the temporal order; with
+    ``max_step=None`` arbitrary antichain steps are allowed (the full
+    Section 7 semantics).  Exact but exponential; use for small
+    computations and cross-validation.
+
+``lattice`` (default)
+    Evaluate recursively over the lattice of histories, reading □ as
+    "at every history reachable from here" (AG) and ◇ as "on every
+    path from here, eventually" (AF), with memoisation keyed by
+    (subformula, history, relevant bindings).
+
+The two modes agree on the formula shapes used throughout this
+reproduction.  For ``□p`` with immediate ``p`` they agree always: a vhs
+visits only reachable histories, and every reachable history lies on
+some maximal vhs.  For ``◇p`` and for nesting like ``□(p ⊃ ◇q)`` they
+agree whenever the temporal operands are *monotone* assertions
+(built from ``occurred``, conjunction, disjunction, and quantifiers
+— once true of a history, true of every extension), which covers every
+temporal restriction in this repository; ``tests/test_checker.py``
+cross-validates the modes on randomised computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .computation import Computation
+from .errors import ComputationError, SpecificationError
+from .formula import (
+    And,
+    AtControl,
+    Eventually,
+    Exists,
+    ExistsUnique,
+    AtMostOne,
+    ForAll,
+    Formula,
+    Henceforth,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Restriction,
+)
+from .history import (
+    History,
+    HistorySequence,
+    empty_history,
+    full_history,
+    maximal_history_sequences,
+)
+from .legality import check_legality
+from .specification import Specification
+
+#: Default cap on exact-mode vhs enumeration.
+DEFAULT_VHS_CAP = 20_000
+#: Default cap on distinct histories explored in lattice mode.
+DEFAULT_HISTORY_CAP = 2_000_000
+
+
+@dataclass(frozen=True)
+class RestrictionOutcome:
+    """Verdict for one restriction on one computation."""
+
+    name: str
+    holds: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        verdict = "OK " if self.holds else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{verdict}] {self.name}{suffix}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one computation against one specification."""
+
+    spec_name: str
+    legality_violations: List = field(default_factory=list)
+    outcomes: List[RestrictionOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.legality_violations and all(o.holds for o in self.outcomes)
+
+    def failed_restrictions(self) -> List[str]:
+        return [o.name for o in self.outcomes if not o.holds]
+
+    def summary(self) -> str:
+        lines = [
+            f"check against {self.spec_name!r}: "
+            f"{'LEGAL' if self.ok else 'ILLEGAL'}"
+        ]
+        for v in self.legality_violations:
+            lines.append(f"  legality: {v}")
+        for o in self.outcomes:
+            lines.append(f"  {o}")
+        return "\n".join(lines)
+
+
+class LatticeChecker:
+    """Temporal evaluation over the history lattice of one computation.
+
+    Stateful only in its memo tables; safe to reuse for many formulae
+    over the same computation.
+    """
+
+    def __init__(self, computation: Computation,
+                 history_cap: int = DEFAULT_HISTORY_CAP):
+        self._comp = computation
+        self._cap = history_cap
+        # memo: (formula, events, env-key, mode) -> bool; keyed on the
+        # formula object itself (structural equality) rather than id() --
+        # ids are reused after garbage collection, which poisons the memo
+        self._memo: Dict[Tuple, bool] = {}
+        self._visited = 0
+
+    def _env_key(self, env: Dict) -> Tuple:
+        return tuple(sorted((k, v.eid) for k, v in env.items()))
+
+    def holds(self, formula: Formula, history: Optional[History] = None,
+              env: Optional[Dict] = None) -> bool:
+        """Evaluate ``formula`` at ``history`` (default: empty history)."""
+        if history is None:
+            history = empty_history(self._comp)
+        return self._eval(formula, history, dict(env or {}))
+
+    def _eval(self, formula: Formula, history: History, env: Dict) -> bool:
+        if not formula.is_temporal():
+            return formula.holds_at(history, env)
+        if isinstance(formula, Henceforth):
+            return self._always(formula.body, history, env)
+        if isinstance(formula, Eventually):
+            return self._eventually(formula.body, history, env)
+        if isinstance(formula, Not):
+            return not self._eval(formula.body, history, env)
+        if isinstance(formula, And):
+            return all(self._eval(p, history, env) for p in formula.parts)
+        if isinstance(formula, Or):
+            return any(self._eval(p, history, env) for p in formula.parts)
+        if isinstance(formula, Implies):
+            return (not self._eval(formula.antecedent, history, env)) or self._eval(
+                formula.consequent, history, env
+            )
+        if isinstance(formula, Iff):
+            return self._eval(formula.left, history, env) == self._eval(
+                formula.right, history, env
+            )
+        if isinstance(formula, (ForAll, Exists, ExistsUnique, AtMostOne)):
+            results = (
+                self._eval(formula.body, history, self._bind(env, formula.var, ev))
+                for ev in formula.dom.events(self._comp)
+            )
+            if isinstance(formula, ForAll):
+                return all(results)
+            if isinstance(formula, Exists):
+                return any(results)
+            count = 0
+            for r in results:
+                if r:
+                    count += 1
+                    if count > 1:
+                        break
+            return count == 1 if isinstance(formula, ExistsUnique) else count <= 1
+        raise SpecificationError(
+            f"lattice checker cannot handle node {type(formula).__name__} "
+            "with temporal content"
+        )
+
+    @staticmethod
+    def _bind(env: Dict, var: str, ev) -> Dict:
+        env2 = dict(env)
+        env2[var] = ev
+        return env2
+
+    def _bump(self) -> None:
+        self._visited += 1
+        if self._visited > self._cap:
+            raise ComputationError(
+                f"lattice checker visited more than {self._cap} "
+                "(formula, history) pairs; raise history_cap or shrink the "
+                "computation"
+            )
+
+    def _always(self, body: Formula, history: History, env: Dict) -> bool:
+        """AG body: body holds at every history ⊇ ``history``."""
+        key = (body, history.events, self._env_key(env), "AG")
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self._bump()
+        result = True
+        if not self._eval(body, history, env):
+            result = False
+        else:
+            seen = {history.events}
+            stack = [history]
+            while stack:
+                h = stack.pop()
+                for eid in h.addable():
+                    nxt_events = h.events | {eid}
+                    if nxt_events in seen:
+                        continue
+                    seen.add(nxt_events)
+                    nxt = History(self._comp, nxt_events, _trusted=True)
+                    self._bump()
+                    if not self._eval(body, nxt, env):
+                        result = False
+                        stack.clear()
+                        break
+                    stack.append(nxt)
+        self._memo[key] = result
+        return result
+
+    def _eventually(self, body: Formula, history: History, env: Dict) -> bool:
+        """AF body: every maximal path from ``history`` hits a body-history."""
+        key = (body, history.events, self._env_key(env), "AF")
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self._bump()
+        if self._eval(body, history, env):
+            self._memo[key] = True
+            return True
+        addable = sorted(history.addable())
+        if not addable:
+            self._memo[key] = False
+            return False
+        result = all(
+            self._eventually(
+                body, History(self._comp, history.events | {eid}, _trusted=True), env
+            )
+            for eid in addable
+        )
+        self._memo[key] = result
+        return result
+
+
+def check_restriction(
+    computation: Computation,
+    restriction: Restriction,
+    temporal_mode: str = "lattice",
+    vhs_cap: int = DEFAULT_VHS_CAP,
+    max_step: Optional[int] = 1,
+    history_cap: int = DEFAULT_HISTORY_CAP,
+    with_witness: bool = False,
+    _lattice: Optional[LatticeChecker] = None,
+) -> RestrictionOutcome:
+    """Check a single restriction on a (thread-labelled) computation.
+
+    With ``with_witness``, a failing outcome's detail carries a located
+    counterexample (the failing history and quantifier bindings) from
+    :mod:`repro.core.witness` -- costs roughly one extra check.
+    """
+
+    def fail(detail: str) -> RestrictionOutcome:
+        if with_witness:
+            from .witness import find_witness
+
+            witness = find_witness(computation, restriction,
+                                   history_cap=history_cap)
+            if witness is not None:
+                detail = f"{detail}; witness: {witness.describe()}"
+        return RestrictionOutcome(restriction.name, False, detail)
+
+    formula = restriction.formula
+    if not formula.is_temporal():
+        holds = formula.holds_at(full_history(computation))
+        if holds:
+            return RestrictionOutcome(restriction.name, True)
+        return fail("fails at complete computation")
+    if temporal_mode == "lattice":
+        checker = _lattice or LatticeChecker(computation, history_cap)
+        holds = checker.holds(formula)
+        if holds:
+            return RestrictionOutcome(restriction.name, True)
+        return fail("fails over the history lattice")
+    if temporal_mode == "exact":
+        count = 0
+        for seq in maximal_history_sequences(computation, cap=vhs_cap,
+                                             max_step=max_step):
+            count += 1
+            if not formula.holds_on(seq):
+                return RestrictionOutcome(
+                    restriction.name, False,
+                    f"fails on vhs #{count} "
+                    f"(steps: {[sorted(map(str, h.events)) for h in seq]})")
+        return RestrictionOutcome(restriction.name, True,
+                                  f"holds on all {count} maximal vhs")
+    raise SpecificationError(f"unknown temporal_mode {temporal_mode!r}")
+
+
+def check_computation(
+    computation: Computation,
+    spec: Specification,
+    temporal_mode: str = "lattice",
+    vhs_cap: int = DEFAULT_VHS_CAP,
+    max_step: Optional[int] = 1,
+    history_cap: int = DEFAULT_HISTORY_CAP,
+    label_threads: bool = True,
+) -> CheckResult:
+    """Full ``legal(C, σ)`` check: legality rules plus every restriction.
+
+    Thread labels are (re)applied before restriction evaluation unless
+    ``label_threads`` is false (pass false when the computation already
+    carries labels you want preserved exactly).
+    """
+    result = CheckResult(spec.name)
+    result.legality_violations = check_legality(computation, spec)
+    labelled = spec.label_threads(computation) if label_threads else computation
+    lattice = LatticeChecker(labelled, history_cap)
+    for restriction in spec.all_restrictions():
+        result.outcomes.append(
+            check_restriction(
+                labelled,
+                restriction,
+                temporal_mode=temporal_mode,
+                vhs_cap=vhs_cap,
+                max_step=max_step,
+                history_cap=history_cap,
+                _lattice=lattice if temporal_mode == "lattice" else None,
+            )
+        )
+    return result
+
+
+def check_safety_at_all_histories(
+    computation: Computation, formula: Formula,
+    history_cap: int = DEFAULT_HISTORY_CAP,
+) -> bool:
+    """Convenience: does an immediate ``formula`` hold at *every* history?
+
+    Equivalent to checking ``□ formula`` over all valid history
+    sequences (every reachable history lies on some maximal vhs).
+    """
+    checker = LatticeChecker(computation, history_cap)
+    return checker.holds(Henceforth(formula))

@@ -1,0 +1,105 @@
+"""Composition operators on computations.
+
+GEM computations are values; specifications admit *sets* of them.  When
+building computations programmatically -- fixtures, synthetic workloads,
+counterexample surgery -- three operations recur:
+
+* :func:`parallel_compose` -- the disjoint union of two computations
+  over disjoint element sets: no order between their events (they are
+  pairwise potentially concurrent);
+* :func:`sequential_compose` -- run one computation wholly before
+  another: the second's events are renumbered after the first's at
+  shared elements, and every maximal event of the first enables every
+  minimal event of the second (an explicit barrier);
+* :func:`restrict_events` -- the sub-computation induced by a
+  downward-closed event set (a history, as a computation in its own
+  right).
+
+All three return ordinary immutable :class:`Computation` objects, and
+all three preserve legality-relevant structure (identity scheme, edge
+validity); tests assert the algebraic laws that make them safe to use
+(associativity up to fingerprint, concurrency/ordering guarantees).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .computation import Computation
+from .errors import ComputationError
+from .event import Event
+from .ids import EventId
+
+
+def parallel_compose(a: Computation, b: Computation) -> Computation:
+    """Disjoint union: events of ``a`` and ``b`` side by side, unordered.
+
+    The element sets must be disjoint -- with a shared element the union
+    would have to invent an interleaving, which is
+    :func:`sequential_compose`'s job or the caller's decision.
+    """
+    shared = set(a.elements()) & set(b.elements())
+    if shared:
+        raise ComputationError(
+            f"parallel composition requires disjoint elements; shared: "
+            f"{sorted(shared)}")
+    events = list(a.events) + list(b.events)
+    edges = list(a.enable_relation.pairs()) + list(b.enable_relation.pairs())
+    return Computation(events, edges)
+
+
+def sequential_compose(a: Computation, b: Computation,
+                       barrier: bool = True) -> Computation:
+    """``a`` wholly before ``b``.
+
+    Events of ``b`` at elements also used by ``a`` are renumbered to
+    follow ``a``'s occurrences (the element order then puts them after).
+    With ``barrier`` (default), every maximal event of ``a`` additionally
+    enables every minimal event of ``b``, so *all* of ``b`` is
+    temporally after *all* of ``a`` even across disjoint elements.
+    Without it, only shared elements order the two parts.
+    """
+    offsets: Dict[str, int] = {el: len(a.events_at(el)) for el in a.elements()}
+
+    def shift(eid: EventId) -> EventId:
+        return EventId(eid.element, eid.index + offsets.get(eid.element, 0))
+
+    shifted_events: List[Event] = [
+        Event(shift(ev.eid), ev.event_class, ev.params, ev.threads)
+        for ev in b.events
+    ]
+    shifted_edges: List[Tuple[EventId, EventId]] = [
+        (shift(x), shift(y)) for x, y in b.enable_relation.pairs()
+    ]
+    events = list(a.events) + shifted_events
+    edges = list(a.enable_relation.pairs()) + shifted_edges
+    if barrier and len(a) and len(b):
+        a_maximal = a.temporal_relation.maximal_nodes()
+        b_minimal = [shift(x) for x in b.temporal_relation.minimal_nodes()]
+        for x in a_maximal:
+            for y in b_minimal:
+                edges.append((x, y))
+    return Computation(events, edges)
+
+
+def restrict_events(comp: Computation, keep: Iterable[EventId]) -> Computation:
+    """The sub-computation induced by a *downward-closed* event set.
+
+    Raises :class:`ComputationError` when ``keep`` is not a history of
+    ``comp`` -- cutting an event but keeping its successor would forge
+    causality.
+    """
+    keep_set: Set[EventId] = set(keep)
+    unknown = [e for e in keep_set if e not in comp]
+    if unknown:
+        raise ComputationError(f"unknown events: {sorted(unknown)[:3]}")
+    if not comp.temporal_relation.is_down_closed(keep_set):
+        raise ComputationError(
+            "event set is not downward closed; the restriction would "
+            "forge causality")
+    events = [ev for ev in comp.events if ev.eid in keep_set]
+    edges = [
+        (x, y) for x, y in comp.enable_relation.pairs()
+        if x in keep_set and y in keep_set
+    ]
+    return Computation(events, edges)

@@ -1,0 +1,165 @@
+"""Dynamic group structures (paper footnote 5).
+
+"Computed [groups] grow monotonically, even in the presence of dynamic
+group structures.  This is because changes to group structure are
+represented as events."  The full treatment is in the cited report
+[17]; this module implements the mechanism the footnote describes:
+
+* structure-changing events are ordinary GEM events of two reserved
+  classes, ``CreateGroup(group)`` and ``AddGroupMember(group, member)``
+  (growth only -- removal would break the monotonicity the footnote
+  asserts);
+* the group structure *in force at an event e* is the static base
+  structure plus every structure change in e's causal past (its
+  temporal down-set, e included when e is itself a change);
+* the dynamic scope rule: an enable edge ``a ⊳ b`` is legal iff the
+  structure in force at ``a`` permits it -- you can only use access
+  rights whose establishment you have observed.
+
+:func:`check_dynamic_scope` is the drop-in replacement for the static
+``scope`` legality rule when a specification declares structure events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .computation import Computation
+from .element import EventClassRef
+from .errors import LegalityViolation, SpecificationError
+from .event import Event
+from .group import GroupDecl, GroupStructure
+from .ids import ElementName, EventId, GroupName
+
+#: Reserved structure-change event classes.
+CREATE_GROUP = "CreateGroup"
+ADD_GROUP_MEMBER = "AddGroupMember"
+STRUCTURE_CLASSES = (CREATE_GROUP, ADD_GROUP_MEMBER)
+
+
+def is_structure_event(event: Event) -> bool:
+    return event.event_class in STRUCTURE_CLASSES
+
+
+def _apply_changes(
+    base_elements: Iterable[ElementName],
+    base_groups: Iterable[GroupDecl],
+    changes: Iterable[Event],
+) -> GroupStructure:
+    """Base structure plus the given structure-change events."""
+    groups: Dict[GroupName, List[str]] = {
+        g.name: list(g.members) for g in base_groups
+    }
+    ports: Dict[GroupName, List[EventClassRef]] = {
+        g.name: list(g.ports) for g in base_groups
+    }
+    for ev in changes:
+        if ev.event_class == CREATE_GROUP:
+            name = ev.param("group")
+            if name in groups:
+                raise SpecificationError(
+                    f"structure event {ev.eid} re-creates group {name!r}")
+            groups[name] = []
+            ports[name] = []
+        elif ev.event_class == ADD_GROUP_MEMBER:
+            name = ev.param("group")
+            member = ev.param("member")
+            if name not in groups:
+                raise SpecificationError(
+                    f"structure event {ev.eid} adds to unknown group "
+                    f"{name!r}")
+            if member not in groups[name]:
+                groups[name].append(member)
+    decls = [
+        GroupDecl.make(name, members, ports=ports.get(name, ()))
+        for name, members in groups.items()
+    ]
+    return GroupStructure(list(base_elements), decls)
+
+
+class DynamicGroupStructure:
+    """Group structure that grows through structure events.
+
+    Built from a base (static) structure; :meth:`in_force_at` computes
+    the effective structure at an event of a computation, caching by
+    the set of observed changes (growth is monotone, so the cache key
+    is small and reuse is high).
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[ElementName],
+        base_groups: Iterable[GroupDecl] = (),
+    ) -> None:
+        self._elements = tuple(elements)
+        self._base_groups = tuple(base_groups)
+        # validate the base eagerly
+        self._base = GroupStructure(self._elements, self._base_groups)
+        self._cache: Dict[FrozenSet[EventId], GroupStructure] = {}
+
+    @property
+    def base(self) -> GroupStructure:
+        return self._base
+
+    def structure_for_changes(self, changes: Iterable[Event]) -> GroupStructure:
+        """Effective structure after the given change events."""
+        change_list = sorted(changes, key=lambda e: (e.element, e.index))
+        key = frozenset(e.eid for e in change_list)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = _apply_changes(self._elements, self._base_groups,
+                                    change_list)
+            self._cache[key] = cached
+        return cached
+
+    def in_force_at(self, computation: Computation,
+                    eid: EventId) -> GroupStructure:
+        """The structure in force at event ``eid``: base + every
+        structure change in its causal past (itself included)."""
+        past = computation.temporal_relation.down_set([eid])
+        changes = [
+            computation.event(x) for x in past
+            if is_structure_event(computation.event(x))
+        ]
+        return self.structure_for_changes(changes)
+
+    def final(self, computation: Computation) -> GroupStructure:
+        """The structure after all of the computation's changes."""
+        changes = [e for e in computation.events if is_structure_event(e)]
+        return self.structure_for_changes(changes)
+
+
+def check_dynamic_scope(
+    computation: Computation,
+    dynamic: DynamicGroupStructure,
+) -> List[LegalityViolation]:
+    """The scope legality rule under dynamic groups.
+
+    Each enable edge is checked against the structure in force at its
+    *source* -- access must have been established in the enabler's
+    causal past.
+    """
+    violations: List[LegalityViolation] = []
+    for a, b in computation.enable_relation.pairs():
+        structure = dynamic.in_force_at(computation, a)
+        target = computation.event(b)
+        if not structure.may_enable(a.element, b.element, target.event_class):
+            violations.append(LegalityViolation(
+                "dynamic-scope",
+                f"enable edge {a} ⊳ {b} not permitted by the group "
+                f"structure in force at {a}",
+                [a, b],
+            ))
+    return violations
+
+
+def structure_element_decl(name: ElementName = "structure"):
+    """An element declaration for structure-change events."""
+    from .element import ElementDecl
+    from .event import EventClass, ParamSpec
+
+    return ElementDecl.make(name, [
+        EventClass(CREATE_GROUP, (ParamSpec("group", "VALUE"),)),
+        EventClass(ADD_GROUP_MEMBER, (ParamSpec("group", "VALUE"),
+                                      ParamSpec("member", "VALUE"))),
+    ])

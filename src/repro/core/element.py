@@ -1,0 +1,129 @@
+"""GEM elements: loci of forced sequential activity.
+
+"Elements model the elementary components of a language or problem whose
+associated actions must, for some reason, occur sequentially" (Section 4).
+Every event belongs to exactly one element, and all events at an element
+are totally ordered by the element order ``⇒ₑ``.
+
+An :class:`ElementDecl` is the *specification-side* description of one
+element: its name, the event classes that may occur at it, and any
+explicit restrictions attached to it.  The *computation-side* element is
+implicit -- it is just the set of events whose :class:`EventId` names it,
+in occurrence order.
+
+The paper's example (Section 4)::
+
+    Var = ELEMENT
+        EVENTS Assign(newval: INTEGER)
+               Getval(oldval: INTEGER)
+
+is built here as::
+
+    Var = ElementDecl("Var", [
+        EventClass("Assign", (ParamSpec("newval", "INTEGER"),)),
+        EventClass("Getval", (ParamSpec("oldval", "INTEGER"),)),
+    ])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .errors import SpecificationError
+from .event import EventClass
+from .ids import ElementName, EventClassName
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """Declaration of one element: name, event classes, restrictions.
+
+    ``restrictions`` holds restriction objects (see
+    :mod:`repro.core.formula`); they are stored opaquely here to avoid an
+    import cycle and are collected by :class:`~repro.core.specification.Specification`.
+    """
+
+    name: ElementName
+    event_classes: Tuple[EventClass, ...] = ()
+    restrictions: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("element name must be non-empty")
+        names = [ec.name for ec in self.event_classes]
+        if len(names) != len(set(names)):
+            raise SpecificationError(
+                f"element {self.name!r} declares duplicate event classes"
+            )
+
+    @staticmethod
+    def make(
+        name: ElementName,
+        event_classes: Iterable[EventClass] = (),
+        restrictions: Iterable[object] = (),
+    ) -> "ElementDecl":
+        return ElementDecl(name, tuple(event_classes), tuple(restrictions))
+
+    def event_class(self, class_name: EventClassName) -> EventClass:
+        """Look up a declared event class; SpecificationError if unknown."""
+        for ec in self.event_classes:
+            if ec.name == class_name:
+                return ec
+        raise SpecificationError(
+            f"element {self.name!r} declares no event class {class_name!r}"
+        )
+
+    def declares(self, class_name: EventClassName) -> bool:
+        return any(ec.name == class_name for ec in self.event_classes)
+
+    def class_names(self) -> Tuple[EventClassName, ...]:
+        return tuple(ec.name for ec in self.event_classes)
+
+    def renamed(self, new_name: ElementName) -> "ElementDecl":
+        """Copy under a new name (used when instantiating element types)."""
+        return ElementDecl(new_name, self.event_classes, self.restrictions)
+
+    def with_restrictions(self, extra: Iterable[object]) -> "ElementDecl":
+        """Copy with additional restrictions appended (type refinement)."""
+        return ElementDecl(self.name, self.event_classes,
+                           self.restrictions + tuple(extra))
+
+    def with_event_classes(self, extra: Iterable[EventClass]) -> "ElementDecl":
+        """Copy with additional event classes appended (type refinement)."""
+        return ElementDecl(self.name, self.event_classes + tuple(extra),
+                           self.restrictions)
+
+
+@dataclass(frozen=True)
+class EventClassRef:
+    """A reference to an event class at a particular element.
+
+    The paper writes these as ``Var.Assign`` or ``db.control.ReqRead``.
+    Used by restrictions, thread path expressions, ports, and the
+    verification correspondence.
+    """
+
+    element: ElementName
+    event_class: EventClassName
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.event_class}"
+
+    @staticmethod
+    def parse(text: str) -> "EventClassRef":
+        """Parse ``element.path.Class`` -- last dot separates the class.
+
+        >>> EventClassRef.parse("db.control.ReqRead")
+        EventClassRef(element='db.control', event_class='ReqRead')
+        """
+        element, sep, event_class = text.rpartition(".")
+        if not sep or not element or not event_class:
+            raise SpecificationError(
+                f"cannot parse event class reference {text!r}; expected "
+                "'element.Class'"
+            )
+        return EventClassRef(element, event_class)
+
+    def matches(self, element: ElementName, event_class: EventClassName) -> bool:
+        return self.element == element and self.event_class == event_class

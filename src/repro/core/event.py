@@ -1,0 +1,182 @@
+"""GEM events and event-class descriptions.
+
+A GEM event "represents a logical action that is regarded as atomic
+relative to other events in its computation" (Section 4).  An event is a
+structured object carrying:
+
+* its unique identity -- the element at which it occurs plus its
+  occurrence number there (:class:`~repro.core.ids.EventId`);
+* the *event class* it belongs to (``Assign``, ``Getval``, ``ReqRead``...);
+* data parameters, as declared by the event class;
+* thread identifiers -- the set of thread instances the event belongs to
+  (Section 8.3).
+
+Events are immutable: a computation is a set of unique occurrences, and
+all mutation happens in :class:`~repro.core.computation.ComputationBuilder`.
+
+An :class:`EventClass` describes "a set of similar events": the class
+name and the parameter signature.  Event classes are declared inside
+element (type) descriptions; see :mod:`repro.core.element`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Mapping, Optional, Tuple
+
+from .errors import SpecificationError
+from .ids import ElementName, EventClassName, EventId, ThreadId
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of an event class.
+
+    ``type_name`` is documentation plus an optional runtime check: GEM's
+    type language (``INTEGER``, ``VALUE``, ``1..N``) is open-ended, so we
+    validate only the types we know (see :meth:`accepts`).
+    """
+
+    name: str
+    type_name: str = "VALUE"
+
+    def accepts(self, value: Any) -> bool:
+        """Best-effort runtime check of ``value`` against ``type_name``.
+
+        Unknown type names accept everything (GEM types are descriptive).
+        Range types use the paper's ``lo..hi`` notation.
+        """
+        t = self.type_name.upper()
+        if t == "INTEGER":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if t == "BOOLEAN":
+            return isinstance(value, bool)
+        if ".." in t:
+            lo_s, _, hi_s = t.partition("..")
+            try:
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError:
+                return True
+            return isinstance(value, int) and lo <= value <= hi
+        return True
+
+
+@dataclass(frozen=True)
+class EventClass:
+    """Description of a set of similar events: name + parameter signature.
+
+    The paper writes e.g. ``Assign(newval: INTEGER)``.  ``params`` is the
+    ordered signature; events of this class must bind every declared
+    parameter name.
+    """
+
+    name: EventClassName
+    params: Tuple[ParamSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise SpecificationError(
+                f"event class {self.name!r} declares duplicate parameter names"
+            )
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def validate_args(self, args: Mapping[str, Any]) -> None:
+        """Raise :class:`SpecificationError` if ``args`` do not fit the signature."""
+        declared = set(self.param_names())
+        given = set(args)
+        if given != declared:
+            missing = declared - given
+            extra = given - declared
+            detail = []
+            if missing:
+                detail.append(f"missing {sorted(missing)}")
+            if extra:
+                detail.append(f"unexpected {sorted(extra)}")
+            raise SpecificationError(
+                f"arguments for event class {self.name!r} do not match its "
+                f"signature: {', '.join(detail)}"
+            )
+        for spec in self.params:
+            if not spec.accepts(args[spec.name]):
+                raise SpecificationError(
+                    f"parameter {spec.name!r} of event class {self.name!r} "
+                    f"rejects value {args[spec.name]!r} (declared {spec.type_name})"
+                )
+
+
+def _freeze_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event occurrence in a computation.
+
+    Identity is the (element, occurrence-number) pair inside ``eid``;
+    equality and hashing use the full record so that accidentally
+    rebuilding "the same" event with different data is caught as a
+    duplicate-identity error by the computation builder rather than
+    silently merged.
+    """
+
+    eid: EventId
+    event_class: EventClassName
+    params: Tuple[Tuple[str, Any], ...] = ()
+    threads: FrozenSet[ThreadId] = frozenset()
+
+    @staticmethod
+    def make(
+        element: ElementName,
+        index: int,
+        event_class: EventClassName,
+        params: Optional[Mapping[str, Any]] = None,
+        threads: FrozenSet[ThreadId] = frozenset(),
+    ) -> "Event":
+        return Event(
+            eid=EventId(element, index),
+            event_class=event_class,
+            params=_freeze_params(params or {}),
+            threads=frozenset(threads),
+        )
+
+    @property
+    def element(self) -> ElementName:
+        """Name of the element at which this event occurs."""
+        return self.eid.element
+
+    @property
+    def index(self) -> int:
+        """1-based occurrence number at the element."""
+        return self.eid.index
+
+    def param(self, name: str) -> Any:
+        """Value of parameter ``name``; KeyError if not bound."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(f"event {self.eid} has no parameter {name!r}")
+
+    def param_dict(self) -> Mapping[str, Any]:
+        return dict(self.params)
+
+    def has_thread(self, thread: ThreadId) -> bool:
+        return thread in self.threads
+
+    def with_threads(self, threads: FrozenSet[ThreadId]) -> "Event":
+        """Copy of this event with ``threads`` added (identity unchanged)."""
+        return Event(self.eid, self.event_class, self.params,
+                     self.threads | frozenset(threads))
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``Var^2:Assign(newval=5)``."""
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        threads = ""
+        if self.threads:
+            threads = " [" + ", ".join(str(t) for t in sorted(self.threads)) + "]"
+        return f"{self.eid}:{self.event_class}({args}){threads}"
+
+    def __str__(self) -> str:
+        return f"{self.eid}:{self.event_class}"

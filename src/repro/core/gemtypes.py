@@ -1,0 +1,222 @@
+"""The GEM type description facility (Section 6).
+
+"Group and element types may be declared.  Types may be parameterized as
+well as defined as refinements of other types.  Each instance of a given
+type is an element or group with a structure identical to that of its
+type description, except for any explicitly mentioned differences.
+Semantically, the GEM type system may be viewed as a simple text
+substitution facility."
+
+We realise "text substitution" as template instantiation:
+
+* an :class:`ElementType` holds event-class templates (whose parameter
+  type names may reference type parameters as ``$name``) and a
+  restriction factory that receives the instance's element name -- so
+  restrictions refer to the instantiated element, exactly as textual
+  substitution would produce;
+* a :class:`GroupType` holds a builder that, given the instance name and
+  parameter bindings, produces the instance's nested elements, subgroups
+  and ports with hierarchically qualified names (``db.control``,
+  ``db.data[3]``...);
+* refinement (``TypedVariable = Variable / ADD RESTRICTION ...``) copies
+  a base type and appends event classes and/or restrictions.
+
+The paper's running example becomes::
+
+    Variable = ElementType("Variable", event_classes=[
+        EventClass("Assign", (ParamSpec("newval", "VALUE"),)),
+        EventClass("Getval", (ParamSpec("oldval", "VALUE"),)),
+    ], restrictions_fn=variable_semantics)
+
+    IntegerVariable = Variable.refined(
+        "IntegerVariable", substitute={"VALUE": "INTEGER"})
+
+    var = IntegerVariable.instantiate("Var")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .element import ElementDecl, EventClassRef
+from .errors import SpecificationError
+from .event import EventClass, ParamSpec
+from .formula import Restriction
+from .group import GroupDecl
+from .ids import ElementName, GroupName
+
+#: Signature of an element-type restriction factory: receives the
+#: instantiated element's name and the type-parameter bindings, returns
+#: the restrictions that the instance carries.
+ElementRestrictionsFn = Callable[[ElementName, Mapping[str, Any]], Sequence[Restriction]]
+
+
+def _substitute_type_name(type_name: str, bindings: Mapping[str, Any],
+                          substitutions: Mapping[str, str]) -> str:
+    out = substitutions.get(type_name, type_name)
+    for key, value in bindings.items():
+        out = out.replace(f"${key}", str(value))
+    return out
+
+
+class ElementType:
+    """A parameterised template for element declarations."""
+
+    def __init__(
+        self,
+        name: str,
+        event_classes: Iterable[EventClass] = (),
+        restrictions_fn: Optional[ElementRestrictionsFn] = None,
+        params: Sequence[str] = (),
+        _substitutions: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.event_classes = tuple(event_classes)
+        self.params = tuple(params)
+        self._restriction_fns: Tuple[ElementRestrictionsFn, ...] = (
+            (restrictions_fn,) if restrictions_fn else ()
+        )
+        self._substitutions: Dict[str, str] = dict(_substitutions or {})
+
+    def instantiate(self, instance_name: ElementName, **bindings: Any) -> ElementDecl:
+        """Create an element declaration named ``instance_name``.
+
+        Unbound declared parameters and unknown bindings raise
+        :class:`SpecificationError` -- type instantiation is total.
+        """
+        missing = set(self.params) - set(bindings)
+        extra = set(bindings) - set(self.params)
+        if missing or extra:
+            detail = []
+            if missing:
+                detail.append(f"missing {sorted(missing)}")
+            if extra:
+                detail.append(f"unexpected {sorted(extra)}")
+            raise SpecificationError(
+                f"instantiating element type {self.name!r}: {', '.join(detail)}"
+            )
+        classes = tuple(
+            EventClass(
+                ec.name,
+                tuple(
+                    ParamSpec(
+                        p.name,
+                        _substitute_type_name(p.type_name, bindings,
+                                              self._substitutions),
+                    )
+                    for p in ec.params
+                ),
+            )
+            for ec in self.event_classes
+        )
+        restrictions: List[Restriction] = []
+        for fn in self._restriction_fns:
+            restrictions.extend(fn(instance_name, bindings))
+        return ElementDecl(instance_name, classes, tuple(restrictions))
+
+    def refined(
+        self,
+        name: str,
+        add_event_classes: Iterable[EventClass] = (),
+        add_restrictions_fn: Optional[ElementRestrictionsFn] = None,
+        add_params: Sequence[str] = (),
+        substitute: Optional[Mapping[str, str]] = None,
+    ) -> "ElementType":
+        """A new type: this type plus explicitly mentioned differences.
+
+        ``substitute`` maps parameter type names textually (the
+        ``TypedVariable(INTEGER)`` pattern); ``add_*`` append structure.
+        """
+        out = ElementType(
+            name,
+            self.event_classes + tuple(add_event_classes),
+            None,
+            self.params + tuple(add_params),
+            {**self._substitutions, **(substitute or {})},
+        )
+        out._restriction_fns = self._restriction_fns + (
+            (add_restrictions_fn,) if add_restrictions_fn else ()
+        )
+        return out
+
+    def __repr__(self) -> str:
+        params = f"({', '.join(self.params)})" if self.params else ""
+        return f"ElementType {self.name}{params}"
+
+
+@dataclass(frozen=True)
+class GroupInstance:
+    """Everything produced by instantiating a group type.
+
+    ``group`` is the instance's own group declaration; ``elements`` and
+    ``subgroups`` are all (recursively) created declarations, with fully
+    qualified names; ``restrictions`` are the instance's restrictions.
+    """
+
+    group: GroupDecl
+    elements: Tuple[ElementDecl, ...] = ()
+    subgroups: Tuple[GroupDecl, ...] = ()
+    restrictions: Tuple[Restriction, ...] = ()
+
+    def all_element_names(self) -> Tuple[ElementName, ...]:
+        return tuple(e.name for e in self.elements)
+
+    def merged_with(self, other: "GroupInstance") -> "GroupInstance":
+        """Combine two instances under this instance's group (helper)."""
+        return GroupInstance(
+            self.group,
+            self.elements + other.elements,
+            self.subgroups + (other.group,) + other.subgroups,
+            self.restrictions + other.restrictions,
+        )
+
+
+#: Signature of a group-type builder: (instance name, bindings) ->
+#: GroupInstance.  The builder is responsible for qualifying child names
+#: with the instance name (use :func:`repro.core.ids.qualified`).
+GroupBuilderFn = Callable[[GroupName, Mapping[str, Any]], GroupInstance]
+
+
+class GroupType:
+    """A parameterised template for group structures."""
+
+    def __init__(self, name: str, builder: GroupBuilderFn,
+                 params: Sequence[str] = ()):
+        self.name = name
+        self.params = tuple(params)
+        self._builder = builder
+
+    def instantiate(self, instance_name: GroupName, **bindings: Any) -> GroupInstance:
+        missing = set(self.params) - set(bindings)
+        extra = set(bindings) - set(self.params)
+        if missing or extra:
+            detail = []
+            if missing:
+                detail.append(f"missing {sorted(missing)}")
+            if extra:
+                detail.append(f"unexpected {sorted(extra)}")
+            raise SpecificationError(
+                f"instantiating group type {self.name!r}: {', '.join(detail)}"
+            )
+        instance = self._builder(instance_name, dict(bindings))
+        if instance.group.name != instance_name:
+            raise SpecificationError(
+                f"group type {self.name!r} builder must name its group "
+                f"{instance_name!r}, got {instance.group.name!r}"
+            )
+        return instance
+
+    def __repr__(self) -> str:
+        params = f"({', '.join(self.params)})" if self.params else ""
+        return f"GroupType {self.name}{params}"

@@ -1,0 +1,268 @@
+"""GEM groups: scope structure over elements and other groups.
+
+Groups "are sets of elements and/or other groups, and are used to
+describe the compound structure of more complex language and problem
+components" (Section 4).  Group structure imposes legality restrictions
+on the enable relation, mirroring static scope rules.
+
+The access rule of the paper (footnote 4): given ``e1 @ EL1`` and
+``e2 @ EL2``, ``e1`` can enable ``e2`` iff ::
+
+    access(EL1, EL2)  ∨  (e2 is a port of G ∧ access(EL1, G))
+
+where ::
+
+    access(X, Y)    ≡ ∃G [ Y ∈ G ∧ contained(X, G) ]
+    contained(X, G) ≡ X ∈ G ∨ ∃G' [ X ∈ G' ∧ contained(G', G) ]
+
+(``∈`` is *direct* membership).  All elements and groups are assumed to
+be enclosed in a single implicit surrounding group, so siblings at the
+top level can always reach one another.
+
+Groups may be disjoint, hierarchical, or overlapping; this module makes
+no tree assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .element import EventClassRef
+from .errors import SpecificationError
+from .ids import ElementName, GroupName
+
+#: Name of the implicit group enclosing the whole specification.
+ROOT_GROUP: GroupName = "<root>"
+
+
+@dataclass(frozen=True)
+class GroupDecl:
+    """Declaration of one group.
+
+    ``members`` are names of directly contained elements and/or groups.
+    ``ports`` designate event classes whose events serve as "access
+    holes" into this group (PORTS(...) in the paper).  ``restrictions``
+    are explicit restrictions attached to the group, stored opaquely
+    (same reasoning as in :mod:`repro.core.element`).
+    """
+
+    name: GroupName
+    members: Tuple[str, ...] = ()
+    ports: Tuple[EventClassRef, ...] = ()
+    restrictions: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("group name must be non-empty")
+        if len(set(self.members)) != len(self.members):
+            raise SpecificationError(f"group {self.name!r} lists duplicate members")
+
+    @staticmethod
+    def make(
+        name: GroupName,
+        members: Iterable[str] = (),
+        ports: Iterable[EventClassRef] = (),
+        restrictions: Iterable[object] = (),
+    ) -> "GroupDecl":
+        return GroupDecl(name, tuple(members), tuple(ports), tuple(restrictions))
+
+    def renamed(self, new_name: GroupName) -> "GroupDecl":
+        return GroupDecl(new_name, self.members, self.ports, self.restrictions)
+
+
+class GroupStructure:
+    """The full scope structure of a specification.
+
+    Built from a list of element names and :class:`GroupDecl` objects.
+    Any element or group not directly contained in some declared group
+    becomes a direct member of the implicit :data:`ROOT_GROUP`, per the
+    paper's single-surrounding-group assumption.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[ElementName],
+        groups: Iterable[GroupDecl] = (),
+    ) -> None:
+        self._elements: Tuple[ElementName, ...] = tuple(elements)
+        self._groups: Dict[GroupName, GroupDecl] = {}
+        for g in groups:
+            if g.name == ROOT_GROUP:
+                raise SpecificationError(f"{ROOT_GROUP!r} is reserved")
+            if g.name in self._groups:
+                raise SpecificationError(f"duplicate group declaration {g.name!r}")
+            self._groups[g.name] = g
+
+        element_set = set(self._elements)
+        if len(element_set) != len(self._elements):
+            raise SpecificationError("duplicate element names in group structure")
+
+        # direct membership: member name -> set of groups it belongs to
+        self._member_of: Dict[str, Set[GroupName]] = {}
+        for g in self._groups.values():
+            for m in g.members:
+                if m not in element_set and m not in self._groups:
+                    raise SpecificationError(
+                        f"group {g.name!r} lists unknown member {m!r}"
+                    )
+                self._member_of.setdefault(m, set()).add(g.name)
+
+        # everything not a member of any declared group joins the root
+        root_members: List[str] = []
+        for name in list(self._elements) + list(self._groups):
+            if not self._member_of.get(name):
+                root_members.append(name)
+                self._member_of.setdefault(name, set()).add(ROOT_GROUP)
+        self._root_members = tuple(root_members)
+        self._contained_cache: Dict[Tuple[str, GroupName], bool] = {}
+
+        self._check_containment_acyclic()
+
+        # ports: element -> set of event class names that are ports of
+        # some group; and (element, class) -> groups it is a port of
+        self._port_groups: Dict[Tuple[ElementName, str], Set[GroupName]] = {}
+        for g in self._groups.values():
+            for ref in g.ports:
+                if ref.element not in element_set:
+                    raise SpecificationError(
+                        f"group {g.name!r} declares port {ref} at unknown "
+                        f"element {ref.element!r}"
+                    )
+                if not self._contained(ref.element, g.name):
+                    raise SpecificationError(
+                        f"port {ref} of group {g.name!r} must name an event "
+                        "class at an element contained in the group"
+                    )
+                self._port_groups.setdefault(
+                    (ref.element, ref.event_class), set()
+                ).add(g.name)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def elements(self) -> Tuple[ElementName, ...]:
+        return self._elements
+
+    @property
+    def groups(self) -> Tuple[GroupDecl, ...]:
+        return tuple(self._groups.values())
+
+    def group(self, name: GroupName) -> GroupDecl:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise SpecificationError(f"unknown group {name!r}") from None
+
+    def has_element(self, name: ElementName) -> bool:
+        return name in set(self._elements)
+
+    def direct_groups_of(self, member: str) -> FrozenSet[GroupName]:
+        """Groups that *directly* contain ``member`` (root included)."""
+        return frozenset(self._member_of.get(member, set()))
+
+    def _check_containment_acyclic(self) -> None:
+        # A group contained (transitively) in itself makes `contained`
+        # non-terminating in the paper's recursive definition.
+        state: Dict[GroupName, int] = {}
+
+        def visit(g: GroupName, stack: List[GroupName]) -> None:
+            state[g] = 1
+            stack.append(g)
+            for parent in self._member_of.get(g, ()):
+                if parent == ROOT_GROUP:
+                    continue
+                if state.get(parent) == 1:
+                    cycle = stack[stack.index(parent):] + [parent]
+                    raise SpecificationError(
+                        f"group containment cycle: {' -> '.join(cycle)}"
+                    )
+                if state.get(parent, 0) == 0:
+                    visit(parent, stack)
+            stack.pop()
+            state[g] = 2
+
+        for g in self._groups:
+            if state.get(g, 0) == 0:
+                visit(g, [])
+
+    # -- the paper's predicates ----------------------------------------------
+
+    def _contained(self, x: str, g: GroupName) -> bool:
+        """contained(X, G): X ∈ G, or X ∈ G' and contained(G', G)."""
+        key = (x, g)
+        cached = self._contained_cache.get(key)
+        if cached is not None:
+            return cached
+        result = False
+        direct = self._member_of.get(x, set())
+        if g in direct:
+            result = True
+        else:
+            for parent in direct:
+                if parent != ROOT_GROUP and self._contained(parent, g):
+                    result = True
+                    break
+        self._contained_cache[key] = result
+        return result
+
+    def contained(self, x: str, g: GroupName) -> bool:
+        """Public form of the ``contained`` predicate (footnote 4)."""
+        if g == ROOT_GROUP:
+            return True
+        return self._contained(x, g)
+
+    def access(self, x: str, y: str) -> bool:
+        """access(X, Y) ≡ ∃G [ Y ∈ G ∧ contained(X, G) ].
+
+        True when X and Y share a group, or Y is global to X.
+        """
+        for g in self._member_of.get(y, set()):
+            if g == ROOT_GROUP:
+                # Y is a direct member of the root; everything is
+                # contained in the root group.
+                return True
+            if self._contained(x, g):
+                return True
+        return False
+
+    def port_groups(self, element: ElementName, event_class: str) -> FrozenSet[GroupName]:
+        """Groups for which events of ``element.event_class`` are ports."""
+        return frozenset(self._port_groups.get((element, event_class), set()))
+
+    def may_enable(
+        self,
+        source_element: ElementName,
+        target_element: ElementName,
+        target_event_class: Optional[str] = None,
+    ) -> bool:
+        """May an event at ``source_element`` enable one at ``target_element``?
+
+        Implements the enable-legality rule of footnote 4.  When
+        ``target_event_class`` is given, the port clause is consulted;
+        otherwise only plain element access applies.
+        """
+        if self.access(source_element, target_element):
+            return True
+        if target_event_class is not None:
+            for g in self._port_groups.get((target_element, target_event_class), ()):
+                if self.access(source_element, g):
+                    return True
+        return False
+
+    def access_table(self) -> Dict[ElementName, FrozenSet[ElementName]]:
+        """For each element, the set of elements its events may enable.
+
+        Regenerates the "allowed communications" table of Section 4
+        (ignoring ports, as the paper's table does).
+        """
+        table: Dict[ElementName, FrozenSet[ElementName]] = {}
+        for src in self._elements:
+            table[src] = frozenset(
+                dst for dst in self._elements if self.access(src, dst)
+            )
+        return table
+
+    def events_visible_outside(self, group: GroupName) -> FrozenSet[EventClassRef]:
+        """Port event classes of ``group`` (its public interface)."""
+        return frozenset(self.group(group).ports)

@@ -1,0 +1,387 @@
+"""Histories and valid history sequences (Section 7 of the paper).
+
+A *history* records "what has happened so far": a subset of a
+computation's events that is downward closed under the temporal order
+(every predecessor of a member is a member).  The set of histories of a
+computation, ordered by inclusion, forms a lattice whose maximal point
+is the whole computation.
+
+A *valid history sequence* (vhs) is a sequence of histories that
+
+1. is monotonically increasing (``α₀ ⊆ α₁ ⊆ ...``), and
+2. only adds pairwise potentially-concurrent events in a single step --
+   two events occur "for the first time in the same history" only if
+   neither temporally precedes the other.
+
+vhs enjoy the tail-closure property; temporal operators □ and ◇ are
+interpreted over them (see :mod:`repro.core.formula`).
+
+One way of viewing a GEM computation "is as the set of all of its valid
+history sequences"; the enumerators here realise that view for finite
+computations, with caps because vhs counts grow explosively.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .computation import Computation
+from .errors import ComputationError
+from .ids import EventId
+
+
+class History:
+    """One downward-closed prefix of a computation.
+
+    Immutable.  Equality and hashing consider the event set and the
+    identity of the underlying computation, so histories of different
+    computations never compare equal.
+    """
+
+    __slots__ = ("_comp", "_events", "_hash")
+
+    def __init__(self, computation: Computation, events: Iterable[EventId],
+                 _trusted: bool = False):
+        self._comp = computation
+        ev_set = frozenset(events)
+        if not _trusted:
+            for eid in ev_set:
+                if eid not in computation:
+                    raise ComputationError(
+                        f"history references {eid}, not in the computation"
+                    )
+            if not computation.temporal_relation.is_down_closed(ev_set):
+                raise ComputationError(
+                    "history is not downward closed: some member has a "
+                    "temporal predecessor outside the history"
+                )
+        self._events = ev_set
+        self._hash = hash((id(computation), ev_set))
+
+    # -- basics ------------------------------------------------------------
+
+    @property
+    def computation(self) -> Computation:
+        return self._comp
+
+    @property
+    def events(self) -> FrozenSet[EventId]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, eid: EventId) -> bool:
+        return eid in self._events
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, History)
+            and self._comp is other._comp
+            and self._events == other._events
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "History") -> bool:
+        """Prefix relation between histories of the same computation."""
+        if self._comp is not other._comp:
+            raise ComputationError("histories of different computations")
+        return self._events <= other._events
+
+    def __lt__(self, other: "History") -> bool:
+        return self <= other and self._events != other._events
+
+    def __repr__(self) -> str:
+        names = ", ".join(str(e) for e in sorted(self._events))
+        return f"History({{{names}}})"
+
+    # -- GEM predicates over histories -----------------------------------------
+
+    def occurred(self, eid: EventId) -> bool:
+        """``occurred(e)`` evaluated at this history."""
+        return eid in self._events
+
+    def is_complete(self) -> bool:
+        """True iff this history is the whole computation."""
+        return len(self._events) == len(self._comp)
+
+    def frontier(self) -> FrozenSet[EventId]:
+        """Members with no temporal successor inside the history."""
+        temporal = self._comp.temporal_relation
+        out: Set[EventId] = set()
+        for eid in self._events:
+            if all(s not in self._events for s in temporal.successors(eid)):
+                out.add(eid)
+        return frozenset(out)
+
+    def addable(self) -> FrozenSet[EventId]:
+        """Events of the computation that could extend this history.
+
+        These are exactly the *potential* events: not yet occurred, with
+        every temporal predecessor already in the history.
+        """
+        temporal = self._comp.temporal_relation
+        out: Set[EventId] = set()
+        for ev in self._comp.events:
+            if ev.eid in self._events:
+                continue
+            if all(p in self._events for p in temporal.predecessors(ev.eid)):
+                out.add(ev.eid)
+        return frozenset(out)
+
+    def potential(self, eid: EventId) -> bool:
+        """The paper's ``potential(e)``: e may legally extend this history."""
+        if eid in self._events:
+            return False
+        temporal = self._comp.temporal_relation
+        return all(p in self._events for p in temporal.predecessors(eid))
+
+    def new(self, eid: EventId) -> bool:
+        """The paper's ``new(e)``: e occurred, and nothing observably follows it.
+
+        ``new(e) ≡ occurred(e) ∧ ¬∃e' [e ⇒ e']`` evaluated inside the
+        history: e is in the history and no temporal successor of e is.
+        """
+        if eid not in self._events:
+            return False
+        temporal = self._comp.temporal_relation
+        return all(s not in self._events for s in temporal.successors(eid))
+
+    def at(self, eid: EventId, target_class_events: Iterable[EventId]) -> bool:
+        """The paper's ``e₁ at E₂``: e₁ occurred and has not enabled an E₂ event.
+
+        ``target_class_events`` supplies the (computation-level) extent of
+        the event class E₂; the check is whether any of them both occurred
+        in this history and is enabled by ``eid``.
+        """
+        if eid not in self._events:
+            return False
+        enable = self._comp.enable_relation
+        for target in target_class_events:
+            if target in self._events and enable.holds(eid, target):
+                return False
+        return True
+
+    def extend(self, new_events: Iterable[EventId]) -> "History":
+        """History with ``new_events`` added (validated down-closed)."""
+        return History(self._comp, self._events | set(new_events))
+
+
+def empty_history(computation: Computation) -> History:
+    """The empty prefix of ``computation``."""
+    return History(computation, frozenset(), _trusted=True)
+
+
+def full_history(computation: Computation) -> History:
+    """The complete computation viewed as a history."""
+    return History(computation, (ev.eid for ev in computation.events), _trusted=True)
+
+
+def all_histories(
+    computation: Computation, cap: Optional[int] = None, include_empty: bool = True
+) -> List[History]:
+    """Every history (down-set) of ``computation``, smallest first.
+
+    ``cap`` bounds the number produced (ComputationError past the cap) --
+    down-set counts are exponential in the width of the order.
+    """
+    seen: Set[FrozenSet[EventId]] = set()
+    out: List[History] = []
+    start = empty_history(computation)
+    queue: List[History] = [start]
+    seen.add(start.events)
+    while queue:
+        h = queue.pop(0)
+        if include_empty or h.events:
+            out.append(h)
+            if cap is not None and len(out) > cap:
+                raise ComputationError(
+                    f"more than {cap} histories; raise the cap or shrink the "
+                    "computation"
+                )
+        for eid in sorted(h.addable()):
+            nxt = h.events | {eid}
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(History(computation, nxt, _trusted=True))
+    out.sort(key=lambda h: (len(h.events), tuple(sorted(h.events))))
+    return out
+
+
+class HistorySequence:
+    """A valid history sequence (finite).
+
+    Validates the two vhs conditions of Section 7 at construction:
+    monotonicity, and pairwise potential concurrency of each step's newly
+    added events.  Stuttering (equal consecutive histories) is permitted
+    by the paper's ``⊆`` and accepted here.
+    """
+
+    __slots__ = ("_histories",)
+
+    def __init__(self, histories: Sequence[History]):
+        hs = list(histories)
+        if not hs:
+            raise ComputationError("a history sequence needs at least one history")
+        comp = hs[0].computation
+        temporal = comp.temporal_relation
+        for i, (prev, cur) in enumerate(zip(hs, hs[1:]), start=1):
+            if cur.computation is not comp:
+                raise ComputationError("histories of different computations")
+            if not prev.events <= cur.events:
+                raise ComputationError(
+                    f"history sequence not monotonically increasing at step {i}"
+                )
+            added = cur.events - prev.events
+            if not temporal.is_antichain(added):
+                raise ComputationError(
+                    f"step {i} adds temporally ordered events {sorted(added)}; "
+                    "simultaneous events must be potentially concurrent"
+                )
+        self._histories = tuple(hs)
+
+    @property
+    def histories(self) -> Tuple[History, ...]:
+        return self._histories
+
+    @property
+    def computation(self) -> Computation:
+        return self._histories[0].computation
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __getitem__(self, i: int) -> History:
+        return self._histories[i]
+
+    def __iter__(self) -> Iterator[History]:
+        return iter(self._histories)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HistorySequence)
+            and self._histories == other._histories
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._histories)
+
+    def tail(self, i: int) -> "HistorySequence":
+        """The tail sequence S[i] = αᵢ, αᵢ₊₁, ... (tail-closure property)."""
+        if not 0 <= i < len(self._histories):
+            raise IndexError(f"tail index {i} out of range")
+        return HistorySequence(self._histories[i:])
+
+    def first(self) -> History:
+        return self._histories[0]
+
+    def is_maximal(self) -> bool:
+        """True iff the sequence ends with the complete computation."""
+        return self._histories[-1].is_complete()
+
+    def is_initial(self) -> bool:
+        """True iff the sequence starts from the empty history."""
+        return len(self._histories[0]) == 0
+
+
+def _antichains(
+    candidates: Sequence[EventId], temporal, max_step: Optional[int]
+) -> Iterator[FrozenSet[EventId]]:
+    """Non-empty antichains among ``candidates`` (already all addable)."""
+    n = len(candidates)
+    limit = n if max_step is None else min(n, max_step)
+
+    def rec(start: int, chosen: List[EventId]) -> Iterator[FrozenSet[EventId]]:
+        if chosen:
+            yield frozenset(chosen)
+        if len(chosen) == limit:
+            return
+        for i in range(start, n):
+            c = candidates[i]
+            # addable events are pairwise unordered only if concurrent;
+            # two addable events can never be temporally ordered (an
+            # ordered pair cannot both have all predecessors satisfied
+            # while the later one's predecessor -- the earlier -- is
+            # absent) unless the earlier is among the chosen.  Guard
+            # anyway for clarity.
+            if all(temporal.concurrent(c, x) for x in chosen):
+                chosen.append(c)
+                yield from rec(i + 1, chosen)
+                chosen.pop()
+
+    return rec(0, [])
+
+
+def maximal_history_sequences(
+    computation: Computation,
+    cap: Optional[int] = None,
+    max_step: Optional[int] = 1,
+) -> Iterator[HistorySequence]:
+    """Enumerate maximal vhs from the empty history.
+
+    ``max_step`` bounds how many (pairwise concurrent) events may be
+    added per step; ``max_step=1`` yields exactly the linear extensions
+    of the temporal order, which is the sound-and-complete fragment for
+    the stutter-insensitive formulae used in this reproduction (see
+    :mod:`repro.core.checker`).  ``max_step=None`` allows arbitrary
+    antichain steps (the full Section 7 semantics).  ``cap`` bounds the
+    number of sequences yielded.
+    """
+    produced = 0
+
+    def rec(prefix: List[History]) -> Iterator[HistorySequence]:
+        nonlocal produced
+        current = prefix[-1]
+        if current.is_complete():
+            produced += 1
+            yield HistorySequence(prefix)
+            return
+        addable = sorted(current.addable())
+        temporal = computation.temporal_relation
+        for step in _antichains(addable, temporal, max_step):
+            prefix.append(History(computation, current.events | step, _trusted=True))
+            for seq in rec(prefix):
+                yield seq
+                if cap is not None and produced >= cap:
+                    prefix.pop()
+                    return
+            prefix.pop()
+
+    return rec([empty_history(computation)])
+
+
+def count_maximal_history_sequences(
+    computation: Computation, max_step: Optional[int] = 1, cap: int = 10_000_000
+) -> int:
+    """Count maximal vhs (memoised on the reached history), up to ``cap``."""
+    temporal = computation.temporal_relation
+    memo: Dict[FrozenSet[EventId], int] = {}
+    total_events = len(computation)
+
+    def count(events: FrozenSet[EventId]) -> int:
+        if len(events) == total_events:
+            return 1
+        if events in memo:
+            return memo[events]
+        h = History(computation, events, _trusted=True)
+        total = 0
+        for step in _antichains(sorted(h.addable()), temporal, max_step):
+            total += count(events | step)
+            if total >= cap:
+                break
+        memo[events] = min(total, cap)
+        return memo[events]
+
+    return count(frozenset())

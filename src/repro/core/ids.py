@@ -1,0 +1,98 @@
+"""Identifier types used throughout the GEM model.
+
+GEM names three kinds of structural objects -- elements, groups, and
+event classes -- and two kinds of per-computation objects -- events and
+thread instances.  All of them are identified by small immutable values
+so that they can be used as dictionary keys and members of frozensets.
+
+Identifiers are deliberately plain (strings and small frozen dataclasses)
+rather than opaque handles: a GEM specification is a *textual* artifact
+in the paper, and keeping names human-readable makes specifications,
+counterexamples, and verification reports legible.
+
+The paper identifies an event by "naming the element at which it occurs
+and its occurrence number" (Section 4): the i-th event at element ``Var``
+is ``Var^i``.  :class:`EventId` mirrors that convention exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+# Structural names are plain strings.  Hierarchical names (an element
+# belonging to a group instance, an indexed element such as ``data[3]``)
+# use ``.`` and ``[...]`` in the conventional way, e.g. ``db.control`` or
+# ``db.data[3]``.
+ElementName = str
+GroupName = str
+EventClassName = str
+ThreadTypeName = str
+
+
+@dataclass(frozen=True, order=True)
+class EventId:
+    """Unique identity of an event occurrence: ``element^index``.
+
+    ``index`` is the 1-based occurrence number of the event at its
+    element, following the paper's ``Var.assign_i`` / ``Var^i`` notation.
+    Because every event belongs to exactly one element and all events at
+    an element are totally ordered, the pair is a unique identity.
+    """
+
+    element: ElementName
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(
+                f"occurrence numbers are 1-based, got {self.index} at {self.element!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.element}^{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class ThreadId:
+    """Identity of one thread instance: a thread type plus a serial number.
+
+    The paper writes ``pi_RW-i`` for the i-th instance of thread type
+    ``pi_RW``.  Thread identifiers are created when the first event of a
+    thread occurs and are "passed along" the chain of enabled events.
+    """
+
+    thread_type: ThreadTypeName
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.thread_type}-{self.serial}"
+
+
+def qualified(*parts: str) -> str:
+    """Join name parts with ``.`` to form a hierarchical GEM name.
+
+    >>> qualified("db", "control")
+    'db.control'
+    """
+    if not parts:
+        raise ValueError("qualified() needs at least one name part")
+    return ".".join(parts)
+
+
+def indexed(base: str, index: object) -> str:
+    """Form an indexed element/group name, e.g. ``data[3]``.
+
+    >>> indexed("data", 3)
+    'data[3]'
+    """
+    return f"{base}[{index}]"
+
+
+def split_qualified(name: str) -> Tuple[str, ...]:
+    """Split a hierarchical name into its parts.
+
+    >>> split_qualified("db.data[3]")
+    ('db', 'data[3]')
+    """
+    return tuple(name.split("."))

@@ -1,0 +1,117 @@
+"""JSON serialisation of computations.
+
+A computation is a value: events (identity, class, parameters, thread
+labels) plus enable edges.  This module round-trips that value through
+a stable JSON shape, so computations can be stored as golden files,
+diffed in review, or shipped to other tools.
+
+Parameters must be JSON-representable (the library's own interpreters
+only emit ints, strings, bools, None, and lists thereof; tuples are
+normalised to lists on the way out and left as lists on the way in).
+
+Shape::
+
+    {
+      "format": "gem-computation",
+      "version": 1,
+      "events": [
+        {"element": "Var", "index": 1, "class": "Assign",
+         "params": {"newval": 5}, "threads": [["pi_RW", 1]]},
+        ...
+      ],
+      "enables": [[["Var", 1], ["Var", 2]], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .computation import Computation
+from .errors import ComputationError
+from .event import Event
+from .ids import EventId, ThreadId
+
+FORMAT = "gem-computation"
+VERSION = 1
+
+
+def _param_out(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_param_out(v) for v in value]
+    if isinstance(value, list):
+        return [_param_out(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _param_out(v) for k, v in value.items()}
+    return value
+
+
+def computation_to_json(computation: Computation) -> Dict[str, Any]:
+    """The JSON-ready dict for ``computation``."""
+    events = []
+    for ev in computation.events:
+        events.append({
+            "element": ev.element,
+            "index": ev.index,
+            "class": ev.event_class,
+            "params": {k: _param_out(v) for k, v in ev.params},
+            "threads": sorted(
+                [t.thread_type, t.serial] for t in ev.threads),
+        })
+    enables = [
+        [[a.element, a.index], [b.element, b.index]]
+        for a, b in computation.enable_relation.pairs()
+    ]
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "events": events,
+        "enables": sorted(enables),
+    }
+
+
+def computation_to_json_str(computation: Computation, indent: int = 2) -> str:
+    return json.dumps(computation_to_json(computation), indent=indent,
+                      sort_keys=True)
+
+
+def computation_from_json(data: Dict[str, Any]) -> Computation:
+    """Rebuild a computation from its JSON dict."""
+    if data.get("format") != FORMAT:
+        raise ComputationError(
+            f"not a {FORMAT} document (format={data.get('format')!r})")
+    if data.get("version") != VERSION:
+        raise ComputationError(
+            f"unsupported version {data.get('version')!r}")
+    events: List[Event] = []
+    for record in data["events"]:
+        threads = frozenset(
+            ThreadId(t[0], t[1]) for t in record.get("threads", ()))
+        events.append(Event(
+            eid=EventId(record["element"], record["index"]),
+            event_class=record["class"],
+            params=tuple(sorted(record.get("params", {}).items())),
+            threads=threads,
+        ))
+    enables: List[Tuple[EventId, EventId]] = [
+        (EventId(a[0], a[1]), EventId(b[0], b[1]))
+        for a, b in data.get("enables", ())
+    ]
+    return Computation(events, enables)
+
+
+def computation_from_json_str(text: str) -> Computation:
+    return computation_from_json(json.loads(text))
+
+
+def dump(computation: Computation, path: str) -> None:
+    """Write a computation to a JSON file."""
+    with open(path, "w") as fh:
+        fh.write(computation_to_json_str(computation))
+
+
+def load(path: str) -> Computation:
+    """Read a computation from a JSON file."""
+    with open(path) as fh:
+        return computation_from_json_str(fh.read())

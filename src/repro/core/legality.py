@@ -1,0 +1,186 @@
+"""GEM's implicit legality restrictions (Sections 3-5).
+
+"There are certain properties that must be true of all legal
+computations.  These properties are described by a set of GEM legality
+restrictions which are automatically part of any GEM specification."
+
+The rules, as enumerated in the paper's prose:
+
+* ``element-declared`` -- every event belongs to some element specified
+  in σ (Section 4: "the events which may legally occur within a
+  computation are those belonging to a specified list of elements");
+* ``class-declared`` -- the event's class is declared at its element and
+  the event's data parameters match the declared signature;
+* ``element-order-total`` -- all events at one element are totally
+  ordered by ⇒ₑ with contiguous occurrence numbers, and ⇒ₑ never relates
+  events of different elements (Section 5);
+* ``enable-irreflexive`` -- ⊳ is irreflexive (Section 5);
+* ``temporal-order`` -- ⇒ equals the transitive closure of ⊳ ∪ ⇒ₑ minus
+  identity and is a strict partial order (Section 3);
+* ``scope`` -- every enable edge is permitted by the group structure and
+  ports (Section 4, footnote 4).
+
+Much of this is enforced *structurally* by
+:class:`~repro.core.computation.Computation` (identity scheme, freeze-time
+cycle check), but :func:`check_legality` re-verifies everything against a
+specification, because computations can be built without one (e.g. by
+projection) and because an independent check is what makes the test
+suite trustworthy.
+
+Violations are collected, not raised, so a caller sees all problems at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .computation import Computation
+from .errors import LegalityViolation, SpecificationError
+from .order import Relation, RelationBuilder
+
+
+def check_legality(
+    computation: Computation, spec: "Specification"  # noqa: F821 (cycle)
+) -> List[LegalityViolation]:
+    """All legality violations of ``computation`` w.r.t. ``spec``."""
+    violations: List[LegalityViolation] = []
+    violations.extend(_check_elements_declared(computation, spec))
+    violations.extend(_check_classes_declared(computation, spec))
+    violations.extend(_check_element_order(computation))
+    violations.extend(_check_enable_irreflexive(computation))
+    violations.extend(_check_temporal_order(computation))
+    violations.extend(_check_scope(computation, spec))
+    return violations
+
+
+def _check_elements_declared(computation, spec) -> List[LegalityViolation]:
+    declared = set(spec.element_names())
+    out = []
+    for ev in computation.events:
+        if ev.element not in declared:
+            out.append(
+                LegalityViolation(
+                    "element-declared",
+                    f"event {ev.eid} occurs at undeclared element {ev.element!r}",
+                    [ev.eid],
+                )
+            )
+    return out
+
+
+def _check_classes_declared(computation, spec) -> List[LegalityViolation]:
+    out = []
+    for ev in computation.events:
+        decl = spec.element_or_none(ev.element)
+        if decl is None:
+            continue  # reported by element-declared
+        if not decl.declares(ev.event_class):
+            out.append(
+                LegalityViolation(
+                    "class-declared",
+                    f"event {ev.eid} has class {ev.event_class!r}, not "
+                    f"declared at element {ev.element!r} "
+                    f"(declared: {list(decl.class_names())})",
+                    [ev.eid],
+                )
+            )
+            continue
+        try:
+            decl.event_class(ev.event_class).validate_args(ev.param_dict())
+        except SpecificationError as exc:
+            out.append(
+                LegalityViolation("class-declared", str(exc), [ev.eid])
+            )
+    return out
+
+
+def _check_element_order(computation) -> List[LegalityViolation]:
+    out = []
+    for element in computation.elements():
+        seq = computation.events_at(element)
+        for pos, ev in enumerate(seq, start=1):
+            if ev.index != pos:
+                out.append(
+                    LegalityViolation(
+                        "element-order-total",
+                        f"occurrence numbers at {element!r} are not contiguous "
+                        f"(position {pos} holds {ev.eid})",
+                        [ev.eid],
+                    )
+                )
+    return out
+
+
+def _check_enable_irreflexive(computation) -> List[LegalityViolation]:
+    out = []
+    for a, b in computation.enable_relation.pairs():
+        if a == b:
+            out.append(
+                LegalityViolation(
+                    "enable-irreflexive", f"{a} enables itself", [a]
+                )
+            )
+    return out
+
+
+def _check_temporal_order(computation) -> List[LegalityViolation]:
+    """⇒ must be the strict transitive closure of ⊳ ∪ ⇒ₑ."""
+    out = []
+    ids = [ev.eid for ev in computation.events]
+    builder = RelationBuilder()
+    for eid in ids:
+        builder.add_node(eid)
+    for a, b in computation.enable_relation.pairs():
+        builder.add_pair(a, b)
+    for element in computation.elements():
+        seq = computation.events_at(element)
+        for prev, nxt in zip(seq, seq[1:]):
+            builder.add_pair(prev.eid, nxt.eid)
+    union = builder.build()
+    if not union.is_acyclic():
+        out.append(
+            LegalityViolation(
+                "temporal-order",
+                "enable ∪ element order is cyclic; temporal order cannot be "
+                "irreflexive",
+                union.find_cycle() or [],
+            )
+        )
+        return out
+    closure = union.transitive_closure()
+    temporal = computation.temporal_relation
+    for a in ids:
+        for b in ids:
+            if a == b:
+                continue
+            want = closure.holds(a, b)
+            got = temporal.holds(a, b)
+            if want != got:
+                out.append(
+                    LegalityViolation(
+                        "temporal-order",
+                        f"temporal order disagrees with closure at ({a}, {b}): "
+                        f"closure={want} temporal={got}",
+                        [a, b],
+                    )
+                )
+    return out
+
+
+def _check_scope(computation, spec) -> List[LegalityViolation]:
+    groups = spec.group_structure()
+    out = []
+    for a, b in computation.enable_relation.pairs():
+        target = computation.event(b)
+        if not groups.may_enable(a.element, b.element, target.event_class):
+            out.append(
+                LegalityViolation(
+                    "scope",
+                    f"enable edge {a} ⊳ {b} violates group scope: "
+                    f"{a.element!r} has no access to "
+                    f"{b.element}.{target.event_class}",
+                    [a, b],
+                )
+            )
+    return out

@@ -1,0 +1,245 @@
+"""GEM specifications: the unit of description (Section 3).
+
+"A language or concurrency problem may be described by characterizing it
+as a GEM specification σ.  Each specification is composed of a set of
+logic formulae (restrictions) over the domain of all possible GEM
+computations.  A computation C is legal with respect to a specification
+σ if C satisfies each restriction in σ."
+
+A :class:`Specification` aggregates:
+
+* element declarations (each carrying its own restrictions),
+* group declarations (ditto) plus the derived
+  :class:`~repro.core.group.GroupStructure`,
+* specification-level restrictions,
+* thread types (Section 8.3) -- these are applied to label a computation
+  before restrictions are evaluated, since restrictions may mention
+  thread relationships.
+
+``legal(C, σ)`` is implemented by :mod:`repro.core.checker`;
+:meth:`Specification.check` is the convenience entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .computation import Computation, ComputationBuilder
+from .element import ElementDecl
+from .errors import SpecificationError
+from .formula import Restriction
+from .gemtypes import GroupInstance
+from .group import GroupDecl, GroupStructure
+from .ids import ElementName, GroupName
+from .threads import ThreadType
+
+
+class Specification:
+    """An immutable GEM specification σ."""
+
+    def __init__(
+        self,
+        name: str,
+        elements: Iterable[ElementDecl] = (),
+        groups: Iterable[GroupDecl] = (),
+        restrictions: Iterable[Restriction] = (),
+        thread_types: Iterable[ThreadType] = (),
+    ) -> None:
+        self.name = name
+        self._elements: Dict[ElementName, ElementDecl] = {}
+        for decl in elements:
+            if decl.name in self._elements:
+                raise SpecificationError(
+                    f"specification {name!r} declares element {decl.name!r} twice"
+                )
+            self._elements[decl.name] = decl
+        self._group_decls: Tuple[GroupDecl, ...] = tuple(groups)
+        self._restrictions: Tuple[Restriction, ...] = tuple(restrictions)
+        self._thread_types: Tuple[ThreadType, ...] = tuple(thread_types)
+        names = [r.name for r in self.all_restrictions()]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise SpecificationError(
+                f"specification {name!r} has duplicate restriction names: "
+                f"{sorted(dupes)}"
+            )
+        # build once to validate member references / containment cycles
+        self._structure = GroupStructure(self._elements, self._group_decls)
+
+    # -- access ---------------------------------------------------------------
+
+    def element_names(self) -> Tuple[ElementName, ...]:
+        return tuple(self._elements)
+
+    def element(self, name: ElementName) -> ElementDecl:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise SpecificationError(
+                f"specification {self.name!r} declares no element {name!r}"
+            ) from None
+
+    def element_or_none(self, name: ElementName) -> Optional[ElementDecl]:
+        return self._elements.get(name)
+
+    @property
+    def elements(self) -> Tuple[ElementDecl, ...]:
+        return tuple(self._elements.values())
+
+    @property
+    def groups(self) -> Tuple[GroupDecl, ...]:
+        return self._group_decls
+
+    @property
+    def thread_types(self) -> Tuple[ThreadType, ...]:
+        return self._thread_types
+
+    def group_structure(self) -> GroupStructure:
+        return self._structure
+
+    def all_restrictions(self) -> Tuple[Restriction, ...]:
+        """Specification-level, element-level, and group-level restrictions.
+
+        Element/group declarations store restrictions opaquely; only
+        :class:`Restriction` instances participate in checking.
+        """
+        out: List[Restriction] = list(self._restrictions)
+        for decl in self._elements.values():
+            out.extend(r for r in decl.restrictions if isinstance(r, Restriction))
+        for g in self._group_decls:
+            out.extend(r for r in g.restrictions if isinstance(r, Restriction))
+        return tuple(out)
+
+    def restriction(self, name: str) -> Restriction:
+        for r in self.all_restrictions():
+            if r.name == name:
+                return r
+        raise SpecificationError(
+            f"specification {self.name!r} has no restriction {name!r}"
+        )
+
+    # -- construction helpers ---------------------------------------------------
+
+    def extended(
+        self,
+        name: Optional[str] = None,
+        elements: Iterable[ElementDecl] = (),
+        groups: Iterable[GroupDecl] = (),
+        restrictions: Iterable[Restriction] = (),
+        thread_types: Iterable[ThreadType] = (),
+    ) -> "Specification":
+        """A new specification with additional declarations."""
+        return Specification(
+            name or self.name,
+            list(self._elements.values()) + list(elements),
+            list(self._group_decls) + list(groups),
+            list(self._restrictions) + list(restrictions),
+            list(self._thread_types) + list(thread_types),
+        )
+
+    def without_restrictions(self, names: Iterable[str]) -> "Specification":
+        """Copy with the named specification-level restrictions removed.
+
+        Used to build negative controls (mutant specifications).  Only
+        specification-level restrictions can be removed this way.
+        """
+        drop = set(names)
+        unknown = drop - {r.name for r in self._restrictions}
+        if unknown:
+            raise SpecificationError(
+                f"cannot remove unknown restrictions {sorted(unknown)}"
+            )
+        return Specification(
+            self.name,
+            self._elements.values(),
+            self._group_decls,
+            [r for r in self._restrictions if r.name not in drop],
+            self._thread_types,
+        )
+
+    def builder(self) -> ComputationBuilder:
+        """A computation builder carrying this spec's group structure."""
+        return ComputationBuilder(self._structure)
+
+    def label_threads(self, computation: Computation) -> Computation:
+        """Apply all of this specification's thread types to ``computation``."""
+        out = computation
+        for tt in self._thread_types:
+            out = tt.label(out)
+        return out
+
+    # -- checking ---------------------------------------------------------------
+
+    def check(self, computation: Computation, **kwargs) -> "CheckResult":  # noqa: F821
+        """Full legality + restriction check (see :mod:`repro.core.checker`)."""
+        from .checker import check_computation
+
+        return check_computation(computation, self, **kwargs)
+
+    def legal(self, computation: Computation, **kwargs) -> bool:
+        """The paper's ``legal(C, σ)`` predicate."""
+        return self.check(computation, **kwargs).ok
+
+    def __repr__(self) -> str:
+        return (
+            f"Specification({self.name!r}: {len(self._elements)} elements, "
+            f"{len(self._group_decls)} groups, "
+            f"{len(self.all_restrictions())} restrictions)"
+        )
+
+    def describe(self) -> str:
+        """A textual listing in the paper's declaration style.
+
+        Elements with their EVENTS and RESTRICTIONS, groups with members
+        and PORTS, specification-level RESTRICTIONS, and THREAD types --
+        the form in which Section 8.3 presents the Readers/Writers
+        specification.
+        """
+        lines: List[str] = [f"SPECIFICATION {self.name}"]
+        for decl in self._elements.values():
+            lines.append(f"  {decl.name} = ELEMENT")
+            if decl.event_classes:
+                lines.append("    EVENTS")
+                for ec in decl.event_classes:
+                    params = ", ".join(
+                        f"{p.name}:{p.type_name}" for p in ec.params)
+                    lines.append(f"      {ec.name}({params})")
+            named = [r for r in decl.restrictions if isinstance(r, Restriction)]
+            if named:
+                lines.append("    RESTRICTIONS")
+                for r in named:
+                    lines.append(f"      {r.name}")
+        for g in self._group_decls:
+            lines.append(f"  {g.name} = GROUP({', '.join(g.members)})")
+            if g.ports:
+                ports = ", ".join(str(p) for p in g.ports)
+                lines.append(f"    PORTS({ports})")
+        if self._restrictions:
+            lines.append("  RESTRICTIONS")
+            for r in self._restrictions:
+                suffix = f"  -- {r.comment}" if r.comment else ""
+                lines.append(f"    {r.name}{suffix}")
+        for tt in self._thread_types:
+            for path in tt.paths:
+                lines.append(f"  THREAD {tt.name} = ({path})")
+        return "\n".join(lines)
+
+
+def from_group_instances(
+    name: str,
+    instances: Sequence[GroupInstance],
+    extra_elements: Iterable[ElementDecl] = (),
+    extra_groups: Iterable[GroupDecl] = (),
+    restrictions: Iterable[Restriction] = (),
+    thread_types: Iterable[ThreadType] = (),
+) -> Specification:
+    """Assemble a specification from instantiated group types."""
+    elements: List[ElementDecl] = list(extra_elements)
+    groups: List[GroupDecl] = list(extra_groups)
+    all_restrictions: List[Restriction] = list(restrictions)
+    for inst in instances:
+        elements.extend(inst.elements)
+        groups.append(inst.group)
+        groups.extend(inst.subgroups)
+        all_restrictions.extend(inst.restrictions)
+    return Specification(name, elements, groups, all_restrictions, thread_types)

@@ -1,0 +1,6 @@
+"""Language primitives described by GEM in the paper: the Monitor,
+Communicating Sequential Processes (CSP), and ADA tasking."""
+
+from . import ada, csp, exprs, monitor
+
+__all__ = ["monitor", "csp", "ada", "exprs"]

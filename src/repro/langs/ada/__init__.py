@@ -1,0 +1,48 @@
+"""ADA tasking: AST, rendezvous interpreter emitting GEM computations,
+the GEM description of the tasking primitive, and the paper's ADA
+programs."""
+
+from .ast import (
+    Accept,
+    AdaAssign,
+    AdaIf,
+    AdaLoop,
+    AdaStmt,
+    AdaSystem,
+    AdaTask,
+    DataRead,
+    DataWrite,
+    EntryCall,
+    EntryCount,
+    Note,
+    Reply,
+    Select,
+    SelectBranch,
+)
+from .gemspec import (
+    ada_process_of_event,
+    ada_program_spec,
+    ada_task_group,
+    fifo_entry_restriction,
+    rendezvous_bracket_restriction,
+)
+from .interp import AdaProgram, AdaState
+from .programs import (
+    ada_reader_body,
+    ada_writer_body,
+    bounded_buffer_ada_system,
+    one_slot_buffer_ada_system,
+    rw_ada_server,
+    rw_ada_system,
+)
+
+__all__ = [
+    "AdaStmt", "AdaAssign", "AdaIf", "Note", "DataRead", "DataWrite",
+    "EntryCall", "Reply", "Accept", "SelectBranch", "Select", "AdaLoop",
+    "EntryCount", "AdaTask", "AdaSystem",
+    "AdaProgram", "AdaState",
+    "ada_program_spec", "ada_task_group", "ada_process_of_event",
+    "rendezvous_bracket_restriction", "fifo_entry_restriction",
+    "one_slot_buffer_ada_system", "bounded_buffer_ada_system",
+    "rw_ada_server", "rw_ada_system", "ada_reader_body", "ada_writer_body",
+]

@@ -1,0 +1,252 @@
+"""Abstract syntax for the ADA tasking subset.
+
+The third language primitive the paper describes with GEM: "ADA's
+tasking mechanism, which uses the rendezvous for interprocess
+communication" (Section 11).  This subset has:
+
+* tasks with local variables and *entries*;
+* entry calls (``T.E(value)``) -- the caller blocks in the entry's FIFO
+  queue until the rendezvous completes, optionally receiving a reply;
+* ``accept E do ... end`` -- the acceptor waits for a caller and runs
+  the accept body during the rendezvous (:class:`Reply` sets the value
+  returned to the caller);
+* ``select`` with guarded accept alternatives and an optional
+  ``terminate`` alternative (ADA's distributed-termination mechanism);
+* guards may consult an entry's queue length -- ADA's ``E'COUNT``
+  attribute (:class:`EntryCount`), which is what the classic
+  readers-priority ADA server is built from;
+* infinite ``loop ... end loop`` (exited only by ``terminate``), local
+  control (``AdaIf``), notes, and external data accesses, as in the
+  other languages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ...core.errors import SpecificationError
+from ..exprs import Expr, ExprEnv, Lit, VarRef, expr
+
+
+class AdaStmt:
+    """An ADA statement.  ``label`` names it in emitted events."""
+
+    label: Optional[str]
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AdaAssign(AdaStmt):
+    """``var := value`` on the task's own variables."""
+
+    var: str
+    value: Expr
+    label: Optional[str] = None
+    index: Optional[Expr] = None
+
+    def describe(self) -> str:
+        target = self.var if self.index is None else (
+            f"{self.var}[{self.index.describe()}]")
+        return f"{target} := {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class AdaIf(AdaStmt):
+    """Local control flow; executes silently."""
+
+    condition: Expr
+    then_branch: Tuple[AdaStmt, ...]
+    else_branch: Tuple[AdaStmt, ...] = ()
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"IF {self.condition.describe()}"
+
+
+@dataclass(frozen=True)
+class Note(AdaStmt):
+    """Emit a problem-level event at the task's own element."""
+
+    event_class: str
+    params: Tuple[Tuple[str, Expr], ...] = ()
+    label: Optional[str] = None
+
+    @staticmethod
+    def make(event_class: str, **params: Any) -> "Note":
+        return Note(event_class,
+                    tuple(sorted((k, expr(v)) for k, v in params.items())))
+
+    def describe(self) -> str:
+        return f"NOTE {self.event_class}"
+
+
+@dataclass(frozen=True)
+class DataRead(AdaStmt):
+    """Read a shared data element (outside the language) into a local."""
+
+    element: str
+    var: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{self.var} := READ {self.element}"
+
+
+@dataclass(frozen=True)
+class DataWrite(AdaStmt):
+    """Write a shared data element (outside the language)."""
+
+    element: str
+    value: Expr
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"WRITE {self.element} := {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class EntryCall(AdaStmt):
+    """``T.E(value)`` -- call entry E of task T, optionally binding the
+    rendezvous reply into ``into``."""
+
+    task: str
+    entry: str
+    value: Expr = Lit(None)
+    into: Optional[str] = None
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        suffix = f" -> {self.into}" if self.into else ""
+        return f"CALL {self.task}.{self.entry}({self.value.describe()}){suffix}"
+
+
+@dataclass(frozen=True)
+class Reply(AdaStmt):
+    """Inside an accept body: set the value returned to the caller."""
+
+    value: Expr
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"REPLY {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class Accept(AdaStmt):
+    """``accept E do body end`` -- the body runs during the rendezvous.
+
+    The body may contain only local statements (assignments, ifs, notes,
+    Reply); the caller's value is available as the parameter ``arg``.
+    """
+
+    entry: str
+    body: Tuple[AdaStmt, ...] = ()
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"ACCEPT {self.entry}"
+
+
+@dataclass(frozen=True)
+class SelectBranch:
+    """``when guard => accept E do ... end``."""
+
+    accept: Accept
+    guard: Expr = Lit(True)
+
+
+@dataclass(frozen=True)
+class Select(AdaStmt):
+    """``select ... or ... or terminate end select``."""
+
+    branches: Tuple[SelectBranch, ...]
+    terminate: bool = False
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.branches and not self.terminate:
+            raise SpecificationError("select needs a branch or terminate")
+
+    def describe(self) -> str:
+        t = " or terminate" if self.terminate else ""
+        return f"SELECT[{len(self.branches)}{t}]"
+
+
+@dataclass(frozen=True)
+class AdaLoop(AdaStmt):
+    """``loop ... end loop`` -- exited only via a terminate alternative."""
+
+    body: Tuple[AdaStmt, ...]
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise SpecificationError("loop body must be non-empty")
+
+    def describe(self) -> str:
+        return "LOOP"
+
+
+@dataclass(frozen=True)
+class EntryCount(Expr):
+    """``E'COUNT`` -- number of callers queued on own entry E.
+
+    Only meaningful inside the owning task's guards; the interpreter
+    injects queue lengths as pseudo-variables ``<count:E>``.
+    """
+
+    entry: str
+
+    def eval(self, env: ExprEnv) -> Any:
+        try:
+            return env.variables[f"<count:{self.entry}>"]
+        except KeyError:
+            raise SpecificationError(
+                f"E'COUNT used outside the owning task: {self.entry!r}")
+
+    def reads(self) -> Tuple[str, ...]:
+        return ()
+
+    def describe(self) -> str:
+        return f"{self.entry}'COUNT"
+
+
+@dataclass(frozen=True)
+class AdaTask:
+    """One task: name, declared entries, local variables, body."""
+
+    name: str
+    entries: Tuple[str, ...] = ()
+    variables: Tuple[Tuple[str, Any], ...] = ()
+    body: Tuple[AdaStmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.entries)) != len(self.entries):
+            raise SpecificationError(
+                f"task {self.name!r} declares duplicate entries")
+        names = [v for v, _init in self.variables]
+        if len(names) != len(set(names)):
+            raise SpecificationError(
+                f"task {self.name!r} declares duplicate variables")
+
+
+@dataclass(frozen=True)
+class AdaSystem:
+    """A closed system of tasks plus external data elements."""
+
+    tasks: Tuple[AdaTask, ...]
+    data_elements: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.tasks]
+        if len(names) != len(set(names)):
+            raise SpecificationError("duplicate task names")
+
+    def task(self, name: str) -> AdaTask:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise SpecificationError(f"no task {name!r}")

@@ -1,0 +1,224 @@
+"""GEM description of ADA tasking (Section 11).
+
+ADA is the paper's third language primitive: "ADA's tasking mechanism,
+which uses the rendezvous for interprocess communication."  The GEM
+shape: each task is a group containing its own element, its variables,
+and one element per entry; the entry elements' ``Call`` events are the
+group's ports -- an entry is exactly a task's "access hole".
+
+Per-entry events: ``Call(frm, value)`` (issued by the caller; queued),
+``Start(frm)`` (rendezvous begins; enabled by the Call), ``End(frm,
+reply)`` (accept body done); the caller's ``Resume`` event at its own
+element is enabled by the End.
+
+Restrictions:
+
+* ``ada-call-starts-rendezvous`` -- every Start is enabled by exactly
+  one Call, and each Call enables at most one Start (the prerequisite
+  abbreviation, per entry);
+* ``ada-rendezvous-brackets`` -- Start and End alternate at every entry
+  element (one rendezvous at a time per entry);
+* ``ada-fifo-entries`` -- calls to one entry are served in call order
+  (ADA's FIFO entry-queue rule): the k-th Start's caller is the k-th
+  Call's caller;
+* ``ada-resume-follows-end`` -- every Resume is enabled by exactly one
+  entry End.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...core import (
+    ClassAt,
+    ElementDecl,
+    EventClass,
+    EventClassRef,
+    GroupDecl,
+    ParamSpec,
+    PyPred,
+    Restriction,
+    Specification,
+    prerequisite,
+)
+from .ast import (
+    Accept,
+    AdaIf,
+    AdaLoop,
+    AdaStmt,
+    AdaSystem,
+    DataRead,
+    DataWrite,
+    Note,
+    Select,
+)
+
+
+def _value(*names: str) -> Tuple[ParamSpec, ...]:
+    return tuple(ParamSpec(n, "VALUE") for n in names)
+
+
+def _walk(stmts) -> List[AdaStmt]:
+    out: List[AdaStmt] = []
+    for s in stmts:
+        out.append(s)
+        if isinstance(s, AdaIf):
+            out += _walk(s.then_branch)
+            out += _walk(s.else_branch)
+        elif isinstance(s, AdaLoop):
+            out += _walk(s.body)
+        elif isinstance(s, Accept):
+            out += _walk(s.body)
+        elif isinstance(s, Select):
+            for b in s.branches:
+                out += _walk([b.accept])
+    return out
+
+
+def rendezvous_bracket_restriction(element: str) -> Restriction:
+    """Start/End strictly alternate at one entry element."""
+
+    def check(history, env) -> bool:
+        open_rendezvous = False
+        for ev in history.computation.events_at(element):
+            if not history.occurred(ev.eid):
+                continue
+            if ev.event_class == "Start":
+                if open_rendezvous:
+                    return False
+                open_rendezvous = True
+            elif ev.event_class == "End":
+                if not open_rendezvous:
+                    return False
+                open_rendezvous = False
+        return True
+
+    return Restriction(
+        f"ada-rendezvous-brackets-{element}",
+        PyPred(f"start/end alternate @ {element}", check),
+        comment="one rendezvous at a time per entry",
+    )
+
+
+def fifo_entry_restriction(element: str) -> Restriction:
+    """ADA's FIFO rule: the k-th Start serves the k-th Call."""
+
+    def check(history, env) -> bool:
+        calls = []
+        starts = []
+        for ev in history.computation.events_at(element):
+            if not history.occurred(ev.eid):
+                continue
+            if ev.event_class == "Call":
+                calls.append(ev.param("frm"))
+            elif ev.event_class == "Start":
+                starts.append(ev.param("frm"))
+        return starts == calls[: len(starts)]
+
+    return Restriction(
+        f"ada-fifo-{element}",
+        PyPred(f"FIFO service @ {element}", check),
+        comment="entry queues are served in call order (ADA rule)",
+    )
+
+
+def ada_task_group(system: AdaSystem, task_name: str) -> GroupDecl:
+    """One task's group; its entries' Call events are the ports."""
+    decl = system.task(task_name)
+    members = [task_name]
+    members += [f"{task_name}.entry.{e}" for e in decl.entries]
+    members += [f"{task_name}.var.{v}" for v, _init in decl.variables]
+    data_names = {el for el, _init in system.data_elements}
+    for stmt in _walk(decl.body):
+        if isinstance(stmt, (DataRead, DataWrite)) and stmt.element in data_names:
+            if stmt.element not in members:
+                members.append(stmt.element)
+    # Ports: entry Call events (how other tasks reach this task) and the
+    # task's own Resume events (how a completed rendezvous re-enters the
+    # caller's control flow from the callee's entry element).
+    ports = [EventClassRef(f"{task_name}.entry.{e}", "Call")
+             for e in decl.entries]
+    ports.append(EventClassRef(task_name, "Resume"))
+    return GroupDecl.make(f"{task_name}.task", members, ports=ports)
+
+
+def ada_program_spec(system: AdaSystem, extra_restrictions=(),
+                     thread_types=(), name: str = "") -> Specification:
+    """The GEM program specification PROG for an ADA system."""
+    elements: List[ElementDecl] = []
+    restrictions: List[Restriction] = []
+    for task in system.tasks:
+        note_classes: Dict[str, EventClass] = {
+            "Resume": EventClass("Resume", _value("task", "entry")),
+        }
+        for stmt in _walk(task.body):
+            if isinstance(stmt, Note) and stmt.event_class not in note_classes:
+                note_classes[stmt.event_class] = EventClass(
+                    stmt.event_class, _value(*[k for k, _e in stmt.params]))
+        elements.append(ElementDecl.make(task.name, note_classes.values()))
+        for entry in task.entries:
+            el = f"{task.name}.entry.{entry}"
+            elements.append(ElementDecl.make(el, [
+                EventClass("Call", _value("frm", "value")),
+                EventClass("Start", _value("frm")),
+                EventClass("End", _value("frm", "reply")),
+            ]))
+            restrictions.append(Restriction(
+                f"ada-call-starts-rendezvous-{el}",
+                prerequisite(ClassAt(EventClassRef(el, "Call")),
+                             ClassAt(EventClassRef(el, "Start"))),
+                comment="every Start enabled by exactly one Call",
+            ))
+            restrictions.append(rendezvous_bracket_restriction(el))
+            restrictions.append(fifo_entry_restriction(el))
+        for v, _init in task.variables:
+            elements.append(ElementDecl.make(f"{task.name}.var.{v}", [
+                EventClass("Assign", _value("newval", "site", "by")),
+                EventClass("Getval", _value("oldval", "site", "by")),
+            ]))
+    for data_el, _init in system.data_elements:
+        elements.append(ElementDecl.make(data_el, [
+            EventClass("Assign", _value("newval", "by")),
+            EventClass("Getval", _value("oldval", "by")),
+        ]))
+
+    def resume_check(history, env) -> bool:
+        comp = history.computation
+        for ev in comp.events:
+            if ev.event_class != "Resume":
+                continue
+            if not history.occurred(ev.eid):
+                continue
+            enablers = [
+                e for e in comp.enabled_by(ev.eid)
+                if e.event_class == "End"
+            ]
+            if len(enablers) != 1:
+                return False
+        return True
+
+    restrictions.append(Restriction(
+        "ada-resume-follows-end",
+        PyPred("Resume enabled by exactly one End", resume_check),
+    ))
+    restrictions.extend(extra_restrictions)
+
+    groups = [ada_task_group(system, t.name) for t in system.tasks]
+    return Specification(
+        name or "ada-program",
+        elements=elements,
+        groups=groups,
+        restrictions=restrictions,
+        thread_types=list(thread_types),
+    )
+
+
+def ada_process_of_event(event) -> str:
+    """Task identity for events, where unambiguous.
+
+    Entry-element events are *shared* between caller and acceptor (Call
+    is the caller's act, Start/End the acceptor's); rendezvous chains
+    are inherently cross-task, so ADA correspondences keep all projected
+    edges (return None to make every edge pass the filter).
+    """
+    return None

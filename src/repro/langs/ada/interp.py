@@ -1,0 +1,367 @@
+"""ADA tasking semantics, instrumented to emit GEM computations.
+
+Rendezvous model: an entry call queues the caller (FIFO per entry,
+ADA's rule) and emits a ``Call`` event at the entry element; when the
+owning task accepts, the whole rendezvous executes as one atomic
+scheduler action emitting::
+
+    T.entry.E: Call(frm, value)      -- when the call is issued (earlier)
+    T.entry.E: Start(frm)            -- acceptor's chain + enabled by Call
+    ...accept-body events (acceptor's chain)...
+    T.entry.E: End(frm, reply)       -- acceptor's chain
+    caller:    Resume(task, entry)   -- caller's chain + enabled by End
+
+The explicit Call event is what distinguishes ADA from our CSP model: a
+pending, not-yet-accepted request is observable (and ``E'COUNT`` guards
+can read the queue), which is exactly what the classic readers-priority
+ADA server exploits.
+
+Distributed termination: a ``terminate`` alternative is selectable when
+every other task is done or itself blocked at a terminate-able select
+with empty queues, and this task's entry queues are empty (a sound
+approximation of ADA's rule for systems with one layer of servers, which
+covers every program in this repository).
+
+Reductions: notes and local assignments run eagerly (own elements only);
+entry calls, accepts/selects, and data accesses branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...core.errors import SpecificationError
+from ...sim.runtime import Action, SimpleState
+from ..exprs import ExprEnv
+from .ast import (
+    Accept,
+    AdaAssign,
+    AdaIf,
+    AdaLoop,
+    AdaStmt,
+    AdaSystem,
+    AdaTask,
+    DataRead,
+    DataWrite,
+    EntryCall,
+    Note,
+    Reply,
+    Select,
+    SelectBranch,
+)
+
+
+class _Task:
+    """Mutable per-task state."""
+
+    def __init__(self, decl: AdaTask):
+        self.decl = decl
+        self.locals: Dict[str, Any] = {name: init for name, init in decl.variables}
+        # frames: [stmts, idx, is_loop]
+        self.stack: List[List] = [[list(decl.body), 0, False]]
+        self.done = not decl.body
+        self.waiting_call: Optional[Tuple[str, str]] = None  # (task, entry)
+
+
+class AdaState(SimpleState):
+    """One evolving execution of an :class:`AdaSystem`."""
+
+    def __init__(self, system: AdaSystem):
+        super().__init__()
+        self.system = system
+        self.tasks: Dict[str, _Task] = {t.name: _Task(t) for t in system.tasks}
+        self.data: Dict[str, Any] = {el: init for el, init in system.data_elements}
+        # entry queues: (task, entry) -> list of (caller, value, Call event)
+        self.queues: Dict[Tuple[str, str], List] = {}
+        for t in system.tasks:
+            for e in t.entries:
+                self.queues[(t.name, e)] = []
+
+    # -- elements -----------------------------------------------------------
+
+    def entry_element(self, task: str, entry: str) -> str:
+        return f"{task}.entry.{entry}"
+
+    def var_element(self, task: str, var: str) -> str:
+        return f"{task}.var.{var}"
+
+    # -- control-state helpers ------------------------------------------------
+
+    def _env(self, t: _Task, params: Optional[Dict[str, Any]] = None) -> ExprEnv:
+        variables = dict(t.locals)
+        for (task, entry), queue in self.queues.items():
+            if task == t.decl.name:
+                variables[f"<count:{entry}>"] = len(queue)
+        return ExprEnv(variables=variables, params=params or {})
+
+    def _normalize(self, t: _Task) -> None:
+        while t.stack:
+            frame = t.stack[-1]
+            body, idx, is_loop = frame
+            if idx >= len(body):
+                if is_loop:
+                    frame[1] = 0
+                    continue
+                t.stack.pop()
+                continue
+            stmt = body[idx]
+            if isinstance(stmt, AdaIf):
+                frame[1] = idx + 1
+                branch = (stmt.then_branch
+                          if stmt.condition.eval(self._env(t))
+                          else stmt.else_branch)
+                if branch:
+                    t.stack.append([list(branch), 0, False])
+                continue
+            if isinstance(stmt, AdaLoop):
+                frame[1] = idx + 1
+                t.stack.append([list(stmt.body), 0, True])
+                continue
+            break
+        if not t.stack:
+            t.done = True
+
+    def _current(self, t: _Task) -> Optional[AdaStmt]:
+        if t.done or t.waiting_call is not None:
+            return None
+        self._normalize(t)
+        if t.done or not t.stack:
+            return None
+        body, idx, _loop = t.stack[-1]
+        return body[idx]
+
+    def _advance(self, t: _Task) -> None:
+        t.stack[-1][1] += 1
+        self._normalize(t)
+
+    # -- scheduler interface ------------------------------------------------------
+
+    def enabled(self) -> List[Action]:
+        # eager local steps
+        for name, t in self.tasks.items():
+            stmt = self._current(t)
+            if isinstance(stmt, (AdaAssign, Note)):
+                return [Action(name, stmt.describe(), ("local", name))]
+
+        actions: List[Action] = []
+        for name, t in self.tasks.items():
+            stmt = self._current(t)
+            if stmt is None:
+                continue
+            if isinstance(stmt, (DataRead, DataWrite)):
+                actions.append(Action(name, stmt.describe(), ("data", name)))
+            elif isinstance(stmt, EntryCall):
+                actions.append(Action(name, stmt.describe(), ("call", name)))
+            elif isinstance(stmt, Accept):
+                if self.queues.get((name, stmt.entry)):
+                    actions.append(
+                        Action(name, stmt.describe(), ("accept", name, None)))
+            elif isinstance(stmt, Select):
+                env = self._env(t)
+                for i, branch in enumerate(stmt.branches):
+                    if not branch.guard.eval(env):
+                        continue
+                    if self.queues.get((name, branch.accept.entry)):
+                        actions.append(Action(
+                            name, f"select:{branch.accept.entry}",
+                            ("accept", name, i)))
+                if stmt.terminate and self._may_terminate(name):
+                    actions.append(
+                        Action(name, "terminate", ("terminate", name)))
+            elif isinstance(stmt, Reply):
+                raise SpecificationError(
+                    "Reply is only meaningful inside an accept body")
+        return actions
+
+    def _may_terminate(self, name: str) -> bool:
+        """Terminate alternative selectable (approximation; see module doc)."""
+        for (task, _entry), queue in self.queues.items():
+            if task == name and queue:
+                return False
+        for other_name, other in self.tasks.items():
+            if other_name == name:
+                continue
+            if other.done:
+                continue
+            stmt = self._current(other)
+            if isinstance(stmt, Select) and stmt.terminate:
+                # a sibling server also waiting to terminate is fine iff
+                # its own queues are empty
+                if all(not q for (t2, _e), q in self.queues.items()
+                       if t2 == other_name):
+                    continue
+            return False
+        return True
+
+    def is_final(self) -> bool:
+        return all(t.done for t in self.tasks.values())
+
+    def step(self, action: Action) -> None:
+        kind = action.key[0]
+        if kind == "local":
+            self._step_local(action.key[1])
+        elif kind == "data":
+            self._step_data(action.key[1])
+        elif kind == "call":
+            self._step_call(action.key[1])
+        elif kind == "accept":
+            _, name, branch = action.key
+            self._rendezvous(name, branch)
+        elif kind == "terminate":
+            t = self.tasks[action.key[1]]
+            t.stack.clear()
+            t.done = True
+        else:
+            raise SpecificationError(f"unknown action {action}")
+
+    # -- execution -------------------------------------------------------------------
+
+    def _site(self, stmt: AdaStmt) -> str:
+        return stmt.label or stmt.describe()
+
+    def _step_local(self, name: str) -> None:
+        t = self.tasks[name]
+        stmt = self._current(t)
+        if isinstance(stmt, AdaAssign):
+            self._do_assign(t, stmt, params={})
+        elif isinstance(stmt, Note):
+            env = self._env(t)
+            params = {k: e.eval(env) for k, e in stmt.params}
+            self.emit(name, name, stmt.event_class, params)
+        else:
+            raise SpecificationError(f"not a local statement: {stmt}")
+        self._advance(t)
+
+    def _do_assign(self, t: _Task, stmt: AdaAssign,
+                   params: Dict[str, Any]) -> None:
+        name = t.decl.name
+        env = self._env(t, params)
+        value = stmt.value.eval(env)
+        target = stmt.var
+        if stmt.index is not None:
+            target = f"{stmt.var}[{stmt.index.eval(env)}]"
+        if target not in t.locals:
+            raise SpecificationError(f"task {name!r} has no variable {target!r}")
+        self.emit(name, self.var_element(name, target), "Assign",
+                  {"newval": value, "site": self._site(stmt), "by": name})
+        t.locals[target] = value
+
+    def _step_data(self, name: str) -> None:
+        t = self.tasks[name]
+        stmt = self._current(t)
+        if isinstance(stmt, DataRead):
+            if stmt.element not in self.data:
+                raise SpecificationError(f"unknown data element {stmt.element!r}")
+            if stmt.var not in t.locals:
+                raise SpecificationError(
+                    f"task {name!r} has no variable {stmt.var!r}")
+            value = self.data[stmt.element]
+            self.emit(name, stmt.element, "Getval",
+                      {"oldval": value, "by": name})
+            t.locals[stmt.var] = value
+        elif isinstance(stmt, DataWrite):
+            if stmt.element not in self.data:
+                raise SpecificationError(f"unknown data element {stmt.element!r}")
+            value = stmt.value.eval(self._env(t))
+            self.emit(name, stmt.element, "Assign",
+                      {"newval": value, "by": name})
+            self.data[stmt.element] = value
+        else:
+            raise SpecificationError(f"not a data statement: {stmt}")
+        self._advance(t)
+
+    def _step_call(self, name: str) -> None:
+        t = self.tasks[name]
+        stmt = self._current(t)
+        assert isinstance(stmt, EntryCall)
+        key = (stmt.task, stmt.entry)
+        if key not in self.queues:
+            raise SpecificationError(
+                f"call to unknown entry {stmt.task}.{stmt.entry}")
+        value = stmt.value.eval(self._env(t))
+        call_ev = self.emit(name, self.entry_element(*key), "Call",
+                            {"frm": name, "value": value})
+        self.queues[key].append((name, value, call_ev))
+        t.waiting_call = key
+
+    def _rendezvous(self, name: str, branch_idx: Optional[int]) -> None:
+        t = self.tasks[name]
+        stmt = self._current(t)
+        if isinstance(stmt, Accept):
+            accept = stmt
+        else:
+            assert isinstance(stmt, Select)
+            accept = stmt.branches[branch_idx].accept
+        key = (name, accept.entry)
+        caller_name, value, call_ev = self.queues[key].pop(0)
+        caller = self.tasks[caller_name]
+
+        self.emit(name, self.entry_element(*key), "Start",
+                  {"frm": caller_name}, extra_enables=[call_ev])
+        # run the accept body atomically; the caller's value is `arg`
+        reply: List[Any] = [None]
+        self._run_accept_body(t, accept, {"arg": value}, reply)
+        end_ev = self.emit(name, self.entry_element(*key), "End",
+                           {"frm": caller_name, "reply": reply[0]})
+        # caller resumes: its next event is enabled by the rendezvous end
+        self.emit(caller_name, caller_name, "Resume",
+                  {"task": name, "entry": accept.entry},
+                  extra_enables=[end_ev])
+        call_stmt = self._waiting_call_stmt(caller)
+        if call_stmt.into is not None:
+            if call_stmt.into not in caller.locals:
+                raise SpecificationError(
+                    f"task {caller_name!r} has no variable {call_stmt.into!r}")
+            caller.locals[call_stmt.into] = reply[0]
+        caller.waiting_call = None
+        self._advance(caller)
+        self._advance(t)
+
+    def _waiting_call_stmt(self, caller: _Task) -> EntryCall:
+        body, idx, _loop = caller.stack[-1]
+        stmt = body[idx]
+        assert isinstance(stmt, EntryCall)
+        return stmt
+
+    def _run_accept_body(self, t: _Task, accept: Accept,
+                         params: Dict[str, Any], reply: List[Any]) -> None:
+        """Execute the accept body (local statements only), atomically."""
+        stack: List[List] = [[list(accept.body), 0]]
+        while stack:
+            frame = stack[-1]
+            body, idx = frame
+            if idx >= len(body):
+                stack.pop()
+                continue
+            frame[1] = idx + 1
+            stmt = body[idx]
+            if isinstance(stmt, AdaAssign):
+                self._do_assign(t, stmt, params)
+            elif isinstance(stmt, Note):
+                env = self._env(t, params)
+                note_params = {k: e.eval(env) for k, e in stmt.params}
+                self.emit(t.decl.name, t.decl.name, stmt.event_class,
+                          note_params)
+            elif isinstance(stmt, AdaIf):
+                branch = (stmt.then_branch
+                          if stmt.condition.eval(self._env(t, params))
+                          else stmt.else_branch)
+                if branch:
+                    stack.append([list(branch), 0])
+            elif isinstance(stmt, Reply):
+                reply[0] = stmt.value.eval(self._env(t, params))
+            else:
+                raise SpecificationError(
+                    f"accept bodies may contain only local statements, "
+                    f"got {stmt.describe()}")
+
+
+@dataclass(frozen=True)
+class AdaProgram:
+    """A :class:`~repro.sim.runtime.Program` for an ADA system."""
+
+    system: AdaSystem
+
+    def initial_state(self) -> AdaState:
+        return AdaState(self.system)

@@ -1,0 +1,266 @@
+"""The paper's problems solved with ADA tasks (Section 11).
+
+* :func:`one_slot_buffer_ada_system` -- a buffer task that alternates
+  ``accept Deposit`` / ``accept Remove``;
+* :func:`bounded_buffer_ada_system` -- the classic select-based bounded
+  buffer (guards on ``count``);
+* :func:`rw_ada_system` -- the classic readers-priority Readers/Writers
+  server task::
+
+      loop select
+        when writing = 0                      => accept StartRead  do readers := readers+1 end
+        or                                       accept EndRead    do readers := readers-1 end
+        or when readers = 0 and writing = 0
+               and StartRead'COUNT = 0        => accept StartWrite do writing := 1 end
+        or                                       accept EndWrite   do writing := 0 end
+        or terminate
+      end select end loop
+
+  Readers' priority is the ``StartRead'COUNT = 0`` conjunct: a write is
+  never started while a read request is queued.  The ``writers_first``
+  mutant removes it (and prefers writers instead) -- the negative
+  control.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from ..exprs import BinOp, Lit, ParamRef, VarRef
+from .ast import (
+    Accept,
+    AdaAssign,
+    AdaLoop,
+    AdaSystem,
+    AdaTask,
+    DataRead,
+    DataWrite,
+    EntryCall,
+    EntryCount,
+    Note,
+    Reply,
+    Select,
+    SelectBranch,
+)
+
+# -- One-Slot Buffer ---------------------------------------------------------
+
+
+def one_slot_buffer_ada_system(
+    items: Sequence[Any] = (1, 2, 3),
+    producer: str = "producer",
+    consumer: str = "consumer",
+    buffer: str = "buffer",
+) -> AdaSystem:
+    """Buffer task alternating Deposit and Remove accepts."""
+    buf = AdaTask(
+        name=buffer,
+        entries=("Deposit", "Remove"),
+        variables=(("slot", None),),
+        body=(
+            AdaLoop((
+                Select((
+                    SelectBranch(Accept("Deposit", (
+                        AdaAssign("slot", ParamRef("arg"), label="store"),
+                    ))),
+                ), terminate=True),
+                Select((
+                    SelectBranch(Accept("Remove", (
+                        Reply(VarRef("slot")),
+                    ))),
+                ), terminate=True),
+            )),
+        ),
+    )
+    producer_body: List = []
+    for item in items:
+        producer_body += [
+            Note.make("Deposit", item=Lit(item)),
+            EntryCall(buffer, "Deposit", Lit(item), label="dep"),
+            Note.make("DepositDone", item=Lit(item)),
+        ]
+    consumer_body: List = []
+    for _ in items:
+        consumer_body += [
+            Note.make("Remove"),
+            EntryCall(buffer, "Remove", into="got", label="rem"),
+            Note.make("RemoveDone", item=VarRef("got")),
+        ]
+    return AdaSystem((
+        AdaTask(producer, (), (), tuple(producer_body)),
+        AdaTask(consumer, (), (("got", None),), tuple(consumer_body)),
+        buf,
+    ))
+
+
+# -- Bounded Buffer -----------------------------------------------------------
+
+
+def bounded_buffer_ada_system(
+    capacity: int = 2,
+    items: Sequence[Any] = (1, 2, 3),
+    n_consumers: int = 1,
+    producer: str = "producer",
+    buffer: str = "buffer",
+) -> AdaSystem:
+    """The classic guarded-select bounded buffer task."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    n = Lit(capacity)
+    variables: List[Tuple[str, Any]] = [("count", 0), ("inp", 0), ("outp", 0)]
+    variables += [(f"buf[{i}]", None) for i in range(capacity)]
+    buf = AdaTask(
+        name=buffer,
+        entries=("Deposit", "Remove"),
+        variables=tuple(variables),
+        body=(
+            AdaLoop((
+                Select((
+                    SelectBranch(
+                        Accept("Deposit", (
+                            AdaAssign("buf", ParamRef("arg"), label="store",
+                                      index=VarRef("inp")),
+                            AdaAssign("inp", BinOp("%", BinOp(
+                                "+", VarRef("inp"), Lit(1)), n)),
+                            AdaAssign("count", BinOp(
+                                "+", VarRef("count"), Lit(1)), label="fill"),
+                        )),
+                        guard=BinOp("<", VarRef("count"), n),
+                    ),
+                    SelectBranch(
+                        Accept("Remove", (
+                            Reply(VarRef("buf", VarRef("outp"))),
+                            AdaAssign("outp", BinOp("%", BinOp(
+                                "+", VarRef("outp"), Lit(1)), n)),
+                            AdaAssign("count", BinOp(
+                                "-", VarRef("count"), Lit(1)), label="drain"),
+                        )),
+                        guard=BinOp(">", VarRef("count"), Lit(0)),
+                    ),
+                ), terminate=True),
+            )),
+        ),
+    )
+    producer_body: List = []
+    for item in items:
+        producer_body += [
+            Note.make("Deposit", item=Lit(item)),
+            EntryCall(buffer, "Deposit", Lit(item), label="dep"),
+            Note.make("DepositDone", item=Lit(item)),
+        ]
+    per = len(items) // n_consumers
+    extra = len(items) % n_consumers
+    tasks = [AdaTask(producer, (), (), tuple(producer_body)), buf]
+    for i in range(n_consumers):
+        take = per + (1 if i < extra else 0)
+        body: List = []
+        for _ in range(take):
+            body += [
+                Note.make("Remove"),
+                EntryCall(buffer, "Remove", into="got", label="rem"),
+                Note.make("RemoveDone", item=VarRef("got")),
+            ]
+        tasks.append(AdaTask(f"consumer{i + 1}", (), (("got", None),),
+                             tuple(body)))
+    return AdaSystem(tuple(tasks))
+
+
+# -- Readers/Writers ----------------------------------------------------------
+
+
+def rw_ada_server(name: str = "server", writers_first: bool = False) -> AdaTask:
+    """The readers-priority Readers/Writers server task (see module doc)."""
+    readers0 = BinOp("==", VarRef("readers"), Lit(0))
+    writing0 = BinOp("==", VarRef("writing"), Lit(0))
+    no_queued_reads = BinOp("==", EntryCount("StartRead"), Lit(0))
+    queued_writes = BinOp(">", EntryCount("StartWrite"), Lit(0))
+
+    if writers_first:
+        # MUTANT: writes need not wait for queued reads; reads defer to
+        # queued writes instead
+        write_guard = BinOp("and", readers0, writing0)
+        read_guard = BinOp("and", writing0,
+                           BinOp("==", EntryCount("StartWrite"), Lit(0)))
+    else:
+        write_guard = BinOp("and", BinOp("and", readers0, writing0),
+                            no_queued_reads)
+        read_guard = writing0
+
+    return AdaTask(
+        name=name,
+        entries=("StartRead", "EndRead", "StartWrite", "EndWrite"),
+        variables=(("readers", 0), ("writing", 0)),
+        body=(
+            AdaLoop((
+                Select((
+                    SelectBranch(
+                        Accept("StartRead", (
+                            AdaAssign("readers", BinOp(
+                                "+", VarRef("readers"), Lit(1)), label="inc"),
+                        )),
+                        guard=read_guard,
+                    ),
+                    SelectBranch(Accept("EndRead", (
+                        AdaAssign("readers", BinOp(
+                            "-", VarRef("readers"), Lit(1)), label="dec"),
+                    ))),
+                    SelectBranch(
+                        Accept("StartWrite", (
+                            AdaAssign("writing", Lit(1), label="set"),
+                        )),
+                        guard=write_guard,
+                    ),
+                    SelectBranch(Accept("EndWrite", (
+                        AdaAssign("writing", Lit(0), label="clear"),
+                    ))),
+                ), terminate=True),
+            )),
+        ),
+    )
+
+
+def ada_reader_body(server: str, loc: int) -> Tuple:
+    return (
+        Note.make("Read", loc=Lit(loc)),
+        EntryCall(server, "StartRead", label="req-read"),
+        DataRead(f"db.data[{loc}]", "info"),
+        EntryCall(server, "EndRead", label="end-read"),
+        Note.make("FinishRead", info=VarRef("info")),
+    )
+
+
+def ada_writer_body(server: str, loc: int, info: Any) -> Tuple:
+    return (
+        Note.make("Write", loc=Lit(loc), info=Lit(info)),
+        EntryCall(server, "StartWrite", label="req-write"),
+        DataWrite(f"db.data[{loc}]", Lit(info)),
+        EntryCall(server, "EndWrite", label="end-write"),
+        Note.make("FinishWrite"),
+    )
+
+
+def rw_ada_system(
+    n_readers: int = 1,
+    n_writers: int = 2,
+    n_locs: int = 1,
+    writers_first: bool = False,
+    transactions_per_client: int = 1,
+    server: str = "server",
+) -> AdaSystem:
+    """A complete ADA Readers/Writers system."""
+    tasks: List[AdaTask] = []
+    for i in range(n_readers):
+        loc = 1 + (i % n_locs)
+        body = ada_reader_body(server, loc) * transactions_per_client
+        tasks.append(AdaTask(f"reader{i + 1}", (), (("info", None),), body))
+    for j in range(n_writers):
+        loc = 1 + (j % n_locs)
+        body = ada_writer_body(server, loc, 100 + j) * transactions_per_client
+        tasks.append(AdaTask(f"writer{j + 1}", (), (), body))
+    tasks.append(rw_ada_server(server, writers_first))
+    return AdaSystem(
+        tuple(tasks),
+        data_elements=tuple(
+            (f"db.data[{loc}]", 0) for loc in range(1, n_locs + 1)
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Communicating Sequential Processes: AST, rendezvous interpreter
+emitting GEM computations, the GEM description of CSP I/O, and the
+paper's CSP programs."""
+
+from .ast import (
+    Alt,
+    Branch,
+    CspIf,
+    CspProcess,
+    CspStmt,
+    CspSystem,
+    DataRead,
+    DataWrite,
+    LocalAssign,
+    Note,
+    Receive,
+    Rep,
+    Send,
+)
+from .gemspec import (
+    channel_balance_restriction,
+    csp_process_of_event,
+    csp_program_spec,
+    message_value_restriction,
+    simultaneity_restriction,
+)
+from .interp import CspProgram, CspState
+from .programs import (
+    bounded_buffer_csp_system,
+    csp_reader_body,
+    csp_writer_body,
+    one_slot_buffer_csp_system,
+    rw_csp_system,
+    rw_server_process,
+)
+
+__all__ = [
+    "CspStmt", "LocalAssign", "Send", "Receive", "Note", "DataRead",
+    "DataWrite", "CspIf", "Branch", "Alt", "Rep", "CspProcess", "CspSystem",
+    "CspProgram", "CspState",
+    "csp_program_spec", "simultaneity_restriction",
+    "message_value_restriction", "channel_balance_restriction",
+    "csp_process_of_event",
+    "one_slot_buffer_csp_system", "bounded_buffer_csp_system",
+    "rw_csp_system", "rw_server_process", "csp_reader_body",
+    "csp_writer_body",
+]

@@ -1,0 +1,234 @@
+"""Abstract syntax for the CSP subset (Hoare's Communicating Sequential
+Processes, as described by GEM in the paper).
+
+The paper models CSP input/output as event classes at input (``?``) and
+output (``!``) elements, with the simultaneity restriction::
+
+    (∀ inp:?, out:!) [ inp.req ⊳ out.end ≡ out.req ⊳ inp.end ]
+
+This subset has:
+
+* processes with local variables (no shared state between processes);
+* statements: local assignment, ``partner!value`` (Send), ``partner?var``
+  (Receive), note/data-access instrumentation ops, guarded alternative
+  (``Alt``) and repetitive (``Rep``) commands with boolean and I/O
+  guards;
+* distributed termination: a repetitive command exits when every branch
+  is dead -- its boolean guard false, or its I/O guard naming a
+  terminated partner (Hoare's convention).
+
+Statements carry an optional ``label`` used as the ``site`` of emitted
+events; correspondences select significant events by site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ...core.errors import SpecificationError
+from ..exprs import BinOp, Expr, ExprEnv, Fn, Lit, ParamRef, UnOp, VarRef, expr
+
+
+class CspStmt:
+    """A CSP statement.  ``label`` names it in emitted events."""
+
+    label: Optional[str]
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LocalAssign(CspStmt):
+    """``var := value`` on the process's own variables."""
+
+    var: str
+    value: Expr
+    label: Optional[str] = None
+    index: Optional[Expr] = None
+
+    def describe(self) -> str:
+        target = self.var if self.index is None else (
+            f"{self.var}[{self.index.describe()}]")
+        return f"{target} := {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class Send(CspStmt):
+    """``partner ! value`` -- output command.
+
+    ``partner`` may be an expression (evaluated against the process's
+    locals when the command becomes current), enabling directed grants
+    such as ``pending[0] ! GO``.
+    """
+
+    partner: Expr
+    value: Expr
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{self.partner.describe()} ! {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class Receive(CspStmt):
+    """``partner ? var`` -- input command."""
+
+    partner: Expr
+    var: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{self.partner.describe()} ? {self.var}"
+
+
+@dataclass(frozen=True)
+class Note(CspStmt):
+    """Emit a problem-level event at the process's own element.
+
+    Parameter values are expressions over the process's locals.
+    """
+
+    event_class: str
+    params: Tuple[Tuple[str, Expr], ...] = ()
+    label: Optional[str] = None
+
+    @staticmethod
+    def make(event_class: str, **params: Any) -> "Note":
+        return Note(event_class,
+                    tuple(sorted((k, expr(v)) for k, v in params.items())))
+
+    def describe(self) -> str:
+        return f"NOTE {self.event_class}"
+
+
+@dataclass(frozen=True)
+class DataRead(CspStmt):
+    """Read a shared data element (outside the language) into a local."""
+
+    element: str
+    var: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{self.var} := READ {self.element}"
+
+
+@dataclass(frozen=True)
+class DataWrite(CspStmt):
+    """Write a shared data element (outside the language)."""
+
+    element: str
+    value: Expr
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"WRITE {self.element} := {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class CspIf(CspStmt):
+    """``IF cond THEN ... ELSE ...`` -- local control flow.
+
+    Executes silently (no events): it is pure control over local state,
+    needed by server processes that dispatch on received message kinds.
+    """
+
+    condition: Expr
+    then_branch: Tuple[CspStmt, ...]
+    else_branch: Tuple[CspStmt, ...] = ()
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"IF {self.condition.describe()}"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One guarded alternative: ``guard; io → body``.
+
+    ``io`` (optional) is a Send or Receive; the branch is enabled when
+    the boolean guard holds and the I/O can complete now.
+    """
+
+    guard: Expr = Lit(True)
+    io: Optional[CspStmt] = None
+    body: Tuple[CspStmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.io is not None and not isinstance(self.io, (Send, Receive)):
+            raise SpecificationError("a branch's io guard must be Send or Receive")
+
+
+@dataclass(frozen=True)
+class Alt(CspStmt):
+    """Alternative command ``[ g1 → ... | g2 → ... ]``.
+
+    Blocks until some branch is enabled; aborts (checker error) if every
+    boolean guard is false and no branch has an I/O guard that could
+    still fire.
+    """
+
+    branches: Tuple[Branch, ...]
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise SpecificationError("Alt needs at least one branch")
+
+    def describe(self) -> str:
+        return f"ALT[{len(self.branches)}]"
+
+
+@dataclass(frozen=True)
+class Rep(CspStmt):
+    """Repetitive command ``*[ g1 → ... | g2 → ... ]``.
+
+    Repeats until every branch is dead: boolean guard false, or I/O
+    guard whose partner has terminated (distributed termination).
+    """
+
+    branches: Tuple[Branch, ...]
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise SpecificationError("Rep needs at least one branch")
+
+    def describe(self) -> str:
+        return f"REP[{len(self.branches)}]"
+
+
+@dataclass(frozen=True)
+class CspProcess:
+    """One sequential process: name, local variables, body."""
+
+    name: str
+    variables: Tuple[Tuple[str, Any], ...] = ()
+    body: Tuple[CspStmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [v for v, _init in self.variables]
+        if len(names) != len(set(names)):
+            raise SpecificationError(
+                f"process {self.name!r} declares duplicate variables")
+
+
+@dataclass(frozen=True)
+class CspSystem:
+    """A closed system of CSP processes plus external data elements."""
+
+    processes: Tuple[CspProcess, ...]
+    data_elements: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.processes]
+        if len(names) != len(set(names)):
+            raise SpecificationError("duplicate process names")
+
+    def process(self, name: str) -> CspProcess:
+        for p in self.processes:
+            if p.name == name:
+                return p
+        raise SpecificationError(f"no process {name!r}")

@@ -1,0 +1,249 @@
+"""GEM description of CSP (Sections 8.2, 11).
+
+The paper models CSP I/O as input (``?``) and output (``!``) elements::
+
+    inputset(inp?)    outputset(out!)
+
+with the simultaneity restriction::
+
+    (∀ inp:?, out:!) [ inp.req ⊳ out.end ≡ out.req ⊳ inp.end ]
+
+:func:`csp_program_spec` builds the program specification for a concrete
+:class:`~repro.langs.csp.ast.CspSystem`: one group per process (its own
+element, its ``.in``/``.out`` I/O elements, its variables) with the End
+events as ports (communication reaches into a process's group exactly
+through communication completions), plus:
+
+* ``csp-simultaneity`` -- the paper's restriction, verified per
+  communication: pairing the k-th output on channel S→R with the k-th
+  input, ``inp.req ⊳ out.end`` and ``out.req ⊳ inp.end`` must both hold;
+* ``csp-message-values`` -- "if send enables receive, then their
+  parameters must be equal" (Section 5's data-transfer reading of the
+  enable relation): both End events of a communication carry the same
+  value;
+* ``csp-channel-counts`` -- requests and completions are balanced on
+  every channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ...core import (
+    ElementDecl,
+    EventClass,
+    EventClassRef,
+    GroupDecl,
+    ParamSpec,
+    PyPred,
+    Restriction,
+    Specification,
+)
+from .ast import (
+    Alt,
+    Branch,
+    CspIf,
+    CspStmt,
+    CspSystem,
+    Note,
+    Receive,
+    Rep,
+    Send,
+)
+
+
+def _value(*names: str) -> Tuple[ParamSpec, ...]:
+    return tuple(ParamSpec(n, "VALUE") for n in names)
+
+
+def _walk(stmts) -> List[CspStmt]:
+    out: List[CspStmt] = []
+    for s in stmts:
+        out.append(s)
+        if isinstance(s, CspIf):
+            out += _walk(s.then_branch)
+            out += _walk(s.else_branch)
+        elif isinstance(s, (Alt, Rep)):
+            for b in s.branches:
+                if b.io is not None:
+                    out.append(b.io)
+                out += _walk(b.body)
+    return out
+
+
+def _channel_events(computation, s: str, r: str):
+    """The four per-communication event lists on channel s→r, in element order."""
+    out_reqs = [e for e in computation.events_at(f"{s}.out")
+                if e.event_class == "Req" and e.param("to") == r]
+    out_ends = [e for e in computation.events_at(f"{s}.out")
+                if e.event_class == "End" and e.param("to") == r]
+    in_reqs = [e for e in computation.events_at(f"{r}.in")
+               if e.event_class == "Req" and e.param("frm") == s]
+    in_ends = [e for e in computation.events_at(f"{r}.in")
+               if e.event_class == "End" and e.param("frm") == s]
+    return out_reqs, out_ends, in_reqs, in_ends
+
+
+def _channels(computation, process_names):
+    """(sender, receiver) pairs with at least one communication."""
+    seen = set()
+    for s in process_names:
+        for e in computation.events_at(f"{s}.out"):
+            if e.event_class == "Req":
+                seen.add((s, e.param("to")))
+    return sorted(seen)
+
+
+def simultaneity_restriction(process_names) -> Restriction:
+    """The paper's CSP I/O simultaneity restriction, per communication."""
+    names = tuple(process_names)
+
+    def check(history, env) -> bool:
+        comp = history.computation
+        for s, r in _channels(comp, names):
+            out_reqs, out_ends, in_reqs, in_ends = _channel_events(comp, s, r)
+            if not (len(out_reqs) == len(out_ends) == len(in_reqs)
+                    == len(in_ends)):
+                return False
+            for oreq, oend, ireq, iend in zip(out_reqs, out_ends,
+                                              in_reqs, in_ends):
+                if not comp.enables(ireq.eid, oend.eid):
+                    return False
+                if not comp.enables(oreq.eid, iend.eid):
+                    return False
+        return True
+
+    return Restriction(
+        "csp-simultaneity", PyPred("inp.req ⊳ out.end ≡ out.req ⊳ inp.end",
+                                   check),
+        comment="simultaneity of I/O exchange (paper §8.2)",
+    )
+
+
+def message_value_restriction(process_names) -> Restriction:
+    """Both End events of one communication carry the same value."""
+    names = tuple(process_names)
+
+    def check(history, env) -> bool:
+        comp = history.computation
+        for s, r in _channels(comp, names):
+            _oreqs, out_ends, _ireqs, in_ends = _channel_events(comp, s, r)
+            for oend, iend in zip(out_ends, in_ends):
+                if oend.param("value") != iend.param("value"):
+                    return False
+        return True
+
+    return Restriction(
+        "csp-message-values", PyPred("send.value = receive.value", check),
+        comment="data transfer over the enable relation (paper §5)",
+    )
+
+
+def channel_balance_restriction(process_names) -> Restriction:
+    """Req/End counts balance on every channel (no half communications)."""
+    names = tuple(process_names)
+
+    def check(history, env) -> bool:
+        comp = history.computation
+        for s, r in _channels(comp, names):
+            out_reqs, out_ends, in_reqs, in_ends = _channel_events(comp, s, r)
+            if not (len(out_reqs) == len(out_ends) == len(in_reqs)
+                    == len(in_ends)):
+                return False
+        return True
+
+    return Restriction(
+        "csp-channel-counts", PyPred("balanced channels", check),
+    )
+
+
+def csp_process_group(system: CspSystem, process_name: str) -> GroupDecl:
+    """One process's group: own element, I/O elements, variables.
+
+    Shared data elements the process accesses are included as members
+    too -- groups may overlap (Section 4), and a shared datum belongs to
+    the community of its accessors; this is what lets the process's
+    control flow pass from a data access back into its own group.
+    """
+    from .ast import DataRead, DataWrite
+
+    decl = system.process(process_name)
+    members = [process_name, f"{process_name}.in", f"{process_name}.out"]
+    members += [f"{process_name}.var.{v}" for v, _init in decl.variables]
+    data_names = {el for el, _init in system.data_elements}
+    for stmt in _walk(decl.body):
+        if isinstance(stmt, (DataRead, DataWrite)) and stmt.element in data_names:
+            if stmt.element not in members:
+                members.append(stmt.element)
+    return GroupDecl.make(
+        f"{process_name}.process",
+        members,
+        ports=[EventClassRef(f"{process_name}.in", "End"),
+               EventClassRef(f"{process_name}.out", "End")],
+    )
+
+
+def csp_program_spec(system: CspSystem, extra_restrictions=(),
+                     thread_types=(), name: str = "") -> Specification:
+    """The GEM program specification PROG for a CSP system."""
+    elements: List[ElementDecl] = []
+    names = [p.name for p in system.processes]
+    for proc in system.processes:
+        note_classes: Dict[str, EventClass] = {}
+        for stmt in _walk(proc.body):
+            if isinstance(stmt, Note) and stmt.event_class not in note_classes:
+                note_classes[stmt.event_class] = EventClass(
+                    stmt.event_class, _value(*[k for k, _e in stmt.params]))
+        elements.append(ElementDecl.make(proc.name, note_classes.values()))
+        elements.append(ElementDecl.make(f"{proc.name}.in", [
+            EventClass("Req", _value("frm")),
+            EventClass("End", _value("frm", "value")),
+        ]))
+        elements.append(ElementDecl.make(f"{proc.name}.out", [
+            EventClass("Req", _value("to", "value")),
+            EventClass("End", _value("to", "value")),
+        ]))
+        for v, _init in proc.variables:
+            elements.append(ElementDecl.make(f"{proc.name}.var.{v}", [
+                EventClass("Assign", _value("newval", "site", "by")),
+                EventClass("Getval", _value("oldval", "site", "by")),
+            ]))
+    for data_el, _init in system.data_elements:
+        elements.append(ElementDecl.make(data_el, [
+            EventClass("Assign", _value("newval", "by")),
+            EventClass("Getval", _value("oldval", "by")),
+        ]))
+
+    groups = [csp_process_group(system, n) for n in names]
+    restrictions = [
+        simultaneity_restriction(names),
+        message_value_restriction(names),
+        channel_balance_restriction(names),
+    ]
+    restrictions.extend(extra_restrictions)
+    return Specification(
+        name or "csp-program",
+        elements=elements,
+        groups=groups,
+        restrictions=restrictions,
+        thread_types=list(thread_types),
+    )
+
+
+def csp_process_of_event(event) -> str:
+    """Process identity for the projection edge filter.
+
+    CSP events live at ``P``, ``P.in``, ``P.out``, or ``P.var.x``; data
+    events carry ``by``.
+    """
+    try:
+        return event.param("by")
+    except KeyError:
+        pass
+    element = event.element
+    for suffix in (".in", ".out"):
+        if element.endswith(suffix):
+            return element[: -len(suffix)]
+    if ".var." in element:
+        return element.split(".var.")[0]
+    return element

@@ -1,0 +1,382 @@
+"""CSP semantics, instrumented to emit GEM computations.
+
+Communication is a rendezvous: a Send and a matching Receive execute as
+one atomic scheduler action, emitting four events with the paper's
+cross-enabling (Section 8.2, abbreviation 2's CSP example)::
+
+    S.out.Req(to=R)   -- chained from S's previous event
+    R.in.Req(frm=S)   -- chained from R's previous event
+    S.out.End(to=R, value)   -- enabled by S.out.Req (chain) and R.in.Req
+    R.in.End(frm=S, value)   -- enabled by R.in.Req (chain) and S.out.Req
+
+so the simultaneity restriction ``inp.req ⊳ out.end ≡ out.req ⊳ inp.end``
+holds by construction, and the two End events are potentially concurrent
+-- exactly the paper's account of a distributed I/O exchange.  The
+received value lands in the receiver's variable via an Assign event at
+``R.var.<x>`` chained after ``R.in.End``.
+
+Reductions (same soundness arguments as the monitor interpreter):
+local assignments and notes are taken eagerly without branching (they
+touch only the process's own elements); data-element accesses and
+communications branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...core.errors import SpecificationError
+from ...sim.runtime import Action, SimpleState
+from ..exprs import ExprEnv
+from .ast import (
+    Alt,
+    Branch,
+    CspIf,
+    CspProcess,
+    CspStmt,
+    CspSystem,
+    DataRead,
+    DataWrite,
+    LocalAssign,
+    Note,
+    Receive,
+    Rep,
+    Send,
+)
+
+
+class _Proc:
+    """Mutable per-process state."""
+
+    def __init__(self, decl: CspProcess):
+        self.decl = decl
+        self.locals: Dict[str, Any] = {name: init for name, init in decl.variables}
+        # stack of [stmt tuple, next index]; Rep frames are re-entered
+        self.stack: List[List] = [[list(decl.body), 0]]
+        self.done = not decl.body
+
+
+@dataclass(frozen=True)
+class _Offer:
+    """One communication possibility a process currently extends."""
+
+    process: str
+    io: CspStmt  # Send or Receive
+    branch: Optional[int]  # branch index when offered from Alt/Rep
+    partner: str  # resolved partner name
+
+
+class CspState(SimpleState):
+    """One evolving execution of a :class:`CspSystem`."""
+
+    def __init__(self, system: CspSystem):
+        super().__init__()
+        self.system = system
+        self.procs: Dict[str, _Proc] = {p.name: _Proc(p) for p in system.processes}
+        self.data: Dict[str, Any] = {el: init for el, init in system.data_elements}
+
+    # -- elements ----------------------------------------------------------
+
+    def in_element(self, proc: str) -> str:
+        return f"{proc}.in"
+
+    def out_element(self, proc: str) -> str:
+        return f"{proc}.out"
+
+    def var_element(self, proc: str, var: str) -> str:
+        return f"{proc}.var.{var}"
+
+    # -- control-state helpers -----------------------------------------------
+
+    def _env(self, p: _Proc) -> ExprEnv:
+        return ExprEnv(variables=p.locals)
+
+    def _normalize(self, p: _Proc) -> None:
+        """Pop exhausted frames; exit dead Reps; resolve silent Ifs."""
+        while p.stack:
+            frame = p.stack[-1]
+            body, idx = frame
+            if idx >= len(body):
+                p.stack.pop()
+                continue
+            stmt = body[idx]
+            if isinstance(stmt, Rep) and self._rep_is_dead(p, stmt):
+                frame[1] = idx + 1  # exit the loop
+                continue
+            if isinstance(stmt, CspIf):
+                frame[1] = idx + 1
+                branch = (stmt.then_branch
+                          if stmt.condition.eval(self._env(p))
+                          else stmt.else_branch)
+                if branch:
+                    p.stack.append([list(branch), 0])
+                continue
+            break
+        if not p.stack:
+            p.done = True
+
+    def _rep_is_dead(self, p: _Proc, rep: Rep) -> bool:
+        """All branches dead: bool guard false or partner terminated."""
+        env = self._env(p)
+        for branch in rep.branches:
+            if not branch.guard.eval(env):
+                continue
+            if branch.io is None:
+                return False  # enabled body-only branch
+            partner = branch.io.partner.eval(env)
+            if partner in self.procs and not self.procs[partner].done:
+                return False  # partner alive: branch could still fire
+        return True
+
+    def _current(self, p: _Proc) -> Optional[CspStmt]:
+        self._normalize(p)
+        if p.done or not p.stack:
+            return None
+        body, idx = p.stack[-1]
+        return body[idx]
+
+    def _advance(self, p: _Proc) -> None:
+        """Move past the current statement (not used for Rep)."""
+        p.stack[-1][1] += 1
+        self._normalize(p)
+
+    def _enter_branch(self, p: _Proc, stmt: CspStmt, branch_idx: Optional[int]) -> None:
+        """After a branch's guard/io fired, run its body.
+
+        For Alt the command is consumed; for Rep the frame index stays so
+        the loop re-evaluates after the body; bare io statements just
+        advance.
+        """
+        if branch_idx is None:
+            self._advance(p)
+            return
+        assert isinstance(stmt, (Alt, Rep))
+        branch = stmt.branches[branch_idx]
+        if isinstance(stmt, Alt):
+            p.stack[-1][1] += 1
+        if branch.body:
+            p.stack.append([list(branch.body), 0])
+        self._normalize(p)
+
+    # -- offers ------------------------------------------------------------------
+
+    def _offers(self, name: str) -> List[_Offer]:
+        """Communication offers the process currently extends."""
+        p = self.procs[name]
+        stmt = self._current(p)
+        if stmt is None:
+            return []
+        env = self._env(p)
+        if isinstance(stmt, (Send, Receive)):
+            partner = str(stmt.partner.eval(env))
+            if partner not in self.procs:
+                raise SpecificationError(
+                    f"{name} communicates with unknown process {partner!r}")
+            return [_Offer(name, stmt, None, partner)]
+        if isinstance(stmt, (Alt, Rep)):
+            offers = []
+            for i, branch in enumerate(stmt.branches):
+                if branch.io is None:
+                    continue
+                if not branch.guard.eval(env):
+                    continue
+                offers.append(
+                    _Offer(name, branch.io, i, str(branch.io.partner.eval(env)))
+                )
+            return offers
+        return []
+
+    def _bool_branches(self, name: str) -> List[int]:
+        """Indices of enabled io-less branches of a current Alt/Rep."""
+        p = self.procs[name]
+        stmt = self._current(p)
+        if not isinstance(stmt, (Alt, Rep)):
+            return []
+        env = self._env(p)
+        return [
+            i for i, b in enumerate(stmt.branches)
+            if b.io is None and b.guard.eval(env)
+        ]
+
+    # -- scheduler interface -------------------------------------------------------
+
+    def enabled(self) -> List[Action]:
+        # eager local steps first (sound: own elements only)
+        for name in self.procs:
+            stmt = self._current(self.procs[name])
+            if isinstance(stmt, (LocalAssign, Note)):
+                return [Action(name, stmt.describe(), ("local", name))]
+
+        actions: List[Action] = []
+        offers: Dict[str, List[_Offer]] = {
+            name: self._offers(name) for name in self.procs
+        }
+        for name in self.procs:
+            p = self.procs[name]
+            stmt = self._current(p)
+            if isinstance(stmt, (DataRead, DataWrite)):
+                actions.append(Action(name, stmt.describe(), ("data", name)))
+                continue
+            for i in self._bool_branches(name):
+                actions.append(Action(name, f"branch[{i}]", ("branch", name, i)))
+            # communications: let the *sender* side own the pairing to
+            # avoid double-counting
+            for s_offer in offers[name]:
+                if not isinstance(s_offer.io, Send):
+                    continue
+                target = s_offer.partner
+                if target not in self.procs:
+                    raise SpecificationError(
+                        f"{name} sends to unknown process {target!r}")
+                for r_offer in offers[target]:
+                    if not isinstance(r_offer.io, Receive):
+                        continue
+                    if r_offer.partner != name:
+                        continue
+                    actions.append(Action(
+                        name,
+                        f"{name}!{target}",
+                        ("comm", name, s_offer.branch, target, r_offer.branch),
+                    ))
+        self._check_aborted_alts(actions)
+        return actions
+
+    def _check_aborted_alts(self, actions: List[Action]) -> None:
+        """Hoare's alternative command aborts when every guard has failed."""
+        for name, p in self.procs.items():
+            stmt = self._current(p)
+            if not isinstance(stmt, Alt):
+                continue
+            env = self._env(p)
+            alive = False
+            for branch in stmt.branches:
+                if not branch.guard.eval(env):
+                    continue
+                if branch.io is None:
+                    alive = True
+                    break
+                partner = branch.io.partner.eval(env)
+                if partner in self.procs and not self.procs[partner].done:
+                    alive = True
+                    break
+            if not alive:
+                raise SpecificationError(
+                    f"alternative command in {name!r} aborted: every guard "
+                    "failed (boolean false or partner terminated)"
+                )
+
+    def is_final(self) -> bool:
+        for p in self.procs.values():
+            self._normalize(p)
+        return all(p.done for p in self.procs.values())
+
+    def step(self, action: Action) -> None:
+        kind = action.key[0]
+        if kind == "local":
+            self._step_local(action.key[1])
+        elif kind == "data":
+            self._step_data(action.key[1])
+        elif kind == "branch":
+            _, name, idx = action.key
+            p = self.procs[name]
+            self._enter_branch(p, self._current(p), idx)
+        elif kind == "comm":
+            _, sname, sbranch, rname, rbranch = action.key
+            self._communicate(sname, sbranch, rname, rbranch)
+        else:
+            raise SpecificationError(f"unknown action {action}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def _site(self, stmt: CspStmt) -> str:
+        return stmt.label or stmt.describe()
+
+    def _step_local(self, name: str) -> None:
+        p = self.procs[name]
+        stmt = self._current(p)
+        env = self._env(p)
+        if isinstance(stmt, LocalAssign):
+            value = stmt.value.eval(env)
+            target = stmt.var
+            if stmt.index is not None:
+                target = f"{stmt.var}[{stmt.index.eval(env)}]"
+            if target not in p.locals:
+                raise SpecificationError(
+                    f"process {name!r} has no variable {target!r}")
+            self.emit(name, self.var_element(name, target), "Assign",
+                      {"newval": value, "site": self._site(stmt), "by": name})
+            p.locals[target] = value
+        elif isinstance(stmt, Note):
+            params = {k: e.eval(env) for k, e in stmt.params}
+            self.emit(name, name, stmt.event_class, params)
+        else:
+            raise SpecificationError(f"not a local statement: {stmt}")
+        self._advance(p)
+
+    def _step_data(self, name: str) -> None:
+        p = self.procs[name]
+        stmt = self._current(p)
+        env = self._env(p)
+        if isinstance(stmt, DataRead):
+            if stmt.element not in self.data:
+                raise SpecificationError(f"unknown data element {stmt.element!r}")
+            if stmt.var not in p.locals:
+                raise SpecificationError(
+                    f"process {name!r} has no variable {stmt.var!r}")
+            value = self.data[stmt.element]
+            self.emit(name, stmt.element, "Getval",
+                      {"oldval": value, "by": name})
+            p.locals[stmt.var] = value
+        elif isinstance(stmt, DataWrite):
+            if stmt.element not in self.data:
+                raise SpecificationError(f"unknown data element {stmt.element!r}")
+            value = stmt.value.eval(env)
+            self.emit(name, stmt.element, "Assign",
+                      {"newval": value, "by": name})
+            self.data[stmt.element] = value
+        else:
+            raise SpecificationError(f"not a data statement: {stmt}")
+        self._advance(p)
+
+    def _communicate(self, sname: str, sbranch: Optional[int],
+                     rname: Optional[str], rbranch: Optional[int]) -> None:
+        sp, rp = self.procs[sname], self.procs[rname]
+        s_stmt = self._current(sp)
+        r_stmt = self._current(rp)
+        send = s_stmt if isinstance(s_stmt, Send) else s_stmt.branches[sbranch].io
+        recv = r_stmt if isinstance(r_stmt, Receive) else r_stmt.branches[rbranch].io
+        value = send.value.eval(self._env(sp))
+
+        # the sender's request carries the value it offers (the receiver
+        # learns it only at its End)
+        out_req = self.emit(sname, self.out_element(sname), "Req",
+                            {"to": rname, "value": value})
+        in_req = self.emit(rname, self.in_element(rname), "Req",
+                           {"frm": sname})
+        # the paper's simultaneity: each End is enabled by the partner's Req
+        self.emit(sname, self.out_element(sname), "End",
+                  {"to": rname, "value": value}, extra_enables=[in_req])
+        in_end = self.emit(rname, self.in_element(rname), "End",
+                           {"frm": sname, "value": value},
+                           extra_enables=[out_req])
+        # received value lands in the receiver's variable
+        if recv.var not in rp.locals:
+            raise SpecificationError(
+                f"process {rname!r} has no variable {recv.var!r}")
+        self.emit(rname, self.var_element(rname, recv.var), "Assign",
+                  {"newval": value, "site": self._site(recv), "by": rname})
+        rp.locals[recv.var] = value
+
+        self._enter_branch(sp, s_stmt, sbranch)
+        self._enter_branch(rp, r_stmt, rbranch)
+
+
+@dataclass(frozen=True)
+class CspProgram:
+    """A :class:`~repro.sim.runtime.Program` for a CSP system."""
+
+    system: CspSystem
+
+    def initial_state(self) -> CspState:
+        return CspState(self.system)

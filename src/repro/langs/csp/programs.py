@@ -1,0 +1,325 @@
+"""The paper's problems solved in CSP (Section 11).
+
+* :func:`one_slot_buffer_csp_system` -- Hoare's one-slot buffer::
+
+      X :: *[ full=0; producer?x → full:=1
+            | full=1; consumer!x → full:=0 ]
+
+* :func:`bounded_buffer_csp_system` -- the circular-buffer bounded buffer
+  (Hoare's CSP paper, §4.2 "bounded buffer"), generalised to several
+  consumers;
+
+* :func:`rw_csp_system` -- a Readers/Writers server with readers'
+  priority: clients send ``"rr"/"er"`` (readers) or ``"rw"/"ew"``
+  (writers) and wait for ``"go"``; the server tracks pending queues and
+  grants reads while any are pending, writes only when no read is
+  pending and the database is idle.  A ``writers_first`` mutant drops
+  the no-pending-read condition from the write-grant guard -- a
+  negative control that must fail readers' priority.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..exprs import BinOp, Expr, ExprEnv, Fn, Lit, UnOp, VarRef
+from .ast import (
+    Alt,
+    Branch,
+    CspIf,
+    CspProcess,
+    CspSystem,
+    DataRead,
+    DataWrite,
+    LocalAssign,
+    Note,
+    Receive,
+    Rep,
+    Send,
+)
+
+# -- One-Slot Buffer -------------------------------------------------------------
+
+
+def one_slot_buffer_csp_system(
+    items: Sequence[Any] = (1, 2, 3),
+    producer: str = "producer",
+    consumer: str = "consumer",
+    buffer: str = "buffer",
+) -> CspSystem:
+    """Producer → one-slot buffer process → consumer."""
+    buf = CspProcess(
+        name=buffer,
+        variables=(("x", None), ("full", 0)),
+        body=(
+            Rep((
+                Branch(
+                    guard=BinOp("==", VarRef("full"), Lit(0)),
+                    io=Receive(Lit(producer), "x", label="store"),
+                    body=(LocalAssign("full", Lit(1), label="fill"),),
+                ),
+                Branch(
+                    guard=BinOp("==", VarRef("full"), Lit(1)),
+                    io=Send(Lit(consumer), VarRef("x"), label="give"),
+                    body=(LocalAssign("full", Lit(0), label="drain"),),
+                ),
+            )),
+        ),
+    )
+    producer_body: List = []
+    for item in items:
+        producer_body += [
+            Note.make("Deposit", item=Lit(item)),
+            Send(Lit(buffer), Lit(item), label="dep"),
+            Note.make("DepositDone", item=Lit(item)),
+        ]
+    consumer_body: List = []
+    for _ in items:
+        consumer_body += [
+            Note.make("Remove"),
+            Receive(Lit(buffer), "got", label="rem"),
+            Note.make("RemoveDone", item=VarRef("got")),
+        ]
+    return CspSystem((
+        CspProcess(producer, (), tuple(producer_body)),
+        CspProcess(consumer, (("got", None),), tuple(consumer_body)),
+        buf,
+    ))
+
+
+# -- Bounded Buffer --------------------------------------------------------------
+
+
+def bounded_buffer_csp_system(
+    capacity: int = 2,
+    items: Sequence[Any] = (1, 2, 3),
+    n_consumers: int = 1,
+    producer: str = "producer",
+    buffer: str = "buffer",
+) -> CspSystem:
+    """Hoare's circular bounded buffer as a CSP process."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    consumers = [f"consumer{i + 1}" for i in range(n_consumers)]
+    variables: List[Tuple[str, Any]] = [
+        ("count", 0), ("inp", 0), ("outp", 0),
+    ]
+    variables += [(f"buf[{i}]", None) for i in range(capacity)]
+    n = Lit(capacity)
+    branches: List[Branch] = [
+        Branch(
+            guard=BinOp("<", VarRef("count"), n),
+            io=Receive(Lit(producer), "incoming", label="recv"),
+            body=(
+                LocalAssign("buf", VarRef("incoming"), label="store",
+                            index=VarRef("inp")),
+                LocalAssign("inp", BinOp("%", BinOp("+", VarRef("inp"),
+                                                    Lit(1)), n)),
+                LocalAssign("count", BinOp("+", VarRef("count"), Lit(1)),
+                            label="fill"),
+            ),
+        ),
+    ]
+    for c in consumers:
+        branches.append(Branch(
+            guard=BinOp(">", VarRef("count"), Lit(0)),
+            io=Send(Lit(c), VarRef("buf", VarRef("outp")), label="give"),
+            body=(
+                LocalAssign("outp", BinOp("%", BinOp("+", VarRef("outp"),
+                                                     Lit(1)), n)),
+                LocalAssign("count", BinOp("-", VarRef("count"), Lit(1)),
+                            label="drain"),
+            ),
+        ))
+    variables.append(("incoming", None))
+    buf = CspProcess(buffer, tuple(variables), (Rep(tuple(branches)),))
+
+    producer_body: List = []
+    for item in items:
+        producer_body += [
+            Note.make("Deposit", item=Lit(item)),
+            Send(Lit(buffer), Lit(item), label="dep"),
+            Note.make("DepositDone", item=Lit(item)),
+        ]
+    per = len(items) // n_consumers
+    extra = len(items) % n_consumers
+    procs = [CspProcess(producer, (), tuple(producer_body)), buf]
+    for i, c in enumerate(consumers):
+        take = per + (1 if i < extra else 0)
+        body: List = []
+        for _ in range(take):
+            body += [
+                Note.make("Remove"),
+                Receive(Lit(buffer), "got", label="rem"),
+                Note.make("RemoveDone", item=VarRef("got")),
+            ]
+        procs.append(CspProcess(c, (("got", None),), tuple(body)))
+    return CspSystem(tuple(procs))
+
+
+# -- Readers/Writers -------------------------------------------------------------
+
+
+def _head(var: str) -> Fn:
+    return Fn(f"head({var})", lambda env: env.variables[var][0], (var,))
+
+
+def _tail_assign(var: str) -> LocalAssign:
+    return LocalAssign(var, Fn(f"tail({var})",
+                               lambda env: env.variables[var][1:], (var,)))
+
+
+def _append_assign(var: str, item: Any) -> LocalAssign:
+    return LocalAssign(var, Fn(
+        f"{var}+[{item}]",
+        lambda env, _item=item: env.variables[var] + (_item,), (var,)))
+
+
+def rw_server_process(
+    readers: Sequence[str],
+    writers: Sequence[str],
+    name: str = "server",
+    writers_first: bool = False,
+) -> CspProcess:
+    """The Readers/Writers grant server.
+
+    State: ``pending_r``/``pending_w`` (tuples of client names, arrival
+    order), ``active_r`` (readers holding the database), ``writing``
+    (0/1).  Readers' priority lives in the write-grant guard: a write is
+    granted only when nothing is being read or written *and no read is
+    pending*.  ``writers_first`` drops that last conjunct and prefers
+    the write queue -- the mutant.
+    """
+    clients = list(readers) + list(writers)
+    msg_of = {c: ("rr", "er") for c in readers}
+    msg_of.update({c: ("rw", "ew") for c in writers})
+
+    branches: List[Branch] = []
+    for c in clients:
+        req_msg, end_msg = msg_of[c]
+        is_reader = c in set(readers)
+        if is_reader:
+            handle = CspIf(
+                BinOp("==", VarRef("msg"), Lit(req_msg)),
+                ( _append_assign("pending_r", c), ),
+                ( LocalAssign("active_r",
+                              BinOp("-", VarRef("active_r"), Lit(1)),
+                              label="reader-left"), ),
+            )
+        else:
+            handle = CspIf(
+                BinOp("==", VarRef("msg"), Lit(req_msg)),
+                ( _append_assign("pending_w", c), ),
+                ( LocalAssign("writing", Lit(0), label="writer-left"), ),
+            )
+        branches.append(Branch(io=Receive(Lit(c), "msg"), body=(handle,)))
+
+    can_read = Fn(
+        "can-grant-read",
+        lambda env: bool(env.variables["pending_r"])
+        and env.variables["writing"] == 0,
+        ("pending_r", "writing"),
+    )
+    if writers_first:
+        can_write = Fn(
+            "can-grant-write",
+            lambda env: bool(env.variables["pending_w"])
+            and env.variables["writing"] == 0
+            and env.variables["active_r"] == 0,
+            ("pending_w", "writing", "active_r"),
+        )
+        # prefer writers: reads are granted only when no write is pending
+        can_read = Fn(
+            "can-grant-read",
+            lambda env: bool(env.variables["pending_r"])
+            and env.variables["writing"] == 0
+            and not env.variables["pending_w"],
+            ("pending_r", "writing", "pending_w"),
+        )
+    else:
+        can_write = Fn(
+            "can-grant-write",
+            lambda env: bool(env.variables["pending_w"])
+            and env.variables["writing"] == 0
+            and env.variables["active_r"] == 0
+            and not env.variables["pending_r"],  # readers' priority
+            ("pending_w", "writing", "active_r", "pending_r"),
+        )
+
+    branches.append(Branch(
+        guard=can_read,
+        io=Send(_head("pending_r"), Lit("go"), label="grant-read"),
+        body=(
+            _tail_assign("pending_r"),
+            LocalAssign("active_r", BinOp("+", VarRef("active_r"), Lit(1)),
+                        label="reader-in"),
+        ),
+    ))
+    branches.append(Branch(
+        guard=can_write,
+        io=Send(_head("pending_w"), Lit("go"), label="grant-write"),
+        body=(
+            _tail_assign("pending_w"),
+            LocalAssign("writing", Lit(1), label="writer-in"),
+        ),
+    ))
+
+    return CspProcess(
+        name,
+        variables=(
+            ("pending_r", ()), ("pending_w", ()),
+            ("active_r", 0), ("writing", 0), ("msg", None),
+        ),
+        body=(Rep(tuple(branches)),),
+    )
+
+
+def csp_reader_body(server: str, loc: int) -> Tuple:
+    return (
+        Note.make("Read", loc=Lit(loc)),
+        Send(Lit(server), Lit("rr"), label="req-read"),
+        Receive(Lit(server), "grant", label="got-go"),
+        DataRead(f"db.data[{loc}]", "info"),
+        Send(Lit(server), Lit("er"), label="end-read"),
+        Note.make("FinishRead", info=VarRef("info")),
+    )
+
+
+def csp_writer_body(server: str, loc: int, info: Any) -> Tuple:
+    return (
+        Note.make("Write", loc=Lit(loc), info=Lit(info)),
+        Send(Lit(server), Lit("rw"), label="req-write"),
+        Receive(Lit(server), "grant", label="got-go"),
+        DataWrite(f"db.data[{loc}]", Lit(info)),
+        Send(Lit(server), Lit("ew"), label="end-write"),
+        Note.make("FinishWrite"),
+    )
+
+
+def rw_csp_system(
+    n_readers: int = 1,
+    n_writers: int = 2,
+    n_locs: int = 1,
+    writers_first: bool = False,
+    transactions_per_client: int = 1,
+    server: str = "server",
+) -> CspSystem:
+    """A complete CSP Readers/Writers system."""
+    readers = [f"reader{i + 1}" for i in range(n_readers)]
+    writers = [f"writer{j + 1}" for j in range(n_writers)]
+    procs: List[CspProcess] = []
+    for i, r in enumerate(readers):
+        loc = 1 + (i % n_locs)
+        body = csp_reader_body(server, loc) * transactions_per_client
+        procs.append(CspProcess(r, (("grant", None), ("info", None)), body))
+    for j, w in enumerate(writers):
+        loc = 1 + (j % n_locs)
+        body = csp_writer_body(server, loc, 100 + j) * transactions_per_client
+        procs.append(CspProcess(w, (("grant", None),), body))
+    procs.append(rw_server_process(readers, writers, server, writers_first))
+    return CspSystem(
+        tuple(procs),
+        data_elements=tuple(
+            (f"db.data[{loc}]", 0) for loc in range(1, n_locs + 1)
+        ),
+    )

@@ -1,0 +1,185 @@
+"""Expression language shared by the Monitor, CSP, and ADA interpreters.
+
+Expressions evaluate over an :class:`ExprEnv` of named variables (monitor
+variables, CSP/ADA process locals) and call/entry parameters.  Each
+expression reports the variable names it reads, so interpreters can emit
+Getval events for instrumented reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..core.errors import SpecificationError
+
+
+class Expr:
+    """An expression over variables and parameters."""
+
+    def eval(self, env: "ExprEnv") -> Any:
+        raise NotImplementedError
+
+    def reads(self) -> Tuple[str, ...]:
+        """Variable names this expression reads (for Getval events)."""
+        return ()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ExprEnv:
+    """Evaluation context: variables, parameters, and (for monitors) the
+    condition-queue probe."""
+
+    variables: Mapping[str, Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    queue_nonempty: Callable[[str], bool] = lambda cond: False
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    value: Any
+
+    def eval(self, env: ExprEnv) -> Any:
+        return self.value
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A variable read.  ``index`` addresses array variables:
+    ``VarRef("buf", VarRef("outp"))`` reads ``buf[<outp>]``."""
+
+    name: str
+    index: Optional["Expr"] = None
+
+    def resolved_name(self, env: "ExprEnv") -> str:
+        if self.index is None:
+            return self.name
+        return f"{self.name}[{self.index.eval(env)}]"
+
+    def eval(self, env: ExprEnv) -> Any:
+        name = self.resolved_name(env)
+        try:
+            return env.variables[name]
+        except KeyError:
+            raise SpecificationError(f"unknown variable {name!r}")
+
+    def reads(self) -> Tuple[str, ...]:
+        base = (self.name,) if self.index is None else ()
+        extra = self.index.reads() if self.index is not None else ()
+        return base + extra
+
+    def describe(self) -> str:
+        if self.index is None:
+            return self.name
+        return f"{self.name}[{self.index.describe()}]"
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """A call/entry parameter read."""
+
+    name: str
+
+    def eval(self, env: ExprEnv) -> Any:
+        try:
+            return env.params[self.name]
+        except KeyError:
+            raise SpecificationError(f"unknown parameter {self.name!r}")
+
+    def describe(self) -> str:
+        return f"${self.name}"
+
+
+_BINOPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise SpecificationError(f"unknown operator {self.op!r}")
+
+    def eval(self, env: ExprEnv) -> Any:
+        return _BINOPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def reads(self) -> Tuple[str, ...]:
+        return self.left.reads() + self.right.reads()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # "not" | "-"
+    operand: Expr
+
+    def eval(self, env: ExprEnv) -> Any:
+        value = self.operand.eval(env)
+        if self.op == "not":
+            return not value
+        if self.op == "-":
+            return -value
+        raise SpecificationError(f"unknown unary operator {self.op!r}")
+
+    def reads(self) -> Tuple[str, ...]:
+        return self.operand.reads()
+
+    def describe(self) -> str:
+        return f"{self.op}({self.operand.describe()})"
+
+
+class Fn(Expr):
+    """Named Python-function escape hatch: ``fn(env) -> value``.
+
+    For value manipulation the small AST cannot express (list surgery in
+    the CSP Readers/Writers server's pending queues, say).  Keep the name
+    descriptive: it is what event dumps and errors show.
+    """
+
+    def __init__(self, name: str, fn: Callable[[ExprEnv], Any],
+                 reads: Tuple[str, ...] = ()):
+        self.name = name
+        self.fn = fn
+        self._reads = tuple(reads)
+
+    def eval(self, env: ExprEnv) -> Any:
+        return self.fn(env)
+
+    def reads(self) -> Tuple[str, ...]:
+        return self._reads
+
+    def describe(self) -> str:
+        return f"<{self.name}>"
+
+
+def expr(value: Any) -> Expr:
+    """Coerce: Expr passes through, str becomes VarRef, literal becomes Lit."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return VarRef(value)
+    return Lit(value)

@@ -1,0 +1,75 @@
+"""The Monitor language primitive: AST, Hoare-semantics interpreter
+instrumented to emit GEM computations, the GEM description of the
+Monitor itself, and the paper's monitor programs."""
+
+from .ast import (
+    Assign,
+    BinOp,
+    CallOp,
+    Caller,
+    DataReadOp,
+    DataWriteOp,
+    Entry,
+    Expr,
+    If,
+    Lit,
+    MonitorDecl,
+    MonitorSystem,
+    NoteOp,
+    ParamRef,
+    QueueNonEmpty,
+    Signal,
+    Skip,
+    Stmt,
+    UnOp,
+    VarRef,
+    Wait,
+    While,
+    expr,
+)
+from .gemspec import (
+    monitor_group,
+    monitor_internal_elements,
+    monitor_program_spec,
+)
+from .interp import MonitorProgram, MonitorState
+from .programs import (
+    SITE_ENDREAD,
+    SITE_ENDWRITE,
+    SITE_STARTREAD,
+    SITE_STARTWRITE,
+    bounded_buffer_monitor,
+    bounded_buffer_system,
+    consumer_script,
+    one_slot_buffer_monitor,
+    one_slot_buffer_monitor_unguarded,
+    one_slot_buffer_system,
+    producer_script,
+    reader_script,
+    readers_writers_monitor,
+    readers_writers_monitor_mesa,
+    readers_writers_monitor_writers_priority,
+    readers_writers_monitor_writers_first,
+    readers_writers_system,
+    writer_script,
+)
+
+__all__ = [
+    # ast
+    "Expr", "Lit", "VarRef", "ParamRef", "BinOp", "UnOp", "QueueNonEmpty",
+    "expr", "Stmt", "Assign", "If", "While", "Wait", "Signal", "Skip",
+    "Entry", "MonitorDecl", "Caller", "CallOp", "DataReadOp", "DataWriteOp",
+    "NoteOp", "MonitorSystem",
+    # interp
+    "MonitorProgram", "MonitorState",
+    # gemspec
+    "monitor_program_spec", "monitor_group", "monitor_internal_elements",
+    # programs
+    "readers_writers_monitor", "readers_writers_monitor_writers_first",
+    "readers_writers_monitor_mesa", "readers_writers_monitor_writers_priority",
+    "readers_writers_system", "reader_script", "writer_script",
+    "one_slot_buffer_monitor", "one_slot_buffer_monitor_unguarded",
+    "one_slot_buffer_system", "bounded_buffer_monitor",
+    "bounded_buffer_system", "producer_script", "consumer_script",
+    "SITE_STARTREAD", "SITE_ENDREAD", "SITE_STARTWRITE", "SITE_ENDWRITE",
+]

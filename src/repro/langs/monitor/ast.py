@@ -1,0 +1,283 @@
+"""Abstract syntax for the Monitor language (Hoare monitors).
+
+The paper's Section 9 verifies a Monitor program -- the ReadersWriters
+monitor -- against the Readers/Writers problem specification.  This
+module defines the language that program is written in:
+
+* a monitor has variables, condition queues, entry procedures, and
+  initialization code;
+* entry bodies are statements: assignment, if, while, WAIT(cond),
+  SIGNAL(cond), skip;
+* expressions read monitor variables and entry parameters, and may test
+  ``queue(cond)`` (is any process waiting on the condition?) -- the
+  ReadersWriters EndWrite entry uses it;
+* around the monitor live *caller scripts*: straight-line sequences of
+  entry calls and accesses to data elements outside the monitor ("the
+  data itself must be located outside of the monitor").
+
+Statements carry an optional ``label``.  Labels name the statement
+events in the emitted GEM computation (``EntryStartRead:readernum :=
+readernum + 1`` in the paper's correspondence table) and are how the
+verification correspondence picks significant events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ...core.errors import SpecificationError
+
+# ---------------------------------------------------------------------------
+# Expressions (shared with CSP/ADA; see repro.langs.exprs)
+# ---------------------------------------------------------------------------
+
+from ..exprs import (  # noqa: E402  (re-exported for backward compatibility)
+    BinOp,
+    Expr,
+    ExprEnv,
+    Fn,
+    Lit,
+    ParamRef,
+    UnOp,
+    VarRef,
+)
+
+
+@dataclass(frozen=True)
+class QueueNonEmpty(Expr):
+    """``queue(cond)`` -- true iff a process is waiting on the condition."""
+
+    condition: str
+
+    def eval(self, env: ExprEnv) -> Any:
+        return env.queue_nonempty(self.condition)
+
+    def describe(self) -> str:
+        return f"queue({self.condition})"
+
+
+def expr(value: Union[Expr, int, bool, str]) -> Expr:
+    """Coerce: Expr passes through, str becomes VarRef, literal becomes Lit."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return VarRef(value)
+    return Lit(value)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """A monitor statement.  ``label`` names it in emitted events."""
+
+    label: Optional[str]
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``var := value`` (or ``var[index] := value`` for array cells)."""
+
+    var: str
+    value: Expr
+    label: Optional[str] = None
+    index: Optional[Expr] = None
+
+    def describe(self) -> str:
+        target = self.var if self.index is None else (
+            f"{self.var}[{self.index.describe()}]")
+        return f"{target} := {self.value.describe()}"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_branch: Tuple[Stmt, ...]
+    else_branch: Tuple[Stmt, ...] = ()
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"IF {self.condition.describe()} THEN ... ELSE ..."
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: Tuple[Stmt, ...]
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"WHILE {self.condition.describe()} DO ..."
+
+
+@dataclass(frozen=True)
+class Wait(Stmt):
+    condition: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"WAIT({self.condition})"
+
+
+@dataclass(frozen=True)
+class Signal(Stmt):
+    condition: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"SIGNAL({self.condition})"
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return "SKIP"
+
+
+# ---------------------------------------------------------------------------
+# Monitor and caller declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One ENTRY PROCEDURE."""
+
+    name: str
+    params: Tuple[str, ...] = ()
+    body: Tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class MonitorDecl:
+    """A monitor: variables, conditions, entries, initialization."""
+
+    name: str
+    variables: Tuple[Tuple[str, Any], ...] = ()
+    conditions: Tuple[str, ...] = ()
+    entries: Tuple[Entry, ...] = ()
+    init: Tuple[Stmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [e.name for e in self.entries]
+        if len(names) != len(set(names)):
+            raise SpecificationError(
+                f"monitor {self.name!r} declares duplicate entries"
+            )
+        var_names = [v for v, _init in self.variables]
+        if len(var_names) != len(set(var_names)):
+            raise SpecificationError(
+                f"monitor {self.name!r} declares duplicate variables"
+            )
+
+    def entry(self, name: str) -> Entry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise SpecificationError(f"monitor {self.name!r} has no entry {name!r}")
+
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(v for v, _init in self.variables)
+
+
+# -- caller scripts ----------------------------------------------------------
+
+
+class CallerOp:
+    """One step of a caller script (outside the monitor)."""
+
+
+@dataclass(frozen=True)
+class CallOp(CallerOp):
+    """Call a monitor entry with literal arguments.
+
+    ``copy_out`` snapshots monitor variables into caller locals when the
+    entry completes -- the language's stand-in for entry return values
+    (``(monitor_var, local_name)`` pairs; no events are emitted for the
+    copy, it models the value travelling back in the call return).
+    """
+
+    entry: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+    copy_out: Tuple[Tuple[str, str], ...] = ()
+
+    @staticmethod
+    def make(entry: str, copy_out: Sequence[Tuple[str, str]] = (),
+             **args: Any) -> "CallOp":
+        return CallOp(entry, tuple(sorted(args.items())), tuple(copy_out))
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.args)
+        return f"CALL {self.entry}({args})"
+
+
+@dataclass(frozen=True)
+class DataReadOp(CallerOp):
+    """Read a data element outside the monitor (emits Getval there)."""
+
+    element: str
+
+    def describe(self) -> str:
+        return f"READ {self.element}"
+
+
+@dataclass(frozen=True)
+class DataWriteOp(CallerOp):
+    """Write a data element outside the monitor (emits Assign there)."""
+
+    element: str
+    value: Any
+
+    def describe(self) -> str:
+        return f"WRITE {self.element} := {self.value!r}"
+
+
+@dataclass(frozen=True)
+class NoteOp(CallerOp):
+    """Emit a bookkeeping event at the caller's own element.
+
+    Used for the problem-level events of caller scripts (``u.Read``,
+    ``u.FinishRead``) that bracket the monitor calls.  A parameter value
+    may be a callable; it receives the caller's locals dict at emission
+    time (so ``FinishRead`` can report the value actually read).
+    """
+
+    event_class: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(event_class: str, **params: Any) -> "NoteOp":
+        return NoteOp(event_class, tuple(sorted(params.items())))
+
+    def describe(self) -> str:
+        return f"NOTE {self.event_class}"
+
+
+@dataclass(frozen=True)
+class Caller:
+    """One user process: a name and a straight-line script."""
+
+    name: str
+    script: Tuple[CallerOp, ...] = ()
+
+
+@dataclass(frozen=True)
+class MonitorSystem:
+    """A monitor plus its callers plus external data elements."""
+
+    monitor: MonitorDecl
+    callers: Tuple[Caller, ...]
+    data_elements: Tuple[Tuple[str, Any], ...] = ()  # (element name, initial)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.callers]
+        if len(names) != len(set(names)):
+            raise SpecificationError("duplicate caller names")

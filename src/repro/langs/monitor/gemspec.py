@@ -1,0 +1,287 @@
+"""GEM description of the Monitor primitive (Sections 9, 11).
+
+The paper describes the Monitor as a GEM group type::
+
+    Monitor = GROUP TYPE(lock: MonitorLock,
+                         {entry}: SET OF MonitorEntry,
+                         {cond}:  SET OF Condition,
+                         init:    Initialization,
+                         {var}:   SET OF Variable)
+        PORTS(lock.Req)
+        RESTRICTIONS  -- rules for waiting and signalling, initialization...
+
+:func:`monitor_program_spec` instantiates that description for one
+concrete :class:`~repro.langs.monitor.ast.MonitorSystem`: the monitor
+group with its lock/entry/condition/variable/init elements and
+``lock.Req`` as the only port, the caller and data elements outside,
+and the monitor-primitive restrictions:
+
+* ``signal-enables-release`` -- per condition, the paper's own example of
+  the prerequisite abbreviation: "Release of a wait upon a condition
+  must be enabled by exactly one Signal, and every Signal can enable
+  only one Release";
+* ``wait-before-release`` -- a Release is always preceded, at its
+  condition element and by the same process, by a Wait;
+* ``lock-alternation`` -- Acq and Rel events strictly alternate at the
+  lock element (one holder at a time);
+* ``entries-totally-ordered`` -- the property the paper reports proving
+  of the Monitor ("sequential execution of monitor entries"): all events
+  at monitor-internal elements are totally ordered by the temporal
+  order;
+* ``req-before-acq`` -- a process acquires the lock for an entry only
+  after requesting it.
+
+A computation produced by :class:`~repro.langs.monitor.interp.MonitorProgram`
+should be *legal* with respect to this specification -- that is the
+mechanical content of "translation of a program into a GEM program
+specification"; the test suite enforces it for every program in
+:mod:`repro.langs.monitor.programs`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ...core import (
+    ClassAt,
+    ElementDecl,
+    EventClass,
+    EventClassRef,
+    GroupDecl,
+    ParamSpec,
+    PyPred,
+    Restriction,
+    Specification,
+    prerequisite,
+)
+from .ast import Caller, CallOp, DataReadOp, DataWriteOp, MonitorSystem, NoteOp
+
+
+def _value(*names: str) -> Tuple[ParamSpec, ...]:
+    return tuple(ParamSpec(n, "VALUE") for n in names)
+
+
+def _caller_event_classes(caller: Caller) -> List[EventClass]:
+    classes: Dict[str, EventClass] = {
+        "Call": EventClass("Call", _value("entry")),
+        "Return": EventClass("Return", _value("entry")),
+    }
+    for op in caller.script:
+        if isinstance(op, NoteOp) and op.event_class not in classes:
+            classes[op.event_class] = EventClass(
+                op.event_class, _value(*[k for k, _v in op.params])
+            )
+    return list(classes.values())
+
+
+def monitor_internal_elements(system: MonitorSystem) -> List[str]:
+    """Element names inside the monitor group (lock, entries, conds, vars, init)."""
+    m = system.monitor.name
+    out = [f"{m}.lock", f"{m}.init"]
+    out += [f"{m}.entry.{e.name}" for e in system.monitor.entries]
+    out += [f"{m}.cond.{c}" for c in system.monitor.conditions]
+    out += [f"{m}.var.{v}" for v in system.monitor.variable_names()]
+    return out
+
+
+def _totally_ordered_restriction(name: str, elements: Sequence[str]) -> Restriction:
+    """All events at ``elements`` pairwise ordered by the temporal order."""
+    element_set = set(elements)
+
+    def check(history, env) -> bool:
+        comp = history.computation
+        events = [
+            ev.eid
+            for ev in comp.events
+            if ev.element in element_set and history.occurred(ev.eid)
+        ]
+        for i, a in enumerate(events):
+            for b in events[i + 1:]:
+                if not (
+                    comp.temporally_precedes(a, b)
+                    or comp.temporally_precedes(b, a)
+                ):
+                    return False
+        return True
+
+    return Restriction(
+        name,
+        PyPred(name, check),
+        comment="sequential execution of monitor entries (paper §11)",
+    )
+
+
+def _lock_alternation_restriction(name: str, lock_element: str) -> Restriction:
+    def check(history, env) -> bool:
+        comp = history.computation
+        held = False
+        for ev in comp.events_at(lock_element):
+            if not history.occurred(ev.eid):
+                continue
+            if ev.event_class == "Acq":
+                if held:
+                    return False
+                held = True
+            elif ev.event_class == "Rel":
+                if not held:
+                    return False
+                held = False
+        return True
+
+    return Restriction(
+        name, PyPred(name, check),
+        comment="Acq/Rel strictly alternate: one lock holder at a time",
+    )
+
+
+def _wait_before_release_restriction(name: str, cond_element: str) -> Restriction:
+    def check(history, env) -> bool:
+        comp = history.computation
+        events = [e for e in comp.events_at(cond_element)
+                  if history.occurred(e.eid)]
+        waiting: Set[object] = set()
+        for ev in events:  # element order
+            by = ev.param("by")
+            if ev.event_class == "Wait":
+                waiting.add(by)
+            elif ev.event_class == "Release":
+                if by not in waiting:
+                    return False
+                waiting.discard(by)
+        return True
+
+    return Restriction(
+        name, PyPred(name, check),
+        comment="a Release is preceded by that process's Wait",
+    )
+
+
+def _req_before_acq_restriction(name: str, lock_element: str) -> Restriction:
+    def check(history, env) -> bool:
+        comp = history.computation
+        outstanding: Dict[object, int] = {}
+        for ev in comp.events_at(lock_element):
+            if not history.occurred(ev.eid):
+                continue
+            by = ev.param("by")
+            if ev.event_class == "Req":
+                outstanding[by] = outstanding.get(by, 0) + 1
+            elif ev.event_class == "Acq":
+                # resumes (after wait/signal) are re-acquisitions and need
+                # no fresh Req; but the count of *first* acquisitions per
+                # Req must not exceed Reqs.  We track it loosely: an Acq
+                # with no prior Req ever is illegal.
+                if by not in outstanding:
+                    return False
+        return True
+
+    return Restriction(
+        name, PyPred(name, check),
+        comment="no process acquires the lock before ever requesting it",
+    )
+
+
+def monitor_group(system: MonitorSystem) -> GroupDecl:
+    """The Monitor group with PORTS(lock.Req)."""
+    m = system.monitor.name
+    return GroupDecl.make(
+        m,
+        monitor_internal_elements(system),
+        ports=[EventClassRef(f"{m}.lock", "Req")],
+    )
+
+
+def monitor_program_spec(
+    system: MonitorSystem,
+    extra_restrictions: Iterable[Restriction] = (),
+    thread_types: Iterable = (),
+    name: str = "",
+) -> Specification:
+    """The GEM program specification PROG for a monitor system."""
+    m = system.monitor.name
+    elements: List[ElementDecl] = []
+
+    elements.append(ElementDecl.make(
+        f"{m}.lock",
+        [
+            EventClass("Req", _value("entry", "by")),
+            EventClass("Acq", _value("by")),
+            EventClass("Rel", _value("by")),
+        ],
+        restrictions=[
+            _lock_alternation_restriction(f"{m}-lock-alternation", f"{m}.lock"),
+            _req_before_acq_restriction(f"{m}-req-before-acq", f"{m}.lock"),
+        ],
+    ))
+    elements.append(ElementDecl.make(f"{m}.init", [EventClass("Init")]))
+    for entry in system.monitor.entries:
+        elements.append(ElementDecl.make(
+            f"{m}.entry.{entry.name}",
+            [
+                EventClass("Begin", _value("by", *entry.params)),
+                EventClass("End", _value("by")),
+            ],
+        ))
+    for cond in system.monitor.conditions:
+        el = f"{m}.cond.{cond}"
+        elements.append(ElementDecl.make(
+            el,
+            [
+                EventClass("Wait", _value("by")),
+                EventClass("Signal", _value("by")),
+                EventClass("Release", _value("by")),
+            ],
+            restrictions=[
+                Restriction(
+                    f"{m}-signal-enables-release-{cond}",
+                    prerequisite(ClassAt(EventClassRef(el, "Signal")),
+                                 ClassAt(EventClassRef(el, "Release"))),
+                    comment="Release enabled by exactly one Signal (§8.2)",
+                ),
+                _wait_before_release_restriction(
+                    f"{m}-wait-before-release-{cond}", el),
+            ],
+        ))
+    for var in system.monitor.variable_names():
+        elements.append(ElementDecl.make(
+            f"{m}.var.{var}",
+            [
+                EventClass("Assign", _value("newval", "site", "by")),
+                EventClass("Getval", _value("oldval", "site", "by")),
+            ],
+        ))
+    for caller in system.callers:
+        elements.append(ElementDecl.make(caller.name,
+                                         _caller_event_classes(caller)))
+    for data_el, _init in system.data_elements:
+        elements.append(ElementDecl.make(
+            data_el,
+            [
+                EventClass("Assign", _value("newval", "by")),
+                EventClass("Getval", _value("oldval", "by")),
+            ],
+        ))
+
+    # The sequential-execution property covers events occurring *in
+    # monitor entries or initialization code* (paper §9/§11): entry,
+    # variable, condition, and init elements.  Lock Req events are
+    # excluded -- a request may arrive concurrently with in-monitor
+    # activity (it is issued by a process outside the monitor).
+    in_entry_elements = [
+        el for el in monitor_internal_elements(system)
+        if el != f"{m}.lock"
+    ]
+    restrictions = [
+        _totally_ordered_restriction(
+            f"{m}-entries-totally-ordered", in_entry_elements
+        ),
+    ]
+    restrictions.extend(extra_restrictions)
+
+    return Specification(
+        name or f"monitor-program-{m}",
+        elements=elements,
+        groups=[monitor_group(system)],
+        restrictions=restrictions,
+        thread_types=list(thread_types),
+    )

@@ -1,0 +1,489 @@
+"""Monitor semantics, instrumented to emit GEM computations.
+
+Semantics: Hoare monitors.  One process holds the monitor lock at a
+time; WAIT(c) releases the lock and queues the process on condition c
+(FIFO); SIGNAL(c) with a waiter present hands the lock *directly* to the
+longest-waiting process (the signaller suspends on an urgent stack and
+has priority over new entrants when the lock is next released); SIGNAL
+on an empty condition is a no-op.  This is the semantics the paper's
+Section 9 proof relies on ("all waiting readers will be signalled before
+any other process executes in the monitor" -- the cascade works because
+a released reader runs immediately and its own SIGNAL releases the
+next).
+
+Instrumentation -- the "mechanical translation" of a program into a GEM
+program specification.  Events are emitted at these elements (for a
+monitor named ``M`` and a caller named ``u``):
+
+===================  =======================================+===========
+element              event classes
+===================  ==================================================
+``u``                ``Call(entry)``, ``Return(entry)``, plus any
+                     :class:`~repro.langs.monitor.ast.NoteOp` classes
+``M.lock``           ``Req(entry, by)``, ``Acq(by)``, ``Rel(by)``
+``M.entry.<E>``      ``Begin(by)``, ``End(by)``
+``M.var.<v>``        ``Assign(newval, site)``, ``Getval(oldval, site)``
+``M.cond.<c>``       ``Wait(by)``, ``Signal(by)``, ``Release(by)``
+``M.init``           ``Init``
+data elements        ``Assign(newval)``, ``Getval(oldval)``
+===================  ==================================================
+
+Enable edges: each process's events chain in program order; a released
+waiter's ``Release`` is additionally enabled by the ``Signal`` that woke
+it (the paper's "Release of a wait upon a condition must be enabled by
+exactly one Signal"); every lock ``Acq`` is enabled by the previous
+lock ``Rel`` (or by initialization for the first one) -- the hand-off
+that serialises monitor entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...core.errors import SpecificationError
+from ...sim.runtime import Action, SimpleState
+from .ast import (
+    Assign,
+    CallOp,
+    Caller,
+    DataReadOp,
+    DataWriteOp,
+    Entry,
+    ExprEnv,
+    If,
+    MonitorSystem,
+    NoteOp,
+    Signal,
+    Skip,
+    Stmt,
+    Wait,
+    While,
+)
+
+#: Process status values.
+SCRIPT, QUEUED, RUNNING, COND_WAITING, URGENT, DONE = (
+    "script", "queued", "running", "cond-waiting", "urgent", "done",
+)
+
+
+@dataclass
+class _Frame:
+    """Execution state of one entry activation."""
+
+    entry: Entry
+    params: Dict[str, Any]
+    # stack of (statement tuple, next index); innermost last
+    stack: List[List]
+
+
+class _ProcState:
+    """Mutable per-caller state."""
+
+    def __init__(self, caller: Caller):
+        self.caller = caller
+        self.pc = 0
+        self.status = SCRIPT if caller.script else DONE
+        self.frame: Optional[_Frame] = None
+        self.locals: Dict[str, Any] = {}
+        #: mesa semantics: queued to *resume* a wait, not to begin an entry
+        self.resuming = False
+
+
+class MonitorState(SimpleState):
+    """One evolving execution of a :class:`MonitorSystem`."""
+
+    def __init__(self, system: MonitorSystem, emit_getvals: bool = False,
+                 entry_grant: str = "any", eager_reductions: bool = True,
+                 semantics: str = "hoare"):
+        super().__init__()
+        if entry_grant not in ("any", "fifo"):
+            raise SpecificationError(f"unknown entry_grant policy {entry_grant!r}")
+        if semantics not in ("hoare", "mesa"):
+            raise SpecificationError(f"unknown monitor semantics {semantics!r}")
+        self.system = system
+        self.emit_getvals = emit_getvals
+        self.entry_grant = entry_grant
+        #: "hoare": SIGNAL hands the lock to the released waiter
+        #: immediately, the signaller suspends with priority (the
+        #: semantics the paper's Section 9 proof relies on).  "mesa":
+        #: SIGNAL only moves the waiter back to the entry competition
+        #: and the signaller continues -- under which the paper's
+        #: IF-based monitor is *incorrect* (waiters must re-test with
+        #: WHILE); kept as an executable demonstration that GEM's
+        #: checker detects the difference.
+        self.semantics = semantics
+        #: ablation switch: with False, NoteOps and CallOps branch like
+        #: any other action (tenure atomicity stays on -- it is part of
+        #: the Hoare semantics' determinism, not an optional reduction)
+        self.eager_reductions = eager_reductions
+        mon = system.monitor
+        self.mname = mon.name
+        self.vars: Dict[str, Any] = {name: init for name, init in mon.variables}
+        self.data: Dict[str, Any] = {el: init for el, init in system.data_elements}
+        self.procs: Dict[str, _ProcState] = {
+            c.name: _ProcState(c) for c in system.callers
+        }
+        self.lock_holder: Optional[str] = None
+        self.entry_queue: List[str] = []
+        self.cond_queues: Dict[str, List[str]] = {c: [] for c in mon.conditions}
+        self.urgent_stack: List[str] = []
+        # event bookkeeping for cross-process enables
+        self._last_lock_release = None   # Event: last Rel (or init tail)
+        self._pending_signal: Dict[str, Any] = {}  # proc -> Signal event
+        self._run_init()
+
+    # -- elements ---------------------------------------------------------
+
+    def lock_element(self) -> str:
+        return f"{self.mname}.lock"
+
+    def entry_element(self, entry: str) -> str:
+        return f"{self.mname}.entry.{entry}"
+
+    def var_element(self, var: str) -> str:
+        return f"{self.mname}.var.{var}"
+
+    def cond_element(self, cond: str) -> str:
+        return f"{self.mname}.cond.{cond}"
+
+    def init_element(self) -> str:
+        return f"{self.mname}.init"
+
+    # -- initialization ------------------------------------------------------
+
+    def _run_init(self) -> None:
+        proc = f"{self.mname}.<init>"
+        self.emit(proc, self.init_element(), "Init")
+        for stmt in self.system.monitor.init:
+            if not isinstance(stmt, Assign):
+                raise SpecificationError(
+                    "monitor initialization supports assignments only"
+                )
+            self._do_assign(proc, stmt, params={}, site="init")
+        self._last_lock_release = self.last_event_of(proc)
+
+    # -- expression evaluation --------------------------------------------------
+
+    def _env(self, params: Dict[str, Any]) -> ExprEnv:
+        return ExprEnv(
+            variables=self.vars,
+            params=params,
+            queue_nonempty=lambda cond: bool(self.cond_queues.get(cond)),
+        )
+
+    def _eval(self, proc: str, expression, params: Dict[str, Any],
+              site: str) -> Any:
+        if self.emit_getvals:
+            for var in expression.reads():
+                self.emit(
+                    proc, self.var_element(var), "Getval",
+                    {"oldval": self.vars[var], "site": site, "by": proc},
+                )
+        return expression.eval(self._env(params))
+
+    def _do_assign(self, proc: str, stmt: Assign, params: Dict[str, Any],
+                   site: str) -> None:
+        value = self._eval(proc, stmt.value, params, site)
+        target = stmt.var
+        if stmt.index is not None:
+            idx = self._eval(proc, stmt.index, params, site)
+            target = f"{stmt.var}[{idx}]"
+        if target not in self.vars:
+            raise SpecificationError(f"unknown monitor variable {target!r}")
+        self.emit(proc, self.var_element(target), "Assign",
+                  {"newval": value, "site": site, "by": proc})
+        self.vars[target] = value
+
+    # -- scheduler interface ------------------------------------------------------
+
+    def enabled(self) -> List[Action]:
+        """Enabled actions, with two sound reductions applied.
+
+        *Tenure atomicity*: acquiring the lock runs the whole tenure --
+        statements, Hoare hand-off cascades, urgent resumes -- in one
+        deterministic action (no other process can observe or affect
+        monitor state while the lock is held, so intermediate
+        interleavings produce the same partial orders).
+
+        *Local-action priority*: if any process's next script op is a
+        NoteOp (an event at its own private element, independent of every
+        other enabled action), only the first such action is offered --
+        the partial orders generated are unchanged, the state space
+        shrinks exponentially.
+
+        *Eager calls* (``entry_grant="any"`` only): a pending CallOp is
+        taken immediately, without branching against other actions.
+        Issuing a call only adds the process to the entry queue; under
+        nondeterministic granting the candidate set at every future
+        grant becomes a superset, so every grant sequence -- and hence
+        every monitor behaviour -- reachable with a later arrival is
+        still reachable (the grant simply ignores the early arriver).
+        Under FIFO granting arrival order is semantics, so calls branch.
+
+        Precisely: the reduced exploration generates a subset of the
+        unreduced partial orders that covers every monitor behaviour;
+        the computations it omits differ only in where lock Req events
+        fall within the lock's element order (no property in this
+        repository reads that), verified by ``benchmarks/bench_ablation``.
+        Pass ``eager_reductions=False`` to disable both for ablation.
+        """
+        actions: List[Action] = []
+        grant_candidates = self._grant_candidates()
+        for name in self.procs:
+            ps = self.procs[name]
+            if ps.status == SCRIPT:
+                op = ps.caller.script[ps.pc]
+                action = Action(name, self._op_label(op), ("op", name))
+                if self.eager_reductions:
+                    if isinstance(op, NoteOp):
+                        return [action]
+                    if isinstance(op, CallOp) and self.entry_grant == "any":
+                        return [action]
+                actions.append(action)
+            elif ps.status == QUEUED and name in grant_candidates:
+                actions.append(Action(name, "acquire", ("acquire", name)))
+        return actions
+
+    def _grant_candidates(self) -> List[str]:
+        """Queued processes that may acquire the lock right now."""
+        if self.lock_holder is not None or self.urgent_stack:
+            return []
+        if not self.entry_queue:
+            return []
+        if self.entry_grant == "fifo":
+            return [self.entry_queue[0]]
+        return list(self.entry_queue)
+
+    def _urgent_can_resume(self, name: str) -> bool:
+        return (
+            self.lock_holder is None
+            and bool(self.urgent_stack)
+            and self.urgent_stack[-1] == name
+        )
+
+    @staticmethod
+    def _op_label(op) -> str:
+        return op.describe() if hasattr(op, "describe") else type(op).__name__
+
+    def is_final(self) -> bool:
+        return all(ps.status == DONE for ps in self.procs.values())
+
+    def step(self, action: Action) -> None:
+        kind, name = action.key
+        if kind == "op":
+            self._step_script(name)
+        elif kind == "acquire":
+            self._acquire(name)
+            self._run_tenure()
+        else:
+            raise SpecificationError(f"unknown action {action}")
+
+    def _run_tenure(self) -> None:
+        """Run the monitor until the lock is free and no signaller is
+        suspended: statements, hand-offs, and urgent resumes are all
+        deterministic once a process holds the lock."""
+        while True:
+            if self.lock_holder is not None:
+                self._step_statement(self.lock_holder)
+            elif self.urgent_stack:
+                self._resume(self.urgent_stack[-1])
+            else:
+                return
+
+    # -- script ops --------------------------------------------------------------
+
+    def _advance_script(self, ps: _ProcState) -> None:
+        ps.pc += 1
+        if ps.pc >= len(ps.caller.script):
+            ps.status = DONE
+        else:
+            ps.status = SCRIPT
+
+    def _step_script(self, name: str) -> None:
+        ps = self.procs[name]
+        op = ps.caller.script[ps.pc]
+        if isinstance(op, CallOp):
+            entry = self.system.monitor.entry(op.entry)
+            args = dict(op.args)
+            missing = set(entry.params) - set(args)
+            extra = set(args) - set(entry.params)
+            if missing or extra:
+                raise SpecificationError(
+                    f"call to entry {entry.name!r}: missing {sorted(missing)}, "
+                    f"unexpected {sorted(extra)}"
+                )
+            self.emit(name, name, "Call", {"entry": op.entry})
+            self.emit(name, self.lock_element(), "Req",
+                      {"entry": op.entry, "by": name})
+            self.entry_queue.append(name)
+            ps.status = QUEUED
+            ps.frame = _Frame(entry, args, [[list(entry.body), 0]])
+            # pc advances when the entry completes
+        elif isinstance(op, DataReadOp):
+            if op.element not in self.data:
+                raise SpecificationError(f"unknown data element {op.element!r}")
+            value = self.data[op.element]
+            self.emit(name, op.element, "Getval", {"oldval": value, "by": name})
+            ps.locals["last_read"] = value
+            self._advance_script(ps)
+        elif isinstance(op, DataWriteOp):
+            if op.element not in self.data:
+                raise SpecificationError(f"unknown data element {op.element!r}")
+            value = op.value(ps.locals) if callable(op.value) else op.value
+            self.emit(name, op.element, "Assign", {"newval": value, "by": name})
+            self.data[op.element] = value
+            self._advance_script(ps)
+        elif isinstance(op, NoteOp):
+            params = {
+                k: (v(ps.locals) if callable(v) else v) for k, v in op.params
+            }
+            self.emit(name, name, op.event_class, params)
+            self._advance_script(ps)
+        else:
+            raise SpecificationError(f"unknown caller op {op!r}")
+
+    # -- lock transitions -----------------------------------------------------------
+
+    def _acquire(self, name: str) -> None:
+        ps = self.procs[name]
+        self.entry_queue.remove(name)
+        extra = [self._last_lock_release] if self._last_lock_release is not None else []
+        self.emit(name, self.lock_element(), "Acq", {"by": name},
+                  extra_enables=extra)
+        assert ps.frame is not None
+        if ps.resuming:
+            # mesa: re-entering mid-entry after a signalled wait
+            ps.resuming = False
+        else:
+            self.emit(name, self.entry_element(ps.frame.entry.name), "Begin",
+                      {"by": name, **ps.frame.params})
+        self.lock_holder = name
+        ps.status = RUNNING
+
+    def _resume(self, name: str) -> None:
+        ps = self.procs[name]
+        self.urgent_stack.pop()
+        extra = [self._last_lock_release] if self._last_lock_release is not None else []
+        self.emit(name, self.lock_element(), "Acq", {"by": name},
+                  extra_enables=extra)
+        self.lock_holder = name
+        ps.status = RUNNING
+
+    def _release_lock(self, name: str) -> None:
+        rel = self.emit(name, self.lock_element(), "Rel", {"by": name})
+        self._last_lock_release = rel
+        self.lock_holder = None
+
+    # -- statement execution ------------------------------------------------------------
+
+    def _site(self, ps: _ProcState, stmt: Stmt) -> str:
+        label = stmt.label or stmt.describe()
+        return f"{ps.frame.entry.name}:{label}"
+
+    def _next_statement(self, frame: _Frame) -> Optional[Stmt]:
+        while frame.stack:
+            body, idx = frame.stack[-1]
+            if idx >= len(body):
+                frame.stack.pop()
+                continue
+            frame.stack[-1][1] = idx + 1
+            return body[idx]
+        return None
+
+    def _step_statement(self, name: str) -> None:
+        ps = self.procs[name]
+        frame = ps.frame
+        assert frame is not None
+        stmt = self._next_statement(frame)
+        if stmt is None:
+            self._finish_entry(name)
+            return
+        site = self._site(ps, stmt)
+        if isinstance(stmt, Assign):
+            self._do_assign(name, stmt, frame.params, site)
+        elif isinstance(stmt, If):
+            cond = self._eval(name, stmt.condition, frame.params, site)
+            branch = stmt.then_branch if cond else stmt.else_branch
+            if branch:
+                frame.stack.append([list(branch), 0])
+        elif isinstance(stmt, While):
+            cond = self._eval(name, stmt.condition, frame.params, site)
+            if cond:
+                # body then re-test: push the While again, then the body
+                frame.stack.append([[stmt], 0])
+                frame.stack.append([list(stmt.body), 0])
+        elif isinstance(stmt, Wait):
+            if stmt.condition not in self.cond_queues:
+                raise SpecificationError(f"unknown condition {stmt.condition!r}")
+            self.emit(name, self.cond_element(stmt.condition), "Wait",
+                      {"by": name})
+            self.cond_queues[stmt.condition].append(name)
+            self._release_lock(name)
+            ps.status = COND_WAITING
+        elif isinstance(stmt, Signal):
+            queue = self.cond_queues.get(stmt.condition)
+            if queue is None:
+                raise SpecificationError(f"unknown condition {stmt.condition!r}")
+            sig = self.emit(name, self.cond_element(stmt.condition), "Signal",
+                            {"by": name})
+            if queue and self.semantics == "hoare":
+                woken = queue.pop(0)
+                self._release_lock(name)
+                self.urgent_stack.append(name)
+                ps.status = URGENT
+                # direct hand-off: the woken process re-enters immediately
+                wps = self.procs[woken]
+                self.emit(woken, self.cond_element(stmt.condition), "Release",
+                          {"by": woken}, extra_enables=[sig])
+                extra = [self._last_lock_release]
+                self.emit(woken, self.lock_element(), "Acq", {"by": woken},
+                          extra_enables=extra)
+                self.lock_holder = woken
+                wps.status = RUNNING
+            elif queue:  # mesa: waiter rejoins the entry competition
+                woken = queue.pop(0)
+                wps = self.procs[woken]
+                self.emit(woken, self.cond_element(stmt.condition), "Release",
+                          {"by": woken}, extra_enables=[sig])
+                self.entry_queue.append(woken)
+                wps.status = QUEUED
+                wps.resuming = True
+                # the signaller keeps the lock and continues
+            # signal on empty queue: no-op, signaller keeps the lock
+        elif isinstance(stmt, Skip):
+            pass
+        else:
+            raise SpecificationError(f"unknown statement {stmt!r}")
+
+    def _finish_entry(self, name: str) -> None:
+        ps = self.procs[name]
+        assert ps.frame is not None
+        self.emit(name, self.entry_element(ps.frame.entry.name), "End",
+                  {"by": name})
+        self._release_lock(name)
+        self.emit(name, name, "Return", {"entry": ps.frame.entry.name})
+        call_op = ps.caller.script[ps.pc]
+        if isinstance(call_op, CallOp):
+            for mvar, local in call_op.copy_out:
+                if mvar not in self.vars:
+                    raise SpecificationError(
+                        f"copy_out of unknown monitor variable {mvar!r}")
+                ps.locals[local] = self.vars[mvar]
+        ps.frame = None
+        self._advance_script(ps)
+
+
+@dataclass(frozen=True)
+class MonitorProgram:
+    """A :class:`~repro.sim.runtime.Program` for a monitor system."""
+
+    system: MonitorSystem
+    emit_getvals: bool = False
+    entry_grant: str = "any"
+    eager_reductions: bool = True
+    semantics: str = "hoare"
+
+    def initial_state(self) -> MonitorState:
+        return MonitorState(self.system, self.emit_getvals, self.entry_grant,
+                            self.eager_reductions, self.semantics)

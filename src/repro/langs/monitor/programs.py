@@ -1,0 +1,380 @@
+"""The paper's Monitor programs.
+
+* :func:`readers_writers_monitor` -- the ReadersWriters monitor of
+  Section 9, verbatim: ``readernum`` positive while reading, negative
+  while writing; readers' priority comes from EndWrite signalling
+  ``readqueue`` first and from the StartRead signal cascade.
+* :func:`readers_writers_monitor_writers_first` -- a *mutant* used as a
+  negative control: EndWrite signals ``writequeue`` first, so readers'
+  priority fails (the checker must catch this).
+* :func:`one_slot_buffer_monitor` / :func:`bounded_buffer_monitor` --
+  monitor solutions to the One-Slot and Bounded Buffer problems
+  (Section 11 reports verifying monitor solutions to both).
+
+Plus system builders that surround each monitor with caller scripts
+emitting the problem-level events (``u.Read``, ``Deposit`` ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .ast import (
+    Assign,
+    BinOp,
+    CallOp,
+    Caller,
+    DataReadOp,
+    DataWriteOp,
+    Entry,
+    If,
+    Lit,
+    MonitorDecl,
+    MonitorSystem,
+    NoteOp,
+    ParamRef,
+    QueueNonEmpty,
+    Signal,
+    VarRef,
+    Wait,
+)
+
+# -- Readers/Writers ---------------------------------------------------------
+
+#: Statement-site labels used by the verification correspondence (the
+#: paper's Table in Section 9: StartRead ↔ readernum := readernum + 1...)
+SITE_STARTREAD = "StartRead:inc"
+SITE_ENDREAD = "EndRead:dec"
+SITE_STARTWRITE = "StartWrite:set"
+SITE_ENDWRITE = "EndWrite:clear"
+
+
+def readers_writers_monitor(name: str = "rw") -> MonitorDecl:
+    """The ReadersWriters monitor of Section 9, statement for statement."""
+    readernum = VarRef("readernum")
+    return MonitorDecl(
+        name=name,
+        variables=(("readernum", 0),),
+        conditions=("readqueue", "writequeue"),
+        entries=(
+            Entry("StartRead", (), (
+                If(BinOp("<", readernum, Lit(0)), (Wait("readqueue"),)),
+                Assign("readernum", BinOp("+", readernum, Lit(1)),
+                       label="inc"),
+                Signal("readqueue"),
+            )),
+            Entry("EndRead", (), (
+                Assign("readernum", BinOp("-", readernum, Lit(1)),
+                       label="dec"),
+                If(BinOp("==", readernum, Lit(0)), (Signal("writequeue"),)),
+            )),
+            Entry("StartWrite", (), (
+                If(BinOp("!=", readernum, Lit(0)), (Wait("writequeue"),)),
+                Assign("readernum", Lit(-1), label="set"),
+            )),
+            Entry("EndWrite", (), (
+                Assign("readernum", Lit(0), label="clear"),
+                If(QueueNonEmpty("readqueue"),
+                   (Signal("readqueue"),),
+                   (Signal("writequeue"),)),
+            )),
+        ),
+        init=(Assign("readernum", Lit(0)),),
+    )
+
+
+def readers_writers_monitor_writers_first(name: str = "rw") -> MonitorDecl:
+    """MUTANT: EndWrite prefers the write queue.  Readers' priority fails."""
+    correct = readers_writers_monitor(name)
+    entries = []
+    for e in correct.entries:
+        if e.name != "EndWrite":
+            entries.append(e)
+            continue
+        entries.append(Entry("EndWrite", (), (
+            Assign("readernum", Lit(0), label="clear"),
+            If(QueueNonEmpty("writequeue"),
+               (Signal("writequeue"),),
+               (Signal("readqueue"),)),
+        )))
+    return MonitorDecl(name, correct.variables, correct.conditions,
+                       tuple(entries), correct.init)
+
+
+def readers_writers_monitor_writers_priority(name: str = "rw") -> MonitorDecl:
+    """The classic *writers-priority* monitor (Hoare semantics).
+
+    A ``waitingwriters`` counter makes arriving readers defer to any
+    waiting writer; EndWrite prefers the write queue.  Satisfies the
+    ``writers-priority`` variant of the problem and fails
+    ``readers-priority`` -- the other corner of the E5 matrix.
+    """
+    readernum = VarRef("readernum")
+    waiting = VarRef("waitingwriters")
+    return MonitorDecl(
+        name=name,
+        variables=(("readernum", 0), ("waitingwriters", 0)),
+        conditions=("readqueue", "writequeue"),
+        entries=(
+            Entry("StartRead", (), (
+                If(BinOp("or",
+                         BinOp("<", readernum, Lit(0)),
+                         BinOp(">", waiting, Lit(0))),
+                   (Wait("readqueue"),)),
+                Assign("readernum", BinOp("+", readernum, Lit(1)),
+                       label="inc"),
+                # cascade wakes further readers only while no writer waits
+                If(BinOp("==", waiting, Lit(0)), (Signal("readqueue"),)),
+            )),
+            Entry("EndRead", (), (
+                Assign("readernum", BinOp("-", readernum, Lit(1)),
+                       label="dec"),
+                If(BinOp("==", readernum, Lit(0)), (Signal("writequeue"),)),
+            )),
+            Entry("StartWrite", (), (
+                Assign("waitingwriters", BinOp("+", waiting, Lit(1))),
+                If(BinOp("!=", readernum, Lit(0)), (Wait("writequeue"),)),
+                Assign("waitingwriters", BinOp("-", waiting, Lit(1))),
+                Assign("readernum", Lit(-1), label="set"),
+            )),
+            Entry("EndWrite", (), (
+                Assign("readernum", Lit(0), label="clear"),
+                If(QueueNonEmpty("writequeue"),
+                   (Signal("writequeue"),),
+                   (Signal("readqueue"),)),
+            )),
+        ),
+        init=(Assign("readernum", Lit(0)),),
+    )
+
+
+def readers_writers_monitor_mesa(name: str = "rw") -> MonitorDecl:
+    """The WHILE-based ReadersWriters monitor, correct under *Mesa*
+    (signal-and-continue) semantics.
+
+    Under Mesa a signalled waiter rejoins the entry competition and must
+    re-test its condition; the paper's IF-based monitor then violates
+    mutual exclusion (demonstrated in tests/benchmarks).  This variant
+    re-tests with WHILE, restoring mutual exclusion -- but not readers'
+    priority, which Mesa's barging inherently breaks.
+    """
+    from .ast import While
+
+    readernum = VarRef("readernum")
+    return MonitorDecl(
+        name=name,
+        variables=(("readernum", 0),),
+        conditions=("readqueue", "writequeue"),
+        entries=(
+            Entry("StartRead", (), (
+                While(BinOp("<", readernum, Lit(0)), (Wait("readqueue"),)),
+                Assign("readernum", BinOp("+", readernum, Lit(1)),
+                       label="inc"),
+                Signal("readqueue"),
+            )),
+            Entry("EndRead", (), (
+                Assign("readernum", BinOp("-", readernum, Lit(1)),
+                       label="dec"),
+                If(BinOp("==", readernum, Lit(0)), (Signal("writequeue"),)),
+            )),
+            Entry("StartWrite", (), (
+                While(BinOp("!=", readernum, Lit(0)), (Wait("writequeue"),)),
+                Assign("readernum", Lit(-1), label="set"),
+            )),
+            Entry("EndWrite", (), (
+                Assign("readernum", Lit(0), label="clear"),
+                If(QueueNonEmpty("readqueue"),
+                   (Signal("readqueue"),),
+                   (Signal("writequeue"),)),
+            )),
+        ),
+        init=(Assign("readernum", Lit(0)),),
+    )
+
+
+def reader_script(loc: int) -> Tuple:
+    """u.Read ... u.FinishRead around StartRead/EndRead calls."""
+    return (
+        NoteOp.make("Read", loc=loc),
+        CallOp.make("StartRead"),
+        DataReadOp(f"db.data[{loc}]"),
+        CallOp.make("EndRead"),
+        NoteOp.make("FinishRead", info=lambda locals: locals.get("last_read")),
+    )
+
+
+def writer_script(loc: int, info: Any) -> Tuple:
+    return (
+        NoteOp.make("Write", loc=loc, info=info),
+        CallOp.make("StartWrite"),
+        DataWriteOp(f"db.data[{loc}]", info),
+        CallOp.make("EndWrite"),
+        NoteOp.make("FinishWrite"),
+    )
+
+
+def readers_writers_system(
+    n_readers: int = 2,
+    n_writers: int = 1,
+    n_locs: int = 1,
+    monitor: Optional[MonitorDecl] = None,
+    transactions_per_caller: int = 1,
+) -> MonitorSystem:
+    """A complete Readers/Writers monitor system.
+
+    Readers read location ``1 + (i mod n_locs)``; writer ``j`` writes
+    value ``100 + j`` to its location, so data correctness is checkable.
+    """
+    callers: List[Caller] = []
+    for i in range(n_readers):
+        loc = 1 + (i % n_locs)
+        script = reader_script(loc) * transactions_per_caller
+        callers.append(Caller(f"reader{i + 1}", script))
+    for j in range(n_writers):
+        loc = 1 + (j % n_locs)
+        script = writer_script(loc, 100 + j) * transactions_per_caller
+        callers.append(Caller(f"writer{j + 1}", script))
+    return MonitorSystem(
+        monitor=monitor or readers_writers_monitor(),
+        callers=tuple(callers),
+        data_elements=tuple(
+            (f"db.data[{loc}]", 0) for loc in range(1, n_locs + 1)
+        ),
+    )
+
+
+# -- One-Slot Buffer -----------------------------------------------------------
+
+def one_slot_buffer_monitor(name: str = "osb") -> MonitorDecl:
+    """Monitor solution to the One-Slot Buffer problem.
+
+    One slot; Deposit blocks while full, Remove blocks while empty.
+    ``taken`` carries the removed value out (via CallOp.copy_out).
+    """
+    return MonitorDecl(
+        name=name,
+        variables=(("full", 0), ("slot", None), ("taken", None)),
+        conditions=("nonfull", "nonempty"),
+        entries=(
+            Entry("Deposit", ("item",), (
+                If(BinOp("==", VarRef("full"), Lit(1)), (Wait("nonfull"),)),
+                Assign("slot", ParamRef("item"), label="store"),
+                Assign("full", Lit(1), label="fill"),
+                Signal("nonempty"),
+            )),
+            Entry("Remove", (), (
+                If(BinOp("==", VarRef("full"), Lit(0)), (Wait("nonempty"),)),
+                Assign("taken", VarRef("slot"), label="take"),
+                Assign("full", Lit(0), label="drain"),
+                Signal("nonfull"),
+            )),
+        ),
+        init=(Assign("full", Lit(0)),),
+    )
+
+
+def one_slot_buffer_monitor_unguarded(name: str = "osb") -> MonitorDecl:
+    """MUTANT: Remove does not wait for a deposit -- may take an empty slot."""
+    correct = one_slot_buffer_monitor(name)
+    entries = []
+    for e in correct.entries:
+        if e.name != "Remove":
+            entries.append(e)
+            continue
+        entries.append(Entry("Remove", (), (
+            Assign("taken", VarRef("slot"), label="take"),
+            Assign("full", Lit(0), label="drain"),
+            Signal("nonfull"),
+        )))
+    return MonitorDecl(name, correct.variables, correct.conditions,
+                       tuple(entries), correct.init)
+
+
+def producer_script(items: Sequence[Any]) -> Tuple:
+    ops: List = []
+    for item in items:
+        ops.append(NoteOp.make("Deposit", item=item))
+        ops.append(CallOp.make("Deposit", item=item))
+        ops.append(NoteOp.make("DepositDone", item=item))
+    return tuple(ops)
+
+
+def consumer_script(n_items: int) -> Tuple:
+    ops: List = []
+    for _ in range(n_items):
+        ops.append(NoteOp.make("Remove"))
+        ops.append(CallOp.make("Remove", copy_out=[("taken", "taken")]))
+        ops.append(NoteOp.make("RemoveDone",
+                               item=lambda locals: locals.get("taken")))
+    return tuple(ops)
+
+
+def one_slot_buffer_system(
+    items: Sequence[Any] = (1, 2, 3),
+    monitor: Optional[MonitorDecl] = None,
+) -> MonitorSystem:
+    """One producer depositing ``items``, one consumer removing as many."""
+    return MonitorSystem(
+        monitor=monitor or one_slot_buffer_monitor(),
+        callers=(
+            Caller("producer", producer_script(items)),
+            Caller("consumer", consumer_script(len(items))),
+        ),
+    )
+
+
+# -- Bounded Buffer ---------------------------------------------------------------
+
+def bounded_buffer_monitor(capacity: int, name: str = "bb") -> MonitorDecl:
+    """Monitor solution to the Bounded Buffer problem (circular buffer)."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    variables: List[Tuple[str, Any]] = [
+        ("count", 0), ("inp", 0), ("outp", 0), ("taken", None),
+    ]
+    variables += [(f"buf[{i}]", None) for i in range(capacity)]
+    n = Lit(capacity)
+    return MonitorDecl(
+        name=name,
+        variables=tuple(variables),
+        conditions=("nonfull", "nonempty"),
+        entries=(
+            Entry("Deposit", ("item",), (
+                If(BinOp("==", VarRef("count"), n), (Wait("nonfull"),)),
+                Assign("buf", ParamRef("item"), label="store",
+                       index=VarRef("inp")),
+                Assign("inp", BinOp("%", BinOp("+", VarRef("inp"), Lit(1)), n)),
+                Assign("count", BinOp("+", VarRef("count"), Lit(1)),
+                       label="fill"),
+                Signal("nonempty"),
+            )),
+            Entry("Remove", (), (
+                If(BinOp("==", VarRef("count"), Lit(0)), (Wait("nonempty"),)),
+                Assign("taken", VarRef("buf", VarRef("outp")), label="take"),
+                Assign("outp", BinOp("%", BinOp("+", VarRef("outp"), Lit(1)), n)),
+                Assign("count", BinOp("-", VarRef("count"), Lit(1)),
+                       label="drain"),
+                Signal("nonfull"),
+            )),
+        ),
+        init=(Assign("count", Lit(0)),),
+    )
+
+
+def bounded_buffer_system(
+    capacity: int = 2,
+    items: Sequence[Any] = (1, 2, 3),
+    n_consumers: int = 1,
+    monitor: Optional[MonitorDecl] = None,
+) -> MonitorSystem:
+    """Producer(s) deposit ``items``; consumers share the removals."""
+    per = len(items) // n_consumers
+    extra = len(items) % n_consumers
+    consumers = []
+    for i in range(n_consumers):
+        take = per + (1 if i < extra else 0)
+        consumers.append(Caller(f"consumer{i + 1}", consumer_script(take)))
+    return MonitorSystem(
+        monitor=monitor or bounded_buffer_monitor(capacity),
+        callers=(Caller("producer", producer_script(items)), *consumers),
+    )

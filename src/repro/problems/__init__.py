@@ -1,0 +1,19 @@
+"""GEM problem specifications: the concurrency problems the paper
+describes (One Slot Buffer, Bounded Buffer, five Readers/Writers
+versions) and its two distributed applications (database update,
+asynchronous Game of Life)."""
+
+from . import (
+    bounded_buffer,
+    buffer_base,
+    db_update,
+    game_of_life,
+    one_slot_buffer,
+    readers_writers,
+    variable,
+)
+
+__all__ = [
+    "variable", "readers_writers", "one_slot_buffer", "bounded_buffer",
+    "buffer_base", "db_update", "game_of_life",
+]

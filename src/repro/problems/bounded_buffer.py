@@ -1,0 +1,122 @@
+"""The Bounded Buffer problem (Sections 1, 11).
+
+Capacity-N FIFO buffer: producers block when it is full, consumers when
+it is empty, values are delivered in deposit order.  The specification
+is the shared buffer machinery with capacity N.
+
+:func:`monitor_correspondence` maps the monitor solution
+(:func:`repro.langs.monitor.programs.bounded_buffer_monitor`):
+
+=================  =====================================================
+PROBLEM            PROGRAM (monitor ``bb``)
+=================  =====================================================
+StartDeposit       ``bb.var.buf[i]`` Assign at site ``Deposit:store``
+EndDeposit         ``bb.var.count`` Assign at site ``Deposit:fill``
+StartRemove        ``bb.var.taken`` Assign at site ``Remove:take``
+EndRemove          ``bb.var.count`` Assign at site ``Remove:drain``
+Deposit et al.     the caller-script note events, unchanged
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import Specification
+from .buffer_base import CONTROL, buffer_problem_spec
+
+
+def bounded_buffer_spec(
+    capacity: int,
+    producers: Sequence[str] = ("producer",),
+    consumers: Sequence[str] = ("consumer1",),
+    with_progress: bool = True,
+    with_exclusion: bool = False,
+    temporal_safety: bool = True,
+) -> Specification:
+    """The Bounded Buffer problem specification for the given capacity."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    return buffer_problem_spec(
+        f"bounded-buffer-{capacity}", capacity, producers, consumers,
+        with_progress, with_exclusion, temporal_safety,
+    )
+
+
+def monitor_correspondence(monitor_name: str = "bb"):
+    """Significant-object mapping for the monitor solution."""
+    from ..verify import (
+        Correspondence,
+        SignificantEvents,
+        by_param,
+        process_from_param_or_element,
+    )
+
+    m = monitor_name
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    def item_from_newval(ev):
+        return {"item": ev.param("newval")}
+
+    def item_unknown(ev):
+        # the monitor does not know the transported value at this event;
+        # the problem's FIFO restriction resolves it from the Start event
+        return {"item": None}
+
+    rules = [
+        SignificantEvents("Deposit", "*", "Deposit", same_element, "Deposit",
+                          params=keep("item")),
+        SignificantEvents("DepositDone", "*", "DepositDone", same_element,
+                          "DepositDone", params=keep("item")),
+        SignificantEvents("Remove", "*", "Remove", same_element, "Remove"),
+        SignificantEvents("RemoveDone", "*", "RemoveDone", same_element,
+                          "RemoveDone", params=keep("item")),
+        SignificantEvents("StartDeposit", f"{m}.var.buf[*", "Assign",
+                          CONTROL, "StartDeposit",
+                          where=by_param("site", "Deposit:store"),
+                          params=item_from_newval),
+        SignificantEvents("EndDeposit", f"{m}.var.count", "Assign",
+                          CONTROL, "EndDeposit",
+                          where=by_param("site", "Deposit:fill"),
+                          params=item_unknown),
+        SignificantEvents("StartRemove", f"{m}.var.taken", "Assign",
+                          CONTROL, "StartRemove",
+                          where=by_param("site", "Remove:take"),
+                          params=item_from_newval),
+        SignificantEvents("EndRemove", f"{m}.var.count", "Assign",
+                          CONTROL, "EndRemove",
+                          where=by_param("site", "Remove:drain"),
+                          params=item_unknown),
+    ]
+    return Correspondence(
+        tuple(rules), process_of=process_from_param_or_element("by")
+    )
+
+
+def csp_correspondence(producers=("producer",), consumers=("consumer1",)):
+    """Significant-object mapping for the CSP bounded-buffer solution.
+
+    Identical in shape to the one-slot CSP mapping (client-side I/O
+    events); see :func:`repro.problems.one_slot_buffer.csp_correspondence`.
+    """
+    from .one_slot_buffer import csp_correspondence as osb_csp
+
+    return osb_csp(producers, consumers)
+
+
+def ada_correspondence(buffer: str = "buffer"):
+    """Significant-object mapping for the ADA buffer-task solution.
+
+    Identical in shape to the one-slot ADA mapping (entry-side events);
+    see :func:`repro.problems.one_slot_buffer.ada_correspondence`.
+    """
+    from .one_slot_buffer import ada_correspondence as osb_ada
+
+    return osb_ada(buffer)

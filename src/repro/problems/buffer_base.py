@@ -1,0 +1,296 @@
+"""Shared machinery for the One-Slot and Bounded Buffer problems.
+
+Both problems (Section 11 verifies Monitor, CSP, and ADA solutions to
+each) share their event vocabulary and most restrictions; they differ
+only in the capacity bound.  The common shape:
+
+* producer elements emit ``Deposit(item)`` / ``DepositDone(item)``;
+* consumer elements emit ``Remove`` / ``RemoveDone(item)``;
+* the buffer's control element ``buf.control`` records
+  ``StartDeposit(item)``, ``EndDeposit``, ``StartRemove(item)``,
+  ``EndRemove``;
+* restrictions: the two control chains, FIFO value delivery, the
+  capacity bound (1 for the one-slot buffer, N for the bounded buffer),
+  mutual exclusion of buffer operations, and progress.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from ..core import (
+    And,
+    ClassAnywhere,
+    ClassAt,
+    ElementDecl,
+    EventClass,
+    EventClassRef,
+    Eventually,
+    Exists,
+    ForAll,
+    GroupDecl,
+    Henceforth,
+    Implies,
+    Occurred,
+    ParamSpec,
+    Path,
+    PyPred,
+    Restriction,
+    SameThread,
+    Specification,
+    ThreadType,
+    chain,
+    mutual_exclusion_of,
+)
+
+CONTROL = "buf.control"
+START_DEPOSIT = ClassAt(EventClassRef(CONTROL, "StartDeposit"))
+END_DEPOSIT = ClassAt(EventClassRef(CONTROL, "EndDeposit"))
+START_REMOVE = ClassAt(EventClassRef(CONTROL, "StartRemove"))
+END_REMOVE = ClassAt(EventClassRef(CONTROL, "EndRemove"))
+
+#: Transaction thread types.
+PI_DEPOSIT = ThreadType("pi_dep", [
+    Path.parse("*.Deposit :: buf.control.StartDeposit :: "
+               "buf.control.EndDeposit :: *.DepositDone"),
+])
+PI_REMOVE = ThreadType("pi_rem", [
+    Path.parse("*.Remove :: buf.control.StartRemove :: "
+               "buf.control.EndRemove :: *.RemoveDone"),
+])
+
+
+def producer_element(name: str) -> ElementDecl:
+    return ElementDecl.make(name, [
+        EventClass("Deposit", (ParamSpec("item", "VALUE"),)),
+        EventClass("DepositDone", (ParamSpec("item", "VALUE"),)),
+    ])
+
+
+def consumer_element(name: str) -> ElementDecl:
+    return ElementDecl.make(name, [
+        EventClass("Remove"),
+        EventClass("RemoveDone", (ParamSpec("item", "VALUE"),)),
+    ])
+
+
+def buffer_control_element() -> ElementDecl:
+    """The buffer's control element.
+
+    All four classes carry an ``item`` parameter; a language solution's
+    correspondence supplies the value on whichever control event first
+    knows it (the monitor knows it at StartRemove -- the in-lock take;
+    a CSP client learns it only at EndRemove -- the communication end)
+    and passes None on the other.  The FIFO restriction resolves the
+    per-transaction value from either.
+    """
+    item = (ParamSpec("item", "VALUE"),)
+    return ElementDecl.make(CONTROL, [
+        EventClass("StartDeposit", item),
+        EventClass("EndDeposit", item),
+        EventClass("StartRemove", item),
+        EventClass("EndRemove", item),
+    ])
+
+
+def chain_restrictions() -> List[Restriction]:
+    return [
+        Restriction(
+            "deposit-chain",
+            chain(ClassAnywhere("Deposit"), START_DEPOSIT, END_DEPOSIT,
+                  ClassAnywhere("DepositDone")),
+            comment="Deposit → StartDeposit → EndDeposit → DepositDone",
+        ),
+        Restriction(
+            "remove-chain",
+            chain(ClassAnywhere("Remove"), START_REMOVE, END_REMOVE,
+                  ClassAnywhere("RemoveDone")),
+            comment="Remove → StartRemove → EndRemove → RemoveDone",
+        ),
+    ]
+
+
+def capacity_restriction(capacity: int, temporal: bool = True) -> Restriction:
+    """Completed deposits never outrun removals by more than ``capacity``,
+    and a removal never completes before its deposit.
+
+    Walked along the control element's order: EndDeposit increments the
+    occupancy, EndRemove decrements it; occupancy must stay within
+    [0, capacity].
+
+    ``temporal`` checks the invariant at every history (□).  That is the
+    right strength when the projected End events are totally ordered (a
+    monitor's in-lock assignments).  Rendezvous solutions (CSP, ADA)
+    leave the two End events of one communication potentially
+    concurrent, so a history can contain a later End while skipping an
+    earlier one at the same control element -- the walk would see a
+    spurious overshoot.  For those, pass ``temporal=False`` to check the
+    complete computation's linearisation (still falsifies every real
+    capacity bug: the full walk covers the entire execution).
+    """
+
+    def check(history, env) -> bool:
+        count = 0
+        for ev in history.computation.events_at(CONTROL):
+            if not history.occurred(ev.eid):
+                continue
+            if ev.event_class == "EndDeposit":
+                count += 1
+            elif ev.event_class == "EndRemove":
+                count -= 1
+            if not 0 <= count <= capacity:
+                return False
+        return True
+
+    body = PyPred(f"occupancy-in-0..{capacity}", check)
+    return Restriction(
+        f"capacity-{capacity}",
+        Henceforth(body) if temporal else body,
+        comment="buffer occupancy stays within its capacity",
+    )
+
+
+def _transaction_items(history, start_class: str, end_class: str):
+    """Per-transaction item values along the control element order.
+
+    The k-th Start pairs with the k-th End (operations of one kind never
+    overlap in a correct buffer, and the value check is only meaningful
+    under that discipline).  A transaction's item is the Start's item if
+    known (not None), else the End's.  A transaction whose value is not
+    yet known at this history ends the comparable prefix.
+    """
+    starts = []
+    ends = []
+    for ev in history.computation.events_at(CONTROL):
+        if not history.occurred(ev.eid):
+            continue
+        if ev.event_class == start_class:
+            starts.append(ev.param("item"))
+        elif ev.event_class == end_class:
+            ends.append(ev.param("item"))
+    items = []
+    for k, start_item in enumerate(starts):
+        if start_item is not None:
+            items.append(start_item)
+        elif k < len(ends) and ends[k] is not None:
+            items.append(ends[k])
+        else:
+            break  # value not yet observable in this prefix
+    return items
+
+
+def fifo_value_restriction(temporal: bool = True) -> Restriction:
+    """The j-th value removed is the j-th value deposited.
+
+    Judged against the control element order (the buffer serialises its
+    operations).  See :func:`capacity_restriction` for the
+    temporal-vs-immediate distinction.
+    """
+
+    def check(history, env) -> bool:
+        deposited = _transaction_items(history, "StartDeposit", "EndDeposit")
+        removed = _transaction_items(history, "StartRemove", "EndRemove")
+        shared = min(len(deposited), len(removed))
+        return removed[:shared] == deposited[:shared]
+
+    body = PyPred("removed-prefix-of-deposited", check)
+    return Restriction(
+        "fifo-values",
+        Henceforth(body) if temporal else body,
+        comment="values come out in the order they went in",
+    )
+
+
+def exclusion_restrictions() -> List[Restriction]:
+    """Buffer operations exclude one another as intervals.
+
+    This is a *monitor-shaped* strengthening: a monitor solution's
+    Start/End events bracket in-lock critical sections, which never
+    overlap.  Message-passing solutions (CSP, ADA) realise the buffer as
+    a server process whose state accesses are serialised by construction,
+    but their client-side Start/End events are genuinely concurrent
+    across clients -- the interval formulation does not transplant.  It
+    is therefore optional (``with_exclusion``) and enabled for monitor
+    verifications only; the language-neutral buffer semantics are the
+    capacity, FIFO, and alternation restrictions.
+    """
+    return [
+        Restriction(
+            "deposits-exclude-removes",
+            Henceforth(mutual_exclusion_of(
+                START_DEPOSIT, END_DEPOSIT, START_REMOVE, END_REMOVE)),
+        ),
+        Restriction(
+            "deposits-exclude-deposits",
+            Henceforth(mutual_exclusion_of(
+                START_DEPOSIT, END_DEPOSIT, START_DEPOSIT, END_DEPOSIT)),
+        ),
+        Restriction(
+            "removes-exclude-removes",
+            Henceforth(mutual_exclusion_of(
+                START_REMOVE, END_REMOVE, START_REMOVE, END_REMOVE)),
+        ),
+    ]
+
+
+def progress_restrictions() -> List[Restriction]:
+    def completes(start_dom, end_dom, name):
+        return Restriction(
+            name,
+            ForAll("a", start_dom, Eventually(
+                Exists("b", end_dom,
+                       And((SameThread("b", "a"), Occurred("b")))))),
+            comment="weak progress (footnote 9)",
+        )
+
+    return [
+        completes(ClassAnywhere("Deposit"), ClassAnywhere("DepositDone"),
+                  "every-deposit-completes"),
+        completes(ClassAnywhere("Remove"), ClassAnywhere("RemoveDone"),
+                  "every-remove-completes"),
+    ]
+
+
+def buffer_problem_spec(
+    name: str,
+    capacity: int,
+    producers: Sequence[str],
+    consumers: Sequence[str],
+    with_progress: bool = True,
+    with_exclusion: bool = False,
+    temporal_safety: bool = True,
+) -> Specification:
+    """Assemble a buffer problem specification.
+
+    ``temporal_safety`` selects □-at-every-history checking for the
+    capacity and FIFO restrictions (right for monitor solutions) versus
+    complete-computation checking (right for rendezvous solutions whose
+    End events are pairwise concurrent); see
+    :func:`capacity_restriction`.
+    """
+    elements: List[ElementDecl] = [producer_element(p) for p in producers]
+    elements += [consumer_element(c) for c in consumers]
+    elements.append(buffer_control_element())
+    groups = [
+        GroupDecl.make(
+            "buf", [CONTROL],
+            ports=[EventClassRef(CONTROL, "StartDeposit"),
+                   EventClassRef(CONTROL, "StartRemove")],
+        ),
+    ]
+    restrictions = (
+        chain_restrictions()
+        + [capacity_restriction(capacity, temporal_safety),
+           fifo_value_restriction(temporal_safety)]
+    )
+    if with_exclusion:
+        restrictions += exclusion_restrictions()
+    if with_progress:
+        restrictions += progress_restrictions()
+    return Specification(
+        name,
+        elements=elements,
+        groups=groups,
+        restrictions=restrictions,
+        thread_types=[PI_DEPOSIT, PI_REMOVE],
+    )

@@ -1,0 +1,375 @@
+"""The distributed database update application (Sections 1, 11).
+
+The paper reports using GEM to describe "an algorithm for performing
+updates to a distributed database" and proving "lack of deadlock and
+functional correctness" of it.  The concrete algorithm here is
+timestamped replicated last-writer-wins update propagation -- the
+classic primary-copy-free replication scheme of the era (Thomas write
+rule):
+
+* N sites each hold a replica (value, timestamp);
+* clients submit updates to a home site; the site stamps the update
+  with its Lamport clock (tie-broken by site index), applies it locally,
+  and broadcasts it to every other site;
+* a site receiving a remote update applies it iff its timestamp beats
+  the replica's current timestamp (otherwise the update is *discarded*,
+  with an explicit Discard event -- silence is not an observation);
+* message delivery order is arbitrary -- that is the concurrency being
+  verified against.
+
+GEM modelling notes: each site is one *element* -- its events are
+sequenced by the element order, not by enable edges, which are reserved
+for genuine causality (Submit enables the local Apply; the local Apply
+enables each remote Apply/Discard).  This is precisely the paper's
+Section 5 distinction between the enable relation and the element order.
+
+Restrictions (:func:`db_update_spec`):
+
+* ``every-apply-caused`` -- each Apply/Discard is enabled by exactly one
+  Submit or originating Apply;
+* ``timestamps-monotonic-site[i]`` -- applied timestamps strictly
+  increase along each site's element order (safety, at every history);
+* ``convergence`` -- at the complete computation, all replicas hold the
+  value of the globally-winning update (functional correctness);
+* ``full-propagation`` -- every local Apply is eventually followed by a
+  corresponding Apply-or-Discard at every other site (progress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import (
+    AllEvents,
+    ClassAnywhere,
+    ElementDecl,
+    EventClass,
+    Eventually,
+    Exists,
+    ForAll,
+    GroupDecl,
+    Henceforth,
+    Implies,
+    Occurred,
+    ParamSpec,
+    PyPred,
+    Restriction,
+    Specification,
+)
+from ..sim.runtime import Action, SimpleState
+
+
+def site_element(i: int) -> str:
+    return f"site[{i}]"
+
+
+def client_element(name: str) -> str:
+    return name
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One client-submitted update: target value for the replicated datum."""
+
+    client: str
+    value: Any
+    home_site: int
+
+
+class DbUpdateState(SimpleState):
+    """One evolving execution of the replicated-update algorithm."""
+
+    def __init__(self, n_sites: int, requests: Sequence[UpdateRequest],
+                 broken_timestamps: bool = False, lossy: bool = False):
+        super().__init__()
+        if n_sites < 1:
+            raise ValueError("need at least one site")
+        self.n_sites = n_sites
+        self.requests = list(requests)
+        self.broken_timestamps = broken_timestamps
+        #: MUTANT: drop every message addressed to the last site --
+        #: breaks full propagation (and convergence there)
+        self.lossy = lossy
+        self.values: List[Any] = [None] * n_sites
+        #: per-replica (lamport, site) timestamp; None before any apply
+        self.stamps: List[Optional[Tuple[int, int]]] = [None] * n_sites
+        self.clocks: List[int] = [0] * n_sites
+        self.next_request = 0
+        #: in-flight messages: (target_site, value, stamp, origin Apply event)
+        self.in_flight: List[Tuple[int, Any, Tuple[int, int], object]] = []
+
+    # -- scheduler interface ----------------------------------------------------
+
+    def enabled(self) -> List[Action]:
+        actions: List[Action] = []
+        if self.next_request < len(self.requests):
+            req = self.requests[self.next_request]
+            actions.append(Action(req.client, f"submit {req.value!r}",
+                                  ("submit",)))
+        for k, (target, value, stamp, _origin) in enumerate(self.in_flight):
+            actions.append(Action(site_element(target),
+                                  f"deliver ts={stamp} v={value!r}",
+                                  ("deliver", k)))
+        return actions
+
+    def is_final(self) -> bool:
+        return self.next_request >= len(self.requests) and not self.in_flight
+
+    def step(self, action: Action) -> None:
+        if action.key[0] == "submit":
+            self._submit()
+        else:
+            self._deliver(action.key[1])
+
+    # -- algorithm ------------------------------------------------------------------
+
+    def _submit(self) -> None:
+        req = self.requests[self.next_request]
+        self.next_request += 1
+        home = req.home_site
+        submit = self.emit(req.client, client_element(req.client), "Submit",
+                           {"value": req.value, "site": home})
+        self.clocks[home] += 1
+        stamp = (self.clocks[home], home)
+        apply_ev = self.emit(
+            None, site_element(home), "Apply",
+            {"value": req.value, "ts": list(stamp), "origin": home},
+            extra_enables=[submit],
+        )
+        self.values[home] = req.value
+        self.stamps[home] = stamp
+        for other in range(self.n_sites):
+            if other == home:
+                continue
+            if self.lossy and other == self.n_sites - 1:
+                continue  # mutant: the message is silently dropped
+            self.in_flight.append((other, req.value, stamp, apply_ev))
+
+    def _deliver(self, k: int) -> None:
+        target, value, stamp, origin_ev = self.in_flight.pop(k)
+        # Lamport clock advance on receipt
+        self.clocks[target] = max(self.clocks[target], stamp[0])
+        current = self.stamps[target]
+        wins = current is None or stamp > current
+        if self.broken_timestamps:
+            wins = True  # MUTANT: blindly apply in delivery order
+        if wins:
+            self.emit(None, site_element(target), "Apply",
+                      {"value": value, "ts": list(stamp),
+                       "origin": stamp[1]},
+                      extra_enables=[origin_ev])
+            self.values[target] = value
+            self.stamps[target] = stamp
+        else:
+            self.emit(None, site_element(target), "Discard",
+                      {"value": value, "ts": list(stamp),
+                       "origin": stamp[1]},
+                      extra_enables=[origin_ev])
+
+
+@dataclass(frozen=True)
+class DbUpdateProgram:
+    """A :class:`~repro.sim.runtime.Program` for the update algorithm.
+
+    Two negative-control mutants: ``broken_timestamps`` applies every
+    delivery unconditionally (replicas diverge whenever messages race);
+    ``lossy`` silently drops messages to the last site (full propagation
+    and convergence there fail -- a *progress* violation the safety
+    restrictions alone would miss).
+    """
+
+    n_sites: int
+    requests: Tuple[UpdateRequest, ...]
+    broken_timestamps: bool = False
+    lossy: bool = False
+
+    def initial_state(self) -> DbUpdateState:
+        return DbUpdateState(self.n_sites, self.requests,
+                             self.broken_timestamps, self.lossy)
+
+
+def standard_requests(n_clients: int = 2, updates_per_client: int = 1,
+                      n_sites: int = 2) -> Tuple[UpdateRequest, ...]:
+    """A default workload: client k updates through home site k mod N."""
+    out: List[UpdateRequest] = []
+    for c in range(n_clients):
+        for u in range(updates_per_client):
+            out.append(UpdateRequest(
+                client=f"client{c + 1}",
+                value=100 * (c + 1) + u,
+                home_site=c % n_sites,
+            ))
+    return tuple(out)
+
+
+def winning_value(requests: Sequence[UpdateRequest], n_sites: int) -> Any:
+    """The value every replica must converge to.
+
+    Clients submit sequentially (one scheduler action each), so the k-th
+    submission through site s gets site s's k-th-at-that-point clock
+    value; the winner is the max (lamport, site) stamp.  We recompute it
+    by replaying the stamping deterministically.
+    """
+    clocks = [0] * n_sites
+    best_stamp: Optional[Tuple[int, int]] = None
+    best_value: Any = None
+    for req in requests:
+        clocks[req.home_site] += 1
+        stamp = (clocks[req.home_site], req.home_site)
+        if best_stamp is None or stamp > best_stamp:
+            best_stamp = stamp
+            best_value = req.value
+    return best_value
+
+
+# -- the GEM specification ---------------------------------------------------------
+
+
+def _stamp(ev) -> Tuple[int, int]:
+    return tuple(ev.param("ts"))
+
+
+def timestamps_monotonic_restriction(site: str) -> Restriction:
+    def check(history, env) -> bool:
+        last: Optional[Tuple[int, int]] = None
+        for ev in history.computation.events_at(site):
+            if not history.occurred(ev.eid) or ev.event_class != "Apply":
+                continue
+            stamp = _stamp(ev)
+            if last is not None and stamp <= last:
+                return False
+            last = stamp
+        return True
+
+    return Restriction(
+        f"timestamps-monotonic-{site}",
+        Henceforth(PyPred(f"ts increase @ {site}", check)),
+        comment="applied timestamps strictly increase (Thomas write rule)",
+    )
+
+
+def convergence_restriction(n_sites: int, expected_value: Any) -> Restriction:
+    """All replicas end up holding the globally winning value."""
+
+    def check(history, env) -> bool:
+        comp = history.computation
+        for i in range(n_sites):
+            applies = [e for e in comp.events_at(site_element(i))
+                       if e.event_class == "Apply"]
+            if not applies:
+                return False
+            final = max(applies, key=_stamp)
+            # the replica's final value is the last applied in element
+            # order; monotonicity makes that also the max-stamp one
+            last_applied = applies[-1]
+            if last_applied.param("value") != expected_value:
+                return False
+            if final.param("value") != expected_value:
+                return False
+        return True
+
+    return Restriction(
+        "convergence",
+        PyPred("all replicas hold the winning value", check),
+        comment="functional correctness: last-writer-wins convergence",
+    )
+
+
+def every_apply_caused_restriction() -> Restriction:
+    """Each Apply/Discard has exactly one enabling Submit or Apply."""
+
+    def check(history, env) -> bool:
+        comp = history.computation
+        for ev in comp.events:
+            if ev.event_class not in ("Apply", "Discard"):
+                continue
+            enablers = comp.enabled_by(ev.eid)
+            if len(enablers) != 1:
+                return False
+            if enablers[0].event_class not in ("Submit", "Apply"):
+                return False
+        return True
+
+    return Restriction(
+        "every-apply-caused",
+        PyPred("Apply/Discard enabled by exactly one Submit/Apply", check),
+        comment="nondeterministic prerequisite {Submit, Apply} → Apply (§8.2)",
+    )
+
+
+def full_propagation_restriction(n_sites: int) -> Restriction:
+    """Every originating Apply eventually reaches every other site."""
+
+    def reached_everywhere(history, env) -> bool:
+        comp = history.computation
+        origin = env["a"]
+        if origin.param("origin") != int(origin.element[5:-1]):
+            return True  # a remote apply, not an originating one
+        stamp = origin.param("ts")
+        for i in range(n_sites):
+            el = site_element(i)
+            if el == origin.element:
+                continue
+            landed = any(
+                history.occurred(e.eid)
+                and e.event_class in ("Apply", "Discard")
+                and e.param("ts") == stamp
+                for e in comp.events_at(el)
+            )
+            if not landed:
+                return False
+        return True
+
+    return Restriction(
+        "full-propagation",
+        ForAll("a", ClassAnywhere("Apply"),
+               Eventually(PyPred("update landed at every site",
+                                 reached_everywhere))),
+        comment="progress: no update is lost in flight",
+    )
+
+
+def db_update_spec(
+    n_sites: int,
+    requests: Sequence[UpdateRequest],
+) -> Specification:
+    """The GEM specification of the distributed update problem."""
+    clients = sorted({r.client for r in requests})
+    elements: List[ElementDecl] = [
+        ElementDecl.make(client_element(c), [
+            EventClass("Submit", (ParamSpec("value", "VALUE"),
+                                  ParamSpec("site", "INTEGER"))),
+        ])
+        for c in clients
+    ]
+    site_names = [site_element(i) for i in range(n_sites)]
+    for s in site_names:
+        elements.append(ElementDecl.make(s, [
+            EventClass("Apply", (ParamSpec("value", "VALUE"),
+                                 ParamSpec("ts", "VALUE"),
+                                 ParamSpec("origin", "INTEGER"))),
+            EventClass("Discard", (ParamSpec("value", "VALUE"),
+                                   ParamSpec("ts", "VALUE"),
+                                   ParamSpec("origin", "INTEGER"))),
+        ]))
+    # clients reach the database through Apply events -- the ports of
+    # the database group (the paper's data-abstraction pattern)
+    from ..core import EventClassRef
+
+    groups = [GroupDecl.make(
+        "database", site_names,
+        ports=[EventClassRef(s, "Apply") for s in site_names],
+    )]
+    restrictions: List[Restriction] = [
+        every_apply_caused_restriction(),
+        convergence_restriction(n_sites, winning_value(requests, n_sites)),
+        full_propagation_restriction(n_sites),
+    ]
+    restrictions += [timestamps_monotonic_restriction(s) for s in site_names]
+    return Specification(
+        "distributed-db-update",
+        elements=elements,
+        groups=groups,
+        restrictions=restrictions,
+    )

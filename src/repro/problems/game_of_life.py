@@ -1,0 +1,360 @@
+"""The asynchronous, distributed Game of Life (Sections 1, 11).
+
+The paper's second distributed application: "an asynchronous,
+distributed version of the Game of Life".  Each cell of a (toroidal)
+grid is its own process; there is no global generation clock.  A cell
+may compute its generation-``g+1`` state as soon as it holds all of its
+neighbours' generation-``g`` states -- cells far apart run genuinely
+concurrently, and the resulting GEM computation is the classic
+space-time causality lattice.
+
+Events: one element per cell; ``Compute(gen, alive)`` events, each
+enabled by the cell's own generation-``g-1`` Compute and its
+neighbours' generation-``g-1`` Computes (the JOIN pattern of Section
+8.2); generation-0 states are ``Init`` events.
+
+Properties (:func:`life_spec`):
+
+* ``compute-join`` -- every Compute(g) is enabled by exactly its
+  neighbourhood's generation-(g-1) events (the JOIN restriction);
+* ``generations-in-order`` -- each cell's element order carries
+  generations 1, 2, ..., G in sequence;
+* ``functional-correctness`` -- every Compute(gen, alive) matches the
+  *synchronous* reference implementation (:func:`synchronous_reference`):
+  asynchrony never changes the answer (confluence);
+* ``all-cells-finish`` -- every cell eventually reaches generation G
+  (deadlock-freedom / progress).
+
+A mutant (``skip_neighbor_wait``) lets cells run ahead using *stale*
+neighbour states -- the checker's functional-correctness restriction
+catches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core import (
+    ClassAnywhere,
+    ElementDecl,
+    EventClass,
+    Eventually,
+    Exists,
+    ForAll,
+    GroupDecl,
+    Henceforth,
+    Occurred,
+    ParamSpec,
+    PyPred,
+    Restriction,
+    Specification,
+)
+from ..sim.runtime import Action, SimpleState
+
+Coord = Tuple[int, int]
+
+
+def cell_element(x: int, y: int) -> str:
+    return f"cell[{x},{y}]"
+
+
+def neighbours(x: int, y: int, width: int, height: int) -> List[Coord]:
+    """The 8 toroidal neighbours of (x, y)."""
+    out = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            out.append(((x + dx) % width, (y + dy) % height))
+    return out
+
+
+def life_rule(alive: bool, living_neighbours: int) -> bool:
+    """Conway's rule: birth on 3, survival on 2 or 3."""
+    return living_neighbours == 3 or (alive and living_neighbours == 2)
+
+
+def synchronous_reference(
+    initial: Dict[Coord, bool], width: int, height: int, generations: int
+) -> List[Dict[Coord, bool]]:
+    """Golden model: the synchronous evolution, one dict per generation."""
+    grids = [dict(initial)]
+    for _g in range(generations):
+        prev = grids[-1]
+        nxt: Dict[Coord, bool] = {}
+        for x in range(width):
+            for y in range(height):
+                living = sum(prev[n] for n in neighbours(x, y, width, height))
+                nxt[(x, y)] = life_rule(prev[(x, y)], living)
+        grids.append(nxt)
+    return grids
+
+
+class AsyncLifeState(SimpleState):
+    """One evolving asynchronous execution of the Life grid."""
+
+    def __init__(self, initial: Dict[Coord, bool], width: int, height: int,
+                 generations: int, skip_neighbor_wait: bool = False):
+        super().__init__()
+        self.width = width
+        self.height = height
+        self.generations = generations
+        self.skip_neighbor_wait = skip_neighbor_wait
+        #: per-cell list of states by generation (grows as it computes)
+        self.states: Dict[Coord, List[bool]] = {}
+        #: per-(cell, gen) Compute/Init event, for enable edges
+        self.events: Dict[Tuple[Coord, int], object] = {}
+        for x in range(width):
+            for y in range(height):
+                alive = initial[(x, y)]
+                ev = self.emit(None, cell_element(x, y), "Init",
+                               {"alive": alive})
+                self.states[(x, y)] = [alive]
+                self.events[((x, y), 0)] = ev
+
+    def _cell_gen(self, c: Coord) -> int:
+        """Highest generation cell c has computed."""
+        return len(self.states[c]) - 1
+
+    def _can_advance(self, c: Coord) -> bool:
+        g = self._cell_gen(c)
+        if g >= self.generations:
+            return False
+        if self.skip_neighbor_wait:
+            return True
+        return all(
+            self._cell_gen(n) >= g
+            for n in neighbours(*c, self.width, self.height)
+        )
+
+    def enabled(self) -> List[Action]:
+        out = []
+        for x in range(self.width):
+            for y in range(self.height):
+                if self._can_advance((x, y)):
+                    g = self._cell_gen((x, y))
+                    out.append(Action(cell_element(x, y),
+                                      f"gen {g + 1}", ("advance", (x, y))))
+        return out
+
+    def is_final(self) -> bool:
+        return all(
+            self._cell_gen((x, y)) >= self.generations
+            for x in range(self.width) for y in range(self.height)
+        )
+
+    def step(self, action: Action) -> None:
+        c = action.key[1]
+        g = self._cell_gen(c)
+        nbrs = neighbours(*c, self.width, self.height)
+        # with the mutant, a neighbour may not have reached generation g
+        # yet; use its latest (stale) state -- that is the bug
+        living = sum(
+            self.states[n][min(g, self._cell_gen(n))] for n in nbrs
+        )
+        alive = life_rule(self.states[c][g], living)
+        enablers = [self.events[(c, g)]]
+        for n in nbrs:
+            enablers.append(self.events[(n, min(g, self._cell_gen(n)))])
+        ev = self.emit(None, cell_element(*c), "Compute",
+                       {"gen": g + 1, "alive": alive},
+                       extra_enables=enablers)
+        self.states[c].append(alive)
+        self.events[(c, g + 1)] = ev
+
+
+@dataclass(frozen=True)
+class AsyncLifeProgram:
+    """A :class:`~repro.sim.runtime.Program` for the asynchronous grid."""
+
+    initial: Tuple[Tuple[Coord, bool], ...]
+    width: int
+    height: int
+    generations: int
+    skip_neighbor_wait: bool = False
+
+    @staticmethod
+    def make(initial: Dict[Coord, bool], width: int, height: int,
+             generations: int, skip_neighbor_wait: bool = False
+             ) -> "AsyncLifeProgram":
+        return AsyncLifeProgram(tuple(sorted(initial.items())), width,
+                                height, generations, skip_neighbor_wait)
+
+    def initial_state(self) -> AsyncLifeState:
+        return AsyncLifeState(dict(self.initial), self.width, self.height,
+                              self.generations, self.skip_neighbor_wait)
+
+
+#: A glider on a 5x5 torus -- the classic non-trivial pattern (a 4x4
+#: torus is too small: the glider interacts with itself through the
+#: wraparound and does not translate).
+GLIDER_5X5: Dict[Coord, bool] = {
+    (x, y): (x, y) in {(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)}
+    for x in range(5) for y in range(5)
+}
+
+
+def blinker(width: int = 5, height: int = 5) -> Dict[Coord, bool]:
+    """A horizontal blinker centred on the grid."""
+    cx, cy = width // 2, height // 2
+    on = {(cx - 1, cy), (cx, cy), (cx + 1, cy)}
+    return {(x, y): (x, y) in on for x in range(width) for y in range(height)}
+
+
+# -- event-model analysis -------------------------------------------------------------
+
+
+def causal_cone(comp, x: int, y: int, gen: int):
+    """The past light-cone of Compute(gen) at cell (x, y): every event it
+    causally depends on (its temporal down-set).
+
+    In the asynchronous grid this is the discrete analogue of a
+    space-time light cone: generation g at a cell depends exactly on the
+    generations g-1..0 of cells within Chebyshev distance 1..g -- an
+    event-model fact the tests verify.
+    """
+    target = next(
+        e for e in comp.events_at(cell_element(x, y))
+        if (e.event_class == "Compute" and e.param("gen") == gen)
+        or (gen == 0 and e.event_class == "Init")
+    )
+    return comp.temporal_relation.down_set([target.eid])
+
+
+def cone_radius_holds(comp, x: int, y: int, gen: int, width: int,
+                      height: int) -> bool:
+    """Check the light-cone bound: every event in the cone of
+    Compute(gen)@(x,y) lies within toroidal Chebyshev distance
+    (gen - its own generation)."""
+
+    def toroidal_delta(a: int, b: int, size: int) -> int:
+        d = abs(a - b) % size
+        return min(d, size - d)
+
+    cone = causal_cone(comp, x, y, gen)
+    for eid in cone:
+        ev = comp.event(eid)
+        cx, cy = map(int, ev.element[5:-1].split(","))
+        g = ev.param("gen") if ev.event_class == "Compute" else 0
+        distance = max(toroidal_delta(x, cx, width),
+                       toroidal_delta(y, cy, height))
+        if distance > gen - g:
+            return False
+    return True
+
+
+# -- the GEM specification -----------------------------------------------------------
+
+
+def life_spec(initial: Dict[Coord, bool], width: int, height: int,
+              generations: int) -> Specification:
+    """The GEM specification of the asynchronous Life problem."""
+    reference = synchronous_reference(initial, width, height, generations)
+    cells = [(x, y) for x in range(width) for y in range(height)]
+    elements = [
+        ElementDecl.make(cell_element(x, y), [
+            EventClass("Init", (ParamSpec("alive", "BOOLEAN"),)),
+            EventClass("Compute", (ParamSpec("gen", "INTEGER"),
+                                   ParamSpec("alive", "BOOLEAN"))),
+        ])
+        for (x, y) in cells
+    ]
+    groups = [GroupDecl.make("grid", [cell_element(x, y) for x, y in cells])]
+
+    def join_check(history, env) -> bool:
+        comp = history.computation
+        for (x, y) in cells:
+            nbrs = set(cell_element(*n)
+                       for n in neighbours(x, y, width, height))
+            for ev in comp.events_at(cell_element(x, y)):
+                if ev.event_class != "Compute":
+                    continue
+                g = ev.param("gen")
+                enablers = comp.enabled_by(ev.eid)
+                # exactly: own gen-1 event plus each neighbour's gen-1
+                own = [e for e in enablers
+                       if e.element == cell_element(x, y)]
+                from_nbrs = {e.element for e in enablers
+                             if e.element != cell_element(x, y)}
+                if len(own) != 1 or from_nbrs != nbrs:
+                    return False
+                for e in enablers:
+                    expected_gen = g - 1
+                    actual = (e.param("gen")
+                              if e.event_class == "Compute" else 0)
+                    if actual != expected_gen:
+                        return False
+        return True
+
+    def order_check(history, env) -> bool:
+        comp = history.computation
+        for (x, y) in cells:
+            gens = [e.param("gen")
+                    for e in comp.events_at(cell_element(x, y))
+                    if e.event_class == "Compute"
+                    and history.occurred(e.eid)]
+            if gens != list(range(1, len(gens) + 1)):
+                return False
+        return True
+
+    def correctness_check(history, env) -> bool:
+        comp = history.computation
+        for (x, y) in cells:
+            for ev in comp.events_at(cell_element(x, y)):
+                if not history.occurred(ev.eid):
+                    continue
+                g = ev.param("gen") if ev.event_class == "Compute" else 0
+                if ev.param("alive") != reference[g][(x, y)]:
+                    return False
+        return True
+
+    def finished(history, env) -> bool:
+        comp = history.computation
+        for (x, y) in cells:
+            done = any(
+                e.event_class == "Compute"
+                and e.param("gen") == generations
+                and history.occurred(e.eid)
+                for e in comp.events_at(cell_element(x, y))
+            )
+            if not done:
+                return False
+        return True
+
+    # All four restrictions are stated *immediately* (at the complete
+    # computation) rather than through □/◇.  For the first three this
+    # is an equivalence, not a weakening: each is a conjunction of
+    # per-event conditions over occurred events, so holding at the
+    # complete computation implies holding at every history (the □
+    # forms), and the history lattice of a W×H grid is far too wide to
+    # enumerate.  ``all-cells-finish`` is progress evaluated on maximal
+    # executions: the scheduler yields maximal runs, where ◇finished is
+    # exactly "finished at the complete computation".
+    restrictions = [
+        Restriction(
+            "compute-join", PyPred("JOIN of neighbourhood gen-1", join_check),
+            comment="each Compute(g) enabled by its gen-(g-1) neighbourhood "
+                    "(the JOIN abbreviation, §8.2)",
+        ),
+        Restriction(
+            "generations-in-order",
+            PyPred("gens 1..k in element order", order_check),
+        ),
+        Restriction(
+            "functional-correctness",
+            PyPred("matches synchronous reference", correctness_check),
+            comment="asynchrony never changes the answer",
+        ),
+        Restriction(
+            "all-cells-finish",
+            PyPred("every cell reached generation G", finished),
+            comment="progress: the asynchronous grid completes",
+        ),
+    ]
+    return Specification(
+        f"async-life-{width}x{height}x{generations}",
+        elements=elements,
+        groups=groups,
+        restrictions=restrictions,
+    )

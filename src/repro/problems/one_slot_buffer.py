@@ -1,0 +1,234 @@
+"""The One Slot Buffer problem (Sections 1, 11).
+
+A buffer of capacity one: deposits and removals strictly alternate, the
+value removed is the value deposited.  Built on the shared buffer
+machinery (:mod:`repro.problems.buffer_base`) with capacity 1, plus an
+explicit alternation restriction (with one slot, the End events must
+interleave D R D R ...).
+
+:func:`monitor_correspondence` maps the monitor solution
+(:func:`repro.langs.monitor.programs.one_slot_buffer_monitor`) onto the
+problem's significant objects:
+
+=================  ====================================================
+PROBLEM            PROGRAM (monitor ``osb``)
+=================  ====================================================
+StartDeposit       ``osb.var.slot`` Assign at site ``Deposit:store``
+EndDeposit         ``osb.var.full`` Assign at site ``Deposit:fill``
+StartRemove        ``osb.var.taken`` Assign at site ``Remove:take``
+EndRemove          ``osb.var.full`` Assign at site ``Remove:drain``
+Deposit et al.     the caller-script note events, unchanged
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core import Henceforth, PyPred, Restriction, Specification
+from .buffer_base import CONTROL, buffer_problem_spec
+
+
+def alternation_restriction(temporal: bool = True) -> Restriction:
+    """With one slot, completed operations alternate: D, R, D, R, ...
+
+    Implied by capacity-1 plus FIFO, stated separately because it is the
+    classic formulation of the problem and it gives the checker a
+    direct, independently-falsifiable form.  ``temporal`` as in
+    :func:`repro.problems.buffer_base.capacity_restriction`.
+    """
+
+    def check(history, env) -> bool:
+        expect_deposit = True
+        for ev in history.computation.events_at(CONTROL):
+            if not history.occurred(ev.eid):
+                continue
+            if ev.event_class == "EndDeposit":
+                if not expect_deposit:
+                    return False
+                expect_deposit = False
+            elif ev.event_class == "EndRemove":
+                if expect_deposit:
+                    return False
+                expect_deposit = True
+        return True
+
+    body = PyPred("deposit-remove-alternation", check)
+    return Restriction(
+        "strict-alternation",
+        Henceforth(body) if temporal else body,
+        comment="one slot: deposits and removals strictly alternate",
+    )
+
+
+def one_slot_buffer_spec(
+    producers: Sequence[str] = ("producer",),
+    consumers: Sequence[str] = ("consumer",),
+    with_progress: bool = True,
+    with_exclusion: bool = False,
+    temporal_safety: bool = True,
+) -> Specification:
+    """The One Slot Buffer problem specification."""
+    base = buffer_problem_spec(
+        "one-slot-buffer", 1, producers, consumers, with_progress,
+        with_exclusion, temporal_safety,
+    )
+    return base.extended(
+        restrictions=[alternation_restriction(temporal_safety)])
+
+
+def monitor_correspondence(monitor_name: str = "osb"):
+    """Significant-object mapping for the monitor solution."""
+    from ..verify import (
+        Correspondence,
+        SignificantEvents,
+        by_param,
+        process_from_param_or_element,
+    )
+
+    m = monitor_name
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    def item_from_newval(ev):
+        return {"item": ev.param("newval")}
+
+    def item_unknown(ev):
+        # the monitor does not know the transported value at this event;
+        # the problem's FIFO restriction resolves it from the Start event
+        return {"item": None}
+
+    rules = [
+        SignificantEvents("Deposit", "*", "Deposit", same_element, "Deposit",
+                          params=keep("item")),
+        SignificantEvents("DepositDone", "*", "DepositDone", same_element,
+                          "DepositDone", params=keep("item")),
+        SignificantEvents("Remove", "*", "Remove", same_element, "Remove"),
+        SignificantEvents("RemoveDone", "*", "RemoveDone", same_element,
+                          "RemoveDone", params=keep("item")),
+        SignificantEvents("StartDeposit", f"{m}.var.slot", "Assign",
+                          CONTROL, "StartDeposit",
+                          where=by_param("site", "Deposit:store"),
+                          params=item_from_newval),
+        SignificantEvents("EndDeposit", f"{m}.var.full", "Assign",
+                          CONTROL, "EndDeposit",
+                          where=by_param("site", "Deposit:fill"),
+                          params=item_unknown),
+        SignificantEvents("StartRemove", f"{m}.var.taken", "Assign",
+                          CONTROL, "StartRemove",
+                          where=by_param("site", "Remove:take"),
+                          params=item_from_newval),
+        SignificantEvents("EndRemove", f"{m}.var.full", "Assign",
+                          CONTROL, "EndRemove",
+                          where=by_param("site", "Remove:drain"),
+                          params=item_unknown),
+    ]
+    return Correspondence(
+        tuple(rules), process_of=process_from_param_or_element("by")
+    )
+
+
+def csp_correspondence(producers=("producer",), consumers=("consumer",)):
+    """Significant-object mapping for the CSP buffer-process solution.
+
+    Client-side mapping: a deposit's Start/End are the producer's
+    ``out.Req``/``out.End`` toward the buffer process; a removal's are
+    the consumer's ``in.Req``/``in.End`` from it.  The producer knows
+    the item at its Req; the consumer learns it only at its End.
+    """
+    from ..langs.csp.gemspec import csp_process_of_event
+    from ..verify import Correspondence, SignificantEvents
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    def item_from_value(ev):
+        return {"item": ev.param("value")}
+
+    def item_unknown(ev):
+        return {"item": None}
+
+    rules = [
+        SignificantEvents("Deposit", "*", "Deposit", same_element, "Deposit",
+                          params=keep("item")),
+        SignificantEvents("DepositDone", "*", "DepositDone", same_element,
+                          "DepositDone", params=keep("item")),
+        SignificantEvents("Remove", "*", "Remove", same_element, "Remove"),
+        SignificantEvents("RemoveDone", "*", "RemoveDone", same_element,
+                          "RemoveDone", params=keep("item")),
+    ]
+    for p in producers:
+        rules += [
+            SignificantEvents(f"StartDeposit-{p}", f"{p}.out", "Req",
+                              CONTROL, "StartDeposit",
+                              params=item_from_value),
+            SignificantEvents(f"EndDeposit-{p}", f"{p}.out", "End",
+                              CONTROL, "EndDeposit", params=item_from_value),
+        ]
+    for c in consumers:
+        rules += [
+            SignificantEvents(f"StartRemove-{c}", f"{c}.in", "Req",
+                              CONTROL, "StartRemove", params=item_unknown),
+            SignificantEvents(f"EndRemove-{c}", f"{c}.in", "End",
+                              CONTROL, "EndRemove", params=item_from_value),
+        ]
+    return Correspondence(tuple(rules), process_of=csp_process_of_event)
+
+
+def ada_correspondence(buffer: str = "buffer"):
+    """Significant-object mapping for the ADA buffer-task solution.
+
+    Entry-side mapping: a deposit's Start/End are the ``Call``/``End``
+    events at ``buffer.entry.Deposit`` (the Call carries the item), a
+    removal's are those at ``buffer.entry.Remove`` (the End's reply
+    carries the item).  Rendezvous chains are inherently cross-task, so
+    all projected edges are kept (no process filter).
+    """
+    from ..verify import Correspondence, SignificantEvents
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    def item_from_value(ev):
+        return {"item": ev.param("value")}
+
+    def item_from_reply(ev):
+        return {"item": ev.param("reply")}
+
+    def item_unknown(ev):
+        return {"item": None}
+
+    rules = [
+        SignificantEvents("Deposit", "*", "Deposit", same_element, "Deposit",
+                          params=keep("item")),
+        SignificantEvents("DepositDone", "*", "DepositDone", same_element,
+                          "DepositDone", params=keep("item")),
+        SignificantEvents("Remove", "*", "Remove", same_element, "Remove"),
+        SignificantEvents("RemoveDone", "*", "RemoveDone", same_element,
+                          "RemoveDone", params=keep("item")),
+        SignificantEvents("StartDeposit", f"{buffer}.entry.Deposit", "Call",
+                          CONTROL, "StartDeposit", params=item_from_value),
+        SignificantEvents("EndDeposit", f"{buffer}.entry.Deposit", "End",
+                          CONTROL, "EndDeposit", params=item_unknown),
+        SignificantEvents("StartRemove", f"{buffer}.entry.Remove", "Call",
+                          CONTROL, "StartRemove", params=item_unknown),
+        SignificantEvents("EndRemove", f"{buffer}.entry.Remove", "End",
+                          CONTROL, "EndRemove", params=item_from_reply),
+    ]
+    return Correspondence(tuple(rules))

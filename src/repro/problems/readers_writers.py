@@ -1,0 +1,527 @@
+"""The Readers/Writers problem, in GEM (Section 8.3), in five versions.
+
+Structure (the paper's declarations, Section 8.3)::
+
+    User      = ELEMENT TYPE  EVENTS Read(loc), FinishRead(info),
+                                     Write(loc, info), FinishWrite
+    RWControl = ELEMENT TYPE  EVENTS ReqRead, StartRead, EndRead,
+                                     ReqWrite, StartWrite, EndWrite
+    DataBase  = GROUP TYPE(control: RWControl, data[1..N]: Variable)
+    RWProblem = GROUP(db: DataBase, {u}: SET OF User)
+
+(The paper parameterises the control events with loc/info; the
+properties verified here never inspect those parameters on control
+events, so this reproduction declares them parameterless and keeps
+loc/info on the user and data events, where they are checked.)
+
+Restrictions:
+
+* the two control chains of Section 8.3 (request → start → data access →
+  end → finish), as prerequisite chains;
+* the thread type π_RW labelling each transaction's event chain;
+* ``writers-exclude-*`` -- the paper's Mutual Exclusion Restriction,
+  checked at every history (□ over all vhs);
+* data integrity -- each ``db.data[loc]`` is a Variable: Getval yields
+  the last assigned value;
+* per-variant priority/fairness restrictions (below);
+* progress -- every request is eventually serviced and every user call
+  eventually returns (checked over maximal executions).
+
+The five versions (Section 11 reports "five versions of the
+Readers/Writers problem"):
+
+=====================  ====================================================
+variant                extra restriction
+=====================  ====================================================
+``weak``               none (mutual exclusion + chains + data only)
+``readers-priority``   pending read is serviced before a pending write
+                       (Section 8.3's restriction, verbatim)
+``writers-priority``   the mirror image
+``fifo``               pending requests of different kinds are serviced
+                       in request order (judged by the temporal order of
+                       the Req events)
+``no-starvation``      progress for every request of both kinds (the
+                       weak progress requirement of footnote 9 applied
+                       to π_RW threads)
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core import (
+    AtControl,
+    ClassAnywhere,
+    ClassAt,
+    ElementDecl,
+    EventClass,
+    EventClassRef,
+    Eventually,
+    Exists,
+    ForAll,
+    GroupDecl,
+    Henceforth,
+    Implies,
+    Occurred,
+    And,
+    ParamSpec,
+    Path,
+    Restriction,
+    SameThread,
+    Specification,
+    TemporallyPrecedes,
+    ThreadType,
+    chain,
+    mutual_exclusion_of,
+)
+from .variable import variable_element
+
+VARIANTS = ("weak", "readers-priority", "writers-priority", "fifo",
+            "no-starvation")
+
+#: Problem-level event class references.
+REQ_READ = ClassAt(EventClassRef("db.control", "ReqRead"))
+START_READ = ClassAt(EventClassRef("db.control", "StartRead"))
+END_READ = ClassAt(EventClassRef("db.control", "EndRead"))
+REQ_WRITE = ClassAt(EventClassRef("db.control", "ReqWrite"))
+START_WRITE = ClassAt(EventClassRef("db.control", "StartWrite"))
+END_WRITE = ClassAt(EventClassRef("db.control", "EndWrite"))
+
+#: The transaction thread type π_RW (Section 8.3).
+PI_RW = ThreadType("pi_RW", [
+    Path.parse(
+        "*.Read :: db.control.ReqRead :: db.control.StartRead :: "
+        "db.data[*].Getval :: db.control.EndRead :: *.FinishRead"
+    ),
+    Path.parse(
+        "*.Write :: db.control.ReqWrite :: db.control.StartWrite :: "
+        "db.data[*].Assign :: db.control.EndWrite :: *.FinishWrite"
+    ),
+])
+
+
+def user_element(name: str) -> ElementDecl:
+    """An instance of the User element type."""
+    return ElementDecl.make(name, [
+        EventClass("Read", (ParamSpec("loc", "INTEGER"),)),
+        EventClass("FinishRead", (ParamSpec("info", "VALUE"),)),
+        EventClass("Write", (ParamSpec("loc", "INTEGER"),
+                             ParamSpec("info", "VALUE"))),
+        EventClass("FinishWrite"),
+    ])
+
+
+def rw_control_type():
+    """The RWControl element type (Section 8.3)."""
+    from ..core import ElementType
+
+    return ElementType("RWControl", event_classes=[
+        EventClass("ReqRead"), EventClass("StartRead"), EventClass("EndRead"),
+        EventClass("ReqWrite"), EventClass("StartWrite"),
+        EventClass("EndWrite"),
+    ])
+
+
+def control_element() -> ElementDecl:
+    """The db.control element (an RWControl instance)."""
+    return rw_control_type().instantiate("db.control")
+
+
+def database_group_type(initial_value: object = 0):
+    """``DataBase = GROUP TYPE(control: RWControl, {data[loc:1..N]}:
+    SET OF Variable)`` -- the paper's declaration, as a GroupType.
+
+    Instantiating it as ``db`` with ``n=N`` yields the ``db.control``
+    element, the ``db.data[1..N]`` Variable elements (each carrying the
+    last-assigned-value restriction), and the db group whose ports are
+    the request events.
+    """
+    from ..core import GroupInstance, GroupType, qualified
+
+    def build(name, bindings):
+        n = bindings["n"]
+        control = rw_control_type().instantiate(qualified(name, "control"))
+        data = [
+            variable_element(qualified(name, f"data[{i}]"),
+                             initial=initial_value)
+            for i in range(1, n + 1)
+        ]
+        members = [control.name] + [d.name for d in data]
+        return GroupInstance(
+            group=GroupDecl.make(
+                name, members,
+                ports=[EventClassRef(control.name, "ReqRead"),
+                       EventClassRef(control.name, "ReqWrite")],
+            ),
+            elements=tuple([control] + data),
+        )
+
+    return GroupType("DataBase", build, params=["n"])
+
+
+def readers_priority_restriction() -> Restriction:
+    """Section 8.3, verbatim: if a read and a write request are pending
+    at the same time, the read must be serviced before the write."""
+    pending = And((AtControl("rr", START_READ), AtControl("rw", START_WRITE)))
+    write_started = ForAll(
+        "sw", START_WRITE,
+        Implies(And((SameThread("sw", "rw"), Occurred("sw"))),
+                Exists("sr", START_READ,
+                       And((SameThread("sr", "rr"), Occurred("sr"))))),
+    )
+    formula = Henceforth(ForAll("rr", REQ_READ, ForAll(
+        "rw", REQ_WRITE, Implies(pending, Henceforth(write_started)))))
+    return Restriction(
+        "readers-priority", formula,
+        comment="pending read serviced before pending write (paper §8.3)",
+    )
+
+
+def writers_priority_restriction() -> Restriction:
+    """The mirror image: pending write serviced before pending read."""
+    pending = And((AtControl("rw", START_WRITE), AtControl("rr", START_READ)))
+    read_started = ForAll(
+        "sr", START_READ,
+        Implies(And((SameThread("sr", "rr"), Occurred("sr"))),
+                Exists("sw", START_WRITE,
+                       And((SameThread("sw", "rw"), Occurred("sw"))))),
+    )
+    formula = Henceforth(ForAll("rw", REQ_WRITE, ForAll(
+        "rr", REQ_READ, Implies(pending, Henceforth(read_started)))))
+    return Restriction(
+        "writers-priority", formula,
+        comment="pending write serviced before pending read",
+    )
+
+
+def fifo_restriction() -> Restriction:
+    """Pending requests of different kinds are serviced in request order.
+
+    If ReqA temporally precedes ReqB (different kinds) and A is still
+    pending, B must not start before A.
+    """
+
+    def one_direction(ra, req_a, start_a, rb, req_b, start_b, tag):
+        pending_a = AtControl(ra, start_a)
+        b_started = ForAll(
+            "sb", start_b,
+            Implies(And((SameThread("sb", rb), Occurred("sb"))),
+                    Exists("sa", start_a,
+                           And((SameThread("sa", ra), Occurred("sa"))))),
+        )
+        return Henceforth(ForAll(ra, req_a, ForAll(
+            rb, req_b,
+            Implies(And((TemporallyPrecedes(ra, rb), pending_a)),
+                    Henceforth(b_started)))))
+
+    formula = And((
+        one_direction("rr", REQ_READ, START_READ,
+                      "rw", REQ_WRITE, START_WRITE, "r-before-w"),
+        one_direction("rw2", REQ_WRITE, START_WRITE,
+                      "rr2", REQ_READ, START_READ, "w-before-r"),
+    ))
+    return Restriction(
+        "fifo-service", formula,
+        comment="earlier request of the other kind is serviced first",
+    )
+
+
+def progress_restrictions() -> List[Restriction]:
+    """Footnote 9's weak progress: every request is eventually serviced,
+    every service eventually completes, every user call returns."""
+
+    def served(req_dom, start_dom, name):
+        return Restriction(
+            name,
+            ForAll("rq", req_dom, Eventually(
+                Exists("st", start_dom,
+                       And((SameThread("st", "rq"), Occurred("st")))))),
+            comment="weak progress (footnote 9)",
+        )
+
+    return [
+        served(REQ_READ, START_READ, "every-read-request-served"),
+        served(REQ_WRITE, START_WRITE, "every-write-request-served"),
+        served(ClassAnywhere("Read"), ClassAnywhere("FinishRead"),
+               "every-read-finishes"),
+        served(ClassAnywhere("Write"), ClassAnywhere("FinishWrite"),
+               "every-write-finishes"),
+    ]
+
+
+def mutual_exclusion_restrictions() -> List[Restriction]:
+    """The paper's Mutual Exclusion Restriction: writers exclude readers,
+    and writers exclude other writers (Section 8.3)."""
+    return [
+        Restriction(
+            "writers-exclude-readers",
+            Henceforth(mutual_exclusion_of(
+                START_WRITE, END_WRITE, START_READ, END_READ)),
+            comment="first clause of the Mutual Exclusion Restriction",
+        ),
+        Restriction(
+            "writers-exclude-writers",
+            Henceforth(mutual_exclusion_of(
+                START_WRITE, END_WRITE, START_WRITE, END_WRITE)),
+            comment="second clause of the Mutual Exclusion Restriction",
+        ),
+    ]
+
+
+def chain_restrictions() -> List[Restriction]:
+    """Section 8.3's two control-path restrictions (1) and (2)."""
+    return [
+        Restriction(
+            "read-chain",
+            chain(ClassAnywhere("Read"), REQ_READ, START_READ,
+                  ClassAnywhere("Getval"), END_READ,
+                  ClassAnywhere("FinishRead")),
+            comment="u.Read → ReqRead → StartRead → Getval → EndRead → "
+                    "u.FinishRead",
+        ),
+        Restriction(
+            "write-chain",
+            chain(ClassAnywhere("Write"), REQ_WRITE, START_WRITE,
+                  ClassAnywhere("Assign"), END_WRITE,
+                  ClassAnywhere("FinishWrite")),
+            comment="u.Write → ReqWrite → StartWrite → Assign → EndWrite → "
+                    "u.FinishWrite",
+        ),
+    ]
+
+
+def rw_problem_spec(
+    users: Sequence[str],
+    n_locs: int = 1,
+    variant: str = "weak",
+    initial_value: object = 0,
+) -> Specification:
+    """The RWProblem specification for the given user names and variant."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+    elements: List[ElementDecl] = [user_element(u) for u in users]
+
+    # DataBase = GROUP TYPE(control, data[1..N]); RWProblem = GROUP(db, {u})
+    # -- the paper's declarations (§8.3).  db's ports are the request
+    # events, the "access holes" through which users reach the database.
+    db = database_group_type(initial_value).instantiate("db", n=n_locs)
+    elements += list(db.elements)
+    groups = [
+        db.group,
+        GroupDecl.make("RWProblem", ["db"] + list(users)),
+    ]
+
+    restrictions: List[Restriction] = []
+    restrictions += chain_restrictions()
+    restrictions += mutual_exclusion_restrictions()
+    if variant == "readers-priority":
+        restrictions.append(readers_priority_restriction())
+    elif variant == "writers-priority":
+        restrictions.append(writers_priority_restriction())
+    elif variant == "fifo":
+        restrictions.append(fifo_restriction())
+    elif variant == "no-starvation":
+        restrictions += progress_restrictions()
+
+    return Specification(
+        f"readers-writers-{variant}",
+        elements=elements,
+        groups=groups,
+        restrictions=restrictions,
+        thread_types=[PI_RW],
+    )
+
+
+def monitor_correspondence(monitor_name: str = "rw"):
+    """The Section 9 correspondence table, as projection rules.
+
+    PROBLEM ↔ PROGRAM::
+
+        ReqRead     EntryStartRead:BEGIN
+        StartRead   EntryStartRead:  readernum := readernum + 1
+        EndRead     EntryEndRead:    readernum := readernum - 1
+        ReqWrite    EntryStartWrite:BEGIN
+        StartWrite  EntryStartWrite: readernum := -1
+        EndWrite    EntryEndWrite:   readernum := 0
+
+    plus the user-visible events (Read/FinishRead/Write/FinishWrite at
+    caller elements) and the data accesses at ``db.data[loc]``.
+    """
+    from ..langs.monitor.programs import (
+        SITE_ENDREAD,
+        SITE_ENDWRITE,
+        SITE_STARTREAD,
+        SITE_STARTWRITE,
+    )
+    from ..verify import (
+        Correspondence,
+        SignificantEvents,
+        by_param,
+        process_from_param_or_element,
+    )
+
+    m = monitor_name
+    var = f"{m}.var.readernum"
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    rules = [
+        SignificantEvents("u.Read", "*", "Read", same_element, "Read",
+                          params=keep("loc")),
+        SignificantEvents("u.FinishRead", "*", "FinishRead", same_element,
+                          "FinishRead", params=keep("info")),
+        SignificantEvents("u.Write", "*", "Write", same_element, "Write",
+                          params=keep("loc", "info")),
+        SignificantEvents("u.FinishWrite", "*", "FinishWrite", same_element,
+                          "FinishWrite"),
+        SignificantEvents("ReqRead", f"{m}.entry.StartRead", "Begin",
+                          "db.control", "ReqRead"),
+        SignificantEvents("StartRead", var, "Assign", "db.control",
+                          "StartRead", where=by_param("site", SITE_STARTREAD)),
+        SignificantEvents("EndRead", var, "Assign", "db.control", "EndRead",
+                          where=by_param("site", SITE_ENDREAD)),
+        SignificantEvents("ReqWrite", f"{m}.entry.StartWrite", "Begin",
+                          "db.control", "ReqWrite"),
+        SignificantEvents("StartWrite", var, "Assign", "db.control",
+                          "StartWrite",
+                          where=by_param("site", SITE_STARTWRITE)),
+        SignificantEvents("EndWrite", var, "Assign", "db.control", "EndWrite",
+                          where=by_param("site", SITE_ENDWRITE)),
+        SignificantEvents("data-read", "db.data[*", "Getval", same_element,
+                          "Getval", params=keep("oldval")),
+        SignificantEvents("data-write", "db.data[*", "Assign", same_element,
+                          "Assign", params=keep("newval")),
+    ]
+    return Correspondence(
+        tuple(rules), process_of=process_from_param_or_element("by")
+    )
+
+
+def csp_correspondence(readers, writers):
+    """Significant-object mapping for the CSP grant-server solution.
+
+    PROBLEM ↔ PROGRAM (for a reader ``r`` / writer ``w``)::
+
+        ReqRead     r.out.End  of the "rr" send   (request received)
+        StartRead   r.in.End   of the "go" receipt (grant observed)
+        EndRead     r.out.Req  of the "er" send   (release initiated --
+                    the Req, not the End: the Req is what the server's
+                    subsequent grants causally depend on)
+        ReqWrite / StartWrite / EndWrite   symmetric for writers
+
+    plus the user-visible notes and the data accesses, as for the
+    monitor.  The edge filter uses CSP process identity (element
+    prefixes / ``by`` parameters).
+    """
+    from ..langs.csp.gemspec import csp_process_of_event
+    from ..verify import Correspondence, SignificantEvents, by_param
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    rules = [
+        SignificantEvents("u.Read", "*", "Read", same_element, "Read",
+                          params=keep("loc")),
+        SignificantEvents("u.FinishRead", "*", "FinishRead", same_element,
+                          "FinishRead", params=keep("info")),
+        SignificantEvents("u.Write", "*", "Write", same_element, "Write",
+                          params=keep("loc", "info")),
+        SignificantEvents("u.FinishWrite", "*", "FinishWrite", same_element,
+                          "FinishWrite"),
+        SignificantEvents("data-read", "db.data[*", "Getval", same_element,
+                          "Getval", params=keep("oldval")),
+        SignificantEvents("data-write", "db.data[*", "Assign", same_element,
+                          "Assign", params=keep("newval")),
+    ]
+    for r in readers:
+        rules += [
+            SignificantEvents(f"ReqRead-{r}", f"{r}.out", "End",
+                              "db.control", "ReqRead",
+                              where=by_param("value", "rr")),
+            SignificantEvents(f"StartRead-{r}", f"{r}.in", "End",
+                              "db.control", "StartRead",
+                              where=by_param("value", "go")),
+            SignificantEvents(f"EndRead-{r}", f"{r}.out", "Req",
+                              "db.control", "EndRead",
+                              where=by_param("value", "er")),
+        ]
+    for w in writers:
+        rules += [
+            SignificantEvents(f"ReqWrite-{w}", f"{w}.out", "End",
+                              "db.control", "ReqWrite",
+                              where=by_param("value", "rw")),
+            SignificantEvents(f"StartWrite-{w}", f"{w}.in", "End",
+                              "db.control", "StartWrite",
+                              where=by_param("value", "go")),
+            SignificantEvents(f"EndWrite-{w}", f"{w}.out", "Req",
+                              "db.control", "EndWrite",
+                              where=by_param("value", "ew")),
+        ]
+    return Correspondence(tuple(rules), process_of=csp_process_of_event)
+
+
+def ada_correspondence(server: str = "server"):
+    """Significant-object mapping for the ADA tasking solution.
+
+    PROBLEM ↔ PROGRAM (server task ``server``)::
+
+        ReqRead     Call  at server.entry.StartRead   (queued request)
+        StartRead   Start at server.entry.StartRead   (rendezvous begins)
+        EndRead     Call  at server.entry.EndRead     (release requested)
+        ReqWrite / StartWrite / EndWrite   symmetric
+
+    The Call events make pending requests directly observable -- ADA's
+    entry queues are real, which is why the priority property's
+    antecedent ("a read request is pending") is crisp here.  Rendezvous
+    chains cross tasks, so all projected edges are kept.
+    """
+    from ..verify import Correspondence, SignificantEvents
+
+    def same_element(ev):
+        return ev.element
+
+    def keep(*names):
+        def extract(ev):
+            return {n: ev.param(n) for n in names}
+        return extract
+
+    s = server
+    rules = [
+        SignificantEvents("u.Read", "*", "Read", same_element, "Read",
+                          params=keep("loc")),
+        SignificantEvents("u.FinishRead", "*", "FinishRead", same_element,
+                          "FinishRead", params=keep("info")),
+        SignificantEvents("u.Write", "*", "Write", same_element, "Write",
+                          params=keep("loc", "info")),
+        SignificantEvents("u.FinishWrite", "*", "FinishWrite", same_element,
+                          "FinishWrite"),
+        SignificantEvents("data-read", "db.data[*", "Getval", same_element,
+                          "Getval", params=keep("oldval")),
+        SignificantEvents("data-write", "db.data[*", "Assign", same_element,
+                          "Assign", params=keep("newval")),
+        SignificantEvents("ReqRead", f"{s}.entry.StartRead", "Call",
+                          "db.control", "ReqRead"),
+        SignificantEvents("StartRead", f"{s}.entry.StartRead", "Start",
+                          "db.control", "StartRead"),
+        SignificantEvents("EndRead", f"{s}.entry.EndRead", "Call",
+                          "db.control", "EndRead"),
+        SignificantEvents("ReqWrite", f"{s}.entry.StartWrite", "Call",
+                          "db.control", "ReqWrite"),
+        SignificantEvents("StartWrite", f"{s}.entry.StartWrite", "Start",
+                          "db.control", "StartWrite"),
+        SignificantEvents("EndWrite", f"{s}.entry.EndWrite", "Call",
+                          "db.control", "EndWrite"),
+    ]
+    return Correspondence(tuple(rules))

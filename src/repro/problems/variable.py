@@ -1,0 +1,98 @@
+"""The Variable element type (Sections 4, 6, 8.2).
+
+The paper's running example: a variable is an element with ``Assign``
+and ``Getval`` event classes; making it an element asserts "a lock on
+access to variable Var" -- all accesses are totally ordered whether or
+not they are causally related.  Its semantic restriction (Section 8.2):
+
+    a value retrieval event Getval must yield the value last assigned
+
+formally: for every ``getval``, there is an ``assign`` with
+``assign ⇒ getval``, no other assign between them, and
+``assign.newval = getval.oldval``.
+
+:func:`variable_element_type` builds the generic type;
+:func:`integer_variable_type` is the refinement of Section 6;
+:func:`variable_semantics_restriction` is the last-assigned-value rule
+(including the initial-value case the paper's formula leaves implicit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core import (
+    ElementDecl,
+    ElementType,
+    EventClass,
+    ParamSpec,
+    PyPred,
+    Restriction,
+)
+
+_SENTINEL = object()
+
+
+def variable_semantics_restriction(
+    element: str,
+    initial: Any = _SENTINEL,
+    value_param: str = "newval",
+    read_param: str = "oldval",
+) -> Restriction:
+    """Getval yields the value last assigned (or ``initial`` before any).
+
+    Checked against the element order at ``element``: walk the events in
+    sequence, track the current value, require every occurred Getval to
+    report it.  When ``initial`` is omitted, a Getval before the first
+    Assign is a violation (the paper's formula requires an enabling
+    assign to exist).
+    """
+
+    def check(history, env) -> bool:
+        current = initial
+        for ev in history.computation.events_at(element):
+            if not history.occurred(ev.eid):
+                continue
+            if ev.event_class == "Assign":
+                current = ev.param(value_param)
+            elif ev.event_class == "Getval":
+                if current is _SENTINEL:
+                    return False
+                if ev.param(read_param) != current:
+                    return False
+        return True
+
+    return Restriction(
+        f"{element}-getval-yields-last-assign",
+        PyPred(f"last-assign@{element}", check),
+        comment="Getval must yield the value last assigned (paper §8.2)",
+    )
+
+
+def variable_element_type() -> ElementType:
+    """The generic Variable element type of Section 6."""
+    return ElementType(
+        "Variable",
+        event_classes=[
+            EventClass("Assign", (ParamSpec("newval", "VALUE"),)),
+            EventClass("Getval", (ParamSpec("oldval", "VALUE"),)),
+        ],
+    )
+
+
+def integer_variable_type() -> ElementType:
+    """IntegerVariable = Variable with VALUE refined to INTEGER (§6)."""
+    return variable_element_type().refined(
+        "IntegerVariable", substitute={"VALUE": "INTEGER"}
+    )
+
+
+def variable_element(
+    name: str, initial: Any = _SENTINEL, integer: bool = False
+) -> ElementDecl:
+    """A variable element declaration carrying its semantics restriction."""
+    base = integer_variable_type() if integer else variable_element_type()
+    decl = base.instantiate(name)
+    return decl.with_restrictions(
+        [variable_semantics_restriction(name, initial)]
+    )

@@ -1,0 +1,19 @@
+"""Execution substrate: programs, states, runs, and the interleaving
+explorer that generates GEM computations from concurrent programs."""
+
+from .runtime import Action, Program, Run, SimState, SimpleState
+from .scheduler import (
+    DEFAULT_MAX_RUNS,
+    DEFAULT_MAX_STEPS,
+    ExplorationResult,
+    explore,
+    explore_or_sample,
+    run_random,
+    sample_runs,
+)
+
+__all__ = [
+    "Action", "Program", "Run", "SimState", "SimpleState",
+    "explore", "run_random", "sample_runs", "explore_or_sample",
+    "ExplorationResult", "DEFAULT_MAX_STEPS", "DEFAULT_MAX_RUNS",
+]

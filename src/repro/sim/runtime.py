@@ -1,0 +1,158 @@
+"""The simulation substrate: programs, states, and runs.
+
+The paper verifies *programs* (Monitor, CSP, ADA) against *problem*
+specifications.  To do that mechanically we need every legal execution
+of a program as a GEM computation.  This module defines the interface
+between concrete language interpreters (:mod:`repro.langs`) and the
+interleaving explorer (:mod:`repro.sim.scheduler`):
+
+* a :class:`Program` produces a fresh :class:`SimState`;
+* a :class:`SimState` exposes the currently *enabled actions* (one per
+  process that could take its next atomic step), performs a chosen
+  action -- mutating itself and appending GEM events to its
+  :class:`~repro.core.computation.ComputationBuilder` -- and reports
+  whether it is final (no process will ever move again);
+* the scheduler explores the tree of choices.
+
+States are advanced by *replay*: the explorer never snapshots a state,
+it re-executes a prefix of choices from a fresh state.  That keeps
+interpreters free to use ordinary mutable Python objects, at the cost of
+O(depth) re-execution per branch point -- a fine trade for the model
+sizes bounded checking needs (DESIGN.md §5).
+
+The contract that makes replay sound: ``enabled()`` must be
+*deterministic* (same state history, same action list in the same
+order), and ``step(choice)`` must be deterministic given the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from ..core.computation import Computation, ComputationBuilder
+
+
+@dataclass(frozen=True)
+class Action:
+    """One enabled atomic step.
+
+    ``process`` names the process taking the step; ``label`` describes
+    it (for deadlock reports and scheduler debugging).  ``key`` is the
+    stable identifier the interpreter dispatches on; two states reached
+    by the same choices must enumerate action keys identically.
+    """
+
+    process: str
+    label: str
+    key: object = None
+
+    def __str__(self) -> str:
+        return f"{self.process}:{self.label}"
+
+
+class SimState(Protocol):
+    """What a language interpreter must expose to the scheduler."""
+
+    def enabled(self) -> Sequence[Action]:
+        """Actions currently enabled, in deterministic order."""
+        ...
+
+    def step(self, action: Action) -> None:
+        """Perform ``action``: mutate state, emit events."""
+        ...
+
+    def is_final(self) -> bool:
+        """No action will ever be enabled again (clean termination)."""
+        ...
+
+    def computation(self) -> Computation:
+        """Freeze and return the computation built so far."""
+        ...
+
+
+class Program(Protocol):
+    """A factory of fresh initial states."""
+
+    def initial_state(self) -> SimState:
+        ...
+
+
+@dataclass
+class Run:
+    """One completed (or truncated) execution.
+
+    ``deadlocked`` means no action was enabled but the state was not
+    final: some process is blocked forever.  ``truncated`` means the
+    step bound was hit first; liveness verdicts on truncated runs are
+    unreliable and the scheduler flags them.
+    """
+
+    computation: Computation
+    choices: Tuple[int, ...]
+    deadlocked: bool = False
+    truncated: bool = False
+    blocked: Tuple[str, ...] = ()
+
+    @property
+    def completed(self) -> bool:
+        return not self.deadlocked and not self.truncated
+
+    def describe(self) -> str:
+        status = (
+            "deadlock" if self.deadlocked
+            else "truncated" if self.truncated
+            else "completed"
+        )
+        return (
+            f"run({status}, {len(self.computation)} events, "
+            f"{len(self.choices)} steps)"
+        )
+
+
+class SimpleState:
+    """Convenience base for interpreter states.
+
+    Provides the computation builder, per-process control-flow chaining
+    (each event a process performs is enabled by its previous event),
+    and final-event bookkeeping.  Interpreters call
+    :meth:`emit` instead of touching the builder directly.
+    """
+
+    def __init__(self, builder: Optional[ComputationBuilder] = None) -> None:
+        self.builder = builder or ComputationBuilder()
+        self._last_by_process: dict = {}
+
+    def emit(
+        self,
+        process: Optional[str],
+        element: str,
+        event_class: str,
+        params: Optional[dict] = None,
+        extra_enables: Iterable = (),
+        chain: bool = True,
+    ):
+        """Append one event.
+
+        If ``process`` is given and ``chain`` is true, the process's
+        previous event enables this one (control flow).  Events in
+        ``extra_enables`` (Event or EventId) also enable it
+        (cross-process causality: signals, lock hand-offs, messages).
+        """
+        ev = self.builder.add_event(element, event_class, params)
+        if process is not None and chain:
+            prev = self._last_by_process.get(process)
+            if prev is not None:
+                self.builder.add_enable(prev, ev)
+        for src in extra_enables:
+            self.builder.add_enable(src, ev)
+        if process is not None:
+            self._last_by_process[process] = ev
+        return ev
+
+    def last_event_of(self, process: str):
+        """The most recent event the process performed, if any."""
+        return self._last_by_process.get(process)
+
+    def computation(self) -> Computation:
+        return self.builder.freeze()

@@ -1,0 +1,176 @@
+"""The interleaving explorer.
+
+A concurrent program's behaviour is the set of executions its scheduler
+may produce.  GEM's verification method quantifies over *all* legal
+computations of a program (``PROG sat R``); this module realises that
+quantification, bounded:
+
+* :func:`explore` -- exhaustive DFS over scheduling choices, yielding
+  every distinct maximal run up to a step bound (and a run cap);
+* :func:`run_random` / :func:`sample_runs` -- seeded random walks, for
+  statistical smoke-testing and benchmarks where exhaustion is too
+  expensive;
+* :func:`explore_or_sample` -- exhaustive if the run cap suffices, else
+  sampled (reported in the result).
+
+Replay discipline: the explorer re-executes prefixes from fresh states
+(see :mod:`repro.sim.runtime`), so interpreters may mutate freely.
+
+Fairness.  A *maximal* run (no enabled action at the end, state final)
+trivially satisfies weak fairness: nothing enabled remains unscheduled.
+Deadlocked runs (nothing enabled, not final) are yielded too -- lack of
+deadlock is itself a property the paper proves, so the explorer must
+surface them rather than hide them.  Truncated runs are flagged; the
+caller decides whether to treat them as failures (liveness) or ignore
+them (safety is prefix-closed, so a truncated run's verdicts remain
+sound for safety restrictions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import VerificationError
+from .runtime import Action, Program, Run, SimState
+
+#: Guard against interpreter bugs producing unbounded executions.
+DEFAULT_MAX_STEPS = 10_000
+DEFAULT_MAX_RUNS = 100_000
+
+
+def _replay(program: Program, choices: Sequence[int]) -> SimState:
+    """Fresh state advanced through ``choices``."""
+    state = program.initial_state()
+    for choice in choices:
+        actions = state.enabled()
+        state.step(actions[choice])
+    return state
+
+
+def explore(
+    program: Program,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_runs: int = DEFAULT_MAX_RUNS,
+) -> Iterator[Run]:
+    """Enumerate every maximal run of ``program``, depth-first.
+
+    Yields runs in a deterministic order (choice index order).  Raises
+    :class:`VerificationError` when the run cap is exceeded -- a silent
+    cap would turn "verified over all executions" into a lie.
+    """
+    if max_steps < 1:
+        raise VerificationError("max_steps must be positive")
+    produced = 0
+
+    def rec(choices: Tuple[int, ...]) -> Iterator[Run]:
+        nonlocal produced
+        state = _replay(program, choices)
+        actions = state.enabled()
+        if not actions or len(choices) >= max_steps:
+            produced += 1
+            if produced > max_runs:
+                raise VerificationError(
+                    f"more than {max_runs} runs; raise max_runs or shrink "
+                    "the program"
+                )
+            if actions:
+                yield Run(state.computation(), choices, truncated=True,
+                          blocked=tuple(str(a) for a in actions))
+            elif state.is_final():
+                yield Run(state.computation(), choices)
+            else:
+                yield Run(state.computation(), choices, deadlocked=True)
+            return
+        for i in range(len(actions)):
+            yield from rec(choices + (i,))
+
+    return rec(())
+
+
+def run_random(
+    program: Program,
+    seed: int,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Run:
+    """One seeded random maximal run (deterministic per seed)."""
+    rng = random.Random(seed)
+    state = program.initial_state()
+    choices: List[int] = []
+    while len(choices) < max_steps:
+        actions = state.enabled()
+        if not actions:
+            break
+        i = rng.randrange(len(actions))
+        state.step(actions[i])
+        choices.append(i)
+    actions = state.enabled()
+    if actions:
+        return Run(state.computation(), tuple(choices), truncated=True,
+                   blocked=tuple(str(a) for a in actions))
+    if state.is_final():
+        return Run(state.computation(), tuple(choices))
+    return Run(state.computation(), tuple(choices), deadlocked=True)
+
+
+def sample_runs(
+    program: Program,
+    n: int,
+    seed: int = 0,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> List[Run]:
+    """``n`` seeded random runs (seeds ``seed..seed+n-1``)."""
+    return [run_random(program, seed + i, max_steps) for i in range(n)]
+
+
+@dataclass
+class ExplorationResult:
+    """All runs gathered for a program, with provenance."""
+
+    runs: List[Run] = field(default_factory=list)
+    exhaustive: bool = True
+
+    @property
+    def completed_runs(self) -> List[Run]:
+        return [r for r in self.runs if r.completed]
+
+    @property
+    def deadlocked_runs(self) -> List[Run]:
+        return [r for r in self.runs if r.deadlocked]
+
+    @property
+    def truncated_runs(self) -> List[Run]:
+        return [r for r in self.runs if r.truncated]
+
+    def describe(self) -> str:
+        mode = "exhaustive" if self.exhaustive else "sampled"
+        return (
+            f"{mode}: {len(self.runs)} runs "
+            f"({len(self.completed_runs)} completed, "
+            f"{len(self.deadlocked_runs)} deadlocked, "
+            f"{len(self.truncated_runs)} truncated)"
+        )
+
+
+def explore_or_sample(
+    program: Program,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_runs: int = DEFAULT_MAX_RUNS,
+    sample: int = 200,
+    seed: int = 0,
+) -> ExplorationResult:
+    """Exhaustive exploration when it fits in ``max_runs``, else sampling.
+
+    The result records which you got -- verification reports must say
+    "verified over all N executions" or "checked on N samples", never
+    blur the two.
+    """
+    try:
+        runs = list(explore(program, max_steps=max_steps, max_runs=max_runs))
+        return ExplorationResult(runs=runs, exhaustive=True)
+    except VerificationError:
+        return ExplorationResult(
+            runs=sample_runs(program, sample, seed=seed, max_steps=max_steps),
+            exhaustive=False,
+        )

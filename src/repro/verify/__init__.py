@@ -1,0 +1,24 @@
+"""The GEM verification method (Section 9): significant objects,
+projection, and ``PROG sat R`` checking."""
+
+from .correspondence import (
+    Correspondence,
+    SignificantEvents,
+    by_param,
+    process_from_param,
+    process_from_param_or_element,
+)
+from .projection import project
+from .sat import (
+    RestrictionVerdict,
+    VerificationReport,
+    check_projection,
+    verify_program,
+)
+
+__all__ = [
+    "Correspondence", "SignificantEvents", "by_param",
+    "process_from_param", "process_from_param_or_element",
+    "project", "verify_program", "check_projection",
+    "VerificationReport", "RestrictionVerdict",
+]

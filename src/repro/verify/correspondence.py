@@ -1,0 +1,161 @@
+"""Significant objects: the correspondence between PROG and P (Section 9).
+
+The paper's proof method, step 1: "For each group, element, event type,
+event parameter, and thread in P, choose a corresponding object in PROG.
+We call these the significant objects of PROG."
+
+A :class:`Correspondence` is a list of :class:`SignificantEvents` rules.
+Each rule selects a set of program events (by element, event class, and
+an optional parameter predicate -- e.g. "Assign events at
+``rw.var.readernum`` whose ``site`` is ``StartRead:inc``") and maps each
+selected event to a problem-level event (element, class, parameter
+transform).
+
+The Section 9 correspondence table for the ReadersWriters monitor::
+
+    PROBLEM      PROGRAM
+    ReqRead      EntryStartRead:BEGIN
+    StartRead    EntryStartRead: readernum := readernum + 1
+    EndRead      EntryEndRead:   readernum := readernum - 1
+    ReqWrite     EntryStartWrite:BEGIN
+    StartWrite   EntryStartWrite:readernum := -1
+    EndWrite     EntryEndWrite:  readernum := 0
+
+is built by :func:`repro.problems.readers_writers.monitor_correspondence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import VerificationError
+from ..core.event import Event
+
+
+@dataclass(frozen=True)
+class SignificantEvents:
+    """One correspondence rule.
+
+    ``element`` / ``event_class`` select program events (element may end
+    with ``*`` as a prefix wildcard); ``where`` optionally narrows by
+    parameters.  Selected events map to problem events at
+    ``target_element`` (a string, or a callable receiving the event for
+    indexed targets like ``db.data[loc]``) with class ``target_class``
+    and parameters ``params(event)``.
+    """
+
+    name: str
+    element: str
+    event_class: str
+    target_element: Any  # str | Callable[[Event], str]
+    target_class: str
+    where: Optional[Callable[[Event], bool]] = None
+    params: Optional[Callable[[Event], Mapping[str, Any]]] = None
+
+    def matches(self, event: Event) -> bool:
+        if event.event_class != self.event_class:
+            return False
+        if self.element.endswith("*"):
+            if not event.element.startswith(self.element[:-1]):
+                return False
+        elif event.element != self.element:
+            return False
+        if self.where is not None and not self.where(event):
+            return False
+        return True
+
+    def target_element_for(self, event: Event) -> str:
+        if callable(self.target_element):
+            return self.target_element(event)
+        return self.target_element
+
+    def params_for(self, event: Event) -> Dict[str, Any]:
+        if self.params is None:
+            return {}
+        return dict(self.params(event))
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A full significant-object mapping for one verification.
+
+    ``process_of`` extracts a process identity from a program event
+    (used by the default edge filter: projected enable edges are kept
+    only between events of the same process -- the problem-level control
+    chains of one transaction are carried by one process).  Return None
+    for events with no process identity; edges touching such events are
+    kept unconditionally.
+
+    ``edge_filter`` fully overrides the same-process rule when given.
+    """
+
+    rules: Tuple[SignificantEvents, ...]
+    process_of: Optional[Callable[[Event], Optional[str]]] = None
+    edge_filter: Optional[Callable[[Event, Event], bool]] = None
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            raise VerificationError("duplicate correspondence rule names")
+
+    def rule_for(self, event: Event) -> Optional[SignificantEvents]:
+        """The first rule matching ``event``, or None (insignificant)."""
+        for rule in self.rules:
+            if rule.matches(event):
+                return rule
+        return None
+
+    def keeps_edge(self, src: Event, dst: Event) -> bool:
+        """Should a projected (path-induced) enable edge src→dst be kept?"""
+        if self.edge_filter is not None:
+            return self.edge_filter(src, dst)
+        if self.process_of is None:
+            return True
+        sp = self.process_of(src)
+        dp = self.process_of(dst)
+        if sp is None or dp is None:
+            return True
+        return sp == dp
+
+
+def by_param(name: str, value: Any) -> Callable[[Event], bool]:
+    """Convenience ``where`` predicate: parameter ``name`` equals ``value``."""
+
+    def check(event: Event) -> bool:
+        try:
+            return event.param(name) == value
+        except KeyError:
+            return False
+
+    return check
+
+
+def process_from_param(name: str = "by") -> Callable[[Event], Optional[str]]:
+    """Extract process identity from an event parameter (default ``by``)."""
+
+    def extract(event: Event) -> Optional[str]:
+        try:
+            return event.param(name)
+        except KeyError:
+            return None
+
+    return extract
+
+
+def process_from_param_or_element(
+    name: str = "by",
+) -> Callable[[Event], Optional[str]]:
+    """Process identity from a parameter, falling back to the element name.
+
+    Monitor-language computations carry ``by`` on lock/variable/condition
+    events; events at a caller's own element (Call, Return, notes) carry
+    no ``by`` -- there the element *is* the process.
+    """
+
+    param_extract = process_from_param(name)
+
+    def extract(event: Event) -> Optional[str]:
+        return param_extract(event) or event.element
+
+    return extract

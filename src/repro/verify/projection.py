@@ -1,0 +1,152 @@
+"""Projecting program computations onto significant objects.
+
+The paper's reading of ``PROG sat R``: "If we examine a computation
+which is legal with respect to PROG, and only take note of significant
+objects, those significant objects exhibit the same behavior as a
+computation that is legal with respect to P."  *Only take note of* is
+projection:
+
+1. **Events**: keep exactly the events matched by a correspondence rule;
+   rename each to its problem-level element/class and transform its
+   parameters.
+2. **Element order**: projected events landing on one problem element
+   are sequenced by the original temporal order.  If two of them are
+   potentially concurrent in the program computation, the projection
+   must *invent* an order to keep the element sequential; by default we
+   linearise deterministically (topological position), because the
+   problems verified here only merge commuting events (e.g. concurrent
+   reads).  Pass ``strict_element_order=True`` to make invention an
+   error instead.
+3. **Enable relation**: a projected edge ``a ⊳' b`` exists iff the
+   program computation has an enable path from a to b whose intermediate
+   events are all insignificant, and the correspondence's edge filter
+   keeps the pair (by default: same process -- see
+   :class:`~repro.verify.correspondence.Correspondence`).  When the
+   correspondence defines ``process_of``, the *path* is restricted too:
+   it may only traverse insignificant events of the source's process (or
+   events with no process identity).  Without this, a path can tunnel
+   through a third process -- e.g. from one deposit's client-side events
+   through the whole buffer server to the next deposit's -- and
+   fabricate an enable edge between two same-process events that share
+   no control flow.
+
+The projected object is an ordinary
+:class:`~repro.core.computation.Computation`; checking it against the
+problem specification (including its thread labelling) is then exactly
+``legal(C', P)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.computation import Computation
+from ..core.errors import VerificationError
+from ..core.event import Event
+from ..core.ids import EventId
+from .correspondence import Correspondence
+
+
+def project(
+    computation: Computation,
+    correspondence: Correspondence,
+    strict_element_order: bool = False,
+) -> Computation:
+    """Project ``computation`` onto the correspondence's significant objects."""
+    # 1. select and map events
+    matched: List[Tuple[Event, object]] = []
+    for ev in computation.events:
+        rule = correspondence.rule_for(ev)
+        if rule is not None:
+            matched.append((ev, rule))
+    if not matched:
+        return Computation([], [])
+
+    topo_pos = {
+        eid: i
+        for i, eid in enumerate(computation.temporal_relation.topological_order())
+    }
+    matched.sort(key=lambda pair: topo_pos[pair[0].eid])
+
+    # 2. per-target-element sequencing
+    by_target: Dict[str, List[Event]] = {}
+    mapped_events: List[Event] = []
+    id_map: Dict[EventId, EventId] = {}
+    for ev, rule in matched:
+        target_el = rule.target_element_for(ev)
+        seq = by_target.setdefault(target_el, [])
+        if strict_element_order and seq:
+            prev = seq[-1]
+            if computation.concurrent(prev.eid, ev.eid):
+                raise VerificationError(
+                    f"projection must invent an element order at "
+                    f"{target_el!r}: {prev.eid} and {ev.eid} are potentially "
+                    "concurrent in the program computation"
+                )
+        seq.append(ev)
+        new = Event.make(
+            target_el,
+            len(seq),
+            rule.target_class,
+            rule.params_for(ev),
+            threads=ev.threads,
+        )
+        mapped_events.append(new)
+        id_map[ev.eid] = new.eid
+
+    # 3. path-induced enable edges through insignificant events
+    significant: Set[EventId] = set(id_map)
+    edges: List[Tuple[EventId, EventId]] = []
+    for ev, _rule in matched:
+        src_process = (correspondence.process_of(ev)
+                       if correspondence.process_of is not None else None)
+        reachable = _significant_successors(
+            computation, ev.eid, significant,
+            correspondence.process_of, src_process,
+        )
+        for dst in reachable:
+            dst_ev = computation.event(dst)
+            if correspondence.keeps_edge(ev, dst_ev):
+                edges.append((id_map[ev.eid], id_map[dst]))
+
+    return Computation(mapped_events, edges)
+
+
+def _significant_successors(
+    computation: Computation,
+    source: EventId,
+    significant: Set[EventId],
+    process_of,
+    src_process: Optional[str],
+) -> List[EventId]:
+    """Significant events reachable from ``source`` by an enable path
+    whose intermediate events are all insignificant.
+
+    When a process map is given and the source has a process identity,
+    the path may only traverse intermediates of that process (or of no
+    process) -- control flow, not tunnelling through other processes.
+    """
+
+    def traversable(eid: EventId) -> bool:
+        if process_of is None or src_process is None:
+            return True
+        p = process_of(computation.event(eid))
+        return p is None or p == src_process
+
+    out: List[EventId] = []
+    seen: Set[EventId] = set()
+    frontier: List[EventId] = [
+        e.eid for e in computation.enables_of(source)
+    ]
+    while frontier:
+        eid = frontier.pop()
+        if eid in seen:
+            continue
+        seen.add(eid)
+        if eid in significant:
+            out.append(eid)
+            continue  # paths may not pass through significant events
+        if not traversable(eid):
+            continue
+        frontier.extend(e.eid for e in computation.enables_of(eid))
+    return out

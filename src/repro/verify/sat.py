@@ -1,0 +1,169 @@
+"""``PROG sat R``: bounded exhaustive verification (Section 9, step 2).
+
+"Prove that each restriction Rᵢ in P is satisfied by the corresponding
+significant objects in PROG: (∀ Rᵢ ∈ P)[PROG sat Rᵢ]."
+
+:func:`verify_program` mechanises this: explore the program's legal
+computations (exhaustively up to bounds, or by seeded sampling), project
+each onto the significant objects, and check every P-restriction on
+every projection.  Optionally the *program* specification is checked on
+the raw computations too -- catching instrumentation bugs where the
+interpreter's output is not even a legal PROG computation.
+
+Deadlock: runs where some process is blocked forever are counted and,
+by default, fail verification ("lack of deadlock" is one of the
+properties the paper proves of its applications).  Pass
+``allow_deadlock=True`` when deadlock is the expected outcome being
+demonstrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.checker import CheckResult
+from ..core.computation import Computation
+from ..core.errors import VerificationError
+from ..core.specification import Specification
+from ..sim.runtime import Program, Run
+from ..sim.scheduler import ExplorationResult, explore_or_sample
+from .correspondence import Correspondence
+from .projection import project
+
+
+@dataclass
+class RestrictionVerdict:
+    """Aggregate verdict for one problem restriction across all runs."""
+
+    name: str
+    holds: bool = True
+    failing_runs: List[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.holds:
+            return f"[OK ] {self.name}"
+        shown = ", ".join(map(str, self.failing_runs[:5]))
+        more = "..." if len(self.failing_runs) > 5 else ""
+        return f"[FAIL] {self.name} (runs {shown}{more})"
+
+
+@dataclass
+class VerificationReport:
+    """Everything :func:`verify_program` learned."""
+
+    problem_name: str
+    exhaustive: bool
+    runs_checked: int = 0
+    deadlocks: int = 0
+    truncated: int = 0
+    verdicts: Dict[str, RestrictionVerdict] = field(default_factory=dict)
+    program_spec_failures: List[int] = field(default_factory=list)
+    legality_failures: List[int] = field(default_factory=list)
+    allow_deadlock: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(v.holds for v in self.verdicts.values())
+            and not self.program_spec_failures
+            and not self.legality_failures
+            and (self.allow_deadlock or self.deadlocks == 0)
+        )
+
+    def verdict(self, restriction_name: str) -> RestrictionVerdict:
+        try:
+            return self.verdicts[restriction_name]
+        except KeyError:
+            raise VerificationError(
+                f"no verdict for restriction {restriction_name!r}"
+            ) from None
+
+    def failed_restrictions(self) -> List[str]:
+        return [name for name, v in self.verdicts.items() if not v.holds]
+
+    def summary(self) -> str:
+        mode = "all" if self.exhaustive else "sampled"
+        lines = [
+            f"verification against {self.problem_name!r}: "
+            f"{'VERIFIED' if self.ok else 'FAILED'} "
+            f"({mode} {self.runs_checked} runs, {self.deadlocks} deadlocks, "
+            f"{self.truncated} truncated)"
+        ]
+        for v in self.verdicts.values():
+            lines.append(f"  {v}")
+        if self.program_spec_failures:
+            lines.append(
+                f"  program-spec failures in runs {self.program_spec_failures[:5]}"
+            )
+        if self.legality_failures:
+            lines.append(
+                f"  projection-legality failures in runs "
+                f"{self.legality_failures[:5]}"
+            )
+        return "\n".join(lines)
+
+
+def check_projection(
+    computation: Computation,
+    correspondence: Correspondence,
+    problem_spec: Specification,
+    **check_kwargs,
+) -> CheckResult:
+    """Project one computation and check it against the problem spec."""
+    projected = project(computation, correspondence)
+    return problem_spec.check(projected, **check_kwargs)
+
+
+def verify_program(
+    program: Program,
+    problem_spec: Specification,
+    correspondence: Correspondence,
+    program_spec: Optional[Specification] = None,
+    max_steps: int = 10_000,
+    max_runs: int = 100_000,
+    sample: int = 200,
+    seed: int = 0,
+    allow_deadlock: bool = False,
+    temporal_mode: str = "lattice",
+    exploration: Optional[ExplorationResult] = None,
+) -> VerificationReport:
+    """The paper's proof obligation, executed.
+
+    Pass ``exploration`` to reuse runs already gathered (e.g. when
+    verifying one program against several problem variants).
+    """
+    result = exploration or explore_or_sample(
+        program, max_steps=max_steps, max_runs=max_runs, sample=sample,
+        seed=seed,
+    )
+    report = VerificationReport(
+        problem_name=problem_spec.name,
+        exhaustive=result.exhaustive,
+        allow_deadlock=allow_deadlock,
+    )
+    for r in problem_spec.all_restrictions():
+        report.verdicts[r.name] = RestrictionVerdict(r.name)
+
+    for i, run in enumerate(result.runs):
+        report.runs_checked += 1
+        if run.deadlocked:
+            report.deadlocks += 1
+        if run.truncated:
+            report.truncated += 1
+        comp = run.computation
+        if program_spec is not None:
+            prog_result = program_spec.check(comp, temporal_mode=temporal_mode)
+            if not prog_result.ok:
+                report.program_spec_failures.append(i)
+        projected = project(comp, correspondence)
+        problem_result = problem_spec.check(projected,
+                                            temporal_mode=temporal_mode)
+        if problem_result.legality_violations:
+            report.legality_failures.append(i)
+        for outcome in problem_result.outcomes:
+            if not outcome.holds:
+                verdict = report.verdicts[outcome.name]
+                verdict.holds = False
+                verdict.failing_runs.append(i)
+    return report

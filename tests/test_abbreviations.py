@@ -1,0 +1,194 @@
+"""Unit tests for the restriction abbreviations (Section 8.2)."""
+
+import pytest
+
+from repro.core import (
+    ComputationBuilder,
+    ThreadId,
+    chain,
+    fork,
+    full_history,
+    join,
+    mutual_exclusion_of,
+    nondet_prerequisite,
+    prerequisite,
+)
+from repro.core.checker import check_safety_at_all_histories
+
+
+def seq_chain():
+    """E1 → E2 → E3 at distinct elements (a sequential code segment)."""
+    b = ComputationBuilder()
+    e1 = b.add_event("S1", "E1")
+    e2 = b.add_event("S2", "E2")
+    e3 = b.add_event("S3", "E3")
+    b.add_enable(e1, e2)
+    b.add_enable(e2, e3)
+    return b.freeze()
+
+
+class TestPrerequisite:
+    def test_holds_on_chain(self):
+        c = seq_chain()
+        assert prerequisite("E1", "E2").holds_at(full_history(c))
+        assert prerequisite("E2", "E3").holds_at(full_history(c))
+
+    def test_fails_when_unenabled(self):
+        b = ComputationBuilder()
+        b.add_event("S1", "E1")
+        b.add_event("S2", "E2")  # no enable edge
+        c = b.freeze()
+        assert not prerequisite("E1", "E2").holds_at(full_history(c))
+
+    def test_fails_when_doubly_enabled(self):
+        b = ComputationBuilder()
+        e1a = b.add_event("S1", "E1")
+        e1b = b.add_event("T1", "E1")
+        e2 = b.add_event("S2", "E2")
+        b.add_enable(e1a, e2)
+        b.add_enable(e1b, e2)
+        c = b.freeze()
+        assert not prerequisite("E1", "E2").holds_at(full_history(c))
+
+    def test_fails_when_source_enables_two(self):
+        b = ComputationBuilder()
+        e1 = b.add_event("S1", "E1")
+        e2a = b.add_event("S2", "E2")
+        e2b = b.add_event("T2", "E2")
+        b.add_enable(e1, e2a)
+        b.add_enable(e1, e2b)
+        c = b.freeze()
+        assert not prerequisite("E1", "E2").holds_at(full_history(c))
+
+    def test_vacuous_with_no_targets(self):
+        b = ComputationBuilder()
+        b.add_event("S1", "E1")
+        c = b.freeze()
+        assert prerequisite("E1", "E2").holds_at(full_history(c))
+
+    def test_holds_at_every_history_of_chain(self):
+        # prerequisite is prefix-closed for legal chains
+        c = seq_chain()
+        assert check_safety_at_all_histories(c, prerequisite("E1", "E2"))
+
+
+class TestNondetPrerequisite:
+    def test_one_of_set_enables(self):
+        b = ComputationBuilder()
+        s = b.add_event("A", "Signal")
+        r = b.add_event("B", "Release")
+        b.add_enable(s, r)
+        b.add_event("C", "Init")
+        c = b.freeze()
+        assert nondet_prerequisite(["Signal", "Init"], "Release").holds_at(
+            full_history(c))
+
+    def test_fails_if_enabled_by_two_from_set(self):
+        b = ComputationBuilder()
+        s = b.add_event("A", "Signal")
+        i = b.add_event("C", "Init")
+        r = b.add_event("B", "Release")
+        b.add_enable(s, r)
+        b.add_enable(i, r)
+        c = b.freeze()
+        assert not nondet_prerequisite(["Signal", "Init"], "Release").holds_at(
+            full_history(c))
+
+
+class TestForkJoin:
+    def fork_comp(self):
+        b = ComputationBuilder()
+        f = b.add_event("P", "Fork")
+        w1 = b.add_event("Q", "Left")
+        w2 = b.add_event("R", "Right")
+        b.add_enable(f, w1)
+        b.add_enable(f, w2)
+        return b.freeze()
+
+    def test_fork(self):
+        c = self.fork_comp()
+        assert fork("Fork", ["Left", "Right"]).holds_at(full_history(c))
+
+    def test_fork_fails_if_branch_missing_enable(self):
+        b = ComputationBuilder()
+        f = b.add_event("P", "Fork")
+        b.add_event("Q", "Left")
+        w2 = b.add_event("R", "Right")
+        b.add_enable(f, w2)
+        c = b.freeze()
+        assert not fork("Fork", ["Left", "Right"]).holds_at(full_history(c))
+
+    def test_join(self):
+        b = ComputationBuilder()
+        w1 = b.add_event("Q", "Left")
+        w2 = b.add_event("R", "Right")
+        j = b.add_event("S", "Join")
+        b.add_enable(w1, j)
+        b.add_enable(w2, j)
+        c = b.freeze()
+        assert join(["Left", "Right"], "Join").holds_at(full_history(c))
+
+    def test_fork_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fork("A", [])
+        with pytest.raises(ValueError):
+            join([], "A")
+
+    def test_single_branch(self):
+        c = seq_chain()
+        assert fork("E1", ["E2"]).holds_at(full_history(c))
+        assert join(["E2"], "E3").holds_at(full_history(c))
+
+
+class TestChain:
+    def test_chain_holds(self):
+        c = seq_chain()
+        assert chain("E1", "E2", "E3").holds_at(full_history(c))
+
+    def test_chain_fails_on_gap(self):
+        b = ComputationBuilder()
+        e1 = b.add_event("S1", "E1")
+        e2 = b.add_event("S2", "E2")
+        b.add_event("S3", "E3")  # E3 not enabled by E2
+        b.add_enable(e1, e2)
+        c = b.freeze()
+        assert not chain("E1", "E2", "E3").holds_at(full_history(c))
+
+    def test_chain_needs_two(self):
+        with pytest.raises(ValueError):
+            chain("E1")
+
+    def test_two_stage_chain_is_prerequisite(self):
+        c = seq_chain()
+        assert chain("E1", "E2").holds_at(full_history(c)) == prerequisite(
+            "E1", "E2").holds_at(full_history(c))
+
+
+class TestMutualExclusion:
+    def build(self, overlap: bool):
+        """Two start/end transactions; overlapping iff ``overlap``."""
+        b = ComputationBuilder()
+        t1, t2 = ThreadId("tx", 1), ThreadId("tx", 2)
+        s1 = b.add_event("ctl", "Start", threads=[t1])
+        if overlap:
+            s2 = b.add_event("ctl", "Start", threads=[t2])
+            e1 = b.add_event("ctl", "End", threads=[t1])
+            e2 = b.add_event("ctl", "End", threads=[t2])
+        else:
+            e1 = b.add_event("ctl", "End", threads=[t1])
+            s2 = b.add_event("ctl", "Start", threads=[t2])
+            e2 = b.add_event("ctl", "End", threads=[t2])
+        return b.freeze()
+
+    def test_serialized_ok(self):
+        c = self.build(overlap=False)
+        f = mutual_exclusion_of("Start", "End", "Start", "End")
+        assert check_safety_at_all_histories(c, f)
+
+    def test_overlap_detected(self):
+        c = self.build(overlap=True)
+        f = mutual_exclusion_of("Start", "End", "Start", "End")
+        assert not check_safety_at_all_histories(c, f)
+        # the complete computation alone does not reveal the overlap:
+        # both transactions have closed - this is why □ matters
+        assert f.holds_at(full_history(c))

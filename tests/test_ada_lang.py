@@ -1,0 +1,277 @@
+"""Unit tests for the ADA tasking language: AST, interpreter, GEM spec."""
+
+import pytest
+
+from repro.core import EventClassRef, check_legality
+from repro.core.errors import SpecificationError
+from repro.langs.ada import (
+    Accept,
+    AdaAssign,
+    AdaIf,
+    AdaLoop,
+    AdaProgram,
+    AdaSystem,
+    AdaTask,
+    DataRead,
+    DataWrite,
+    EntryCall,
+    EntryCount,
+    Note,
+    Reply,
+    Select,
+    SelectBranch,
+    ada_program_spec,
+    bounded_buffer_ada_system,
+    one_slot_buffer_ada_system,
+    rw_ada_system,
+)
+from repro.langs.exprs import BinOp, Lit, ParamRef, VarRef
+from repro.sim import explore, run_random
+
+
+def system(*tasks, data=()):
+    return AdaSystem(tuple(tasks), tuple(data))
+
+
+class TestRendezvous:
+    def simple(self):
+        return system(
+            AdaTask("caller", (), (), (
+                EntryCall("server", "Ping", Lit(5), into=None),
+            )),
+            AdaTask("server", ("Ping",), (("x", None),), (
+                Accept("Ping", (AdaAssign("x", ParamRef("arg")),)),
+            )),
+        )
+
+    def test_basic_rendezvous(self):
+        run = run_random(AdaProgram(self.simple()), seed=0)
+        assert run.completed
+        comp = run.computation
+        el = "server.entry.Ping"
+        classes = [e.event_class for e in comp.events_at(el)]
+        assert classes == ["Call", "Start", "End"]
+        (assign,) = comp.events_at("server.var.x")
+        assert assign.param("newval") == 5
+
+    def test_call_enables_start_and_end_enables_resume(self):
+        comp = run_random(AdaProgram(self.simple()), seed=0).computation
+        call, start, end = comp.events_at("server.entry.Ping")
+        assert comp.enables(call.eid, start.eid)
+        (resume,) = [e for e in comp.events_at("caller")
+                     if e.event_class == "Resume"]
+        assert comp.enables(end.eid, resume.eid)
+
+    def test_reply_returned_into_variable(self):
+        sysx = system(
+            AdaTask("caller", (), (("got", None),), (
+                EntryCall("server", "Ask", into="got"),
+                Note.make("Got", value=VarRef("got")),
+            )),
+            AdaTask("server", ("Ask",), (), (
+                Accept("Ask", (Reply(Lit("answer")),)),
+            )),
+        )
+        comp = run_random(AdaProgram(sysx), seed=0).computation
+        assert comp.events_of_class("Got")[0].param("value") == "answer"
+
+    def test_unknown_entry_raises(self):
+        sysx = system(
+            AdaTask("caller", (), (), (EntryCall("server", "Nope"),)),
+            AdaTask("server", ("Ping",), (), (Accept("Ping"),)),
+        )
+        with pytest.raises(SpecificationError, match="unknown entry"):
+            run_random(AdaProgram(sysx), seed=0)
+
+    def test_caller_blocks_until_accept(self):
+        sysx = system(
+            AdaTask("caller", (), (), (
+                EntryCall("server", "Ping"),
+                Note.make("AfterCall"),
+            )),
+            AdaTask("server", ("Ping",), (), (
+                Note.make("BeforeAccept"),
+                Accept("Ping"),
+            )),
+        )
+        comp = run_random(AdaProgram(sysx), seed=0).computation
+        after = comp.events_of_class("AfterCall")[0]
+        start = comp.events_of(EventClassRef("server.entry.Ping", "Start"))[0]
+        assert comp.temporally_precedes(start.eid, after.eid)
+
+    def test_deadlock_when_no_acceptor(self):
+        sysx = system(
+            AdaTask("caller", (), (), (EntryCall("server", "Ping"),)),
+            AdaTask("server", ("Ping",), (), ()),  # never accepts
+        )
+        run = run_random(AdaProgram(sysx), seed=0)
+        assert run.deadlocked
+
+
+class TestFifoQueues:
+    def test_entry_queue_is_fifo(self):
+        """Two callers; service order must equal call order in every run."""
+        sysx = system(
+            AdaTask("a", (), (), (EntryCall("server", "E", Lit("a")),)),
+            AdaTask("b", (), (), (EntryCall("server", "E", Lit("b")),)),
+            AdaTask("server", ("E",), (("seen", ()),), (
+                Accept("E", (AdaAssign(
+                    "seen", BinOp("+", VarRef("seen"), Lit(())),),)),
+                Accept("E"),
+            )),
+        )
+        for run in explore(AdaProgram(sysx)):
+            assert run.completed
+            comp = run.computation
+            calls = [e.param("frm")
+                     for e in comp.events_at("server.entry.E")
+                     if e.event_class == "Call"]
+            starts = [e.param("frm")
+                      for e in comp.events_at("server.entry.E")
+                      if e.event_class == "Start"]
+            assert starts == calls
+
+
+class TestSelect:
+    def test_guarded_select(self):
+        sysx = system(
+            AdaTask("caller", (), (), (
+                EntryCall("server", "Open"),
+                EntryCall("server", "Gated"),
+            )),
+            AdaTask("server", ("Open", "Gated"), (("ready", 0),), (
+                AdaLoop((
+                    Select((
+                        SelectBranch(Accept("Open", (
+                            AdaAssign("ready", Lit(1)),))),
+                        SelectBranch(Accept("Gated"),
+                                     guard=BinOp("==", VarRef("ready"),
+                                                 Lit(1))),
+                    ), terminate=True),
+                )),
+            )),
+        )
+        run = run_random(AdaProgram(sysx), seed=0)
+        assert run.completed
+        comp = run.computation
+        open_start = comp.events_of(
+            EventClassRef("server.entry.Open", "Start"))[0]
+        gated_start = comp.events_of(
+            EventClassRef("server.entry.Gated", "Start"))[0]
+        assert comp.temporally_precedes(open_start.eid, gated_start.eid)
+
+    def test_entry_count_guard(self):
+        """E'COUNT guards: serve Priority while its queue is non-empty."""
+        sysx = system(
+            AdaTask("p", (), (), (EntryCall("server", "Priority"),)),
+            AdaTask("q", (), (), (EntryCall("server", "Normal"),)),
+            AdaTask("server", ("Priority", "Normal"), (), (
+                AdaLoop((
+                    Select((
+                        SelectBranch(Accept("Priority")),
+                        SelectBranch(
+                            Accept("Normal"),
+                            guard=BinOp("==", EntryCount("Priority"), Lit(0)),
+                        ),
+                    ), terminate=True),
+                )),
+            )),
+        )
+        for run in explore(AdaProgram(sysx)):
+            assert run.completed
+            comp = run.computation
+            p_start = comp.events_of(
+                EventClassRef("server.entry.Priority", "Start"))[0]
+            n_start = comp.events_of(
+                EventClassRef("server.entry.Normal", "Start"))[0]
+            p_call = comp.events_of(
+                EventClassRef("server.entry.Priority", "Call"))[0]
+            n_call = comp.events_of(
+                EventClassRef("server.entry.Normal", "Call"))[0]
+            # if the priority call was pending when Normal started,
+            # Priority must have been served first
+            if comp.temporally_precedes(p_call.eid, n_start.eid):
+                assert comp.temporally_precedes(p_start.eid, n_start.eid)
+
+    def test_terminate_ends_server(self):
+        sysx = system(
+            AdaTask("c", (), (), (EntryCall("server", "E"),)),
+            AdaTask("server", ("E",), (), (
+                AdaLoop((
+                    Select((SelectBranch(Accept("E")),), terminate=True),
+                )),
+            )),
+        )
+        run = run_random(AdaProgram(sysx), seed=0)
+        assert run.completed
+
+    def test_terminate_not_taken_while_queued(self):
+        """A queued call must be served, not terminated away."""
+        sysx = system(
+            AdaTask("c", (), (), (EntryCall("server", "E"),
+                                  Note.make("Served"))),
+            AdaTask("server", ("E",), (), (
+                AdaLoop((
+                    Select((SelectBranch(Accept("E")),), terminate=True),
+                )),
+            )),
+        )
+        for run in explore(AdaProgram(sysx)):
+            assert run.completed
+            assert len(run.computation.events_of_class("Served")) == 1
+
+
+class TestLocalAndData:
+    def test_if_and_loop_free_execution(self):
+        sysx = system(
+            AdaTask("t", (), (("x", 0), ("y", 0)), (
+                AdaAssign("x", Lit(4)),
+                AdaIf(BinOp(">", VarRef("x"), Lit(3)),
+                      (AdaAssign("y", Lit(1)),),
+                      (AdaAssign("y", Lit(2)),)),
+            )),
+        )
+        run = run_random(AdaProgram(sysx), seed=0)
+        assert run.completed
+        values = [e.param("newval")
+                  for e in run.computation.events_at("t.var.y")]
+        assert values == [1]
+
+    def test_data_elements(self):
+        sysx = system(
+            AdaTask("t", (), (("v", None),), (
+                DataWrite("d", Lit(3)),
+                DataRead("d", "v"),
+                Note.make("Saw", value=VarRef("v")),
+            )),
+            data=(("d", 0),),
+        )
+        comp = run_random(AdaProgram(sysx), seed=0).computation
+        assert comp.events_of_class("Saw")[0].param("value") == 3
+
+    def test_accept_body_rejects_blocking_statements(self):
+        sysx = system(
+            AdaTask("c", (), (), (EntryCall("server", "E"),)),
+            AdaTask("server", ("E",), (), (
+                Accept("E", (EntryCall("c", "X"),)),
+            )),
+        )
+        with pytest.raises(SpecificationError, match="local statements"):
+            run_random(AdaProgram(sysx), seed=0)
+
+
+class TestAdaProgramSpec:
+    @pytest.mark.parametrize("factory", [
+        lambda: one_slot_buffer_ada_system(items=(1, 2)),
+        lambda: bounded_buffer_ada_system(capacity=2, items=(1, 2, 3)),
+        lambda: rw_ada_system(1, 1),
+    ])
+    def test_runs_are_legal_program_computations(self, factory):
+        sysx = factory()
+        spec = ada_program_spec(sysx)
+        for seed in range(4):
+            run = run_random(AdaProgram(sysx), seed=seed)
+            assert run.completed
+            assert check_legality(run.computation, spec) == []
+            result = spec.check(run.computation)
+            assert result.ok, result.summary()

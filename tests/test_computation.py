@@ -1,0 +1,210 @@
+"""Unit tests for computations and the builder."""
+
+import pytest
+
+from repro.core import (
+    Computation,
+    ComputationBuilder,
+    Event,
+    EventClassRef,
+    EventId,
+    GroupDecl,
+    GroupStructure,
+    ThreadId,
+)
+from repro.core.errors import ComputationError, CycleError
+
+
+def diamond():
+    """e1 ⊳ e2, e1 ⊳ e3, e2 ⊳ e4, e3 ⊳ e4, four distinct elements."""
+    b = ComputationBuilder()
+    e1 = b.add_event("P", "Fork")
+    e2 = b.add_event("Q", "Work")
+    e3 = b.add_event("R", "Work")
+    e4 = b.add_event("S", "Join")
+    b.add_enable(e1, e2)
+    b.add_enable(e1, e3)
+    b.add_enable(e2, e4)
+    b.add_enable(e3, e4)
+    return b.freeze(), (e1, e2, e3, e4)
+
+
+class TestBuilder:
+    def test_occurrence_numbers_assigned_per_element(self):
+        b = ComputationBuilder()
+        a1 = b.add_event("Var", "Assign", {"newval": 1})
+        a2 = b.add_event("Var", "Assign", {"newval": 2})
+        g1 = b.add_event("Other", "Getval", {"oldval": 1})
+        assert a1.index == 1
+        assert a2.index == 2
+        assert g1.index == 1
+
+    def test_add_enable_requires_existing_events(self):
+        b = ComputationBuilder()
+        e1 = b.add_event("A", "X")
+        with pytest.raises(ComputationError):
+            b.add_enable(e1, EventId("B", 1))
+
+    def test_add_enable_accepts_ids(self):
+        b = ComputationBuilder()
+        e1 = b.add_event("A", "X")
+        e2 = b.add_event("B", "Y")
+        b.add_enable(e1.eid, e2.eid)
+        c = b.freeze()
+        assert c.enables(e1.eid, e2.eid)
+
+    def test_event_count_and_last_event(self):
+        b = ComputationBuilder()
+        assert b.event_count() == 0
+        assert b.last_event_at("A") is None
+        e1 = b.add_event("A", "X")
+        e2 = b.add_event("A", "X")
+        assert b.event_count() == 2
+        assert b.event_count("A") == 2
+        assert b.event_count("B") == 0
+        assert b.last_event_at("A") == e2
+
+    def test_scope_checked_at_add_enable(self):
+        gs = GroupStructure(
+            ["In", "Out"], [GroupDecl.make("G", ["In"])]
+        )
+        b = ComputationBuilder(gs)
+        i = b.add_event("In", "X")
+        o = b.add_event("Out", "Y")
+        b.add_enable(i, o)  # Out is global: fine
+        with pytest.raises(ComputationError, match="scope"):
+            b.add_enable(o, i)  # In is hidden
+
+
+class TestComputationStructure:
+    def test_cycle_rejected_at_freeze(self):
+        b = ComputationBuilder()
+        e1 = b.add_event("A", "X")
+        e2 = b.add_event("B", "Y")
+        b.add_enable(e1, e2)
+        b.add_enable(e2, e1)
+        with pytest.raises(CycleError):
+            b.freeze()
+
+    def test_enable_plus_element_order_cycle_rejected(self):
+        # element order A^1 -> A^2 plus enable A^2 -> B^1 -> A^1 is cyclic
+        b = ComputationBuilder()
+        a1 = b.add_event("A", "X")
+        a2 = b.add_event("A", "X")
+        b1 = b.add_event("B", "Y")
+        b.add_enable(a2, b1)
+        b.add_enable(b1, a1)
+        with pytest.raises(CycleError):
+            b.freeze()
+
+    def test_self_enable_rejected(self):
+        e = Event.make("A", 1, "X")
+        with pytest.raises(ComputationError):
+            Computation([e], [(e.eid, e.eid)])
+
+    def test_duplicate_identity_rejected(self):
+        e1 = Event.make("A", 1, "X")
+        e2 = Event.make("A", 1, "Y")
+        with pytest.raises(ComputationError):
+            Computation([e1, e2], [])
+
+    def test_noncontiguous_indices_rejected(self):
+        e2 = Event.make("A", 2, "X")
+        with pytest.raises(ComputationError, match="contiguous"):
+            Computation([e2], [])
+
+    def test_unknown_event_in_enable_rejected(self):
+        e1 = Event.make("A", 1, "X")
+        with pytest.raises(ComputationError):
+            Computation([e1], [(e1.eid, EventId("B", 1))])
+
+
+class TestRelations:
+    def test_element_order(self):
+        b = ComputationBuilder()
+        a1 = b.add_event("Var", "Assign", {"newval": 1})
+        a2 = b.add_event("Var", "Assign", {"newval": 2})
+        o = b.add_event("Other", "X")
+        c = b.freeze()
+        assert c.element_precedes(a1.eid, a2.eid)
+        assert not c.element_precedes(a2.eid, a1.eid)
+        assert not c.element_precedes(a1.eid, o.eid)
+
+    def test_element_order_feeds_temporal(self):
+        b = ComputationBuilder()
+        a1 = b.add_event("Var", "Assign", {"newval": 1})
+        a2 = b.add_event("Var", "Assign", {"newval": 2})
+        c = b.freeze()
+        # causally unconnected but observably ordered (Section 2)
+        assert not c.enables(a1.eid, a2.eid)
+        assert c.temporally_precedes(a1.eid, a2.eid)
+
+    def test_temporal_is_closure(self):
+        c, (e1, e2, e3, e4) = diamond()
+        assert c.temporally_precedes(e1.eid, e4.eid)
+        assert not c.enables(e1.eid, e4.eid)
+
+    def test_concurrency(self):
+        c, (e1, e2, e3, e4) = diamond()
+        assert c.concurrent(e2.eid, e3.eid)
+        assert not c.concurrent(e1.eid, e2.eid)
+        assert not c.concurrent(e2.eid, e2.eid)
+
+    def test_enabled_by_and_enables_of(self):
+        c, (e1, e2, e3, e4) = diamond()
+        assert {e.eid for e in c.enabled_by(e4.eid)} == {e2.eid, e3.eid}
+        assert {e.eid for e in c.enables_of(e1.eid)} == {e2.eid, e3.eid}
+
+
+class TestAccessors:
+    def test_events_at_and_of(self):
+        b = ComputationBuilder()
+        b.add_event("Var", "Assign", {"newval": 1})
+        b.add_event("Var", "Getval", {"oldval": 1})
+        b.add_event("Var", "Assign", {"newval": 2})
+        c = b.freeze()
+        assert len(c.events_at("Var")) == 3
+        assigns = c.events_of(EventClassRef("Var", "Assign"))
+        assert [e.param("newval") for e in assigns] == [1, 2]
+        assert len(c.events_of_class("Assign")) == 2
+        assert c.events_at("Missing") == ()
+
+    def test_event_lookup(self):
+        c, (e1, *_rest) = diamond()
+        assert c.event(e1.eid) == e1
+        with pytest.raises(ComputationError):
+            c.event(EventId("Zed", 1))
+        assert e1.eid in c
+        assert EventId("Zed", 1) not in c
+
+    def test_elements_listed(self):
+        c, _ = diamond()
+        assert set(c.elements()) == {"P", "Q", "R", "S"}
+
+    def test_describe_mentions_events_and_edges(self):
+        c, (e1, e2, *_rest) = diamond()
+        text = c.describe()
+        assert "P^1:Fork" in text
+        assert "⊳" in text
+
+
+class TestThreadsOnComputation:
+    def test_relabel_and_query(self):
+        c, (e1, e2, e3, e4) = diamond()
+        t = ThreadId("pi", 1)
+        c2 = c.relabel_threads({e1.eid: frozenset({t}), e2.eid: frozenset({t})})
+        assert c2.thread_ids() == (t,)
+        evs = c2.events_of_thread(t)
+        assert [e.eid for e in evs] == [e1.eid, e2.eid]
+        # original untouched
+        assert c.thread_ids() == ()
+
+    def test_events_of_thread_in_temporal_order(self):
+        b = ComputationBuilder()
+        x1 = b.add_event("A", "X")
+        x2 = b.add_event("B", "X")
+        b.add_enable(x1, x2)
+        c = b.freeze()
+        t = ThreadId("pi", 1)
+        c2 = c.relabel_threads({x2.eid: frozenset({t}), x1.eid: frozenset({t})})
+        assert [e.eid for e in c2.events_of_thread(t)] == [x1.eid, x2.eid]

@@ -1,0 +1,140 @@
+"""Unit tests for events, event classes, and identifiers."""
+
+import pytest
+
+from repro.core import Event, EventClass, EventId, ParamSpec, ThreadId
+from repro.core.errors import SpecificationError
+from repro.core.ids import indexed, qualified, split_qualified
+
+
+class TestEventId:
+    def test_str(self):
+        assert str(EventId("Var", 3)) == "Var^3"
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            EventId("Var", 0)
+
+    def test_ordering(self):
+        assert EventId("A", 1) < EventId("A", 2)
+        assert EventId("A", 2) < EventId("B", 1)
+
+    def test_hashable_and_equal(self):
+        assert EventId("A", 1) == EventId("A", 1)
+        assert len({EventId("A", 1), EventId("A", 1)}) == 1
+
+
+class TestThreadId:
+    def test_str(self):
+        assert str(ThreadId("pi_RW", 2)) == "pi_RW-2"
+
+    def test_ordering(self):
+        assert ThreadId("a", 1) < ThreadId("a", 2)
+
+
+class TestNames:
+    def test_qualified(self):
+        assert qualified("db", "control") == "db.control"
+
+    def test_qualified_empty_rejected(self):
+        with pytest.raises(ValueError):
+            qualified()
+
+    def test_indexed(self):
+        assert indexed("data", 3) == "data[3]"
+
+    def test_split(self):
+        assert split_qualified("db.data[3]") == ("db", "data[3]")
+
+
+class TestParamSpec:
+    def test_integer(self):
+        spec = ParamSpec("n", "INTEGER")
+        assert spec.accepts(5)
+        assert not spec.accepts("five")
+        assert not spec.accepts(True)  # bools are not INTEGERs in GEM specs
+
+    def test_boolean(self):
+        spec = ParamSpec("b", "BOOLEAN")
+        assert spec.accepts(True)
+        assert not spec.accepts(1)
+
+    def test_range(self):
+        spec = ParamSpec("loc", "1..5")
+        assert spec.accepts(1)
+        assert spec.accepts(5)
+        assert not spec.accepts(0)
+        assert not spec.accepts(6)
+        assert not spec.accepts("3")
+
+    def test_unknown_type_accepts_everything(self):
+        spec = ParamSpec("v", "VALUE")
+        assert spec.accepts(object())
+
+    def test_malformed_range_accepts(self):
+        assert ParamSpec("v", "lo..hi").accepts(42)
+
+
+class TestEventClass:
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(SpecificationError):
+            EventClass("Assign", (ParamSpec("x"), ParamSpec("x")))
+
+    def test_validate_args_ok(self):
+        ec = EventClass("Assign", (ParamSpec("newval", "INTEGER"),))
+        ec.validate_args({"newval": 7})
+
+    def test_validate_args_missing(self):
+        ec = EventClass("Assign", (ParamSpec("newval", "INTEGER"),))
+        with pytest.raises(SpecificationError, match="missing"):
+            ec.validate_args({})
+
+    def test_validate_args_extra(self):
+        ec = EventClass("Go", ())
+        with pytest.raises(SpecificationError, match="unexpected"):
+            ec.validate_args({"x": 1})
+
+    def test_validate_args_bad_type(self):
+        ec = EventClass("Assign", (ParamSpec("newval", "INTEGER"),))
+        with pytest.raises(SpecificationError, match="rejects"):
+            ec.validate_args({"newval": "seven"})
+
+    def test_param_names(self):
+        ec = EventClass("Write", (ParamSpec("loc"), ParamSpec("info")))
+        assert ec.param_names() == ("loc", "info")
+
+
+class TestEvent:
+    def test_make_and_access(self):
+        ev = Event.make("Var", 1, "Assign", {"newval": 5})
+        assert ev.element == "Var"
+        assert ev.index == 1
+        assert ev.param("newval") == 5
+        assert ev.param_dict() == {"newval": 5}
+
+    def test_missing_param_raises(self):
+        ev = Event.make("Var", 1, "Assign", {"newval": 5})
+        with pytest.raises(KeyError):
+            ev.param("oldval")
+
+    def test_params_frozen_sorted(self):
+        a = Event.make("E", 1, "C", {"b": 2, "a": 1})
+        b = Event.make("E", 1, "C", {"a": 1, "b": 2})
+        assert a == b
+
+    def test_threads(self):
+        t = ThreadId("pi", 1)
+        ev = Event.make("E", 1, "C", threads=frozenset({t}))
+        assert ev.has_thread(t)
+        t2 = ThreadId("pi", 2)
+        ev2 = ev.with_threads(frozenset({t2}))
+        assert ev2.has_thread(t) and ev2.has_thread(t2)
+        assert ev2.eid == ev.eid
+
+    def test_describe(self):
+        ev = Event.make("Var", 2, "Assign", {"newval": 5})
+        assert "Var^2" in ev.describe()
+        assert "newval=5" in ev.describe()
+
+    def test_str(self):
+        assert str(Event.make("Var", 2, "Assign", {"newval": 5})) == "Var^2:Assign"

@@ -1,0 +1,350 @@
+"""Unit tests for the restriction language (repro.core.formula)."""
+
+import pytest
+
+from repro.core import (
+    AllEvents,
+    AtControl,
+    AtElement,
+    AtMostOne,
+    ClassAnywhere,
+    ClassAt,
+    ComputationBuilder,
+    Concurrent,
+    Const,
+    DataCmp,
+    DataEq,
+    DistinctThreads,
+    ElementPrecedes,
+    Enables,
+    EventClassRef,
+    EventEq,
+    Eventually,
+    Exists,
+    ExistsUnique,
+    FalseF,
+    ForAll,
+    Henceforth,
+    History,
+    HistorySequence,
+    Iff,
+    Implies,
+    New,
+    Not,
+    Occurred,
+    Or,
+    Param,
+    Potential,
+    PyPred,
+    Restriction,
+    SameThread,
+    TemporallyPrecedes,
+    ThreadId,
+    TrueF,
+    UnionDomain,
+    domain,
+    empty_history,
+    full_history,
+    maximal_history_sequences,
+    term,
+)
+from repro.core.errors import SpecificationError
+
+
+def var_computation():
+    """Assign(1), Getval(1), Assign(2), Getval(2) at element Var, with
+    each Getval enabled by the matching Assign."""
+    b = ComputationBuilder()
+    a1 = b.add_event("Var", "Assign", {"newval": 1})
+    g1 = b.add_event("Var", "Getval", {"oldval": 1})
+    a2 = b.add_event("Var", "Assign", {"newval": 2})
+    g2 = b.add_event("Var", "Getval", {"oldval": 2})
+    b.add_enable(a1, g1)
+    b.add_enable(a2, g2)
+    return b.freeze(), (a1, g1, a2, g2)
+
+
+def fork_computation():
+    b = ComputationBuilder()
+    f = b.add_event("P", "Fork")
+    w1 = b.add_event("Q", "Work")
+    w2 = b.add_event("R", "Work")
+    b.add_enable(f, w1)
+    b.add_enable(f, w2)
+    return b.freeze(), (f, w1, w2)
+
+
+class TestDomains:
+    def test_class_at(self):
+        c, _ = var_computation()
+        d = ClassAt(EventClassRef("Var", "Assign"))
+        assert len(d.events(c)) == 2
+
+    def test_class_anywhere(self):
+        c, _ = fork_computation()
+        assert len(ClassAnywhere("Work").events(c)) == 2
+
+    def test_union_deduplicates(self):
+        c, _ = var_computation()
+        d = UnionDomain((ClassAnywhere("Assign"), ClassAt(EventClassRef("Var", "Assign"))))
+        assert len(d.events(c)) == 2
+
+    def test_all_events(self):
+        c, _ = var_computation()
+        assert len(AllEvents().events(c)) == 4
+
+    def test_domain_coercion(self):
+        assert isinstance(domain("Var.Assign"), ClassAt)
+        assert isinstance(domain("Assign"), ClassAnywhere)
+        assert isinstance(domain(["Assign", "Getval"]), UnionDomain)
+        d = domain("Assign")
+        assert domain(d) is d
+        with pytest.raises(SpecificationError):
+            domain(42)
+
+    def test_describe(self):
+        assert domain("Var.Assign").describe() == "Var.Assign"
+        assert "{" in domain(["A", "B"]).describe()
+
+
+class TestAtoms:
+    def test_occurred(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        h = History(c, {a1.eid})
+        f = Occurred("e")
+        assert f.holds_at(h, {"e": a1})
+        assert not f.holds_at(h, {"e": g1})
+
+    def test_at_element(self):
+        c, (a1, *_r) = var_computation()
+        h = full_history(c)
+        assert AtElement("e", "Var").holds_at(h, {"e": a1})
+        assert not AtElement("e", "Other").holds_at(h, {"e": a1})
+
+    def test_enables_requires_occurrence(self):
+        c, (a1, g1, *_r) = var_computation()
+        f = Enables("a", "g")
+        env = {"a": a1, "g": g1}
+        assert f.holds_at(full_history(c), env)
+        assert not f.holds_at(History(c, {a1.eid}), env)
+
+    def test_element_precedes(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        f = ElementPrecedes("x", "y")
+        assert f.holds_at(full_history(c), {"x": a1, "y": g2})
+        assert not f.holds_at(full_history(c), {"x": g2, "y": a1})
+
+    def test_temporally_precedes(self):
+        c, (f_, w1, w2) = fork_computation()
+        h = full_history(c)
+        assert TemporallyPrecedes("a", "b").holds_at(h, {"a": f_, "b": w1})
+        assert not TemporallyPrecedes("a", "b").holds_at(h, {"a": w1, "b": w2})
+
+    def test_concurrent(self):
+        c, (f_, w1, w2) = fork_computation()
+        h = full_history(c)
+        assert Concurrent("a", "b").holds_at(h, {"a": w1, "b": w2})
+        assert not Concurrent("a", "b").holds_at(h, {"a": f_, "b": w1})
+
+    def test_event_eq(self):
+        c, (a1, g1, *_r) = var_computation()
+        h = full_history(c)
+        assert EventEq("x", "y").holds_at(h, {"x": a1, "y": a1})
+        assert not EventEq("x", "y").holds_at(h, {"x": a1, "y": g1})
+
+    def test_data_eq(self):
+        c, (a1, g1, *_r) = var_computation()
+        h = full_history(c)
+        f = DataEq(Param("a", "newval"), Param("g", "oldval"))
+        assert f.holds_at(h, {"a": a1, "g": g1})
+        f2 = DataEq(Param("a", "newval"), Const(1))
+        assert f2.holds_at(h, {"a": a1})
+
+    def test_data_cmp(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        h = full_history(c)
+        assert DataCmp(Param("a", "newval"), "<", Const(2)).holds_at(h, {"a": a1})
+        assert DataCmp(Param("a", "newval"), ">=", Const(2)).holds_at(h, {"a": a2})
+        assert DataCmp(Const(1), "!=", Const(2)).holds_at(h, {})
+        with pytest.raises(SpecificationError):
+            DataCmp(Const(1), "~", Const(2)).holds_at(h, {})
+
+    def test_term_coercion(self):
+        assert isinstance(term(5), Const)
+        p = Param("a", "x")
+        assert term(p) is p
+
+    def test_new_and_potential(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        h = History(c, {a1.eid})
+        assert New("e").holds_at(h, {"e": a1})
+        assert Potential("e").holds_at(h, {"e": g1})
+        assert not Potential("e").holds_at(h, {"e": a1})
+
+    def test_at_control(self):
+        c, (a1, g1, *_r) = var_computation()
+        f = AtControl("a", "Var.Getval")
+        assert not f.holds_at(full_history(c), {"a": a1})
+        assert f.holds_at(History(c, {a1.eid}), {"a": a1})
+
+    def test_threads(self):
+        c, (a1, g1, *_r) = var_computation()
+        t = ThreadId("pi", 1)
+        c2 = c.relabel_threads({a1.eid: frozenset({t}), g1.eid: frozenset({t})})
+        h = full_history(c2)
+        ea, eg = c2.event(a1.eid), c2.event(g1.eid)
+        other = c2.events_of_class("Assign")[1]
+        assert SameThread("x", "y").holds_at(h, {"x": ea, "y": eg})
+        assert DistinctThreads("x", "y").holds_at(h, {"x": ea, "y": other})
+
+    def test_pypred(self):
+        c, _ = var_computation()
+        f = PyPred("two-assigns", lambda h, env: len(
+            [e for e in h.computation.events_of_class("Assign") if h.occurred(e.eid)]
+        ) == 2)
+        assert f.holds_at(full_history(c))
+        assert not f.holds_at(empty_history(c))
+        assert "two-assigns" in f.describe()
+
+
+class TestConnectives:
+    def test_boolean_table(self):
+        c, _ = var_computation()
+        h = full_history(c)
+        t, f = TrueF(), FalseF()
+        assert (t & t).holds_at(h)
+        assert not (t & f).holds_at(h)
+        assert (t | f).holds_at(h)
+        assert not (f | f).holds_at(h)
+        assert (~f).holds_at(h)
+        assert (f >> t).holds_at(h)
+        assert (f >> f).holds_at(h)
+        assert not (t >> f).holds_at(h)
+        assert Iff(t, t).holds_at(h)
+        assert Iff(f, f).holds_at(h)
+        assert not Iff(t, f).holds_at(h)
+
+    def test_describe_unicode(self):
+        f = Implies(Occurred("a"), Not(Occurred("b")))
+        assert "⊃" in f.describe()
+        assert "¬" in f.describe()
+
+
+class TestQuantifiers:
+    def test_forall(self):
+        c, _ = var_computation()
+        f = ForAll("a", "Var.Assign", Occurred("a"))
+        assert f.holds_at(full_history(c))
+        assert not f.holds_at(empty_history(c))
+
+    def test_exists(self):
+        c, (a1, *_r) = var_computation()
+        f = Exists("a", "Assign", Occurred("a"))
+        assert f.holds_at(History(c, {a1.eid}))
+        assert not f.holds_at(empty_history(c))
+
+    def test_exists_unique(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        # exactly one Assign enables g1
+        f = ExistsUnique("a", "Assign", Enables("a", "g"))
+        assert f.holds_at(full_history(c), {"g": g1})
+
+    def test_exists_unique_fails_on_two(self):
+        c, _ = var_computation()
+        f = ExistsUnique("a", "Assign", Occurred("a"))
+        assert not f.holds_at(full_history(c))
+
+    def test_at_most_one(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        f = AtMostOne("g", "Getval", Enables("a", "g"))
+        assert f.holds_at(full_history(c), {"a": a1})
+        f2 = AtMostOne("a", "Assign", Occurred("a"))
+        assert not f2.holds_at(full_history(c))
+        assert AtMostOne("a", "Assign", FalseF()).holds_at(full_history(c))
+
+    def test_nested_quantifiers(self):
+        c, _ = var_computation()
+        # every Getval is enabled by some Assign with equal value
+        f = ForAll(
+            "g", "Var.Getval",
+            Implies(
+                Occurred("g"),
+                Exists(
+                    "a", "Var.Assign",
+                    Enables("a", "g")
+                    & DataEq(Param("a", "newval"), Param("g", "oldval")),
+                ),
+            ),
+        )
+        assert f.holds_at(full_history(c))
+
+    def test_quantifier_equality_and_hash(self):
+        f1 = ForAll("a", "Assign", Occurred("a"))
+        f2 = ForAll("a", "Assign", Occurred("a"))
+        f3 = Exists("a", "Assign", Occurred("a"))
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+        assert f1 != f3
+
+
+class TestTemporal:
+    def test_temporal_on_history_raises(self):
+        c, _ = var_computation()
+        with pytest.raises(SpecificationError):
+            Henceforth(TrueF()).holds_at(full_history(c))
+        with pytest.raises(SpecificationError):
+            Eventually(TrueF()).holds_at(full_history(c))
+
+    def test_is_temporal(self):
+        assert Henceforth(TrueF()).is_temporal()
+        assert Eventually(TrueF()).is_temporal()
+        assert Not(Henceforth(TrueF())).is_temporal()
+        assert ForAll("a", "X", Eventually(Occurred("a"))).is_temporal()
+        assert not ForAll("a", "X", Occurred("a")).is_temporal()
+
+    def test_henceforth_over_sequence(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        seq = next(iter(maximal_history_sequences(c)))
+        # "once a2 occurred it stays occurred" - monotone so □ holds
+        f = Henceforth(
+            Implies(
+                PyPred("a2-in", lambda h, env: h.occurred(a2.eid)),
+                PyPred("a2-in2", lambda h, env: h.occurred(a2.eid)),
+            )
+        )
+        assert f.holds_on(seq)
+
+    def test_eventually_over_sequence(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        for seq in maximal_history_sequences(c):
+            assert Eventually(Occurred("e")).holds_on(seq, {"e": g2})
+        # something that never happens
+        assert not Eventually(FalseF()).holds_on(
+            next(iter(maximal_history_sequences(c)))
+        )
+
+    def test_immediate_on_sequence_uses_first_history(self):
+        c, (a1, *_r) = var_computation()
+        seq = next(iter(maximal_history_sequences(c)))
+        # first history is empty, so nothing occurred
+        assert not Occurred("e").holds_on(seq, {"e": a1})
+        assert Occurred("e").holds_on(seq.tail(1), {"e": a1}) == seq[1].occurred(a1.eid)
+
+    def test_nested_temporal(self):
+        c, (a1, g1, a2, g2) = var_computation()
+        # □(occurred(a1) ⊃ ◇occurred(g1)) on every maximal vhs
+        f = Henceforth(Implies(Occurred("a"), Eventually(Occurred("g"))))
+        for seq in maximal_history_sequences(c):
+            assert f.holds_on(seq, {"a": a1, "g": g1})
+
+
+class TestRestriction:
+    def test_describe(self):
+        r = Restriction("r1", TrueF(), comment="always holds")
+        assert "r1" in r.describe()
+        assert "always holds" in r.describe()
+
+    def test_restriction_is_frozen(self):
+        r = Restriction("r1", TrueF())
+        with pytest.raises(Exception):
+            r.name = "r2"

@@ -1,0 +1,161 @@
+"""Unit tests for the GEM type facility (Section 6)."""
+
+import pytest
+
+from repro.core import (
+    ElementDecl,
+    ElementType,
+    EventClass,
+    EventClassRef,
+    GroupDecl,
+    GroupInstance,
+    GroupType,
+    ParamSpec,
+    Restriction,
+    TrueF,
+    qualified,
+)
+from repro.core.errors import SpecificationError
+
+
+def variable_type():
+    """The paper's generic Variable element type."""
+    return ElementType(
+        "Variable",
+        event_classes=[
+            EventClass("Assign", (ParamSpec("newval", "VALUE"),)),
+            EventClass("Getval", (ParamSpec("oldval", "VALUE"),)),
+        ],
+        restrictions_fn=lambda name, bindings: [
+            Restriction(f"{name}-semantics", TrueF(), comment="placeholder")
+        ],
+    )
+
+
+class TestElementType:
+    def test_instantiate(self):
+        var = variable_type().instantiate("Var")
+        assert isinstance(var, ElementDecl)
+        assert var.name == "Var"
+        assert var.declares("Assign")
+        assert var.declares("Getval")
+        assert var.restrictions[0].name == "Var-semantics"
+
+    def test_two_instances_have_distinct_restrictions(self):
+        t = variable_type()
+        a, b = t.instantiate("A"), t.instantiate("B")
+        assert a.restrictions[0].name == "A-semantics"
+        assert b.restrictions[0].name == "B-semantics"
+
+    def test_refinement_substitutes_type_name(self):
+        """IntegerVariable = Variable refined with VALUE -> INTEGER."""
+        int_var = variable_type().refined(
+            "IntegerVariable", substitute={"VALUE": "INTEGER"}
+        )
+        decl = int_var.instantiate("Var")
+        spec = decl.event_class("Assign").params[0]
+        assert spec.type_name == "INTEGER"
+        assert not spec.accepts("a string")
+
+    def test_parameterized_type(self):
+        """TypedVariable(t) = Variable with $t as the value type."""
+        typed = ElementType(
+            "TypedVariable",
+            event_classes=[
+                EventClass("Assign", (ParamSpec("newval", "$t"),)),
+            ],
+            params=["t"],
+        )
+        decl = typed.instantiate("Var", t="INTEGER")
+        assert decl.event_class("Assign").params[0].type_name == "INTEGER"
+
+    def test_missing_binding_rejected(self):
+        typed = ElementType("T", params=["t"])
+        with pytest.raises(SpecificationError, match="missing"):
+            typed.instantiate("X")
+
+    def test_unexpected_binding_rejected(self):
+        with pytest.raises(SpecificationError, match="unexpected"):
+            variable_type().instantiate("X", nope=1)
+
+    def test_refinement_adds_classes_and_restrictions(self):
+        refined = variable_type().refined(
+            "Watched",
+            add_event_classes=[EventClass("Watch")],
+            add_restrictions_fn=lambda name, b: [
+                Restriction(f"{name}-watched", TrueF())
+            ],
+        )
+        decl = refined.instantiate("W")
+        assert decl.declares("Watch")
+        names = [r.name for r in decl.restrictions]
+        assert "W-semantics" in names
+        assert "W-watched" in names
+
+    def test_repr(self):
+        assert "Variable" in repr(variable_type())
+        assert "(t)" in repr(ElementType("T", params=["t"]))
+
+
+class TestGroupType:
+    def database_type(self):
+        """DataBase = GROUP TYPE(control: RWControl, data[1..n]: Variable)."""
+        var_t = variable_type()
+
+        def build(name, bindings):
+            n = bindings["n"]
+            control = ElementDecl.make(
+                qualified(name, "control"), [EventClass("ReqRead")]
+            )
+            data = [
+                var_t.instantiate(qualified(name, f"data[{i}]"))
+                for i in range(1, n + 1)
+            ]
+            members = [control.name] + [d.name for d in data]
+            return GroupInstance(
+                group=GroupDecl.make(name, members,
+                                     ports=[EventClassRef(control.name, "ReqRead")]),
+                elements=tuple([control] + data),
+            )
+
+        return GroupType("DataBase", build, params=["n"])
+
+    def test_instantiate(self):
+        inst = self.database_type().instantiate("db", n=3)
+        assert inst.group.name == "db"
+        assert "db.control" in inst.all_element_names()
+        assert "db.data[3]" in inst.all_element_names()
+        assert len(inst.elements) == 4
+        assert inst.group.ports[0].element == "db.control"
+
+    def test_two_instances_disjoint(self):
+        t = self.database_type()
+        a = t.instantiate("db1", n=1)
+        b = t.instantiate("db2", n=1)
+        assert not (set(a.all_element_names()) & set(b.all_element_names()))
+
+    def test_binding_validation(self):
+        t = self.database_type()
+        with pytest.raises(SpecificationError, match="missing"):
+            t.instantiate("db")
+        with pytest.raises(SpecificationError, match="unexpected"):
+            t.instantiate("db", n=1, m=2)
+
+    def test_builder_must_respect_instance_name(self):
+        bad = GroupType(
+            "Bad",
+            lambda name, b: GroupInstance(group=GroupDecl.make("wrong", [])),
+        )
+        with pytest.raises(SpecificationError, match="must name its group"):
+            bad.instantiate("inst")
+
+    def test_merged_with(self):
+        t = self.database_type()
+        a = t.instantiate("db1", n=1)
+        b = t.instantiate("db2", n=1)
+        merged = a.merged_with(b)
+        assert b.group in merged.subgroups
+        assert set(merged.all_element_names()) >= set(a.all_element_names())
+
+    def test_repr(self):
+        assert "DataBase(n)" in repr(self.database_type())

@@ -1,0 +1,211 @@
+"""Unit tests for groups, scope, access/contained, and ports.
+
+Includes a faithful regeneration of the Section 4 example: four groups
+over six elements, with the paper's "allowed communications" table as
+the expected access relation.
+"""
+
+import pytest
+
+from repro.core import (
+    ElementDecl,
+    EventClass,
+    EventClassRef,
+    GroupDecl,
+    GroupStructure,
+    ROOT_GROUP,
+)
+from repro.core.errors import SpecificationError
+
+
+def section4_structure():
+    """ELEMENTS EL1..EL6; G1=(EL2,EL3) G2=(EL4,EL5) G3=(EL3,EL4) G4=(EL1)."""
+    elements = [f"EL{i}" for i in range(1, 7)]
+    groups = [
+        GroupDecl.make("G1", ["EL2", "EL3"]),
+        GroupDecl.make("G2", ["EL4", "EL5"]),
+        GroupDecl.make("G3", ["EL3", "EL4"]),
+        GroupDecl.make("G4", ["EL1"]),
+    ]
+    return GroupStructure(elements, groups)
+
+
+#: The paper's table: "An event in <row> may enable any event in <cols>".
+SECTION4_TABLE = {
+    "EL1": {"EL1", "EL6"},
+    "EL2": {"EL2", "EL3", "EL6"},
+    "EL3": {"EL2", "EL3", "EL4", "EL6"},
+    "EL4": {"EL3", "EL4", "EL5", "EL6"},
+    "EL5": {"EL4", "EL5", "EL6"},
+    "EL6": {"EL6"},
+}
+
+
+class TestSection4Example:
+    def test_access_table_matches_paper(self):
+        gs = section4_structure()
+        assert {src: set(dsts) for src, dsts in gs.access_table().items()} == (
+            SECTION4_TABLE
+        )
+
+    def test_may_enable_follows_access(self):
+        gs = section4_structure()
+        assert gs.may_enable("EL2", "EL3")
+        assert not gs.may_enable("EL2", "EL4")
+        assert gs.may_enable("EL5", "EL6")
+        assert not gs.may_enable("EL6", "EL1")
+
+
+class TestContainedAndAccess:
+    def test_self_access_via_shared_group(self):
+        gs = GroupStructure(["A", "B"], [GroupDecl.make("G", ["A", "B"])])
+        assert gs.access("A", "A")
+        assert gs.access("A", "B")
+
+    def test_global_access(self):
+        # B at top level is global to nested A
+        gs = GroupStructure(["A", "B"], [GroupDecl.make("G", ["A"])])
+        assert gs.access("A", "B")   # B is global
+        assert not gs.access("B", "A")  # A is hidden inside G
+
+    def test_nested_containment(self):
+        gs = GroupStructure(
+            ["X"],
+            [GroupDecl.make("Outer", ["Inner"]), GroupDecl.make("Inner", ["X"])],
+        )
+        assert gs.contained("X", "Inner")
+        assert gs.contained("X", "Outer")
+        assert gs.contained("Inner", "Outer")
+        assert not gs.contained("Outer", "Inner")
+        assert gs.contained("X", ROOT_GROUP)
+
+    def test_overlapping_groups(self):
+        gs = GroupStructure(
+            ["A", "B", "C"],
+            [GroupDecl.make("G1", ["A", "B"]), GroupDecl.make("G2", ["B", "C"])],
+        )
+        assert gs.access("A", "B")
+        assert gs.access("C", "B")
+        assert not gs.access("A", "C")
+
+    def test_direct_groups_of_root_membership(self):
+        gs = GroupStructure(["A", "B"], [GroupDecl.make("G", ["A"])])
+        assert gs.direct_groups_of("B") == frozenset({ROOT_GROUP})
+        assert gs.direct_groups_of("A") == frozenset({"G"})
+        assert gs.direct_groups_of("G") == frozenset({ROOT_GROUP})
+
+
+class TestPorts:
+    def structure_with_port(self):
+        """Abstraction = GROUP(Datum, Oper) PORTS(Oper.Start)."""
+        return GroupStructure(
+            ["Datum", "Oper", "Client"],
+            [
+                GroupDecl.make(
+                    "Abstraction",
+                    ["Datum", "Oper"],
+                    ports=[EventClassRef("Oper", "Start")],
+                )
+            ],
+        )
+
+    def test_outside_may_enable_port_only(self):
+        gs = self.structure_with_port()
+        assert gs.may_enable("Client", "Oper", "Start")
+        assert not gs.may_enable("Client", "Oper", "Other")
+        assert not gs.may_enable("Client", "Datum", "Assign")
+
+    def test_inside_unaffected(self):
+        gs = self.structure_with_port()
+        assert gs.may_enable("Oper", "Datum", "Assign")
+        assert gs.may_enable("Datum", "Oper", "Other")
+
+    def test_port_groups(self):
+        gs = self.structure_with_port()
+        assert gs.port_groups("Oper", "Start") == frozenset({"Abstraction"})
+        assert gs.port_groups("Oper", "Other") == frozenset()
+
+    def test_port_at_unknown_element_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupStructure(
+                ["A"],
+                [GroupDecl.make("G", ["A"], ports=[EventClassRef("Zed", "Go")])],
+            )
+
+    def test_port_outside_group_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupStructure(
+                ["A", "B"],
+                [GroupDecl.make("G", ["A"], ports=[EventClassRef("B", "Go")])],
+            )
+
+    def test_events_visible_outside(self):
+        gs = self.structure_with_port()
+        assert gs.events_visible_outside("Abstraction") == frozenset(
+            {EventClassRef("Oper", "Start")}
+        )
+
+
+class TestValidation:
+    def test_unknown_member_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupStructure(["A"], [GroupDecl.make("G", ["A", "Nope"])])
+
+    def test_duplicate_group_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupStructure(["A"], [GroupDecl.make("G", ["A"]), GroupDecl.make("G", [])])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupStructure(["A", "A"], [])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupDecl.make("G", ["A", "A"])
+
+    def test_containment_cycle_rejected(self):
+        with pytest.raises(SpecificationError, match="cycle"):
+            GroupStructure(
+                [],
+                [GroupDecl.make("G1", ["G2"]), GroupDecl.make("G2", ["G1"])],
+            )
+
+    def test_root_name_reserved(self):
+        with pytest.raises(SpecificationError):
+            GroupStructure([], [GroupDecl.make(ROOT_GROUP, [])])
+
+    def test_unknown_group_lookup(self):
+        gs = GroupStructure(["A"], [])
+        with pytest.raises(SpecificationError):
+            gs.group("nope")
+
+    def test_empty_group_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            GroupDecl.make("", [])
+
+
+class TestElementDecl:
+    def test_duplicate_event_classes_rejected(self):
+        with pytest.raises(SpecificationError):
+            ElementDecl.make("E", [EventClass("A"), EventClass("A")])
+
+    def test_lookup(self):
+        decl = ElementDecl.make("E", [EventClass("A"), EventClass("B")])
+        assert decl.event_class("A").name == "A"
+        assert decl.declares("B")
+        assert not decl.declares("C")
+        with pytest.raises(SpecificationError):
+            decl.event_class("C")
+
+    def test_renamed_and_refined(self):
+        decl = ElementDecl.make("E", [EventClass("A")])
+        r = decl.renamed("F").with_event_classes([EventClass("B")])
+        assert r.name == "F"
+        assert r.class_names() == ("A", "B")
+
+    def test_event_class_ref_parse(self):
+        ref = EventClassRef.parse("db.control.ReqRead")
+        assert ref.element == "db.control"
+        assert ref.event_class == "ReqRead"
+        with pytest.raises(SpecificationError):
+            EventClassRef.parse("nodots")

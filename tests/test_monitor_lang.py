@@ -1,0 +1,398 @@
+"""Unit tests for the Monitor language: AST, interpreter, GEM spec."""
+
+import pytest
+
+from repro.core import EventClassRef, check_legality
+from repro.core.errors import SpecificationError
+from repro.langs.monitor import (
+    Assign,
+    BinOp,
+    CallOp,
+    Caller,
+    DataReadOp,
+    DataWriteOp,
+    Entry,
+    If,
+    Lit,
+    MonitorDecl,
+    MonitorProgram,
+    MonitorSystem,
+    NoteOp,
+    ParamRef,
+    QueueNonEmpty,
+    Signal,
+    Skip,
+    UnOp,
+    VarRef,
+    Wait,
+    While,
+    bounded_buffer_monitor,
+    bounded_buffer_system,
+    monitor_program_spec,
+    one_slot_buffer_monitor,
+    one_slot_buffer_system,
+    readers_writers_monitor,
+    readers_writers_system,
+)
+from repro.langs.monitor.ast import ExprEnv, expr
+from repro.sim import explore, run_random
+
+
+class TestExpressions:
+    def env(self, **variables):
+        return ExprEnv(variables=variables)
+
+    def test_literals_and_vars(self):
+        assert Lit(5).eval(self.env()) == 5
+        assert VarRef("x").eval(self.env(x=7)) == 7
+
+    def test_unknown_var_raises(self):
+        with pytest.raises(SpecificationError):
+            VarRef("nope").eval(self.env())
+
+    def test_param_ref(self):
+        env = ExprEnv(variables={}, params={"item": 3})
+        assert ParamRef("item").eval(env) == 3
+        with pytest.raises(SpecificationError):
+            ParamRef("zzz").eval(env)
+
+    def test_binops(self):
+        e = self.env(a=7, b=3)
+        cases = {
+            "+": 10, "-": 4, "*": 21, "%": 1,
+            "==": False, "!=": True, "<": False, "<=": False,
+            ">": True, ">=": True,
+        }
+        for op, want in cases.items():
+            assert BinOp(op, VarRef("a"), VarRef("b")).eval(e) == want
+
+    def test_bool_ops(self):
+        e = self.env(t=True, f=False)
+        assert BinOp("and", VarRef("t"), VarRef("f")).eval(e) is False
+        assert BinOp("or", VarRef("t"), VarRef("f")).eval(e) is True
+        assert UnOp("not", VarRef("f")).eval(e) is True
+        assert UnOp("-", Lit(5)).eval(e) == -5
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(SpecificationError):
+            BinOp("**", Lit(1), Lit(2))
+
+    def test_reads(self):
+        e = BinOp("+", VarRef("a"), BinOp("*", VarRef("b"), Lit(2)))
+        assert set(e.reads()) == {"a", "b"}
+
+    def test_indexed_var(self):
+        env = ExprEnv(variables={"buf[0]": 9, "i": 0})
+        assert VarRef("buf", VarRef("i")).eval(env) == 9
+        assert VarRef("buf", VarRef("i")).describe() == "buf[i]"
+
+    def test_queue_nonempty(self):
+        env = ExprEnv(variables={}, queue_nonempty=lambda c: c == "q1")
+        assert QueueNonEmpty("q1").eval(env)
+        assert not QueueNonEmpty("q2").eval(env)
+
+    def test_expr_coercion(self):
+        assert isinstance(expr("x"), VarRef)
+        assert isinstance(expr(5), Lit)
+        lit = Lit(1)
+        assert expr(lit) is lit
+
+
+class TestDeclarations:
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(SpecificationError):
+            MonitorDecl("m", entries=(Entry("E"), Entry("E")))
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(SpecificationError):
+            MonitorDecl("m", variables=(("x", 0), ("x", 1)))
+
+    def test_entry_lookup(self):
+        m = readers_writers_monitor()
+        assert m.entry("StartRead").name == "StartRead"
+        with pytest.raises(SpecificationError):
+            m.entry("Nope")
+
+    def test_duplicate_callers_rejected(self):
+        with pytest.raises(SpecificationError):
+            MonitorSystem(readers_writers_monitor(),
+                          (Caller("a"), Caller("a")))
+
+
+def tiny_system(entries, script, variables=(("x", 0),), conditions=("c",),
+                init=()):
+    mon = MonitorDecl("m", variables=tuple(variables),
+                      conditions=tuple(conditions), entries=tuple(entries),
+                      init=tuple(init))
+    return MonitorSystem(mon, (Caller("p", tuple(script)),))
+
+
+class TestInterpreterBasics:
+    def test_simple_entry_runs(self):
+        sysx = tiny_system(
+            [Entry("Set", ("v",), (Assign("x", ParamRef("v"), label="set"),))],
+            [CallOp.make("Set", v=42)],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        assert run.completed
+        comp = run.computation
+        assigns = comp.events_of_class("Assign")
+        assert len(assigns) == 1
+        assert assigns[0].param("newval") == 42
+        assert assigns[0].param("site") == "Set:set"
+
+    def test_event_order_in_run(self):
+        sysx = tiny_system(
+            [Entry("E", (), (Skip(),))],
+            [CallOp.make("E")],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        comp = run.computation
+        call = comp.events_of_class("Call")[0]
+        req = comp.events_of_class("Req")[0]
+        acq = comp.events_of_class("Acq")[0]
+        begin = comp.events_of_class("Begin")[0]
+        end = comp.events_of_class("End")[0]
+        ret = comp.events_of_class("Return")[0]
+        seq = [call, req, acq, begin, end, ret]
+        for a, b in zip(seq, seq[1:]):
+            assert comp.temporally_precedes(a.eid, b.eid)
+
+    def test_if_else(self):
+        sysx = tiny_system(
+            [Entry("E", (), (
+                If(BinOp("==", VarRef("x"), Lit(0)),
+                   (Assign("x", Lit(1), label="then"),),
+                   (Assign("x", Lit(2), label="else"),)),
+            ))],
+            [CallOp.make("E"), CallOp.make("E")],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        values = [e.param("newval") for e in run.computation.events_of_class("Assign")]
+        assert values == [1, 2]
+
+    def test_while_loop(self):
+        sysx = tiny_system(
+            [Entry("E", (), (
+                While(BinOp("<", VarRef("x"), Lit(3)),
+                      (Assign("x", BinOp("+", VarRef("x"), Lit(1))),)),
+            ))],
+            [CallOp.make("E")],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        values = [e.param("newval") for e in run.computation.events_of_class("Assign")]
+        assert values == [1, 2, 3]
+
+    def test_init_runs_before_entries(self):
+        sysx = tiny_system(
+            [Entry("E", (), ())],
+            [CallOp.make("E")],
+            init=[Assign("x", Lit(9))],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        comp = run.computation
+        init_ev = comp.events_of_class("Init")[0]
+        acq = comp.events_of_class("Acq")[0]
+        assert comp.temporally_precedes(init_ev.eid, acq.eid)
+
+    def test_signal_on_empty_queue_is_noop(self):
+        sysx = tiny_system(
+            [Entry("E", (), (Signal("c"),))],
+            [CallOp.make("E")],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        comp = run.computation
+        assert len(comp.events_of_class("Signal")) == 1
+        assert len(comp.events_of_class("Release")) == 0
+        assert run.completed
+
+    def test_wait_without_signal_deadlocks(self):
+        sysx = tiny_system(
+            [Entry("E", (), (Wait("c"),))],
+            [CallOp.make("E")],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        assert run.deadlocked
+
+    def test_data_ops(self):
+        mon = MonitorDecl("m", entries=(Entry("E", (), ()),))
+        sysx = MonitorSystem(mon, (
+            Caller("p", (
+                DataWriteOp("d", 5),
+                DataReadOp("d"),
+                NoteOp.make("Saw", value=lambda loc: loc.get("last_read")),
+            )),
+        ), data_elements=(("d", 0),))
+        run = run_random(MonitorProgram(sysx), seed=0)
+        comp = run.computation
+        saw = comp.events_of_class("Saw")[0]
+        assert saw.param("value") == 5
+
+    def test_unknown_data_element_raises(self):
+        mon = MonitorDecl("m", entries=())
+        sysx = MonitorSystem(mon, (Caller("p", (DataReadOp("missing"),)),))
+        with pytest.raises(SpecificationError):
+            run_random(MonitorProgram(sysx), seed=0)
+
+    def test_bad_call_args_raise(self):
+        sysx = tiny_system(
+            [Entry("E", ("v",), ())],
+            [CallOp.make("E")],  # missing v
+        )
+        with pytest.raises(SpecificationError):
+            run_random(MonitorProgram(sysx), seed=0)
+
+    def test_copy_out(self):
+        sysx = tiny_system(
+            [Entry("E", (), (Assign("x", Lit(7)),))],
+            [CallOp.make("E", copy_out=[("x", "got")]),
+             NoteOp.make("Got", value=lambda loc: loc.get("got"))],
+        )
+        run = run_random(MonitorProgram(sysx), seed=0)
+        assert run.computation.events_of_class("Got")[0].param("value") == 7
+
+    def test_bad_entry_grant_policy(self):
+        sysx = tiny_system([Entry("E", (), ())], [CallOp.make("E")])
+        with pytest.raises(SpecificationError):
+            MonitorProgram(sysx, entry_grant="sideways").initial_state()
+
+
+class TestHoareSemantics:
+    def test_signal_hands_off_directly(self):
+        """A signalled waiter runs before any new entrant (Hoare)."""
+        mon = MonitorDecl(
+            "m",
+            variables=(("x", 0),),
+            conditions=("c",),
+            entries=(
+                Entry("WaitForIt", (), (
+                    If(BinOp("==", VarRef("x"), Lit(0)), (Wait("c"),)),
+                    Assign("x", Lit(2), label="after"),
+                )),
+                Entry("Poke", (), (
+                    Assign("x", Lit(1), label="poke"),
+                    Signal("c"),
+                    Assign("x", BinOp("+", VarRef("x"), Lit(10)),
+                           label="post"),
+                )),
+            ),
+        )
+        sysx = MonitorSystem(mon, (
+            Caller("w", (CallOp.make("WaitForIt"),)),
+            Caller("s", (CallOp.make("Poke"),)),
+        ))
+        # In every completed run where the waiter waited, the released
+        # waiter's assignment (x:=2) lands between poke (x:=1) and the
+        # signaller's post-assignment (x:=12 = 2+10).
+        for run in explore(MonitorProgram(sysx)):
+            assert run.completed
+            assigns = [
+                (e.param("site"), e.param("newval"))
+                for e in run.computation.events_of_class("Assign")
+                if e.param("site") != "init"
+            ]
+            if any(site == "Poke:post" for site, _v in assigns):
+                waited = len(run.computation.events_of_class("Wait")) > 0
+                if waited:
+                    order = [s for s, _v in assigns]
+                    assert order.index("WaitForIt:after") < order.index("Poke:post")
+                    post_val = dict(assigns)["Poke:post"]
+                    assert post_val == 12  # saw the waiter's x:=2
+
+    def test_urgent_resumes_before_new_entrants(self):
+        """After hand-off, the signaller resumes before queued entries."""
+        mon = MonitorDecl(
+            "m",
+            variables=(("log", ()),),
+            conditions=("c",),
+            entries=(
+                Entry("W", (), (Wait("c"), Skip())),
+                Entry("S", (), (Signal("c"),
+                                Assign("log", Lit("signaller-done"),
+                                       label="done"))),
+                Entry("Late", (), (Assign("log", Lit("late"),
+                                          label="late"),)),
+            ),
+        )
+        sysx = MonitorSystem(mon, (
+            Caller("w", (CallOp.make("W"),)),
+            Caller("s", (CallOp.make("S"),)),
+            Caller("l", (CallOp.make("Late"),)),
+        ))
+        for run in explore(MonitorProgram(sysx)):
+            if not run.completed:
+                continue
+            comp = run.computation
+            releases = comp.events_of_class("Release")
+            if not releases:
+                continue  # W never waited (ran after S's no-op signal)
+            (release,) = releases
+            (done,) = [e for e in comp.events_of_class("Assign")
+                       if e.param("site") == "S:done"]
+            # no new entrant may run between the hand-off and the
+            # signaller's resumed completion
+            for begin in comp.events_of(EventClassRef("m.entry.Late", "Begin")):
+                assert not (
+                    comp.temporally_precedes(release.eid, begin.eid)
+                    and comp.temporally_precedes(begin.eid, done.eid)
+                )
+
+
+class TestProgramSpecLegality:
+    @pytest.mark.parametrize("system_factory", [
+        lambda: readers_writers_system(1, 1),
+        lambda: one_slot_buffer_system(items=(1, 2)),
+        lambda: bounded_buffer_system(capacity=2, items=(1, 2)),
+    ])
+    def test_runs_are_legal_program_computations(self, system_factory):
+        sysx = system_factory()
+        spec = monitor_program_spec(sysx)
+        for seed in range(5):
+            run = run_random(MonitorProgram(sysx), seed=seed)
+            assert check_legality(run.computation, spec) == []
+            result = spec.check(run.computation)
+            assert result.ok, result.summary()
+
+    def test_getvals_emitted_when_enabled(self):
+        sysx = readers_writers_system(1, 1)
+        run = run_random(MonitorProgram(sysx, emit_getvals=True), seed=1)
+        getvals = [e for e in run.computation.events_of_class("Getval")
+                   if e.element.startswith("rw.var.")]
+        assert getvals  # the IF tests read readernum
+
+
+class TestFifoGrantPolicy:
+    def test_fifo_grants_in_request_order(self):
+        """With entry_grant='fifo', lock grants follow Req order."""
+        from repro.sim import explore
+
+        sysx = readers_writers_system(n_readers=2, n_writers=0)
+        for run in explore(MonitorProgram(sysx, entry_grant="fifo")):
+            assert run.completed
+            comp = run.computation
+            reqs = [e.param("by") for e in comp.events_at("rw.lock")
+                    if e.event_class == "Req"]
+            first_acqs = []
+            seen = set()
+            for e in comp.events_at("rw.lock"):
+                if e.event_class == "Acq":
+                    by = e.param("by")
+                    # track only each caller's *first* acquisition per
+                    # request round; readers call twice (StartRead and
+                    # EndRead), so compare round by round
+                    first_acqs.append(by)
+            # the i-th distinct new grant must match the i-th request
+            # in a single-entry-round prefix: check the first two
+            assert first_acqs[0] == reqs[0]
+
+    def test_any_policy_explores_both_grant_orders(self):
+        from repro.sim import explore
+
+        sysx = readers_writers_system(n_readers=2, n_writers=0)
+        first_grants = set()
+        for run in explore(MonitorProgram(sysx, entry_grant="any")):
+            comp = run.computation
+            acqs = [e.param("by") for e in comp.events_at("rw.lock")
+                    if e.event_class == "Acq"]
+            first_grants.add(acqs[0])
+        assert first_grants == {"reader1", "reader2"}

@@ -1,0 +1,408 @@
+"""Integration tests: the paper's Section 11 verification claims.
+
+"GEM can also be used as a verification tool. ... Monitor, CSP, and ADA
+solutions to the One-Slot Buffer, Bounded Buffer, and Reader's Priority
+Readers/Writers problems have been verified.  Properties such as
+progress and functional correctness have been proved of the two
+distributed problems."
+
+Each test reproduces one cell of that matrix: verify the solution in
+language L against problem P over all bounded executions, and (for the
+negative controls) confirm that a deliberately broken solution is
+rejected.  Small configurations keep tests fast; benchmarks run bigger
+ones.
+"""
+
+import pytest
+
+from repro.langs.ada import (
+    AdaProgram,
+    ada_program_spec,
+    bounded_buffer_ada_system,
+    one_slot_buffer_ada_system,
+    rw_ada_system,
+)
+from repro.langs.csp import (
+    CspProgram,
+    bounded_buffer_csp_system,
+    csp_program_spec,
+    one_slot_buffer_csp_system,
+    rw_csp_system,
+)
+from repro.langs.monitor import (
+    MonitorProgram,
+    bounded_buffer_system,
+    monitor_program_spec,
+    one_slot_buffer_monitor_unguarded,
+    one_slot_buffer_system,
+    readers_writers_monitor_writers_first,
+    readers_writers_system,
+)
+from repro.problems import bounded_buffer, one_slot_buffer, readers_writers
+from repro.verify import verify_program
+
+
+class TestOneSlotBuffer:
+    """E3: One-Slot Buffer verified in all three languages."""
+
+    def test_monitor_solution(self):
+        sysx = one_slot_buffer_system(items=(1, 2))
+        report = verify_program(
+            MonitorProgram(sysx),
+            one_slot_buffer.one_slot_buffer_spec(with_exclusion=True),
+            one_slot_buffer.monitor_correspondence("osb"),
+            program_spec=monitor_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+        assert report.exhaustive
+
+    def test_csp_solution(self):
+        sysx = one_slot_buffer_csp_system(items=(1, 2))
+        report = verify_program(
+            CspProgram(sysx),
+            one_slot_buffer.one_slot_buffer_spec(temporal_safety=False),
+            one_slot_buffer.csp_correspondence(),
+            program_spec=csp_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_ada_solution(self):
+        sysx = one_slot_buffer_ada_system(items=(1, 2))
+        report = verify_program(
+            AdaProgram(sysx),
+            one_slot_buffer.one_slot_buffer_spec(),
+            one_slot_buffer.ada_correspondence(),
+            program_spec=ada_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_unguarded_monitor_mutant_rejected(self):
+        sysx = one_slot_buffer_system(
+            items=(1, 2), monitor=one_slot_buffer_monitor_unguarded())
+        report = verify_program(
+            MonitorProgram(sysx),
+            one_slot_buffer.one_slot_buffer_spec(),
+            one_slot_buffer.monitor_correspondence("osb"),
+        )
+        assert not report.ok
+        assert not report.verdict("capacity-1").holds
+
+
+class TestBoundedBuffer:
+    """E4: Bounded Buffer verified in all three languages."""
+
+    def test_monitor_solution(self):
+        sysx = bounded_buffer_system(capacity=2, items=(1, 2, 3))
+        report = verify_program(
+            MonitorProgram(sysx),
+            bounded_buffer.bounded_buffer_spec(2, with_exclusion=True),
+            bounded_buffer.monitor_correspondence("bb"),
+            program_spec=monitor_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_csp_solution(self):
+        sysx = bounded_buffer_csp_system(capacity=2, items=(1, 2, 3))
+        report = verify_program(
+            CspProgram(sysx),
+            bounded_buffer.bounded_buffer_spec(2, temporal_safety=False),
+            bounded_buffer.csp_correspondence(),
+            program_spec=csp_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_ada_solution(self):
+        sysx = bounded_buffer_ada_system(capacity=2, items=(1, 2, 3))
+        report = verify_program(
+            AdaProgram(sysx),
+            bounded_buffer.bounded_buffer_spec(2),
+            bounded_buffer.ada_correspondence(),
+            program_spec=ada_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_wrong_capacity_rejected(self):
+        """A capacity-2 buffer does NOT satisfy the capacity-1 spec."""
+        sysx = bounded_buffer_system(capacity=2, items=(1, 2, 3))
+        report = verify_program(
+            MonitorProgram(sysx),
+            bounded_buffer.bounded_buffer_spec(1),
+            bounded_buffer.monitor_correspondence("bb"),
+        )
+        assert not report.ok
+        assert not report.verdict("capacity-1").holds
+
+
+class TestReadersWritersPriority:
+    """E1/E2: the Section 9 worked example, in all three languages."""
+
+    def test_monitor_solution(self):
+        sysx = readers_writers_system(n_readers=1, n_writers=2)
+        users = [c.name for c in sysx.callers]
+        report = verify_program(
+            MonitorProgram(sysx),
+            readers_writers.rw_problem_spec(users, variant="readers-priority"),
+            readers_writers.monitor_correspondence("rw"),
+            program_spec=monitor_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+        assert report.verdict("readers-priority").holds
+        assert report.verdict("writers-exclude-readers").holds
+        assert report.verdict("writers-exclude-writers").holds
+
+    def test_monitor_mutant_loses_priority_not_mutex(self):
+        sysx = readers_writers_system(
+            n_readers=1, n_writers=2,
+            monitor=readers_writers_monitor_writers_first())
+        users = [c.name for c in sysx.callers]
+        report = verify_program(
+            MonitorProgram(sysx),
+            readers_writers.rw_problem_spec(users, variant="readers-priority"),
+            readers_writers.monitor_correspondence("rw"),
+        )
+        assert not report.verdict("readers-priority").holds
+        assert report.verdict("writers-exclude-readers").holds
+        assert report.verdict("writers-exclude-writers").holds
+
+    def test_csp_solution(self):
+        sysx = rw_csp_system(n_readers=1, n_writers=2)
+        readers, writers = ["reader1"], ["writer1", "writer2"]
+        report = verify_program(
+            CspProgram(sysx),
+            readers_writers.rw_problem_spec(readers + writers,
+                                            variant="readers-priority"),
+            readers_writers.csp_correspondence(readers, writers),
+            program_spec=csp_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_csp_mutant_rejected(self):
+        sysx = rw_csp_system(n_readers=1, n_writers=2, writers_first=True)
+        readers, writers = ["reader1"], ["writer1", "writer2"]
+        report = verify_program(
+            CspProgram(sysx),
+            readers_writers.rw_problem_spec(readers + writers,
+                                            variant="readers-priority"),
+            readers_writers.csp_correspondence(readers, writers),
+        )
+        assert not report.verdict("readers-priority").holds
+        assert report.verdict("writers-exclude-readers").holds
+
+    def test_ada_solution(self):
+        sysx = rw_ada_system(n_readers=1, n_writers=2)
+        users = ["reader1", "writer1", "writer2"]
+        report = verify_program(
+            AdaProgram(sysx),
+            readers_writers.rw_problem_spec(users, variant="readers-priority"),
+            readers_writers.ada_correspondence(),
+            program_spec=ada_program_spec(sysx),
+        )
+        assert report.ok, report.summary()
+
+    def test_ada_mutant_rejected(self):
+        sysx = rw_ada_system(n_readers=1, n_writers=2, writers_first=True)
+        users = ["reader1", "writer1", "writer2"]
+        report = verify_program(
+            AdaProgram(sysx),
+            readers_writers.rw_problem_spec(users, variant="readers-priority"),
+            readers_writers.ada_correspondence(),
+        )
+        assert not report.verdict("readers-priority").holds
+
+
+class TestFiveVariants:
+    """E5: the five Readers/Writers versions tell solutions apart."""
+
+    @pytest.fixture(scope="class")
+    def monitor_exploration(self):
+        from repro.sim import explore_or_sample
+
+        sysx = readers_writers_system(n_readers=1, n_writers=2)
+        users = [c.name for c in sysx.callers]
+        return sysx, users, explore_or_sample(MonitorProgram(sysx))
+
+    def _verdicts(self, monitor_exploration, variant):
+        sysx, users, exploration = monitor_exploration
+        report = verify_program(
+            MonitorProgram(sysx),
+            readers_writers.rw_problem_spec(users, variant=variant),
+            readers_writers.monitor_correspondence("rw"),
+            exploration=exploration,
+        )
+        return report
+
+    def test_variant_names(self):
+        assert set(readers_writers.VARIANTS) == {
+            "weak", "readers-priority", "writers-priority", "fifo",
+            "no-starvation",
+        }
+        with pytest.raises(ValueError):
+            readers_writers.rw_problem_spec(["u"], variant="nope")
+
+    def test_weak_holds(self, monitor_exploration):
+        assert self._verdicts(monitor_exploration, "weak").ok
+
+    def test_readers_priority_holds(self, monitor_exploration):
+        report = self._verdicts(monitor_exploration, "readers-priority")
+        assert report.verdict("readers-priority").holds
+
+    def test_writers_priority_fails(self, monitor_exploration):
+        """The readers-priority monitor must NOT satisfy writers priority."""
+        report = self._verdicts(monitor_exploration, "writers-priority")
+        assert not report.verdict("writers-priority").holds
+
+    def test_fifo_fails(self, monitor_exploration):
+        """Readers overtake earlier writers, so FIFO service fails."""
+        report = self._verdicts(monitor_exploration, "fifo")
+        assert not report.verdict("fifo-service").holds
+
+    def test_no_starvation_holds_on_finite_runs(self, monitor_exploration):
+        """With finite workloads every request completes."""
+        report = self._verdicts(monitor_exploration, "no-starvation")
+        assert report.verdict("every-read-request-served").holds
+        assert report.verdict("every-write-request-served").holds
+        assert report.verdict("every-read-finishes").holds
+        assert report.verdict("every-write-finishes").holds
+
+
+class TestDistributedApplications:
+    """E6/E7: the two distributed applications."""
+
+    def test_db_update_verified(self):
+        from repro.core import check_computation
+        from repro.problems.db_update import (
+            DbUpdateProgram,
+            db_update_spec,
+            standard_requests,
+        )
+        from repro.sim import explore
+
+        reqs = standard_requests(n_clients=2, n_sites=2)
+        spec = db_update_spec(2, reqs)
+        runs = list(explore(DbUpdateProgram(2, reqs)))
+        assert runs
+        for run in runs:
+            assert run.completed
+            result = check_computation(run.computation, spec)
+            assert result.ok, result.summary()
+
+    def test_db_update_mutant_diverges(self):
+        from repro.core import check_computation
+        from repro.problems.db_update import (
+            DbUpdateProgram,
+            db_update_spec,
+            standard_requests,
+        )
+        from repro.sim import explore
+
+        reqs = standard_requests(n_clients=2, n_sites=2)
+        spec = db_update_spec(2, reqs)
+        failures = 0
+        for run in explore(DbUpdateProgram(2, reqs, broken_timestamps=True)):
+            if not check_computation(run.computation, spec).ok:
+                failures += 1
+        assert failures > 0
+
+    def test_async_life_matches_synchronous_reference(self):
+        from repro.core import check_computation
+        from repro.problems.game_of_life import (
+            AsyncLifeProgram,
+            blinker,
+            life_spec,
+        )
+        from repro.sim import sample_runs
+
+        init = blinker(3, 3)
+        spec = life_spec(init, 3, 3, 2)
+        for run in sample_runs(AsyncLifeProgram.make(init, 3, 3, 2), 5,
+                               seed=0):
+            assert run.completed
+            result = check_computation(run.computation, spec)
+            assert result.ok, result.summary()
+
+    def test_async_life_mutant_rejected(self):
+        from repro.core import check_computation
+        from repro.problems.game_of_life import (
+            AsyncLifeProgram,
+            blinker,
+            life_spec,
+        )
+        from repro.sim import sample_runs
+
+        init = blinker(3, 3)
+        spec = life_spec(init, 3, 3, 2)
+        failures = 0
+        for run in sample_runs(
+                AsyncLifeProgram.make(init, 3, 3, 2,
+                                      skip_neighbor_wait=True), 5, seed=0):
+            if not check_computation(run.computation, spec).ok:
+                failures += 1
+        assert failures > 0
+
+    def test_async_life_distant_cells_concurrent(self):
+        """The async grid exhibits real concurrency: distant cells'
+        same-generation computations are temporally unordered."""
+        from repro.problems.game_of_life import AsyncLifeProgram, blinker, cell_element
+        from repro.sim import run_random
+
+        init = blinker(5, 5)
+        run = run_random(AsyncLifeProgram.make(init, 5, 5, 1), seed=1)
+        comp = run.computation
+        a = [e for e in comp.events_at(cell_element(0, 0))
+             if e.event_class == "Compute"][0]
+        b = [e for e in comp.events_at(cell_element(2, 2))
+             if e.event_class == "Compute"][0]
+        assert comp.concurrent(a.eid, b.eid)
+
+    def test_life_glider_reference(self):
+        """The synchronous reference translates the glider (sanity)."""
+        from repro.problems.game_of_life import (
+            GLIDER_5X5,
+            synchronous_reference,
+        )
+
+        grids = synchronous_reference(GLIDER_5X5, 5, 5, 4)
+        live0 = {c for c, v in grids[0].items() if v}
+        live4 = {c for c, v in grids[4].items() if v}
+        # after 4 generations a glider has moved one cell diagonally
+        moved = {((x + 1) % 5, (y + 1) % 5) for (x, y) in live0}
+        assert live4 == moved
+
+
+class TestWritersPriorityMonitor:
+    """The other corner of the E5 matrix: a true writers-priority monitor
+    satisfies the writers-priority variant and fails readers-priority."""
+
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        from repro.langs.monitor import (
+            readers_writers_monitor_writers_priority,
+        )
+        from repro.sim import explore_or_sample
+
+        system = readers_writers_system(
+            n_readers=2, n_writers=1,
+            monitor=readers_writers_monitor_writers_priority())
+        users = [c.name for c in system.callers]
+        return system, users, explore_or_sample(MonitorProgram(system))
+
+    def _report(self, exploration, variant):
+        system, users, runs = exploration
+        return verify_program(
+            MonitorProgram(system),
+            readers_writers.rw_problem_spec(users, variant=variant),
+            readers_writers.monitor_correspondence("rw"),
+            exploration=runs,
+        )
+
+    def test_satisfies_writers_priority(self, exploration):
+        report = self._report(exploration, "writers-priority")
+        assert report.ok, report.summary()
+
+    def test_fails_readers_priority(self, exploration):
+        report = self._report(exploration, "readers-priority")
+        assert report.failed_restrictions() == ["readers-priority"]
+
+    def test_keeps_mutual_exclusion(self, exploration):
+        report = self._report(exploration, "weak")
+        assert report.ok, report.summary()

@@ -1,0 +1,344 @@
+"""Unit tests for the problem-specification modules themselves
+(structure, restrictions on hand-crafted computations, correspondences)."""
+
+import pytest
+
+from repro.core import (
+    ComputationBuilder,
+    ThreadId,
+    check_safety_at_all_histories,
+    empty_history,
+    full_history,
+)
+from repro.problems import (
+    bounded_buffer,
+    buffer_base,
+    db_update,
+    game_of_life,
+    one_slot_buffer,
+    readers_writers,
+    variable,
+)
+
+
+class TestVariableProblem:
+    def build(self, ops):
+        b = ComputationBuilder()
+        for kind, value in ops:
+            if kind == "assign":
+                b.add_event("V", "Assign", {"newval": value})
+            else:
+                b.add_event("V", "Getval", {"oldval": value})
+        return b.freeze()
+
+    def test_getval_yields_last_assign(self):
+        comp = self.build([("assign", 1), ("get", 1), ("assign", 2),
+                           ("get", 2)])
+        r = variable.variable_semantics_restriction("V", initial=0)
+        assert r.formula.holds_at(full_history(comp))
+
+    def test_stale_read_detected(self):
+        comp = self.build([("assign", 1), ("assign", 2), ("get", 1)])
+        r = variable.variable_semantics_restriction("V", initial=0)
+        assert not r.formula.holds_at(full_history(comp))
+
+    def test_initial_value_readable(self):
+        comp = self.build([("get", 0)])
+        assert variable.variable_semantics_restriction(
+            "V", initial=0).formula.holds_at(full_history(comp))
+        assert not variable.variable_semantics_restriction(
+            "V", initial=9).formula.holds_at(full_history(comp))
+
+    def test_read_before_any_assign_without_initial_rejected(self):
+        comp = self.build([("get", 0)])
+        r = variable.variable_semantics_restriction("V")
+        assert not r.formula.holds_at(full_history(comp))
+
+    def test_empty_history_vacuous(self):
+        comp = self.build([("assign", 1), ("get", 1)])
+        r = variable.variable_semantics_restriction("V", initial=0)
+        assert r.formula.holds_at(empty_history(comp))
+
+    def test_integer_variable_type_rejects_strings(self):
+        decl = variable.variable_element("V", initial=0, integer=True)
+        spec_param = decl.event_class("Assign").params[0]
+        assert not spec_param.accepts("nope")
+        assert spec_param.accepts(3)
+
+    def test_element_carries_restriction(self):
+        decl = variable.variable_element("V", initial=0)
+        assert any("getval-yields-last-assign" in r.name
+                   for r in decl.restrictions)
+
+
+class TestBufferBase:
+    def control_events(self, seq):
+        """seq of (class, item) events at buf.control."""
+        b = ComputationBuilder()
+        for cls, item in seq:
+            b.add_event(buffer_base.CONTROL, cls, {"item": item})
+        return b.freeze()
+
+    def test_capacity_counts_end_events(self):
+        comp = self.control_events([
+            ("EndDeposit", None), ("EndDeposit", None), ("EndRemove", None),
+        ])
+        assert buffer_base.capacity_restriction(
+            2, temporal=False).formula.holds_at(full_history(comp))
+        assert not buffer_base.capacity_restriction(
+            1, temporal=False).formula.holds_at(full_history(comp))
+
+    def test_remove_before_deposit_rejected(self):
+        comp = self.control_events([("EndRemove", None),
+                                    ("EndDeposit", None)])
+        assert not buffer_base.capacity_restriction(
+            3, temporal=False).formula.holds_at(full_history(comp))
+
+    def test_fifo_resolves_item_from_start_or_end(self):
+        comp = self.control_events([
+            ("StartDeposit", 7), ("EndDeposit", None),
+            ("StartRemove", None), ("EndRemove", 7),
+        ])
+        assert buffer_base.fifo_value_restriction(
+            temporal=False).formula.holds_at(full_history(comp))
+
+    def test_fifo_detects_wrong_order(self):
+        comp = self.control_events([
+            ("StartDeposit", 1), ("EndDeposit", None),
+            ("StartDeposit", 2), ("EndDeposit", None),
+            ("StartRemove", 2), ("EndRemove", None),
+        ])
+        assert not buffer_base.fifo_value_restriction(
+            temporal=False).formula.holds_at(full_history(comp))
+
+    def test_temporal_capacity_checked_at_histories(self):
+        # an interleaving that overshoots mid-way but balances at the end
+        comp = self.control_events([
+            ("EndDeposit", None), ("EndDeposit", None),
+            ("EndRemove", None), ("EndRemove", None),
+        ])
+        r1 = buffer_base.capacity_restriction(1, temporal=True)
+        # the element order fixes the overshoot: even at the complete
+        # computation the walk sees occupancy 2
+        from repro.core import LatticeChecker
+
+        assert not LatticeChecker(comp).holds(r1.formula)
+
+    def test_spec_structure(self):
+        spec = buffer_base.buffer_problem_spec(
+            "b", 2, ["p"], ["c"], with_progress=False)
+        names = {r.name for r in spec.all_restrictions()}
+        assert {"deposit-chain", "remove-chain", "capacity-2",
+                "fifo-values"} <= names
+        assert "every-deposit-completes" not in names
+        spec2 = buffer_base.buffer_problem_spec(
+            "b", 2, ["p"], ["c"], with_exclusion=True)
+        assert "deposits-exclude-removes" in {
+            r.name for r in spec2.all_restrictions()}
+
+
+class TestOneSlotBufferSpec:
+    def test_alternation_detects_double_deposit(self):
+        b = ComputationBuilder()
+        b.add_event(buffer_base.CONTROL, "EndDeposit", {"item": None})
+        b.add_event(buffer_base.CONTROL, "EndDeposit", {"item": None})
+        comp = b.freeze()
+        r = one_slot_buffer.alternation_restriction(temporal=False)
+        assert not r.formula.holds_at(full_history(comp))
+
+    def test_spec_includes_alternation(self):
+        spec = one_slot_buffer.one_slot_buffer_spec()
+        assert "strict-alternation" in {
+            r.name for r in spec.all_restrictions()}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            bounded_buffer.bounded_buffer_spec(0)
+
+
+class TestReadersWritersSpec:
+    def test_variants_differ_in_restrictions(self):
+        base = {r.name for r in readers_writers.rw_problem_spec(
+            ["u"], variant="weak").all_restrictions()}
+        rp = {r.name for r in readers_writers.rw_problem_spec(
+            ["u"], variant="readers-priority").all_restrictions()}
+        assert rp - base == {"readers-priority"}
+        ns = {r.name for r in readers_writers.rw_problem_spec(
+            ["u"], variant="no-starvation").all_restrictions()}
+        assert "every-read-request-served" in ns
+
+    def test_thread_type_attached(self):
+        spec = readers_writers.rw_problem_spec(["u"])
+        assert any(t.name == "pi_RW" for t in spec.thread_types)
+
+    def test_db_ports_are_requests(self):
+        spec = readers_writers.rw_problem_spec(["u"])
+        db = next(g for g in spec.groups if g.name == "db")
+        ports = {(p.element, p.event_class) for p in db.ports}
+        assert ports == {("db.control", "ReqRead"), ("db.control", "ReqWrite")}
+
+    def test_mutual_exclusion_restriction_on_crafted_computation(self):
+        """Hand-build overlapping write/read intervals; □-check fails."""
+        b = ComputationBuilder()
+        t1, t2 = ThreadId("pi_RW", 1), ThreadId("pi_RW", 2)
+        sw = b.add_event("db.control", "StartWrite", threads=[t1])
+        sr = b.add_event("db.control", "StartRead", threads=[t2])
+        ew = b.add_event("db.control", "EndWrite", threads=[t1])
+        er = b.add_event("db.control", "EndRead", threads=[t2])
+        comp = b.freeze()
+        (mutex_rw, _mutex_ww) = readers_writers.mutual_exclusion_restrictions()
+        from repro.core import LatticeChecker
+
+        assert not LatticeChecker(comp).holds(mutex_rw.formula)
+
+    def test_correspondence_builders(self):
+        mc = readers_writers.monitor_correspondence("rw")
+        assert len(mc.rules) == 12
+        cc = readers_writers.csp_correspondence(["r1"], ["w1"])
+        assert any("ReqRead" in r.name for r in cc.rules)
+        ac = readers_writers.ada_correspondence()
+        assert any(r.target_class == "StartWrite" for r in ac.rules)
+
+
+class TestDbUpdateSpec:
+    def test_winning_value_replays_stamping(self):
+        reqs = (
+            db_update.UpdateRequest("c1", 111, 0),
+            db_update.UpdateRequest("c2", 222, 1),
+            db_update.UpdateRequest("c1", 333, 0),
+        )
+        # stamps: (1,0), (1,1), (2,0) -> winner (2,0) = 333
+        assert db_update.winning_value(reqs, 2) == 333
+
+    def test_monotonic_timestamps_restriction(self):
+        b = ComputationBuilder()
+        b.add_event("site[0]", "Apply", {"value": 1, "ts": [2, 0],
+                                         "origin": 0})
+        b.add_event("site[0]", "Apply", {"value": 2, "ts": [1, 0],
+                                         "origin": 0})
+        comp = b.freeze()
+        r = db_update.timestamps_monotonic_restriction("site[0]")
+        from repro.core import LatticeChecker
+
+        assert not LatticeChecker(comp).holds(r.formula)
+
+    def test_spec_elements_cover_sites_and_clients(self):
+        reqs = db_update.standard_requests(2, 1, 2)
+        spec = db_update.db_update_spec(2, reqs)
+        assert "site[0]" in spec.element_names()
+        assert "client1" in spec.element_names()
+
+    def test_site_count_validated(self):
+        with pytest.raises(ValueError):
+            db_update.DbUpdateState(0, [])
+
+
+class TestGameOfLifeHelpers:
+    def test_life_rule(self):
+        assert game_of_life.life_rule(False, 3)
+        assert game_of_life.life_rule(True, 2)
+        assert not game_of_life.life_rule(True, 1)
+        assert not game_of_life.life_rule(True, 4)
+        assert not game_of_life.life_rule(False, 2)
+
+    def test_neighbours_toroidal(self):
+        ns = game_of_life.neighbours(0, 0, 3, 3)
+        assert len(ns) == 8
+        assert (2, 2) in ns  # wraps both ways
+
+    def test_blinker_oscillates(self):
+        init = game_of_life.blinker(5, 5)
+        grids = game_of_life.synchronous_reference(init, 5, 5, 2)
+        assert grids[2] == grids[0]
+        assert grids[1] != grids[0]
+
+    def test_spec_restriction_names(self):
+        init = game_of_life.blinker(3, 3)
+        spec = game_of_life.life_spec(init, 3, 3, 1)
+        names = {r.name for r in spec.all_restrictions()}
+        assert names == {"compute-join", "generations-in-order",
+                         "functional-correctness", "all-cells-finish"}
+
+
+class TestDbUpdateMutants:
+    def _failures(self, program, spec):
+        from repro.core import check_computation
+        from repro.sim import explore
+
+        failures = set()
+        for run in explore(program):
+            result = check_computation(run.computation, spec)
+            failures.update(result.failed_restrictions())
+        return failures
+
+    def test_lossy_mutant_fails_propagation(self):
+        reqs = db_update.standard_requests(2, 1, 2)
+        spec = db_update.db_update_spec(2, reqs)
+        program = db_update.DbUpdateProgram(2, reqs, lossy=True)
+        failures = self._failures(program, spec)
+        # the winning update happens to originate at the lossy site, so
+        # replicas still converge -- but propagation is provably broken,
+        # which is exactly what the progress restriction is for
+        assert "full-propagation" in failures
+
+    def test_lossy_mutant_can_also_diverge(self):
+        # three clients: the winner originates at site 0 and never
+        # reaches the lossy site -> convergence fails too
+        reqs = db_update.standard_requests(3, 1, 2)
+        spec = db_update.db_update_spec(2, reqs)
+        program = db_update.DbUpdateProgram(2, reqs, lossy=True)
+        failures = self._failures(program, spec)
+        assert "full-propagation" in failures
+        assert "convergence" in failures
+
+    def test_broken_timestamps_fail_convergence_not_propagation(self):
+        reqs = db_update.standard_requests(2, 1, 2)
+        spec = db_update.db_update_spec(2, reqs)
+        program = db_update.DbUpdateProgram(2, reqs, broken_timestamps=True)
+        failures = self._failures(program, spec)
+        assert "convergence" in failures
+        assert "full-propagation" not in failures
+
+
+class TestLifeCausalCone:
+    def test_light_cone_bound(self):
+        from repro.sim import run_random
+
+        init = game_of_life.blinker(5, 5)
+        prog = game_of_life.AsyncLifeProgram.make(init, 5, 5, 2)
+        comp = run_random(prog, seed=2).computation
+        for (x, y) in [(0, 0), (2, 2), (4, 1)]:
+            for gen in (1, 2):
+                assert game_of_life.cone_radius_holds(comp, x, y, gen, 5, 5)
+
+    def test_cone_sizes_grow_with_generation(self):
+        from repro.sim import run_random
+
+        init = game_of_life.blinker(7, 7)
+        prog = game_of_life.AsyncLifeProgram.make(init, 7, 7, 2)
+        comp = run_random(prog, seed=0).computation
+        c1 = game_of_life.causal_cone(comp, 3, 3, 1)
+        c2 = game_of_life.causal_cone(comp, 3, 3, 2)
+        # gen 1 depends on the 3x3 neighbourhood (9 events + itself)
+        assert len(c1) == 10
+        # gen 2 depends on the 5x5 neighbourhood of gen 0 plus the 3x3
+        # of gen 1 plus itself: 25 + 9 + 1
+        assert len(c2) == 35
+        assert c1 < c2
+
+
+class TestSpecDescribe:
+    def test_rw_spec_listing(self):
+        spec = readers_writers.rw_problem_spec(["u"],
+                                               variant="readers-priority")
+        text = spec.describe()
+        assert "SPECIFICATION readers-writers-readers-priority" in text
+        assert "db.control = ELEMENT" in text
+        assert "ReqRead()" in text
+        assert "PORTS(db.control.ReqRead, db.control.ReqWrite)" in text
+        assert "THREAD pi_RW" in text
+        assert "readers-priority" in text
+
+    def test_element_restrictions_listed(self):
+        spec = readers_writers.rw_problem_spec(["u"])
+        assert "getval-yields-last-assign" in spec.describe()

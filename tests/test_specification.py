@@ -1,0 +1,203 @@
+"""Unit tests for specifications and legality checking."""
+
+import pytest
+
+from repro.core import (
+    Computation,
+    ComputationBuilder,
+    ElementDecl,
+    Event,
+    EventClass,
+    EventClassRef,
+    GroupDecl,
+    ParamSpec,
+    Path,
+    Restriction,
+    Specification,
+    ThreadType,
+    TrueF,
+    check_legality,
+    from_group_instances,
+    prerequisite,
+)
+from repro.core.errors import SpecificationError
+from repro.core.gemtypes import GroupInstance
+
+
+def var_spec():
+    """One Var element with Assign/Getval and a prerequisite restriction."""
+    var = ElementDecl.make(
+        "Var",
+        [
+            EventClass("Assign", (ParamSpec("newval", "INTEGER"),)),
+            EventClass("Getval", (ParamSpec("oldval", "INTEGER"),)),
+        ],
+        restrictions=[
+            Restriction("assign-enables-getval", prerequisite("Assign", "Getval"))
+        ],
+    )
+    return Specification("var-spec", elements=[var])
+
+
+class TestSpecificationBasics:
+    def test_element_lookup(self):
+        s = var_spec()
+        assert s.element("Var").name == "Var"
+        assert s.element_or_none("Nope") is None
+        with pytest.raises(SpecificationError):
+            s.element("Nope")
+
+    def test_duplicate_element_rejected(self):
+        e = ElementDecl.make("E", [EventClass("A")])
+        with pytest.raises(SpecificationError):
+            Specification("s", elements=[e, e])
+
+    def test_duplicate_restriction_names_rejected(self):
+        e = ElementDecl.make("E", [EventClass("A")],
+                             restrictions=[Restriction("r", TrueF())])
+        with pytest.raises(SpecificationError, match="duplicate restriction"):
+            Specification("s", elements=[e],
+                          restrictions=[Restriction("r", TrueF())])
+
+    def test_all_restrictions_collects_all_levels(self):
+        e = ElementDecl.make("E", [EventClass("A")],
+                             restrictions=[Restriction("elem-r", TrueF())])
+        g = GroupDecl.make("G", ["E"], restrictions=[Restriction("group-r", TrueF())])
+        s = Specification("s", elements=[e], groups=[g],
+                          restrictions=[Restriction("spec-r", TrueF())])
+        names = {r.name for r in s.all_restrictions()}
+        assert names == {"spec-r", "elem-r", "group-r"}
+
+    def test_restriction_lookup(self):
+        s = var_spec()
+        assert s.restriction("assign-enables-getval").name == "assign-enables-getval"
+        with pytest.raises(SpecificationError):
+            s.restriction("nope")
+
+    def test_extended(self):
+        s = var_spec().extended(elements=[ElementDecl.make("E2", [EventClass("B")])])
+        assert set(s.element_names()) == {"Var", "E2"}
+
+    def test_without_restrictions(self):
+        s = Specification("s", restrictions=[Restriction("a", TrueF()),
+                                             Restriction("b", TrueF())])
+        s2 = s.without_restrictions(["a"])
+        assert [r.name for r in s2.all_restrictions()] == ["b"]
+        with pytest.raises(SpecificationError):
+            s.without_restrictions(["zzz"])
+
+    def test_repr(self):
+        assert "var-spec" in repr(var_spec())
+
+    def test_from_group_instances(self):
+        inst = GroupInstance(
+            group=GroupDecl.make("G", ["G.e"]),
+            elements=(ElementDecl.make("G.e", [EventClass("A")]),),
+            restrictions=(Restriction("inst-r", TrueF()),),
+        )
+        s = from_group_instances("s", [inst])
+        assert "G.e" in s.element_names()
+        assert {r.name for r in s.all_restrictions()} == {"inst-r"}
+
+    def test_thread_labelling_via_spec(self):
+        e = ElementDecl.make("E", [EventClass("A"), EventClass("B")])
+        tt = ThreadType("pi", [Path.parse("E.A :: E.B")])
+        s = Specification("s", elements=[e], thread_types=[tt])
+        b = s.builder()
+        a = b.add_event("E", "A")
+        bb = b.add_event("E", "B")
+        b.add_enable(a, bb)
+        c = b.freeze()
+        labelled = s.label_threads(c)
+        assert len(labelled.thread_ids()) == 1
+
+
+class TestLegality:
+    def legal_comp(self):
+        s = var_spec()
+        b = s.builder()
+        a = b.add_event("Var", "Assign", {"newval": 1})
+        g = b.add_event("Var", "Getval", {"oldval": 1})
+        b.add_enable(a, g)
+        return s, b.freeze()
+
+    def test_legal_computation_passes(self):
+        s, c = self.legal_comp()
+        assert check_legality(c, s) == []
+        assert s.legal(c)
+
+    def test_undeclared_element_detected(self):
+        s = var_spec()
+        b = ComputationBuilder()
+        b.add_event("Rogue", "Assign", {"newval": 1})
+        c = b.freeze()
+        violations = check_legality(c, s)
+        assert any(v.rule == "element-declared" for v in violations)
+
+    def test_undeclared_class_detected(self):
+        s = var_spec()
+        b = ComputationBuilder()
+        b.add_event("Var", "Mystery")
+        c = b.freeze()
+        violations = check_legality(c, s)
+        assert any(v.rule == "class-declared" for v in violations)
+
+    def test_bad_params_detected(self):
+        s = var_spec()
+        b = ComputationBuilder()
+        b.add_event("Var", "Assign", {"newval": "not an int"})
+        c = b.freeze()
+        violations = check_legality(c, s)
+        assert any(v.rule == "class-declared" for v in violations)
+
+    def test_scope_violation_detected(self):
+        inner = ElementDecl.make("In", [EventClass("X")])
+        outer = ElementDecl.make("Out", [EventClass("Y")])
+        s = Specification(
+            "scoped",
+            elements=[inner, outer],
+            groups=[GroupDecl.make("G", ["In"])],
+        )
+        # bypass the builder's scope check to construct an illegal computation
+        i = Event.make("In", 1, "X")
+        o = Event.make("Out", 1, "Y")
+        c = Computation([i, o], [(o.eid, i.eid)])
+        violations = check_legality(c, s)
+        assert any(v.rule == "scope" for v in violations)
+
+    def test_port_makes_enable_legal(self):
+        inner = ElementDecl.make("In", [EventClass("Start"), EventClass("X")])
+        outer = ElementDecl.make("Out", [EventClass("Y")])
+        s = Specification(
+            "ported",
+            elements=[inner, outer],
+            groups=[GroupDecl.make("G", ["In"],
+                                   ports=[EventClassRef("In", "Start")])],
+        )
+        i = Event.make("In", 1, "Start")
+        o = Event.make("Out", 1, "Y")
+        c = Computation([i, o], [(o.eid, i.eid)])
+        assert check_legality(c, s) == []
+
+    def test_empty_computation_is_legal(self):
+        s = var_spec()
+        c = ComputationBuilder().freeze()
+        assert s.legal(c)
+
+    def test_check_result_summary(self):
+        s, c = self.legal_comp()
+        result = s.check(c)
+        assert result.ok
+        assert "LEGAL" in result.summary()
+        assert result.failed_restrictions() == []
+
+    def test_restriction_violation_reported(self):
+        s = var_spec()
+        b = s.builder()
+        b.add_event("Var", "Assign", {"newval": 1})
+        b.add_event("Var", "Getval", {"oldval": 1})  # not enabled by Assign
+        c = b.freeze()
+        result = s.check(c)
+        assert not result.ok
+        assert result.failed_restrictions() == ["assign-enables-getval"]
+        assert "FAIL" in result.summary()

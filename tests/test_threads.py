@@ -1,0 +1,154 @@
+"""Unit tests for the thread mechanism (Section 8.3)."""
+
+import pytest
+
+from repro.core import ClassPattern, ComputationBuilder, Path, ThreadId, ThreadType, label_all
+from repro.core.errors import SpecificationError
+
+
+def rw_like_computation(n_transactions=2):
+    """n chains: u.Read -> ctl.ReqRead -> ctl.StartRead -> data[i].Getval
+    -> ctl.EndRead -> u.FinishRead."""
+    b = ComputationBuilder()
+    chains = []
+    for i in range(n_transactions):
+        r = b.add_event("u", "Read", {"loc": i + 1})
+        rq = b.add_event("db.control", "ReqRead", {"loc": i + 1})
+        sr = b.add_event("db.control", "StartRead", {"loc": i + 1})
+        gv = b.add_event(f"db.data[{i + 1}]", "Getval", {"oldval": 0})
+        er = b.add_event("db.control", "EndRead", {"info": 0})
+        fr = b.add_event("u", "FinishRead", {"info": 0})
+        for x, y in zip([r, rq, sr, gv, er], [rq, sr, gv, er, fr]):
+            b.add_enable(x, y)
+        chains.append((r, rq, sr, gv, er, fr))
+    return b.freeze(), chains
+
+
+READ_PATH = Path.parse(
+    "u.Read :: db.control.ReqRead :: db.control.StartRead :: "
+    "db.data[*].Getval :: db.control.EndRead :: u.FinishRead"
+)
+
+
+class TestParsing:
+    def test_class_pattern_parse(self):
+        p = ClassPattern.parse(" db.control.ReqRead ")
+        assert p.element_pattern == "db.control"
+        assert p.event_class == "ReqRead"
+
+    def test_class_pattern_bad(self):
+        with pytest.raises(SpecificationError):
+            ClassPattern.parse("nodot")
+
+    def test_path_parse(self):
+        assert len(READ_PATH.stages) == 6
+        assert str(READ_PATH.stages[3]) == "db.data[*].Getval"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(SpecificationError):
+            Path(())
+
+    def test_thread_type_needs_paths(self):
+        with pytest.raises(SpecificationError):
+            ThreadType("pi", [])
+
+    def test_repr(self):
+        tt = ThreadType("pi", [READ_PATH])
+        assert "pi" in repr(tt)
+
+
+class TestWildcards:
+    def test_wildcard_matches_indexed_element(self):
+        from repro.core import Event
+
+        pat = ClassPattern("db.data[*]", "Getval")
+        assert pat.matches(Event.make("db.data[3]", 1, "Getval", {"oldval": 0}))
+        assert not pat.matches(Event.make("db.data[3]", 1, "Assign", {"newval": 0}))
+        assert not pat.matches(Event.make("other", 1, "Getval", {"oldval": 0}))
+
+
+class TestLabelling:
+    def test_each_transaction_gets_own_thread(self):
+        c, chains = rw_like_computation(2)
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c)
+        tids = labelled.thread_ids()
+        assert len(tids) == 2
+        assert all(t.thread_type == "pi_RW" for t in tids)
+
+    def test_labels_follow_chain(self):
+        c, chains = rw_like_computation(1)
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c)
+        (tid,) = labelled.thread_ids()
+        for ev in chains[0]:
+            assert tid in labelled.event(ev.eid).threads
+
+    def test_labels_do_not_cross_transactions(self):
+        c, chains = rw_like_computation(2)
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c)
+        t1_events = {e.eid for e in labelled.events_of_thread(ThreadId("pi_RW", 1))}
+        t2_events = {e.eid for e in labelled.events_of_thread(ThreadId("pi_RW", 2))}
+        assert not (t1_events & t2_events)
+        assert len(t1_events) == 6
+        assert len(t2_events) == 6
+
+    def test_serials_assigned_in_temporal_order(self):
+        c, chains = rw_like_computation(2)
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c)
+        # the first transaction's Read is ReqRead^1 on db.control: its
+        # initiating event is at u^1, which tops the topological order
+        first_read = chains[0][0]
+        assert ThreadId("pi_RW", 1) in labelled.event(first_read.eid).threads
+
+    def test_chain_stops_when_pattern_breaks(self):
+        b = ComputationBuilder()
+        r = b.add_event("u", "Read", {"loc": 1})
+        rq = b.add_event("db.control", "ReqRead", {"loc": 1})
+        odd = b.add_event("elsewhere", "Odd")
+        b.add_enable(r, rq)
+        b.add_enable(rq, odd)  # not the prescribed next stage
+        c = b.freeze()
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c)
+        (tid,) = labelled.thread_ids()
+        assert tid in labelled.event(rq.eid).threads
+        assert tid not in labelled.event(odd.eid).threads
+
+    def test_alternative_paths(self):
+        b = ComputationBuilder()
+        w = b.add_event("u", "Write", {"loc": 1, "info": 9})
+        rq = b.add_event("db.control", "ReqWrite", {"loc": 1, "info": 9})
+        b.add_enable(w, rq)
+        c = b.freeze()
+        tt = ThreadType(
+            "pi_RW",
+            [READ_PATH, Path.parse("u.Write :: db.control.ReqWrite")],
+        )
+        labelled = tt.label(c)
+        (tid,) = labelled.thread_ids()
+        assert tid in labelled.event(rq.eid).threads
+
+    def test_existing_labels_preserved(self):
+        c, chains = rw_like_computation(1)
+        tt1 = ThreadType("pi_A", [Path.parse("u.Read")])
+        tt2 = ThreadType("pi_B", [Path.parse("db.control.ReqRead")])
+        labelled = label_all(c, [tt1, tt2])
+        types = {t.thread_type for t in labelled.thread_ids()}
+        assert types == {"pi_A", "pi_B"}
+
+    def test_start_serial(self):
+        c, chains = rw_like_computation(1)
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c, start_serial=5)
+        assert labelled.thread_ids() == (ThreadId("pi_RW", 5),)
+
+    def test_instances(self):
+        c, _ = rw_like_computation(3)
+        tt = ThreadType("pi_RW", [READ_PATH])
+        labelled = tt.label(c)
+        assert len(tt.instances(labelled)) == 3
+        other = ThreadType("pi_X", [Path.parse("u.Read")])
+        assert other.instances(labelled) == ()

@@ -1,0 +1,259 @@
+"""Unit tests for the verification method: correspondence, projection, sat."""
+
+import pytest
+
+from repro.core import ComputationBuilder, Event
+from repro.core.errors import VerificationError
+from repro.verify import (
+    Correspondence,
+    SignificantEvents,
+    by_param,
+    process_from_param,
+    process_from_param_or_element,
+    project,
+    verify_program,
+)
+
+
+def rule(name="r", element="A", event_class="X", target_element="P",
+         target_class="Y", **kw):
+    return SignificantEvents(name, element, event_class, target_element,
+                             target_class, **kw)
+
+
+class TestSignificantEvents:
+    def test_exact_match(self):
+        r = rule()
+        assert r.matches(Event.make("A", 1, "X"))
+        assert not r.matches(Event.make("B", 1, "X"))
+        assert not r.matches(Event.make("A", 1, "Z"))
+
+    def test_prefix_wildcard(self):
+        r = rule(element="db.data[*")
+        assert r.matches(Event.make("db.data[3]", 1, "X"))
+        assert not r.matches(Event.make("db.control", 1, "X"))
+
+    def test_star_matches_everything(self):
+        r = rule(element="*")
+        assert r.matches(Event.make("anything.at.all", 1, "X"))
+
+    def test_where_predicate(self):
+        r = rule(where=by_param("site", "s1"))
+        assert r.matches(Event.make("A", 1, "X", {"site": "s1"}))
+        assert not r.matches(Event.make("A", 1, "X", {"site": "s2"}))
+        assert not r.matches(Event.make("A", 1, "X"))
+
+    def test_callable_target_element(self):
+        r = rule(target_element=lambda ev: ev.element.upper())
+        assert r.target_element_for(Event.make("abc", 1, "X")) == "ABC"
+
+    def test_params_transform(self):
+        r = rule(params=lambda ev: {"item": ev.param("newval")})
+        assert r.params_for(Event.make("A", 1, "X", {"newval": 9})) == {"item": 9}
+        assert rule().params_for(Event.make("A", 1, "X")) == {}
+
+
+class TestCorrespondence:
+    def test_first_matching_rule_wins(self):
+        c = Correspondence((
+            rule(name="specific", where=by_param("k", 1), target_class="S"),
+            rule(name="general", target_class="G"),
+        ))
+        ev1 = Event.make("A", 1, "X", {"k": 1})
+        ev2 = Event.make("A", 2, "X", {"k": 2})
+        assert c.rule_for(ev1).name == "specific"
+        assert c.rule_for(ev2).name == "general"
+        assert c.rule_for(Event.make("Z", 1, "Q")) is None
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(VerificationError):
+            Correspondence((rule(name="a"), rule(name="a")))
+
+    def test_default_edge_policy_keeps_all(self):
+        c = Correspondence((rule(),))
+        assert c.keeps_edge(Event.make("A", 1, "X"), Event.make("A", 2, "X"))
+
+    def test_same_process_edge_policy(self):
+        c = Correspondence((rule(),), process_of=process_from_param("by"))
+        a = Event.make("A", 1, "X", {"by": "p"})
+        b = Event.make("A", 2, "X", {"by": "p"})
+        z = Event.make("A", 3, "X", {"by": "q"})
+        n = Event.make("A", 4, "X")  # no process: edges kept
+        assert c.keeps_edge(a, b)
+        assert not c.keeps_edge(a, z)
+        assert c.keeps_edge(a, n)
+
+    def test_process_from_param_or_element(self):
+        extract = process_from_param_or_element("by")
+        assert extract(Event.make("el", 1, "X", {"by": "p"})) == "p"
+        assert extract(Event.make("el", 1, "X")) == "el"
+
+    def test_explicit_edge_filter_overrides(self):
+        c = Correspondence((rule(),), edge_filter=lambda a, b: False)
+        assert not c.keeps_edge(Event.make("A", 1, "X"), Event.make("A", 2, "X"))
+
+
+class TestProjection:
+    def chain_computation(self):
+        """sig(A) -> hidden(H) -> sig(B); plus sig(C) unreachable."""
+        b = ComputationBuilder()
+        a = b.add_event("A", "X", {"by": "p"})
+        h = b.add_event("H", "Mid", {"by": "p"})
+        bb = b.add_event("B", "X", {"by": "p"})
+        c = b.add_event("C", "X", {"by": "q"})
+        b.add_enable(a, h)
+        b.add_enable(h, bb)
+        return b.freeze()
+
+    def correspondence(self, **kw):
+        return Correspondence((
+            SignificantEvents("a", "A", "X", "P", "Ev"),
+            SignificantEvents("b", "B", "X", "P", "Ev"),
+            SignificantEvents("c", "C", "X", "Q", "Ev"),
+        ), **kw)
+
+    def test_events_renamed_and_renumbered(self):
+        proj = project(self.chain_computation(), self.correspondence())
+        assert len(proj) == 3
+        assert len(proj.events_at("P")) == 2
+        assert len(proj.events_at("Q")) == 1
+        assert all(e.event_class == "Ev" for e in proj.events)
+
+    def test_path_induced_edge_through_hidden(self):
+        proj = project(self.chain_computation(), self.correspondence())
+        p1, p2 = proj.events_at("P")
+        assert proj.enables(p1.eid, p2.eid)
+
+    def test_edge_blocked_by_significant_intermediate(self):
+        b = ComputationBuilder()
+        a = b.add_event("A", "X")
+        mid = b.add_event("B", "X")  # significant!
+        z = b.add_event("C", "X")
+        b.add_enable(a, mid)
+        b.add_enable(mid, z)
+        proj = project(b.freeze(), self.correspondence())
+        pa = proj.events_at("P")[0]
+        pz = proj.events_at("Q")[0]
+        assert not proj.enables(pa.eid, pz.eid)
+
+    def test_edge_filter_applies(self):
+        comp = self.chain_computation()
+        corr = self.correspondence(process_of=process_from_param("by"))
+        proj = project(comp, corr)
+        p1, p2 = proj.events_at("P")
+        assert proj.enables(p1.eid, p2.eid)  # same process p
+
+        corr2 = self.correspondence(edge_filter=lambda a, b: False)
+        proj2 = project(comp, corr2)
+        q1, q2 = proj2.events_at("P")
+        assert not proj2.enables(q1.eid, q2.eid)
+
+    def test_threads_preserved(self):
+        from repro.core import ThreadId
+
+        comp = self.chain_computation()
+        t = ThreadId("pi", 1)
+        first = comp.events[0]
+        labelled = comp.relabel_threads({first.eid: frozenset({t})})
+        proj = project(labelled, self.correspondence())
+        assert any(t in e.threads for e in proj.events)
+
+    def test_empty_projection(self):
+        b = ComputationBuilder()
+        b.add_event("Zed", 0 or "K")
+        comp = b.freeze()
+        proj = project(comp, self.correspondence())
+        assert len(proj) == 0
+
+    def test_element_order_follows_temporal_order(self):
+        b = ComputationBuilder()
+        # two events at different elements, causally ordered second-first
+        first = b.add_event("B", "X")
+        second = b.add_event("A", "X")
+        b.add_enable(first, second)
+        comp = b.freeze()
+        proj = project(comp, self.correspondence())
+        p = proj.events_at("P")
+        # B's event precedes A's event temporally, so it gets index 1
+        assert p[0].index == 1
+        assert proj.temporally_precedes(p[0].eid, p[1].eid)
+
+    def test_strict_element_order_rejects_invented_order(self):
+        b = ComputationBuilder()
+        b.add_event("A", "X")
+        b.add_event("B", "X")  # concurrent with A's event
+        comp = b.freeze()
+        with pytest.raises(VerificationError, match="invent"):
+            project(comp, self.correspondence(), strict_element_order=True)
+
+    def test_lenient_element_order_linearises(self):
+        b = ComputationBuilder()
+        b.add_event("A", "X")
+        b.add_event("B", "X")
+        proj = project(b.freeze(), self.correspondence())
+        assert len(proj.events_at("P")) == 2
+
+
+class TestVerifyProgramReporting:
+    def test_report_on_rw_monitor(self):
+        from repro.langs.monitor import MonitorProgram, readers_writers_system
+        from repro.problems.readers_writers import (
+            monitor_correspondence,
+            rw_problem_spec,
+        )
+
+        sysx = readers_writers_system(1, 1)
+        spec = rw_problem_spec(["reader1", "writer1"], variant="weak")
+        report = verify_program(
+            MonitorProgram(sysx), spec, monitor_correspondence("rw"))
+        assert report.ok
+        assert report.exhaustive
+        assert report.runs_checked == 6
+        assert report.deadlocks == 0
+        assert "VERIFIED" in report.summary()
+        assert report.verdict("writers-exclude-readers").holds
+        with pytest.raises(VerificationError):
+            report.verdict("no-such-restriction")
+
+    def test_failing_report_details(self):
+        from repro.langs.monitor import (
+            MonitorProgram,
+            one_slot_buffer_monitor_unguarded,
+            one_slot_buffer_system,
+        )
+        from repro.problems.one_slot_buffer import (
+            monitor_correspondence,
+            one_slot_buffer_spec,
+        )
+
+        sysx = one_slot_buffer_system(
+            items=(1, 2), monitor=one_slot_buffer_monitor_unguarded())
+        report = verify_program(
+            MonitorProgram(sysx), one_slot_buffer_spec(),
+            monitor_correspondence("osb"))
+        assert not report.ok
+        failed = [v for v in report.verdicts.values() if not v.holds]
+        assert failed
+        assert all(v.failing_runs for v in failed)
+        assert "FAIL" in report.summary()
+
+
+class TestCheckProjection:
+    def test_check_projection_convenience(self):
+        from repro.langs.monitor import (
+            MonitorProgram,
+            one_slot_buffer_system,
+        )
+        from repro.problems.one_slot_buffer import (
+            monitor_correspondence,
+            one_slot_buffer_spec,
+        )
+        from repro.sim import run_random
+        from repro.verify import check_projection
+
+        run = run_random(MonitorProgram(one_slot_buffer_system(items=(1,))),
+                         seed=0)
+        result = check_projection(
+            run.computation, monitor_correspondence("osb"),
+            one_slot_buffer_spec())
+        assert result.ok, result.summary()
