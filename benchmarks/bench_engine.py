@@ -1,0 +1,187 @@
+"""S3 -- verification-engine bench: serial vs parallel vs warm cache.
+
+Measures, for each workload, the same verification three ways through
+`repro.engine`:
+
+* **serial**   -- ``jobs=1``, no cache (the pre-engine baseline path);
+* **parallel** -- ``jobs>=2``, frontier-sharded across worker processes;
+* **cache**    -- ``jobs=1`` with a persistent cache, run twice: the
+  cold pass populates it, the warm pass must perform **zero**
+  restriction re-checks (asserted, not just reported).
+
+Every pass asserts report-signature equality against the serial
+baseline first -- the bench is a correctness gate before it is a timer
+(same policy as every other bench in this directory).  Results
+(timings, dedupe ratios, cache hit rates) are written to JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick]
+        [--jobs N] [--out engine_bench.json]
+
+``WORKLOADS`` is importable; `tests/test_engine.py` asserts parallel
+determinism over every entry, so adding a workload here automatically
+extends the determinism suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.verify import verify_program  # noqa: E402
+
+
+def _monitor_rw():
+    from repro.langs.monitor import (
+        MonitorProgram,
+        monitor_program_spec,
+        readers_writers_system,
+    )
+    from repro.problems import readers_writers
+
+    system = readers_writers_system(1, 2)
+    users = [c.name for c in system.callers]
+    return (
+        MonitorProgram(system),
+        readers_writers.rw_problem_spec(users, variant="readers-priority"),
+        readers_writers.monitor_correspondence("rw"),
+        monitor_program_spec(system),
+    )
+
+
+def _monitor_bb():
+    from repro.langs.monitor import (
+        MonitorProgram,
+        bounded_buffer_system,
+        monitor_program_spec,
+    )
+    from repro.problems import bounded_buffer
+
+    system = bounded_buffer_system(capacity=2, items=(1, 2, 3))
+    return (
+        MonitorProgram(system),
+        bounded_buffer.bounded_buffer_spec(2),
+        bounded_buffer.monitor_correspondence("bb"),
+        monitor_program_spec(system),
+    )
+
+
+def _ada_bb():
+    from repro.langs.ada import (
+        AdaProgram,
+        ada_program_spec,
+        bounded_buffer_ada_system,
+    )
+    from repro.problems import bounded_buffer
+
+    system = bounded_buffer_ada_system(capacity=2, items=(1, 2, 3))
+    return (
+        AdaProgram(system),
+        bounded_buffer.bounded_buffer_spec(2),
+        bounded_buffer.ada_correspondence(),
+        ada_program_spec(system),
+    )
+
+
+#: name -> factory() returning (program, problem_spec, correspondence,
+#: program_spec).  The determinism tests iterate this dict.
+WORKLOADS = {
+    "monitor-readers-writers": _monitor_rw,
+    "monitor-bounded-buffer": _monitor_bb,
+    "ada-bounded-buffer": _ada_bb,
+}
+
+#: subset cheap enough for CI smoke runs
+QUICK_WORKLOADS = ("monitor-bounded-buffer", "monitor-readers-writers")
+
+
+def bench_workload(name: str, jobs: int) -> dict:
+    program, spec, corr, pspec = WORKLOADS[name]()
+
+    t0 = time.perf_counter()
+    serial = verify_program(program, spec, corr, program_spec=pspec, jobs=1)
+    serial_s = time.perf_counter() - t0
+    assert serial.ok, f"{name}: baseline verification failed:\n{serial.summary()}"
+
+    t0 = time.perf_counter()
+    parallel = verify_program(program, spec, corr, program_spec=pspec,
+                              jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    assert parallel.signature() == serial.signature(), (
+        f"{name}: parallel report diverged from serial")
+
+    with tempfile.TemporaryDirectory(prefix="gem-engine-bench-") as cache_dir:
+        t0 = time.perf_counter()
+        cold = verify_program(program, spec, corr, program_spec=pspec,
+                              jobs=1, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = verify_program(program, spec, corr, program_spec=pspec,
+                              jobs=1, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - t0
+
+    assert cold.signature() == serial.signature()
+    assert warm.signature() == serial.signature()
+    warm_stats = warm.engine_stats
+    assert warm_stats.checks_performed == 0, (
+        f"{name}: warm cache still performed "
+        f"{warm_stats.checks_performed} restriction checks")
+
+    row = {
+        "workload": name,
+        "runs": serial.runs_checked,
+        "distinct_computations": serial.distinct_computations,
+        "dedupe_ratio": round(serial.dedupe_ratio, 3),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_jobs": parallel.engine_stats.jobs,
+        "shards": parallel.engine_stats.shards,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "cold_cache_s": round(cold_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "warm_speedup": round(serial_s / warm_s, 3) if warm_s > 0 else None,
+        "warm_checks_performed": warm_stats.checks_performed,
+        "warm_cache_hit_rate": round(warm_stats.cache_hit_rate, 3),
+    }
+    print(f"S3 {name}: {row['runs']} runs "
+          f"({row['distinct_computations']} distinct), "
+          f"serial {serial_s:.2f}s, "
+          f"parallel[{row['parallel_jobs']}] {parallel_s:.2f}s "
+          f"(x{row['speedup']}), warm cache {warm_s:.2f}s "
+          f"(x{row['warm_speedup']}, 0 re-checks)")
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload subset (CI smoke)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="parallel worker count (>= 2 so the sharded "
+                             "path is always exercised; default: "
+                             "clamp(cpus, 2, 4))")
+    parser.add_argument("--out", default="engine_bench.json",
+                        help="JSON output path")
+    args = parser.parse_args(argv)
+
+    names = QUICK_WORKLOADS if args.quick else tuple(WORKLOADS)
+    rows = [bench_workload(name, args.jobs) for name in names]
+    payload = {"bench": "S3-engine", "jobs": args.jobs, "quick": args.quick,
+               "results": rows}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,9 @@ Commands:
 
 * ``verify <case>`` -- run one of the paper's verification cases
   (language × problem) over all bounded executions and print the
-  report; ``--mutant`` runs the negative control;
+  report; ``--mutant`` runs the negative control; ``--jobs N`` fans the
+  engine out across N worker processes, ``--cache DIR`` makes repeat
+  verifications incremental, ``--stats`` prints engine observability;
 * ``list`` -- list the available cases;
 * ``dot <case>`` -- print one execution of a case as Graphviz DOT;
 * ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
@@ -151,8 +153,11 @@ def cmd_verify(args) -> int:
         return 2
     program, spec, correspondence, program_spec = cases[args.case](args.mutant)
     report = verify_program(program, spec, correspondence,
-                            program_spec=program_spec)
+                            program_spec=program_spec,
+                            jobs=args.jobs, cache_dir=args.cache)
     print(report.summary())
+    if args.stats and report.engine_stats is not None:
+        print(report.engine_stats.describe())
     if args.witness and not report.ok:
         _print_witness(program, spec, correspondence, report)
     if args.mutant:
@@ -275,6 +280,15 @@ def main(argv=None) -> int:
                           help="run the case's negative control")
     p_verify.add_argument("--witness", action="store_true",
                           help="on failure, print a counterexample")
+    p_verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the verification "
+                               "engine (default 1 = serial)")
+    p_verify.add_argument("--cache", default=None, metavar="DIR",
+                          help="persistent result-cache directory "
+                               "(re-verification becomes incremental)")
+    p_verify.add_argument("--stats", action="store_true",
+                          help="print engine statistics (shards, dedupe "
+                               "ratio, cache hits, phase times)")
 
     p_dot = sub.add_parser("dot", help="print one execution as DOT")
     p_dot.add_argument("case")
@@ -293,8 +307,13 @@ def main(argv=None) -> int:
         "lattice": cmd_lattice,
         "examples": cmd_examples,
     }
+    from .core.errors import VerificationError
+
     try:
         return handlers[args.command](args)
+    except VerificationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # downstream consumer (head, less) closed the pipe: not an error
         try:

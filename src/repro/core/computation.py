@@ -25,6 +25,7 @@ classes when a specification is attached.
 
 from __future__ import annotations
 
+import hashlib
 from typing import (
     Any,
     Dict,
@@ -227,6 +228,37 @@ class Computation:
             frozenset(self._events),
             frozenset(self._enable_pairs),
         ))
+
+    def stable_fingerprint(self) -> str:
+        """SHA-256 fingerprint, stable across processes and interpreter runs.
+
+        :meth:`fingerprint` is built on ``hash``, which Python salts per
+        process -- fine for deduplication inside one interpreter, useless
+        as a key shared between worker processes or persisted to disk.
+        This digest depends only on the canonical content of the
+        computation (event identities, classes, parameters, thread
+        labels, and enable edges, each in sorted order), so the
+        verification engine can use it to merge results across
+        ``multiprocessing`` workers and as an on-disk cache key.  Like
+        :meth:`fingerprint`, it identifies the partial order: builder
+        insertion order does not affect it.
+        """
+        h = hashlib.sha256()
+        for rec in sorted(
+            repr((ev.eid.element, ev.eid.index, ev.event_class, ev.params,
+                  tuple(sorted(map(repr, ev.threads)))))
+            for ev in self._events
+        ):
+            h.update(rec.encode("utf-8"))
+            h.update(b"\x00")
+        h.update(b"\x1e")
+        for rec in sorted(
+            repr((a.element, a.index, b.element, b.index))
+            for a, b in self._enable_pairs
+        ):
+            h.update(rec.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
 
     def describe(self) -> str:
         """Multi-line human-readable dump (events then enable edges)."""

@@ -80,3 +80,13 @@ class VerificationError(GemError):
     Raised for setup problems such as a correspondence that names
     unknown objects, or an exploration bound of zero.
     """
+
+
+class RunCapExceeded(VerificationError):
+    """Exhaustive exploration produced more runs than its cap allows.
+
+    Distinct from other :class:`VerificationError`\\ s so that callers
+    who want to degrade to sampling (``explore_or_sample``, the
+    verification engine) can catch exactly this condition without
+    swallowing genuine setup or interpreter failures.
+    """

@@ -1,0 +1,296 @@
+"""``repro.engine`` -- the parallel, deduplicating, cached verification
+engine.
+
+``PROG sat R`` quantifies over every legal computation of PROG; this
+package is the execution layer that makes that quantification fast
+without changing what it means.  Four ideas, four modules:
+
+* **frontier sharding** (:mod:`.shard`) -- the DFS choice tree is split
+  at a prefix frontier into independent subtrees that fan out across
+  ``multiprocessing`` workers (fork-inherited state, no pickling of
+  programs or specs: :mod:`.pool`);
+* **computation deduplication** (:mod:`.dedupe`) -- runs are keyed by
+  their partial order's stable fingerprint, so the N interleavings that
+  collapse to one computation are checked once and the verdict is
+  replicated to all N run indices;
+* **persistent result caching** (:mod:`.cache`) -- verdicts are stored
+  on disk keyed by ``(computation fingerprint, specification key)``
+  with versioned invalidation, making re-verification of an unchanged
+  workload incremental (zero restriction re-checks);
+* **observability** (:mod:`.stats`) -- an :class:`EngineStats` record
+  (shards, runs/s, dedupe ratio, cache hit rate, per-phase wall times)
+  and a progress-callback hook.
+
+Determinism guarantee
+---------------------
+For any ``jobs``, the engine produces a report identical to the serial
+one: same verdicts, same run counts, same failing-run indices, same
+``summary()`` text.  Shards are explored and merged in DFS prefix
+order, so global run indices are the serial DFS indices; verdicts are
+pure functions of the computation, so dedupe and caching cannot change
+them -- only how often they are computed.  ``jobs=1`` is the degenerate
+case of the same code path, not a separate implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.specification import Specification
+from ..sim.runtime import Program
+from ..sim.scheduler import (
+    DEFAULT_MAX_RUNS,
+    DEFAULT_MAX_STEPS,
+    ExplorationResult,
+)
+from ..verify.correspondence import Correspondence
+from ..verify.sat import RestrictionVerdict, VerificationReport
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    CheckOutcome,
+    ResultCache,
+    spec_cache_key,
+)
+from .dedupe import DedupeIndex, run_fingerprint
+from .pool import (
+    RunRecord,
+    Task,
+    TaskResult,
+    WorkerState,
+    effective_jobs,
+    fork_available,
+    run_tasks,
+)
+from .shard import Shard, make_shards
+from .stats import EngineStats, PhaseTimer, ProgressFn
+
+__all__ = [
+    "Engine", "EngineConfig", "EngineStats", "ProgressFn",
+    "Shard", "make_shards",
+    "CheckOutcome", "ResultCache", "spec_cache_key", "CACHE_FORMAT_VERSION",
+    "DedupeIndex", "run_fingerprint",
+    "run_verification",
+]
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for one engine instance (defaults match ``verify_program``)."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    max_steps: int = DEFAULT_MAX_STEPS
+    max_runs: int = DEFAULT_MAX_RUNS
+    sample: int = 200
+    seed: int = 0
+    temporal_mode: str = "lattice"
+    allow_deadlock: bool = False
+    #: target shards per worker; >1 absorbs uneven subtree sizes
+    shard_factor: int = 4
+    progress: Optional[ProgressFn] = None
+
+
+class Engine:
+    """Runs verifications; holds config and the last run's stats."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.last_stats: Optional[EngineStats] = None
+
+    # -- phases ------------------------------------------------------------
+
+    def _open_cache(
+        self,
+        problem_spec: Specification,
+        correspondence: Correspondence,
+        program_spec: Optional[Specification],
+        stats: EngineStats,
+    ) -> Optional[ResultCache]:
+        if self.config.cache_dir is None:
+            return None
+        with PhaseTimer(stats, "cache-load", self.config.progress):
+            key = spec_cache_key(problem_spec, correspondence, program_spec,
+                                 self.config.temporal_mode)
+            cache = ResultCache(self.config.cache_dir, key)
+        stats.cache_enabled = True
+        return cache
+
+    def _gather(
+        self,
+        program: Program,
+        state: WorkerState,
+        stats: EngineStats,
+    ) -> "tuple[List[TaskResult], bool]":
+        """Explore-and-check: exhaustive shards, else sampling fallback."""
+        cfg = self.config
+        with PhaseTimer(stats, "shard", cfg.progress):
+            target = cfg.jobs * cfg.shard_factor if cfg.jobs > 1 else 1
+            shards = make_shards(program, target, cfg.max_steps)
+        stats.shards = len(shards)
+        stats.jobs = effective_jobs(cfg.jobs, len(shards))
+
+        with PhaseTimer(stats, "explore+check", cfg.progress):
+            tasks = [Task("explore", prefix=s.prefix) for s in shards]
+            results = run_tasks(state, tasks, cfg.jobs, cfg.progress)
+            total = sum(len(r.records) for r in results)
+            capped = any(r.cap_exceeded for r in results)
+            if not capped and total <= cfg.max_runs:
+                return results, True
+            # over the cap (detected inside one shard or across the sum):
+            # fall back to seeded sampling, exactly like explore_or_sample
+            sample_tasks = [
+                Task("sample", seed=cfg.seed + i) for i in range(cfg.sample)
+            ]
+            sampled = run_tasks(state, sample_tasks, cfg.jobs, cfg.progress)
+            # keep the aborted attempt's results too: their records are
+            # empty but their fresh outcomes feed the merge lookup/cache
+            return list(results) + sampled, False
+
+    def _merge(
+        self,
+        results: List[TaskResult],
+        problem_spec: Specification,
+        program_spec: Optional[Specification],
+        exhaustive: bool,
+        cache_snapshot: Dict[str, CheckOutcome],
+        stats: EngineStats,
+    ) -> VerificationReport:
+        cfg = self.config
+        report = VerificationReport(
+            problem_name=problem_spec.name,
+            exhaustive=exhaustive,
+            allow_deadlock=cfg.allow_deadlock,
+        )
+        for r in problem_spec.all_restrictions():
+            report.verdicts[r.name] = RestrictionVerdict(r.name)
+
+        lookup: Dict[str, CheckOutcome] = dict(cache_snapshot)
+        for tr in results:
+            lookup.update(tr.fresh_outcomes)
+            stats.checks_performed += tr.checks
+            stats.cache_hits += tr.cache_hits
+            stats.dedupe_hits += tr.dedupe_hits
+
+        fingerprints = set()
+        index = 0
+        for tr in results:
+            for rec in tr.records:
+                outcome = lookup[rec.fingerprint]
+                report.runs_checked += 1
+                if rec.deadlocked:
+                    report.deadlocks += 1
+                if rec.truncated:
+                    report.truncated += 1
+                if program_spec is not None and not outcome.program_spec_ok:
+                    report.program_spec_failures.append(index)
+                if not outcome.legality_ok:
+                    report.legality_failures.append(index)
+                for name in outcome.failed_restrictions:
+                    verdict = report.verdicts[name]
+                    verdict.holds = False
+                    verdict.failing_runs.append(index)
+                fingerprints.add(rec.fingerprint)
+                index += 1
+
+        report.distinct_computations = len(fingerprints)
+        report.dedupe_ratio = (
+            report.runs_checked / len(fingerprints) if fingerprints else 1.0
+        )
+        stats.runs = report.runs_checked
+        stats.distinct_computations = len(fingerprints)
+        return report
+
+    # -- entry point -------------------------------------------------------
+
+    def verify(
+        self,
+        program: Program,
+        problem_spec: Specification,
+        correspondence: Correspondence,
+        program_spec: Optional[Specification] = None,
+        exploration: Optional[ExplorationResult] = None,
+    ) -> VerificationReport:
+        """The paper's proof obligation, through the engine.
+
+        Pass ``exploration`` to reuse runs already gathered (checking
+        still benefits from dedupe and the cache; nothing is explored).
+        """
+        cfg = self.config
+        stats = EngineStats()
+        cache = self._open_cache(problem_spec, correspondence, program_spec,
+                                 stats)
+        snapshot = cache.snapshot() if cache is not None else {}
+        state = WorkerState(
+            program=program,
+            problem_spec=problem_spec,
+            correspondence=correspondence,
+            program_spec=program_spec,
+            temporal_mode=cfg.temporal_mode,
+            max_steps=cfg.max_steps,
+            max_runs=cfg.max_runs,
+            cache_snapshot=snapshot,
+        )
+
+        if exploration is not None:
+            stats.mode = "reused"
+            stats.jobs = 1
+            with PhaseTimer(stats, "explore+check", cfg.progress):
+                results = self._check_reused(exploration, state)
+            exhaustive = exploration.exhaustive
+        else:
+            results, exhaustive = self._gather(program, state, stats)
+            stats.mode = "exhaustive" if exhaustive else "sampled"
+
+        with PhaseTimer(stats, "merge", cfg.progress):
+            report = self._merge(results, problem_spec, program_spec,
+                                 exhaustive, snapshot, stats)
+
+        if cache is not None:
+            with PhaseTimer(stats, "cache-save", cfg.progress):
+                for tr in results:
+                    cache.update(tr.fresh_outcomes)
+                cache.save()
+
+        self.last_stats = stats
+        report.engine_stats = stats
+        return report
+
+    @staticmethod
+    def _check_reused(
+        exploration: ExplorationResult, state: WorkerState
+    ) -> List[TaskResult]:
+        """Dedupe-and-check runs the caller already holds, in-process."""
+        result = TaskResult()
+        index = state.index
+        for run in exploration.runs:
+            fp = run_fingerprint(run)
+            index.outcome_for(fp, lambda run=run: state.compute_outcome(run))
+            result.records.append(RunRecord(
+                choices=run.choices,
+                fingerprint=fp,
+                deadlocked=run.deadlocked,
+                truncated=run.truncated,
+                events=len(run.computation),
+            ))
+        result.fresh_outcomes = dict(index.fresh)
+        result.dedupe_hits = index.dedupe_hits
+        result.cache_hits = index.cache_hits
+        result.checks = index.computed
+        return [result]
+
+
+def run_verification(
+    program: Program,
+    problem_spec: Specification,
+    correspondence: Correspondence,
+    program_spec: Optional[Specification] = None,
+    config: Optional[EngineConfig] = None,
+    exploration: Optional[ExplorationResult] = None,
+) -> "tuple[VerificationReport, EngineStats]":
+    """One-shot convenience: build an engine, verify, return report+stats."""
+    engine = Engine(config)
+    report = engine.verify(program, problem_spec, correspondence,
+                           program_spec=program_spec, exploration=exploration)
+    assert engine.last_stats is not None
+    return report, engine.last_stats

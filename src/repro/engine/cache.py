@@ -1,0 +1,228 @@
+"""Persistent verification-result cache.
+
+Re-verifying an unchanged program against unchanged restrictions should
+be incremental: exploration still enumerates the runs (cheap, and the
+run/deadlock/truncation census must stay honest), but no restriction is
+re-checked for a computation whose verdict is already known.
+
+Keying
+------
+An entry is keyed by the pair
+
+    (computation stable fingerprint, specification key)
+
+where the *specification key* digests every declarative input that a
+verdict depends on: the problem specification's restrictions (name +
+formula text), elements and groups, the correspondence rules, the
+program specification (if any), and the temporal mode.  Each
+specification key gets its own JSON file in the cache directory, so
+unrelated workloads never collide and invalidation is per-workload.
+
+Invalidation
+------------
+Versioned: every file records :data:`CACHE_FORMAT_VERSION` and its own
+specification key; a mismatch on either (format change, or a hash
+collision in the filename) discards the file wholesale.  Changing any
+restriction formula, correspondence rule, or the temporal mode changes
+the specification key and therefore simply misses the old file.
+
+Honesty caveat: callables embedded in specifications (correspondence
+``where``/``params`` functions, ``PyPred`` leaves) contribute only
+their *names* to the key -- Python closures have no stable content
+digest.  Changing such a function's behaviour without renaming it
+requires clearing the cache (or bumping the version); docs/ENGINE.md
+states this contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import VerificationError
+from ..core.specification import Specification
+from ..verify.correspondence import Correspondence
+
+#: Bump to invalidate every existing cache file (semantic change in
+#: what an outcome record means or how keys are derived).
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """The cached verdict for one distinct computation.
+
+    Pure function of (computation, specifications): which problem
+    restrictions failed, whether the projection was legal, and whether
+    the raw computation satisfied the program specification.  Run-level
+    facts (deadlock, truncation) are properties of the *run*, not the
+    computation, and are deliberately not cached.
+    """
+
+    failed_restrictions: Tuple[str, ...] = ()
+    legality_ok: bool = True
+    program_spec_ok: bool = True
+
+    def to_json(self) -> dict:
+        return {
+            "failed": list(self.failed_restrictions),
+            "legal": self.legality_ok,
+            "prog_ok": self.program_spec_ok,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "CheckOutcome":
+        return CheckOutcome(
+            failed_restrictions=tuple(data["failed"]),
+            legality_ok=bool(data["legal"]),
+            program_spec_ok=bool(data["prog_ok"]),
+        )
+
+
+def _spec_parts(spec: Specification) -> list:
+    parts = [f"spec:{spec.name}"]
+    parts.extend(sorted(f"element:{name}" for name in spec.element_names()))
+    parts.extend(sorted(
+        f"group:{g.name}:{','.join(sorted(map(str, g.members)))}"
+        for g in spec.groups
+    ))
+    parts.extend(sorted(
+        f"restriction:{r.name}={r.formula.describe()}"
+        for r in spec.all_restrictions()
+    ))
+    parts.extend(sorted(f"thread:{t.name}" for t in spec.thread_types))
+    return parts
+
+
+def _target_name(target) -> str:
+    if callable(target):
+        return f"<fn:{getattr(target, '__name__', 'anon')}>"
+    return str(target)
+
+
+def spec_cache_key(
+    problem_spec: Specification,
+    correspondence: Correspondence,
+    program_spec: Optional[Specification] = None,
+    temporal_mode: str = "lattice",
+) -> str:
+    """Digest of every declarative input a cached verdict depends on."""
+    parts = [f"format:{CACHE_FORMAT_VERSION}", f"mode:{temporal_mode}"]
+    parts.extend(_spec_parts(problem_spec))
+    for rule in correspondence.rules:
+        parts.append(
+            "rule:" + ":".join([
+                rule.name, rule.element, rule.event_class,
+                _target_name(rule.target_element), rule.target_class,
+                _target_name(rule.where) if rule.where else "-",
+                _target_name(rule.params) if rule.params else "-",
+            ])
+        )
+    parts.append(
+        "process_of:" + (_target_name(correspondence.process_of)
+                         if correspondence.process_of else "-"))
+    parts.append(
+        "edge_filter:" + (_target_name(correspondence.edge_filter)
+                          if correspondence.edge_filter else "-"))
+    if program_spec is None:
+        parts.append("program-spec:none")
+    else:
+        parts.append("program-")
+        parts.extend(_spec_parts(program_spec))
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:32]
+
+
+class ResultCache:
+    """On-disk outcome store for one specification key.
+
+    Loads eagerly (one small JSON file), accumulates fresh outcomes in
+    memory, and persists atomically (temp file + rename) on
+    :meth:`save`, so a crashed or interrupted verification never leaves
+    a torn cache file behind.
+    """
+
+    def __init__(self, directory: "str | os.PathLike", key: str) -> None:
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise VerificationError(
+                f"cache path {self.directory} exists and is not a directory")
+        self.key = key
+        self.path = self.directory / f"gem-cache-{key}.json"
+        self._outcomes: Dict[str, CheckOutcome] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return  # missing or corrupt: start empty
+        if (data.get("version") != CACHE_FORMAT_VERSION
+                or data.get("key") != self.key):
+            return  # versioned invalidation: stale format or foreign key
+        try:
+            self._outcomes = {
+                fp: CheckOutcome.from_json(rec)
+                for fp, rec in data.get("outcomes", {}).items()
+            }
+        except (KeyError, TypeError):
+            self._outcomes = {}
+
+    def get(self, fingerprint: str) -> Optional[CheckOutcome]:
+        return self._outcomes.get(fingerprint)
+
+    def put(self, fingerprint: str, outcome: CheckOutcome) -> None:
+        if self._outcomes.get(fingerprint) == outcome:
+            return
+        self._outcomes[fingerprint] = outcome
+        self._dirty = True
+
+    def update(self, fresh: Dict[str, CheckOutcome]) -> None:
+        for fp, outcome in fresh.items():
+            self.put(fp, outcome)
+
+    def snapshot(self) -> Dict[str, CheckOutcome]:
+        """Read-only copy for handing to worker processes."""
+        return dict(self._outcomes)
+
+    def save(self) -> None:
+        """Atomically persist (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": self.key,
+            "outcomes": {
+                fp: out.to_json() for fp, out in sorted(self._outcomes.items())
+            },
+        }
+        fd, tmp = tempfile.mkstemp(
+            prefix=self.path.name + ".", dir=str(self.directory))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._outcomes

@@ -1,0 +1,77 @@
+"""Computation deduplication: check each partial order once.
+
+Interleaving explorers massively overcount: N schedulings of pairwise
+independent actions are N *runs* but one *computation* (one partial
+order), and every property this library checks is a function of the
+partial order alone (legality, restrictions, projections all consume
+the ``Computation``, never the choice sequence).  Chauhan & Garg make
+the general point -- partial orders are the right quotient for
+concurrent executions -- and GEM's own Section 3 semantics is stated
+over computations, not schedules.
+
+:class:`DedupeIndex` is the memo realising that quotient: runs are
+keyed by :meth:`Computation.stable_fingerprint` and their (expensive)
+check outcome is computed once, then replicated to every duplicate run.
+The stable fingerprint (not Python's salted ``hash``) is used so that
+indices populated in different worker processes, or loaded from the
+on-disk cache, agree on keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, TypeVar
+
+from ..sim.runtime import Run
+
+T = TypeVar("T")
+
+
+def run_fingerprint(run: Run) -> str:
+    """Stable dedupe/cache key of a run: its computation's fingerprint."""
+    return run.computation.stable_fingerprint()
+
+
+class DedupeIndex:
+    """Fingerprint-keyed outcome memo with provenance counters.
+
+    Layered lookup: local memo first (a duplicate run in this process),
+    then an optional read-only ``seed`` mapping (the persistent cache
+    snapshot), then the supplied compute function.  Counters record
+    where each *distinct* fingerprint's outcome came from, which is
+    exactly what honest dedupe/cache-hit reporting needs.
+    """
+
+    def __init__(self, seed: Optional[Mapping[str, T]] = None) -> None:
+        self._seed: Mapping[str, T] = seed or {}
+        self._memo: Dict[str, T] = {}
+        #: outcomes computed fresh in this index (fingerprint -> outcome);
+        #: these are the entries a persistent cache has yet to learn
+        self.fresh: Dict[str, T] = {}
+        self.dedupe_hits = 0
+        self.cache_hits = 0
+        self.computed = 0
+
+    def outcome_for(self, fingerprint: str, compute: Callable[[], T]) -> T:
+        """The outcome for ``fingerprint``, computing it at most once."""
+        if fingerprint in self._memo:
+            self.dedupe_hits += 1
+            return self._memo[fingerprint]
+        if fingerprint in self._seed:
+            self.cache_hits += 1
+            outcome = self._seed[fingerprint]
+        else:
+            self.computed += 1
+            outcome = compute()
+            self.fresh[fingerprint] = outcome
+        self._memo[fingerprint] = outcome
+        return outcome
+
+    def distinct(self) -> int:
+        """Distinct fingerprints seen so far."""
+        return len(self._memo)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._memo or fingerprint in self._seed
+
+    def __len__(self) -> int:
+        return len(self._memo)

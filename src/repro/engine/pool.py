@@ -1,0 +1,212 @@
+"""Worker-pool execution of engine tasks (explore-and-check shards).
+
+State transfer is by **fork inheritance, not pickling**: the parent
+stores the full worker bundle (program, specifications, correspondence,
+cache snapshot) in a module global immediately before creating the
+pool; forked children find it there.  Only task descriptions (choice
+prefixes / seeds) and result records -- tuples of primitives -- ever
+cross the process boundary, so interpreters are free to hold closures,
+lambdas, and other unpicklable machinery.  On platforms without the
+``fork`` start method the engine degrades to in-process execution
+(``effective_jobs`` reports what actually ran).
+
+Each task both *explores* (its shard's subtree, or one seeded random
+walk) and *checks*: checking is the expensive half, and shipping
+computations back to the parent for checking would serialise it.
+Verdicts are memoised per worker process in a :class:`DedupeIndex`
+seeded with the persistent-cache snapshot, so a worker checks each
+distinct partial order at most once no matter how many of its shards'
+interleavings collapse to it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import RunCapExceeded
+from ..core.specification import Specification
+from ..sim.runtime import Program, Run
+from ..sim.scheduler import explore, run_random
+from ..verify.correspondence import Correspondence
+from ..verify.projection import project
+from .cache import CheckOutcome
+from .dedupe import DedupeIndex, run_fingerprint
+from .stats import ProgressFn
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of pool work: explore a shard, or one sampled walk."""
+
+    kind: str  # "explore" | "sample"
+    prefix: Tuple[int, ...] = ()
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Picklable digest of one run: everything the merge phase needs."""
+
+    choices: Tuple[int, ...]
+    fingerprint: str
+    deadlocked: bool
+    truncated: bool
+    events: int
+
+
+@dataclass
+class TaskResult:
+    """What one task sends back to the parent."""
+
+    cap_exceeded: bool = False
+    records: List[RunRecord] = field(default_factory=list)
+    #: outcomes computed fresh during *this* task (cache write-back set)
+    fresh_outcomes: Dict[str, CheckOutcome] = field(default_factory=dict)
+    dedupe_hits: int = 0
+    cache_hits: int = 0
+    checks: int = 0
+
+
+class WorkerState:
+    """The fork-inherited bundle every task executes against."""
+
+    def __init__(
+        self,
+        program: Program,
+        problem_spec: Specification,
+        correspondence: Correspondence,
+        program_spec: Optional[Specification],
+        temporal_mode: str,
+        max_steps: int,
+        max_runs: int,
+        cache_snapshot: Optional[Dict[str, CheckOutcome]] = None,
+    ) -> None:
+        self.program = program
+        self.problem_spec = problem_spec
+        self.correspondence = correspondence
+        self.program_spec = program_spec
+        self.temporal_mode = temporal_mode
+        self.max_steps = max_steps
+        self.max_runs = max_runs
+        # per-process memo: forked children each mutate their own copy
+        self.index = DedupeIndex(seed=cache_snapshot)
+
+    def compute_outcome(self, run: Run) -> CheckOutcome:
+        """Check one computation; pure function of (computation, specs)."""
+        comp = run.computation
+        program_spec_ok = True
+        if self.program_spec is not None:
+            program_spec_ok = self.program_spec.check(
+                comp, temporal_mode=self.temporal_mode).ok
+        projected = project(comp, self.correspondence)
+        result = self.problem_spec.check(
+            projected, temporal_mode=self.temporal_mode)
+        return CheckOutcome(
+            failed_restrictions=tuple(result.failed_restrictions()),
+            legality_ok=not result.legality_violations,
+            program_spec_ok=program_spec_ok,
+        )
+
+
+#: Set by :func:`run_tasks` in the parent just before the pool forks.
+_STATE: Optional[WorkerState] = None
+
+
+def _execute(task: Task) -> TaskResult:
+    state = _STATE
+    assert state is not None, "worker state not installed (fork lost?)"
+    index = state.index
+    fresh_before = set(index.fresh)
+    dd0, ch0, cp0 = index.dedupe_hits, index.cache_hits, index.computed
+    result = TaskResult()
+
+    def consume(run: Run) -> None:
+        fp = run_fingerprint(run)
+        index.outcome_for(fp, lambda: state.compute_outcome(run))
+        result.records.append(RunRecord(
+            choices=run.choices,
+            fingerprint=fp,
+            deadlocked=run.deadlocked,
+            truncated=run.truncated,
+            events=len(run.computation),
+        ))
+
+    try:
+        if task.kind == "explore":
+            for run in explore(state.program, max_steps=state.max_steps,
+                               max_runs=state.max_runs, prefix=task.prefix):
+                consume(run)
+        elif task.kind == "sample":
+            consume(run_random(state.program, task.seed,
+                               max_steps=state.max_steps))
+        else:  # pragma: no cover - engine never builds other kinds
+            raise ValueError(f"unknown task kind {task.kind!r}")
+    except RunCapExceeded:
+        # runs are discarded (the sampling fallback replaces them), but
+        # verdicts already computed are valid and stay reported: later
+        # tasks in this process may answer them from the memo alone, so
+        # the parent must learn them here or its merge lookup goes blind
+        result.cap_exceeded = True
+        result.records = []
+
+    result.fresh_outcomes = {
+        fp: index.fresh[fp] for fp in set(index.fresh) - fresh_before
+    }
+    result.dedupe_hits = index.dedupe_hits - dd0
+    result.cache_hits = index.cache_hits - ch0
+    result.checks = index.computed - cp0
+    return result
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def effective_jobs(jobs: int, n_tasks: int) -> int:
+    """Workers that will actually run: fork-gated and task-bounded."""
+    if jobs <= 1 or n_tasks <= 1 or not fork_available():
+        return 1
+    return min(jobs, n_tasks)
+
+
+def run_tasks(
+    state: WorkerState,
+    tasks: Sequence[Task],
+    jobs: int,
+    progress: Optional[ProgressFn] = None,
+) -> List[TaskResult]:
+    """Execute ``tasks``, returning results in task order.
+
+    ``jobs <= 1`` (or a single task, or no fork support) runs in-process
+    -- the serial degenerate case shares every line of worker code with
+    the parallel path, which is what makes "byte-identical reports" a
+    structural property rather than a hope.
+    """
+    global _STATE
+    workers = effective_jobs(jobs, len(tasks))
+    _STATE = state
+    try:
+        results: List[TaskResult] = []
+        if workers <= 1:
+            for i, task in enumerate(tasks):
+                results.append(_execute(task))
+                if progress is not None:
+                    progress("task:done", {
+                        "task": i, "of": len(tasks),
+                        "runs": len(results[-1].records),
+                    })
+            return results
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            for i, res in enumerate(pool.imap(_execute, tasks, chunksize=1)):
+                results.append(res)
+                if progress is not None:
+                    progress("task:done", {
+                        "task": i, "of": len(tasks),
+                        "runs": len(res.records),
+                    })
+        return results
+    finally:
+        _STATE = None

@@ -1,0 +1,106 @@
+"""Frontier sharding: split the DFS tree into independent subtrees.
+
+The explorer's choice tree is trivially partitionable: the subtrees
+below any antichain of choice prefixes are disjoint, and every maximal
+run lies in exactly one of them.  :func:`make_shards` grows such an
+antichain from the root until it is wide enough to keep ``jobs``
+workers busy (a few shards per worker absorbs uneven subtree sizes).
+
+Interpreters with eager reductions produce long *spines* -- stretches
+where exactly one action is enabled -- so naive fixed-depth splitting
+finds no branching.  Expansion therefore walks each spine in place
+(stepping the replayed state, no re-replay per level) until the next
+genuine branch point or a leaf, and splits there.
+
+Determinism is free: shards are produced in lexicographic prefix order,
+which is exactly the order DFS visits their subtrees, so concatenating
+per-shard run lists in shard order reproduces the serial run order --
+indices, not just sets -- and the merged report is identical to the
+serial one.
+
+A prefix that ends at a leaf (nothing enabled, or the step bound
+reached) stays in the list as a ``terminal`` shard; exploring it yields
+exactly its one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.runtime import Program
+from ..sim.scheduler import replay_prefix
+
+#: Never split through more than this many branch levels; beyond it the
+#: replay cost of expansion outweighs any balance gain.
+MAX_SPLIT_ROUNDS = 16
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of exploration work: the subtree below ``prefix``."""
+
+    prefix: Tuple[int, ...]
+    terminal: bool = False
+
+    def describe(self) -> str:
+        kind = "leaf" if self.terminal else "subtree"
+        return f"shard({kind} @ {list(self.prefix)})"
+
+
+def _next_branch(
+    program: Program, prefix: Tuple[int, ...], max_steps: int
+) -> Tuple[Tuple[int, ...], int]:
+    """Walk the single-action spine below ``prefix``.
+
+    Returns ``(extended_prefix, n_choices)`` where ``n_choices`` is the
+    branching factor at the first real choice point (0 for a leaf).
+    Extending through forced choices does not change the subtree, only
+    names it more precisely.
+    """
+    state = replay_prefix(program, prefix)
+    while True:
+        actions = state.enabled()
+        if not actions or len(prefix) >= max_steps:
+            return prefix, 0
+        if len(actions) > 1:
+            return prefix, len(actions)
+        state.step(actions[0])
+        prefix = prefix + (0,)
+
+
+def make_shards(
+    program: Program,
+    target: int,
+    max_steps: int,
+    max_rounds: int = MAX_SPLIT_ROUNDS,
+) -> List[Shard]:
+    """At least ``target`` shards covering the whole tree (best effort).
+
+    Expands branch level by branch level, replacing each non-terminal
+    shard with its children in choice-index order, so the returned list
+    is always in DFS (lexicographic) order and always partitions the
+    full run set.  Stops at ``target`` shards, after ``max_rounds``
+    branch levels, or when every shard is terminal (a tree smaller than
+    the target -- fine, workers just idle).
+    """
+    shards = [Shard((), False)]
+    for _round in range(max_rounds):
+        if len(shards) >= target:
+            break
+        if all(s.terminal for s in shards):
+            break
+        nxt: List[Shard] = []
+        for shard in shards:
+            if shard.terminal:
+                nxt.append(shard)
+                continue
+            prefix, n_choices = _next_branch(program, shard.prefix, max_steps)
+            if n_choices == 0:
+                nxt.append(Shard(prefix, True))
+            else:
+                nxt.extend(
+                    Shard(prefix + (i,), False) for i in range(n_choices)
+                )
+        shards = nxt
+    return shards

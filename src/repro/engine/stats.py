@@ -1,0 +1,120 @@
+"""Engine observability: phase timings, throughput, dedupe/cache ratios.
+
+One :class:`EngineStats` record accompanies every engine verification.
+It answers the questions a bench (or an operator staring at a slow
+verification) actually asks: how many shards ran on how many workers,
+how many interleavings collapsed to how many distinct partial orders,
+how much the cache absorbed, and where the wall-clock time went.
+
+A *progress hook* -- any ``Callable[[str, Mapping[str, Any]], None]`` --
+may be installed in the engine config; the engine calls it at phase
+boundaries and per completed shard/task so long-running verifications
+can drive progress bars or structured logs.  Hooks must be cheap and
+must not raise; the engine deliberately does not guard them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+#: Progress hook signature: ``hook(event_name, info_mapping)``.
+ProgressFn = Callable[[str, Mapping[str, Any]], None]
+
+
+@dataclass
+class EngineStats:
+    """Everything the engine observed about one verification."""
+
+    jobs: int = 1
+    shards: int = 0
+    mode: str = "exhaustive"  # "exhaustive" | "sampled" | "reused"
+    runs: int = 0
+    distinct_computations: int = 0
+    #: distinct computations whose verdicts were computed fresh this run
+    checks_performed: int = 0
+    #: distinct computations whose verdicts came from the persistent cache
+    cache_hits: int = 0
+    #: run-level memo hits (duplicate interleavings folded away)
+    dedupe_hits: int = 0
+    cache_enabled: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dedupe_ratio(self) -> float:
+        """Runs per distinct computation (>= 1.0; 6.0 means 6x folding)."""
+        if self.distinct_computations == 0:
+            return 1.0
+        return self.runs / self.distinct_computations
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of distinct computations answered from the cache."""
+        total = self.cache_hits + self.checks_performed
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def runs_per_second(self) -> float:
+        elapsed = self.phase_seconds.get("explore+check", 0.0)
+        if elapsed <= 0.0:
+            return 0.0
+        return self.runs / elapsed
+
+    def describe(self) -> str:
+        """Multi-line human-readable stats block (CLI ``--stats``)."""
+        lines = [
+            f"engine: {self.mode}, {self.jobs} worker(s), "
+            f"{self.shards} shard(s)",
+            f"  runs: {self.runs} "
+            f"({self.distinct_computations} distinct computations, "
+            f"dedupe ratio {self.dedupe_ratio:.2f}x)",
+            f"  checks: {self.checks_performed} performed, "
+            f"{self.cache_hits} from cache "
+            f"(hit rate {self.cache_hit_rate:.0%})"
+            + ("" if self.cache_enabled else " [cache disabled]"),
+            f"  throughput: {self.runs_per_second:.1f} runs/s",
+        ]
+        phases = ", ".join(
+            f"{name} {secs:.3f}s" for name, secs in self.phase_seconds.items()
+        )
+        lines.append(f"  phases: {phases if phases else '(none timed)'}")
+        return "\n".join(lines)
+
+
+class PhaseTimer:
+    """``with PhaseTimer(stats, "explore+check"): ...`` wall-time capture.
+
+    Re-entering the same phase name accumulates, so retried phases (the
+    exhaustive attempt followed by the sampling fallback) show their
+    combined cost.
+    """
+
+    def __init__(self, stats: EngineStats, name: str,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self._stats = stats
+        self._name = name
+        self._progress = progress
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        if self._progress is not None:
+            self._progress("phase:start", {"phase": self._name})
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._stats.phase_seconds[self._name] = (
+            self._stats.phase_seconds.get(self._name, 0.0) + elapsed
+        )
+        if self._progress is not None:
+            self._progress(
+                "phase:end", {"phase": self._name, "seconds": elapsed}
+            )

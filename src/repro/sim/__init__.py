@@ -1,6 +1,7 @@
 """Execution substrate: programs, states, runs, and the interleaving
 explorer that generates GEM computations from concurrent programs."""
 
+from ..core.errors import RunCapExceeded
 from .runtime import Action, Program, Run, SimState, SimpleState
 from .scheduler import (
     DEFAULT_MAX_RUNS,
@@ -8,12 +9,14 @@ from .scheduler import (
     ExplorationResult,
     explore,
     explore_or_sample,
+    replay_prefix,
     run_random,
     sample_runs,
 )
 
 __all__ = [
     "Action", "Program", "Run", "SimState", "SimpleState",
-    "explore", "run_random", "sample_runs", "explore_or_sample",
-    "ExplorationResult", "DEFAULT_MAX_STEPS", "DEFAULT_MAX_RUNS",
+    "explore", "replay_prefix", "run_random", "sample_runs",
+    "explore_or_sample", "ExplorationResult", "RunCapExceeded",
+    "DEFAULT_MAX_STEPS", "DEFAULT_MAX_RUNS",
 ]

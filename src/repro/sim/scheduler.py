@@ -32,7 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.errors import VerificationError
+from ..core.errors import RunCapExceeded, VerificationError
 from .runtime import Action, Program, Run, SimState
 
 #: Guard against interpreter bugs producing unbounded executions.
@@ -40,8 +40,12 @@ DEFAULT_MAX_STEPS = 10_000
 DEFAULT_MAX_RUNS = 100_000
 
 
-def _replay(program: Program, choices: Sequence[int]) -> SimState:
-    """Fresh state advanced through ``choices``."""
+def replay_prefix(program: Program, choices: Sequence[int]) -> SimState:
+    """Fresh state advanced through ``choices``.
+
+    The engine's frontier sharding replays choice prefixes to split the
+    exploration tree, so this is public API, not just an explorer detail.
+    """
     state = program.initial_state()
     for choice in choices:
         actions = state.enabled()
@@ -49,16 +53,28 @@ def _replay(program: Program, choices: Sequence[int]) -> SimState:
     return state
 
 
+# historical (pre-engine) private name, kept for callers in the wild
+_replay = replay_prefix
+
+
 def explore(
     program: Program,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_runs: int = DEFAULT_MAX_RUNS,
+    prefix: Sequence[int] = (),
 ) -> Iterator[Run]:
     """Enumerate every maximal run of ``program``, depth-first.
 
     Yields runs in a deterministic order (choice index order).  Raises
-    :class:`VerificationError` when the run cap is exceeded -- a silent
+    :class:`RunCapExceeded` when the run cap is exceeded -- a silent
     cap would turn "verified over all executions" into a lie.
+
+    ``prefix`` restricts the walk to the subtree below that choice
+    sequence (yielded ``Run.choices`` still include it); the engine's
+    shards each explore one prefix so that concatenating their runs in
+    prefix order reproduces the full DFS order exactly.  ``max_steps``
+    counts total choices including the prefix; ``max_runs`` caps the
+    runs produced by *this* call.
     """
     if max_steps < 1:
         raise VerificationError("max_steps must be positive")
@@ -66,12 +82,12 @@ def explore(
 
     def rec(choices: Tuple[int, ...]) -> Iterator[Run]:
         nonlocal produced
-        state = _replay(program, choices)
+        state = replay_prefix(program, choices)
         actions = state.enabled()
         if not actions or len(choices) >= max_steps:
             produced += 1
             if produced > max_runs:
-                raise VerificationError(
+                raise RunCapExceeded(
                     f"more than {max_runs} runs; raise max_runs or shrink "
                     "the program"
                 )
@@ -86,7 +102,7 @@ def explore(
         for i in range(len(actions)):
             yield from rec(choices + (i,))
 
-    return rec(())
+    return rec(tuple(prefix))
 
 
 def run_random(
@@ -143,11 +159,22 @@ class ExplorationResult:
     def truncated_runs(self) -> List[Run]:
         return [r for r in self.runs if r.truncated]
 
+    def distinct_computations(self) -> int:
+        """Number of distinct partial orders among the runs.
+
+        Sampling (and, on some programs, even exhaustion) yields
+        interleavings that collapse to the same computation; honest
+        reporting counts what was actually distinct rather than
+        pretending every run was an independent check.
+        """
+        return len({r.computation.stable_fingerprint() for r in self.runs})
+
     def describe(self) -> str:
         mode = "exhaustive" if self.exhaustive else "sampled"
         return (
             f"{mode}: {len(self.runs)} runs "
-            f"({len(self.completed_runs)} completed, "
+            f"({self.distinct_computations()} distinct, "
+            f"{len(self.completed_runs)} completed, "
             f"{len(self.deadlocked_runs)} deadlocked, "
             f"{len(self.truncated_runs)} truncated)"
         )
@@ -164,12 +191,13 @@ def explore_or_sample(
 
     The result records which you got -- verification reports must say
     "verified over all N executions" or "checked on N samples", never
-    blur the two.
+    blur the two.  Only :class:`RunCapExceeded` triggers the sampling
+    fallback; bad bounds and genuine interpreter failures propagate.
     """
     try:
         runs = list(explore(program, max_steps=max_steps, max_runs=max_runs))
         return ExplorationResult(runs=runs, exhaustive=True)
-    except VerificationError:
+    except RunCapExceeded:
         return ExplorationResult(
             runs=sample_runs(program, sample, seed=seed, max_steps=max_steps),
             exhaustive=False,

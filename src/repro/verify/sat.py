@@ -27,7 +27,7 @@ from ..core.computation import Computation
 from ..core.errors import VerificationError
 from ..core.specification import Specification
 from ..sim.runtime import Program, Run
-from ..sim.scheduler import ExplorationResult, explore_or_sample
+from ..sim.scheduler import ExplorationResult
 from .correspondence import Correspondence
 from .projection import project
 
@@ -50,7 +50,16 @@ class RestrictionVerdict:
 
 @dataclass
 class VerificationReport:
-    """Everything :func:`verify_program` learned."""
+    """Everything :func:`verify_program` learned.
+
+    ``distinct_computations`` counts the partial orders actually
+    checked; ``dedupe_ratio`` is runs per distinct computation.  A
+    report saying "verified over all N executions (M distinct
+    computations)" is honest about the quotient the engine exploited.
+    ``engine_stats`` carries the :class:`repro.engine.EngineStats` of
+    the run that produced this report (observability only: it does not
+    participate in :meth:`signature` or :meth:`summary`).
+    """
 
     problem_name: str
     exhaustive: bool
@@ -61,6 +70,9 @@ class VerificationReport:
     program_spec_failures: List[int] = field(default_factory=list)
     legality_failures: List[int] = field(default_factory=list)
     allow_deadlock: bool = False
+    distinct_computations: int = 0
+    dedupe_ratio: float = 1.0
+    engine_stats: Optional[object] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -82,12 +94,36 @@ class VerificationReport:
     def failed_restrictions(self) -> List[str]:
         return [name for name, v in self.verdicts.items() if not v.holds]
 
+    def signature(self) -> Tuple:
+        """Canonical content tuple for determinism comparisons.
+
+        Two reports with equal signatures agree on every verdict, every
+        failing-run index, and every census number -- the engine's
+        parallel-equals-serial guarantee is asserted over exactly this.
+        """
+        return (
+            self.problem_name,
+            self.exhaustive,
+            self.runs_checked,
+            self.deadlocks,
+            self.truncated,
+            self.distinct_computations,
+            tuple(sorted(
+                (name, v.holds, tuple(v.failing_runs))
+                for name, v in self.verdicts.items()
+            )),
+            tuple(self.program_spec_failures),
+            tuple(self.legality_failures),
+        )
+
     def summary(self) -> str:
         mode = "all" if self.exhaustive else "sampled"
         lines = [
             f"verification against {self.problem_name!r}: "
             f"{'VERIFIED' if self.ok else 'FAILED'} "
-            f"({mode} {self.runs_checked} runs, {self.deadlocks} deadlocks, "
+            f"({mode} {self.runs_checked} runs, "
+            f"{self.distinct_computations} distinct computations, "
+            f"{self.deadlocks} deadlocks, "
             f"{self.truncated} truncated)"
         ]
         for v in self.verdicts.values():
@@ -127,43 +163,37 @@ def verify_program(
     allow_deadlock: bool = False,
     temporal_mode: str = "lattice",
     exploration: Optional[ExplorationResult] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress=None,
 ) -> VerificationReport:
-    """The paper's proof obligation, executed.
+    """The paper's proof obligation, executed by :mod:`repro.engine`.
+
+    ``jobs`` fans exploration-and-checking out across that many worker
+    processes (frontier-sharded DFS; the report is identical to
+    ``jobs=1`` by construction).  ``cache_dir`` enables the persistent
+    result cache, making re-verification of an unchanged workload
+    incremental.  ``progress`` installs an engine progress hook.
 
     Pass ``exploration`` to reuse runs already gathered (e.g. when
     verifying one program against several problem variants).
     """
-    result = exploration or explore_or_sample(
-        program, max_steps=max_steps, max_runs=max_runs, sample=sample,
-        seed=seed,
-    )
-    report = VerificationReport(
-        problem_name=problem_spec.name,
-        exhaustive=result.exhaustive,
-        allow_deadlock=allow_deadlock,
-    )
-    for r in problem_spec.all_restrictions():
-        report.verdicts[r.name] = RestrictionVerdict(r.name)
+    # imported here, not at module level: the engine builds
+    # VerificationReports, so it imports this module
+    from ..engine import Engine, EngineConfig
 
-    for i, run in enumerate(result.runs):
-        report.runs_checked += 1
-        if run.deadlocked:
-            report.deadlocks += 1
-        if run.truncated:
-            report.truncated += 1
-        comp = run.computation
-        if program_spec is not None:
-            prog_result = program_spec.check(comp, temporal_mode=temporal_mode)
-            if not prog_result.ok:
-                report.program_spec_failures.append(i)
-        projected = project(comp, correspondence)
-        problem_result = problem_spec.check(projected,
-                                            temporal_mode=temporal_mode)
-        if problem_result.legality_violations:
-            report.legality_failures.append(i)
-        for outcome in problem_result.outcomes:
-            if not outcome.holds:
-                verdict = report.verdicts[outcome.name]
-                verdict.holds = False
-                verdict.failing_runs.append(i)
-    return report
+    config = EngineConfig(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_steps=max_steps,
+        max_runs=max_runs,
+        sample=sample,
+        seed=seed,
+        temporal_mode=temporal_mode,
+        allow_deadlock=allow_deadlock,
+        progress=progress,
+    )
+    return Engine(config).verify(
+        program, problem_spec, correspondence,
+        program_spec=program_spec, exploration=exploration,
+    )

@@ -1,0 +1,114 @@
+"""Tests for the ``python -m repro`` command-line interface.
+
+Each test drives :func:`repro.cli.main` with an argv list and asserts
+on the exit code and captured output -- the same surface a shell user
+sees.  ``monitor-one-slot-buffer`` is the workhorse case because it is
+the cheapest exhaustive verification in the catalogue.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+CASE = "monitor-one-slot-buffer"
+
+
+class TestList:
+    def test_lists_all_cases(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 9
+        assert out == sorted(out)
+        assert CASE in out
+        assert {line.split("-")[0] for line in out} == {"monitor", "csp",
+                                                        "ada"}
+
+
+class TestVerify:
+    def test_verifies_a_case(self, capsys):
+        assert main(["verify", CASE]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "distinct computations" in out
+
+    def test_unknown_case_is_an_error(self, capsys):
+        assert main(["verify", "no-such-case"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+    def test_parallel_jobs_flag(self, capsys):
+        assert main(["verify", CASE]) == 0
+        serial = capsys.readouterr().out
+        assert main(["verify", CASE, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial  # byte-identical report
+
+    def test_stats_flag(self, capsys):
+        assert main(["verify", CASE, "--jobs", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out
+        assert "dedupe ratio" in out
+
+    def test_cache_flag_creates_and_reuses_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["verify", CASE, "--cache", cache]) == 0
+        cold = capsys.readouterr().out
+        files = os.listdir(cache)
+        assert any(f.startswith("gem-cache-") for f in files)
+        assert main(["verify", CASE, "--cache", cache, "--stats"]) == 0
+        warm = capsys.readouterr().out
+        assert cold.splitlines()[0] in warm  # identical summary line
+        assert "from cache" in warm
+
+    def test_cache_path_that_is_a_file_errors_cleanly(self, tmp_path,
+                                                      capsys):
+        not_a_dir = tmp_path / "cachefile"
+        not_a_dir.write_text("")
+        assert main(["verify", CASE, "--cache", str(not_a_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "not a directory" in err
+
+    def test_mutant_fails_and_exits_zero(self, capsys):
+        # --mutant inverts the exit code: the negative control is
+        # *expected* to fail verification
+        assert main(["verify", CASE, "--mutant"]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+
+    def test_mutant_witness(self, capsys):
+        assert main(["verify", CASE, "--mutant", "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert "counterexample for" in out
+
+    def test_mutant_through_parallel_engine(self, capsys):
+        assert main(["verify", CASE, "--mutant", "--jobs", "2"]) == 0
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestDrawing:
+    def test_dot_prints_digraph(self, capsys):
+        assert main(["dot", CASE]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_dot_unknown_case(self, capsys):
+        assert main(["dot", "nope"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+    def test_lattice(self, capsys):
+        assert main(["lattice"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_examples(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "(paper: 5)" in out
+        assert "(paper: 3)" in out
+
+
+class TestArgparseErrors:
+    def test_no_command_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2

@@ -1,0 +1,353 @@
+"""Tests for ``repro.engine``: sharding, dedupe, cache, determinism.
+
+The headline guarantee -- a parallel report is *identical* to the
+serial one (verdicts, run counts, failing-run indices) -- is asserted
+here over every workload in ``benchmarks/bench_engine.py``, per the
+acceptance criteria, not just sampled in the bench.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+
+from benchmarks.bench_engine import WORKLOADS
+from repro.core import ComputationBuilder
+from repro.core.errors import RunCapExceeded, VerificationError
+from repro.engine import (
+    CACHE_FORMAT_VERSION,
+    CheckOutcome,
+    DedupeIndex,
+    Engine,
+    EngineConfig,
+    ResultCache,
+    make_shards,
+    spec_cache_key,
+)
+from repro.core.specification import Specification
+from repro.sim import explore, explore_or_sample
+from repro.verify import Correspondence, verify_program
+from tests.test_sim import CounterProgram
+
+
+# -- a trivial workload: N interleavings, one partial order ---------------
+
+NOOP_SPEC = Specification("noop")
+NOOP_CORR = Correspondence(rules=())
+
+
+def verify_counter(n=2, steps=2, **kwargs):
+    return verify_program(CounterProgram(n, steps), NOOP_SPEC, NOOP_CORR,
+                          **kwargs)
+
+
+# -- sharding -------------------------------------------------------------
+
+
+class TestShards:
+    @pytest.mark.parametrize("n,steps", [(2, 2), (3, 2), (2, 3)])
+    def test_partition_preserves_dfs_order(self, n, steps):
+        program = CounterProgram(n, steps)
+        serial = [r.choices for r in explore(program)]
+        shards = make_shards(program, target=8, max_steps=10_000)
+        merged = []
+        for shard in shards:
+            merged.extend(
+                r.choices for r in explore(program, prefix=shard.prefix))
+        assert merged == serial  # same runs, same order, no dupes
+
+    def test_terminal_tree_smaller_than_target(self):
+        program = CounterProgram(1, 2)  # single run, no branching
+        shards = make_shards(program, target=8, max_steps=10_000)
+        assert len(shards) == 1
+        assert shards[0].terminal
+        assert "leaf" in shards[0].describe()
+
+    def test_target_reached_or_tree_exhausted(self):
+        program = CounterProgram(3, 2)
+        shards = make_shards(program, target=4, max_steps=10_000)
+        assert len(shards) >= 4
+
+
+# -- determinism: the acceptance criterion --------------------------------
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_parallel_equals_serial(self, workload):
+        program, spec, corr, pspec = WORKLOADS[workload]()
+        serial = verify_program(program, spec, corr, program_spec=pspec,
+                                jobs=1)
+        parallel = verify_program(program, spec, corr, program_spec=pspec,
+                                  jobs=4)
+        assert parallel.signature() == serial.signature()
+        assert parallel.summary() == serial.summary()  # byte-identical
+        assert serial.ok and parallel.ok
+        if "fork" in __import__("multiprocessing").get_all_start_methods():
+            assert parallel.engine_stats.jobs >= 2
+
+    def test_parallel_equals_serial_on_synthetic(self):
+        serial = verify_counter(3, 2, jobs=1)
+        parallel = verify_counter(3, 2, jobs=3)
+        assert parallel.signature() == serial.signature()
+
+
+# -- dedupe ---------------------------------------------------------------
+
+
+class TestDedupe:
+    def test_independent_steps_collapse_to_one_computation(self):
+        # 2 procs x 2 steps: 6 interleavings, all the same partial order
+        report = verify_counter(2, 2)
+        assert report.runs_checked == 6
+        assert report.distinct_computations == 1
+        assert report.dedupe_ratio == 6.0
+        assert report.engine_stats.checks_performed == 1
+        assert report.engine_stats.dedupe_hits == 5
+
+    def test_summary_reports_distinct_count(self):
+        report = verify_counter(2, 2)
+        assert "6 runs" in report.summary()
+        assert "1 distinct computations" in report.summary()
+
+    def test_sampling_routed_through_dedupe(self):
+        # cap forces the sampling fallback; every seeded walk of the
+        # independent-counter program is the same partial order, and the
+        # report must say so instead of claiming N independent checks
+        report = verify_counter(3, 3, max_runs=5, sample=20)
+        assert not report.exhaustive
+        assert report.runs_checked == 20
+        assert report.distinct_computations == 1
+        assert report.engine_stats.mode == "sampled"
+        assert report.engine_stats.checks_performed <= 2
+
+    def test_exploration_result_reports_distinct(self):
+        result = explore_or_sample(CounterProgram(2, 2))
+        assert result.distinct_computations() == 1
+        assert "1 distinct" in result.describe()
+
+    def test_dedupe_index_layering(self):
+        index = DedupeIndex(seed={"warm": CheckOutcome()})
+        fresh = CheckOutcome(failed_restrictions=("r",))
+        assert index.outcome_for("warm", lambda: fresh) == CheckOutcome()
+        assert index.cache_hits == 1
+        assert index.outcome_for("cold", lambda: fresh) == fresh
+        assert index.computed == 1
+        assert index.outcome_for("cold", lambda: CheckOutcome()) == fresh
+        assert index.dedupe_hits == 1
+        assert index.fresh == {"cold": fresh}
+        assert "warm" in index and "cold" in index
+        assert len(index) == 2
+
+
+# -- stable fingerprints --------------------------------------------------
+
+
+class TestStableFingerprint:
+    def build(self, order):
+        b = ComputationBuilder()
+        events = {}
+        for name in order:
+            events[name] = b.add_event(name, "X", {"v": 1})
+        b.add_enable(events["A"], events["B"])
+        return b.freeze()
+
+    def test_insertion_order_independent(self):
+        assert (self.build(["A", "B", "C"]).stable_fingerprint()
+                == self.build(["C", "A", "B"]).stable_fingerprint())
+
+    def test_content_sensitive(self):
+        b = ComputationBuilder()
+        b.add_event("A", "X", {"v": 2})
+        b.add_event("B", "X", {"v": 1})
+        b.add_event("C", "X", {"v": 1})
+        other = b.freeze()  # no A->B edge, different param
+        assert (other.stable_fingerprint()
+                != self.build(["A", "B", "C"]).stable_fingerprint())
+
+
+# -- persistent cache -----------------------------------------------------
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path, "k1")
+        cache.put("fp1", CheckOutcome(failed_restrictions=("r1",),
+                                      legality_ok=False))
+        cache.save()
+        again = ResultCache(tmp_path, "k1")
+        assert len(again) == 1
+        assert again.get("fp1").failed_restrictions == ("r1",)
+        assert not again.get("fp1").legality_ok
+
+    def test_version_mismatch_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path, "k1")
+        cache.put("fp1", CheckOutcome())
+        cache.save()
+        text = cache.path.read_text()
+        cache.path.write_text(
+            text.replace(f'"version":{CACHE_FORMAT_VERSION}', '"version":0'))
+        assert len(ResultCache(tmp_path, "k1")) == 0
+
+    def test_corrupt_file_starts_empty(self, tmp_path):
+        path = tmp_path / "gem-cache-k1.json"
+        path.write_text("{not json")
+        assert len(ResultCache(tmp_path, "k1")) == 0
+
+    def test_keys_separate_workloads(self):
+        program, spec, corr, pspec = WORKLOADS["monitor-bounded-buffer"]()
+        key = spec_cache_key(spec, corr, pspec)
+        assert key == spec_cache_key(spec, corr, pspec)  # deterministic
+        assert key != spec_cache_key(spec, corr, None)
+        assert key != spec_cache_key(spec, corr, pspec, temporal_mode="exact")
+        assert key != spec_cache_key(NOOP_SPEC, corr, pspec)
+
+    def test_warm_cache_skips_every_check(self, tmp_path):
+        cold = verify_counter(2, 2, cache_dir=str(tmp_path))
+        warm = verify_counter(2, 2, cache_dir=str(tmp_path))
+        assert cold.engine_stats.checks_performed == 1
+        assert warm.engine_stats.checks_performed == 0
+        assert warm.engine_stats.cache_hits == 1
+        assert warm.engine_stats.cache_hit_rate == 1.0
+        assert warm.signature() == cold.signature()
+
+    def test_warm_cache_parallel(self, tmp_path):
+        program, spec, corr, pspec = WORKLOADS["monitor-bounded-buffer"]()
+        cold = verify_program(program, spec, corr, program_spec=pspec,
+                              jobs=2, cache_dir=str(tmp_path))
+        warm = verify_program(program, spec, corr, program_spec=pspec,
+                              jobs=2, cache_dir=str(tmp_path))
+        assert warm.engine_stats.checks_performed == 0
+        assert warm.signature() == cold.signature()
+
+
+# -- negative controls: dedupe/cache must not mask counterexamples --------
+
+
+class TestMutantsThroughEngine:
+    def mutant(self):
+        from repro.langs.monitor import (
+            MonitorProgram,
+            one_slot_buffer_monitor_unguarded,
+            one_slot_buffer_system,
+        )
+        from repro.problems.one_slot_buffer import (
+            monitor_correspondence,
+            one_slot_buffer_spec,
+        )
+
+        system = one_slot_buffer_system(
+            items=(1, 2), monitor=one_slot_buffer_monitor_unguarded())
+        return (MonitorProgram(system), one_slot_buffer_spec(),
+                monitor_correspondence("osb"))
+
+    def test_mutant_fails_serial_parallel_and_cached(self, tmp_path):
+        program, spec, corr = self.mutant()
+        serial = verify_program(program, spec, corr)
+        parallel = verify_program(program, spec, corr, jobs=2)
+        cold = verify_program(program, spec, corr, cache_dir=str(tmp_path))
+        warm = verify_program(program, spec, corr, cache_dir=str(tmp_path))
+        assert not serial.ok
+        assert parallel.signature() == serial.signature()
+        assert cold.signature() == serial.signature()
+        assert warm.signature() == serial.signature()
+        assert warm.engine_stats.checks_performed == 0
+        failed = [v for v in warm.verdicts.values() if not v.holds]
+        assert failed and all(v.failing_runs for v in failed)
+
+
+# -- scheduler regression: the silent-fallback bug ------------------------
+
+
+class _ExplodingState:
+    def __init__(self, err):
+        self._err = err
+
+    def enabled(self):
+        raise self._err
+
+    def step(self, action):  # pragma: no cover
+        raise AssertionError
+
+    def is_final(self):  # pragma: no cover
+        return False
+
+    def computation(self):  # pragma: no cover
+        return ComputationBuilder().freeze()
+
+
+class _ExplodingProgram:
+    def __init__(self, err):
+        self._err = err
+
+    def initial_state(self):
+        return _ExplodingState(self._err)
+
+
+class TestRunCapFallback:
+    def test_explore_raises_run_cap_exceeded(self):
+        with pytest.raises(RunCapExceeded):
+            list(explore(CounterProgram(3, 3), max_runs=5))
+
+    def test_cap_exceeded_is_a_verification_error(self):
+        assert issubclass(RunCapExceeded, VerificationError)
+
+    def test_bad_bounds_propagate_instead_of_sampling(self):
+        # regression: explore_or_sample used to swallow *any*
+        # VerificationError and silently degrade to sampling
+        with pytest.raises(VerificationError, match="max_steps"):
+            explore_or_sample(CounterProgram(2, 2), max_steps=0)
+
+    def test_interpreter_failures_propagate(self):
+        boom = VerificationError("interpreter exploded")
+        with pytest.raises(VerificationError, match="exploded"):
+            explore_or_sample(_ExplodingProgram(boom))
+
+    def test_only_cap_triggers_sampling(self):
+        result = explore_or_sample(CounterProgram(3, 3), max_runs=5,
+                                   sample=7)
+        assert not result.exhaustive
+        assert len(result.runs) == 7
+
+
+# -- engine plumbing ------------------------------------------------------
+
+
+class TestEnginePlumbing:
+    def test_reused_exploration_matches_fresh(self):
+        program = CounterProgram(2, 2)
+        fresh = verify_program(program, NOOP_SPEC, NOOP_CORR)
+        reused = verify_program(
+            program, NOOP_SPEC, NOOP_CORR,
+            exploration=explore_or_sample(program))
+        assert reused.signature() == fresh.signature()
+        assert reused.engine_stats.mode == "reused"
+
+    def test_progress_hook_fires(self):
+        events = []
+        verify_counter(2, 2, jobs=1,
+                       progress=lambda name, info: events.append(name))
+        names = set(events)
+        assert "phase:start" in names and "phase:end" in names
+        assert "task:done" in names
+
+    def test_run_verification_returns_stats(self):
+        from repro.engine import run_verification
+
+        report, stats = run_verification(
+            CounterProgram(2, 2), NOOP_SPEC, NOOP_CORR,
+            config=EngineConfig(jobs=1))
+        assert report.engine_stats is stats
+        assert stats.runs == 6
+        assert stats.dedupe_ratio == 6.0
+        assert "dedupe ratio" in stats.describe()
+
+    def test_engine_stats_describe_smoke(self):
+        engine = Engine(EngineConfig(jobs=2))
+        report = engine.verify(CounterProgram(2, 2), NOOP_SPEC, NOOP_CORR)
+        text = engine.last_stats.describe()
+        assert "engine:" in text and "runs/s" in text
+        assert report.ok
