@@ -11,7 +11,11 @@ Commands:
 * ``dot <case>`` -- print one execution of a case as Graphviz DOT;
 * ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
 * ``examples`` -- print the paper's two inline worked examples
-  (the §4 access table and the §7 history/vhs counts).
+  (the §4 access table and the §7 history/vhs counts);
+* ``fuzz`` -- run the generative differential tester
+  (:mod:`repro.fuzz`): seeded random computations, formulas, and
+  programs against the metamorphic oracle suite, shrinking any failure
+  to a runnable pytest repro (see docs/FUZZING.md).
 
 The CLI is a thin veneer over the library; every command's work is one
 or two public API calls.
@@ -265,6 +269,35 @@ def cmd_examples(_args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import FuzzConfig, oracle_names, run_fuzz
+
+    known = oracle_names()
+    selected = tuple(args.oracle) if args.oracle else None
+    if selected:
+        unknown = [n for n in selected if n not in known]
+        if unknown:
+            print(f"unknown oracle(s) {unknown}; known: {list(known)}",
+                  file=sys.stderr)
+            return 2
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        oracles=selected,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+    )
+    failures, stats = run_fuzz(config)
+    print(stats.describe())
+    for failure in failures:
+        print()
+        print(failure.describe())
+        print("--- repro snippet " + "-" * 50)
+        print(failure.snippet, end="")
+        print("-" * 68)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +332,23 @@ def main(argv=None) -> int:
     sub.add_parser("lattice", help="print the §7 history lattice as DOT")
     sub.add_parser("examples", help="print the paper's inline examples")
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="run the generative differential tester")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; every artifact's seed token is "
+                             "derived from it (default 0)")
+    p_fuzz.add_argument("--iterations", type=int, default=200, metavar="N",
+                        help="total iterations, round-robin over the "
+                             "selected oracles (default 200)")
+    p_fuzz.add_argument("--oracle", action="append", metavar="NAME",
+                        help="run only this oracle (repeatable; "
+                             "default: all)")
+    p_fuzz.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="worker processes for the engine-differential "
+                             "oracle's parallel pipeline (default 2)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimising them")
+
     args = parser.parse_args(argv)
     handlers = {
         "list": cmd_list,
@@ -306,6 +356,7 @@ def main(argv=None) -> int:
         "dot": cmd_dot,
         "lattice": cmd_lattice,
         "examples": cmd_examples,
+        "fuzz": cmd_fuzz,
     }
     from .core.errors import VerificationError
 

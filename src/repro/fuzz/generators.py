@@ -1,0 +1,354 @@
+"""Seeded random generators for GEM structures.
+
+Everything the fuzzer feeds an oracle starts life here, and everything
+is generated from an explicit ``random.Random`` instance -- the fuzzer
+never touches the global RNG, so every artifact is reproducible from its
+seed token alone.
+
+The central artifact is the :class:`ComputationRecipe`: a pure-data,
+``repr``-round-trippable description of one well-formed computation.
+Recipes rather than computations are what the shrinker manipulates and
+what repro snippets embed -- ``eval(repr(recipe))`` reconstructs the
+artifact exactly, with no pickling and no reference to the generator's
+RNG state.
+
+Well-formedness by construction
+-------------------------------
+Generated ``⊳`` edges only ever point *forward* in insertion order.
+Since the element order ``⇒ₑ`` also follows insertion order (occurrence
+numbers are assigned per element as events are added), the union
+``⊳ ∪ ⇒ₑ`` is a subrelation of the insertion total order and therefore
+acyclic -- ``freeze()`` can always compute the temporal order.  When a
+recipe carries a :class:`~repro.core.group.GroupStructure`, candidate
+edges are filtered through ``may_enable`` first, so generated edges
+respect the paper's access rules (Section 4, footnote 4) including
+ports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.computation import Computation, ComputationBuilder
+from ..core.element import EventClassRef
+from ..core.formula import (
+    And,
+    AtElement,
+    Concurrent,
+    ElementPrecedes,
+    Enables,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Occurred,
+    Or,
+    TemporallyPrecedes,
+    TrueF,
+)
+from ..core.group import GroupDecl, GroupStructure
+
+#: Event-class vocabulary: name -> parameter names (values are small ints).
+EVENT_CLASSES: Dict[str, Tuple[str, ...]] = {
+    "Go": (),
+    "Ack": (),
+    "Put": ("v",),
+    "Get": ("v",),
+}
+
+_ELEMENT_NAMES = ("A", "B", "C", "D", "E", "F")
+
+
+# ---------------------------------------------------------------------------
+# Group recipes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupRecipe:
+    """Pure-data description of one group declaration."""
+
+    name: str
+    members: Tuple[str, ...]
+    #: (element, event_class) pairs designated as ports of this group
+    ports: Tuple[Tuple[str, str], ...] = ()
+
+    def to_decl(self) -> GroupDecl:
+        return GroupDecl.make(
+            self.name,
+            self.members,
+            ports=[EventClassRef(el, cls) for el, cls in self.ports],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Computation recipes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComputationRecipe:
+    """A well-formed computation as plain data.
+
+    ``events[i]`` is ``(element, event_class, params, threads)`` with
+    ``params`` a tuple of ``(name, value)`` pairs; ``edges`` are
+    ``(i, j)`` index pairs with ``i < j`` (enable edges forward in
+    insertion order).  ``elements`` is the declared element universe
+    (superset of the elements used) and ``groups`` the scope structure,
+    both optional.
+    """
+
+    events: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...], Tuple[str, ...]], ...]
+    edges: Tuple[Tuple[int, int], ...] = ()
+    elements: Tuple[str, ...] = ()
+    groups: Tuple[GroupRecipe, ...] = ()
+
+    # -- building ----------------------------------------------------------
+
+    def group_structure(self) -> Optional[GroupStructure]:
+        if not self.groups:
+            return None
+        universe = self.elements or tuple(
+            dict.fromkeys(el for el, _, _, _ in self.events))
+        return GroupStructure(universe, [g.to_decl() for g in self.groups])
+
+    def build(self, order: Optional[Sequence[int]] = None) -> Computation:
+        """Freeze into a :class:`Computation`.
+
+        ``order`` optionally permutes insertion order.  Only
+        permutations that preserve the *relative* order of events at
+        each element reproduce the same partial order (occurrence
+        numbers are assigned per element in insertion order); see
+        :meth:`element_preserving_shuffle`.
+        """
+        builder = ComputationBuilder(self.group_structure())
+        sequence = range(len(self.events)) if order is None else order
+        built: Dict[int, object] = {}
+        for i in sequence:
+            element, event_class, params, threads = self.events[i]
+            built[i] = builder.add_event(
+                element, event_class, dict(params), threads)
+        for i, j in self.edges:
+            builder.add_enable(built[i], built[j])
+        return builder.freeze()
+
+    def element_preserving_shuffle(self, rng: random.Random) -> List[int]:
+        """A random insertion order preserving each element's subsequence.
+
+        Implemented as a random interleaving of the per-element queues,
+        so every element's events keep their relative order (and hence
+        their occurrence numbers) while cross-element insertion order is
+        scrambled.
+        """
+        queues: Dict[str, List[int]] = {}
+        for i, (element, _, _, _) in enumerate(self.events):
+            queues.setdefault(element, []).append(i)
+        pending = [q for q in queues.values() if q]
+        order: List[int] = []
+        while pending:
+            q = rng.choice(pending)
+            order.append(q.pop(0))
+            pending = [q for q in pending if q]
+        return order
+
+    # -- shrinking ---------------------------------------------------------
+
+    def without_edge(self, k: int) -> "ComputationRecipe":
+        return replace(
+            self, edges=self.edges[:k] + self.edges[k + 1:])
+
+    def without_event(self, i: int) -> "ComputationRecipe":
+        """Drop event ``i``, its incident edges, and reindex."""
+        events = self.events[:i] + self.events[i + 1:]
+        edges = tuple(
+            (a - (a > i), b - (b > i))
+            for a, b in self.edges
+            if a != i and b != i
+        )
+        return replace(self, events=events, edges=edges)
+
+    def shrink_candidates(self) -> Iterator["ComputationRecipe"]:
+        """One-step reductions, largest deletions first."""
+        for i in reversed(range(len(self.events))):
+            yield self.without_event(i)
+        for k in reversed(range(len(self.edges))):
+            yield self.without_edge(k)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Random computations
+# ---------------------------------------------------------------------------
+
+
+def _random_groups(
+    rng: random.Random, elements: Tuple[str, ...]
+) -> Tuple[GroupRecipe, ...]:
+    """A small random scope structure over ``elements``.
+
+    Groups draw disjoint member sets (the paper's containment is a
+    forest over elements at this depth) and occasionally designate a
+    member's event class as a port.
+    """
+    available = list(elements)
+    rng.shuffle(available)
+    groups: List[GroupRecipe] = []
+    n_groups = rng.randint(1, max(1, len(elements) // 2))
+    for g in range(n_groups):
+        if not available:
+            break
+        size = rng.randint(1, min(2, len(available)))
+        members = tuple(sorted(available[:size]))
+        del available[:size]
+        ports: Tuple[Tuple[str, str], ...] = ()
+        if rng.random() < 0.5:
+            port_el = rng.choice(members)
+            port_cls = rng.choice(sorted(EVENT_CLASSES))
+            ports = ((port_el, port_cls),)
+        groups.append(GroupRecipe(f"G{g}", members, ports))
+    return tuple(groups)
+
+
+def random_computation(
+    rng: random.Random,
+    max_elements: int = 4,
+    max_events: int = 10,
+    edge_density: float = 0.3,
+    with_groups: Optional[bool] = None,
+    element_prefix: str = "",
+) -> ComputationRecipe:
+    """A seeded random well-formed computation recipe.
+
+    ``with_groups=None`` flips a coin; ``element_prefix`` namespaces the
+    elements (used to make recipes composable with guaranteed-disjoint
+    element sets).
+    """
+    n_elements = rng.randint(1, max_elements)
+    elements = tuple(
+        element_prefix + name for name in _ELEMENT_NAMES[:n_elements])
+    use_groups = rng.random() < 0.4 if with_groups is None else with_groups
+    groups = _random_groups(rng, elements) if use_groups else ()
+
+    n_events = rng.randint(1, max_events)
+    events = []
+    for _ in range(n_events):
+        element = rng.choice(elements)
+        event_class = rng.choice(sorted(EVENT_CLASSES))
+        params = tuple(
+            (p, rng.randrange(10)) for p in EVENT_CLASSES[event_class])
+        events.append((element, event_class, params, ()))
+
+    recipe = ComputationRecipe(
+        events=tuple(events), elements=elements, groups=groups)
+    structure = recipe.group_structure()
+    edges = []
+    for j in range(n_events):
+        for i in range(j):
+            if rng.random() >= edge_density:
+                continue
+            src, dst = events[i][0], events[j][0]
+            if structure is not None and not structure.may_enable(
+                    src, dst, events[j][1]):
+                continue
+            edges.append((i, j))
+    return replace(recipe, edges=tuple(edges))
+
+
+# ---------------------------------------------------------------------------
+# Random restriction formulas
+# ---------------------------------------------------------------------------
+
+
+def random_formula(
+    rng: random.Random,
+    computation: Computation,
+    max_depth: int = 3,
+) -> Formula:
+    """A random *immediate* formula over the computation's vocabulary.
+
+    Domains are drawn from the (element, class) pairs actually present;
+    atoms only reference bound variables, so the result is always
+    closed.  The formula is immediate (no temporal operators) -- callers
+    wanting a temporal restriction wrap it in ``Henceforth`` themselves,
+    which keeps it inside the fragment where the lattice and exact
+    checkers provably agree.
+    """
+    pairs = sorted({(ev.element, ev.event_class) for ev in computation.events})
+    if not pairs:
+        return TrueF()
+    classes = sorted({cls for _, cls in pairs})
+
+    def a_domain() -> str:
+        if rng.random() < 0.5:
+            el, cls = rng.choice(pairs)
+            return f"{el}.{cls}"
+        return rng.choice(classes)
+
+    def atom(bound: List[str]) -> Formula:
+        if not bound:
+            return TrueF()
+        unary = rng.random() < 0.4 or len(bound) == 1
+        if unary:
+            v = rng.choice(bound)
+            if rng.random() < 0.5:
+                return Occurred(v)
+            el = rng.choice(pairs)[0]
+            return AtElement(v, el)
+        a, b = rng.sample(bound, 2)
+        kind = rng.randrange(4)
+        if kind == 0:
+            return Enables(a, b)
+        if kind == 1:
+            return ElementPrecedes(a, b)
+        if kind == 2:
+            return TemporallyPrecedes(a, b)
+        return Concurrent(a, b)
+
+    def gen(depth: int, bound: List[str]) -> Formula:
+        if depth <= 0:
+            return atom(bound)
+        # bias towards introducing a binder while nothing is bound yet
+        kind = rng.randrange(6) if bound else rng.randrange(2)
+        if kind < 2:  # quantifier
+            var = f"v{len(bound)}"
+            quant = ForAll if rng.random() < 0.5 else Exists
+            return quant(var, a_domain(), gen(depth - 1, bound + [var]))
+        if kind == 2:
+            return Not(gen(depth - 1, bound))
+        if kind == 3:
+            return And((gen(depth - 1, bound), gen(depth - 1, bound)))
+        if kind == 4:
+            return Or((gen(depth - 1, bound), gen(depth - 1, bound)))
+        return Implies(gen(depth - 1, bound), gen(depth - 1, bound))
+
+    return gen(rng.randint(1, max_depth), [])
+
+
+# ---------------------------------------------------------------------------
+# Random choice sequences
+# ---------------------------------------------------------------------------
+
+
+def random_choices(
+    rng: random.Random, program, max_steps: int = 200
+) -> Tuple[int, ...]:
+    """A random maximal choice sequence for a scheduler program.
+
+    Drives ``program`` like :func:`repro.sim.run_random` but from the
+    caller's RNG, returning only the choices -- the replay currency of
+    the language interpreters.
+    """
+    state = program.initial_state()
+    choices: List[int] = []
+    while len(choices) < max_steps:
+        actions = state.enabled()
+        if not actions:
+            break
+        choices.append(rng.randrange(len(actions)))
+        state.step(actions[choices[-1]])
+    return tuple(choices)

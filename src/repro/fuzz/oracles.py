@@ -1,0 +1,565 @@
+"""Metamorphic and differential oracles.
+
+Each oracle pairs a generator (``random.Random`` -> artifact) with a
+pure checker (artifact -> failure message or ``None``).  Checkers are
+deterministic functions of the artifact alone -- that is what lets the
+shrinker re-run them on reduced artifacts and lets a repro snippet
+re-run them years later from nothing but ``repr(artifact)``.
+
+The law functions (``check_*``) are public and separately importable:
+the killed-mutant tests call them directly on deliberately broken
+inputs (a tampered temporal relation, a non-down-closed history, a
+fingerprint that ignores edges, a program that emits different edges in
+forked workers) to prove each oracle can actually fail.  Where a law
+exercises a replaceable implementation (fingerprinting, composition,
+projection), the implementation is an injectable parameter so mutants
+are seeded without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.checker import check_restriction
+from ..core.compose import parallel_compose, restrict_events, sequential_compose
+from ..core.computation import Computation
+from ..core.formula import Formula, Henceforth, Restriction
+from ..core.history import History, all_histories, maximal_history_sequences
+from ..engine import EngineConfig, run_verification
+from ..sim.scheduler import replay_prefix, run_random
+from ..verify.correspondence import Correspondence, SignificantEvents
+from ..verify.projection import project
+from .generators import (
+    ComputationRecipe,
+    random_computation,
+    random_formula,
+)
+from .programs import (
+    FuzzProgram,
+    FuzzProgramSpec,
+    fuzz_correspondence,
+    fuzz_problem_spec,
+    random_program_spec,
+)
+
+# ---------------------------------------------------------------------------
+# Law functions
+# ---------------------------------------------------------------------------
+
+
+def check_order_laws(comp: Computation) -> Optional[str]:
+    """Strict-partial-order laws of ``⇒`` and the Relation algebra.
+
+    ``⇒`` must be an irreflexive transitive (hence acyclic) order that
+    contains ``⊳`` and ``⇒ₑ``; closure must be idempotent, reduction
+    must round-trip through closure, topological order must linearise
+    it, and concurrency must be the symmetric irreflexive complement.
+    """
+    t = comp.temporal_relation
+    if not t.is_strict_partial_order():
+        return "temporal relation is not a strict partial order"
+    if t.is_acyclic() != (t.find_cycle() is None):
+        return "is_acyclic() disagrees with find_cycle()"
+    pairs = set(t.pairs())
+    if set(t.transitive_closure().pairs()) != pairs:
+        return "transitive closure is not idempotent on ⇒"
+    reduction = t.transitive_reduction()
+    if set(reduction.transitive_closure().pairs()) != pairs:
+        return "transitive reduction does not round-trip through closure"
+    position = {n: i for i, n in enumerate(t.topological_order())}
+    if any(position[a] >= position[b] for a, b in pairs):
+        return "topological_order() violates ⇒"
+    for a, b in comp.enable_relation.pairs():
+        if not t.holds(a, b):
+            return f"⊳ pair {a} ⊳ {b} missing from ⇒"
+    for element in comp.elements():
+        seq = comp.events_at(element)
+        for prev, nxt in zip(seq, seq[1:]):
+            if not t.holds(prev.eid, nxt.eid):
+                return f"⇒ₑ cover {prev.eid} ⇒ₑ {nxt.eid} missing from ⇒"
+    ids = [ev.eid for ev in comp.events]
+    for a in ids:
+        if comp.concurrent(a, a):
+            return f"concurrent({a}, {a}) should be false"
+        down = t.down_set([a])
+        if not t.is_down_closed(down):
+            return f"down_set({a}) is not downward closed"
+        for b in ids:
+            if comp.concurrent(a, b) != comp.concurrent(b, a):
+                return f"concurrency is not symmetric on ({a}, {b})"
+            expected = a != b and not t.holds(a, b) and not t.holds(b, a)
+            if comp.concurrent(a, b) != expected:
+                return f"concurrent({a}, {b}) disagrees with ⇒"
+    for n in t.minimal_nodes():
+        if any(t.holds(m, n) for m in ids):
+            return f"minimal node {n} has a predecessor"
+    for n in t.maximal_nodes():
+        if any(t.holds(n, m) for m in ids):
+            return f"maximal node {n} has a successor"
+    return None
+
+
+def check_history_laws(
+    comp: Computation,
+    histories: Optional[Sequence[History]] = None,
+    sequences: Optional[Sequence] = None,
+    history_cap: int = 5000,
+    vhs_cap: int = 2000,
+) -> Optional[str]:
+    """History-lattice laws (Section 7).
+
+    Histories are exactly the downward-closed sets; they form a lattice
+    (closed under union and intersection, with ⊥ = ∅ and ⊤ = all
+    events); frontiers are maximal inside their history; and in a valid
+    history sequence every simultaneous step is an antichain of
+    pairwise (potentially) concurrent events.
+
+    ``histories``/``sequences`` are injectable so mutant tests can feed
+    corrupted collections through the same laws.
+    """
+    t = comp.temporal_relation
+    if histories is None:
+        histories = all_histories(comp, cap=history_cap)
+    sets = {h.events for h in histories}
+    for h in histories:
+        if not t.is_down_closed(h.events):
+            return f"history {sorted(map(str, h.events))} is not down-closed"
+        for f in h.frontier():
+            if any(t.holds(f, other) for other in h.events):
+                return f"frontier event {f} has a successor inside its history"
+        for e in h.addable():
+            if e in h.events:
+                return f"addable event {e} already occurred"
+            if not (t.down_set([e]) - {e} <= h.events):
+                return f"addable event {e} has an unmet predecessor"
+    if frozenset() not in sets:
+        return "empty history missing from the lattice"
+    if frozenset(ev.eid for ev in comp.events) not in sets:
+        return "complete history missing from the lattice"
+    for x in sets:
+        for y in sets:
+            if x | y not in sets:
+                return "history lattice is not closed under union"
+            if x & y not in sets:
+                return "history lattice is not closed under intersection"
+    if sequences is None:
+        sequences = list(maximal_history_sequences(
+            comp, cap=vhs_cap, max_step=None))
+    full = frozenset(ev.eid for ev in comp.events)
+    for seq in sequences:
+        steps = list(seq)
+        for prev, nxt in zip(steps, steps[1:]):
+            if not prev.events <= nxt.events:
+                return "history sequence is not monotone"
+            added = sorted(nxt.events - prev.events)
+            if not t.is_antichain(added):
+                return "simultaneous step is not an antichain of ⇒"
+            for i, a in enumerate(added):
+                for b in added[i + 1:]:
+                    if not comp.concurrent(a, b):
+                        return (f"simultaneous events {a}, {b} are not "
+                                "pairwise concurrent")
+        if steps and steps[-1].events != full:
+            return "maximal history sequence does not end at ⊤"
+    return None
+
+
+def _stable_fingerprint(comp: Computation) -> str:
+    return comp.stable_fingerprint()
+
+
+def check_fingerprint_laws(
+    recipe: ComputationRecipe,
+    shuffles: int = 4,
+    fingerprint: Callable[[Computation], str] = _stable_fingerprint,
+) -> Optional[str]:
+    """Relabeling-invariance and sensitivity of computation fingerprints.
+
+    Invariance: any insertion order that preserves each element's
+    subsequence builds the *same* partial order, so the fingerprint must
+    not change.  Sensitivity: deleting an enable edge or perturbing a
+    parameter changes the partial order, so the fingerprint must change.
+    A fingerprint failing the first law breaks dedupe soundness (runs
+    wrongly counted distinct); one failing the second silently merges
+    different computations -- both are exactly the bugs the engine's
+    dedupe layer cannot survive.
+    """
+    base = fingerprint(recipe.build())
+    rng = random.Random(0xF1A9)
+    for _ in range(shuffles):
+        order = recipe.element_preserving_shuffle(rng)
+        got = fingerprint(recipe.build(order))
+        if got != base:
+            return (f"fingerprint not invariant under insertion order "
+                    f"{order}")
+    for k in range(len(recipe.edges)):
+        if fingerprint(recipe.without_edge(k).build()) == base:
+            return f"fingerprint insensitive to dropping edge {recipe.edges[k]}"
+    for i, (element, event_class, params, threads) in enumerate(recipe.events):
+        if not params:
+            continue
+        name, value = params[0]
+        tweaked = ((name, value + 1),) + params[1:]
+        mutated = replace(recipe, events=(
+            recipe.events[:i]
+            + ((element, event_class, tweaked, threads),)
+            + recipe.events[i + 1:]))
+        if fingerprint(mutated.build()) == base:
+            return f"fingerprint insensitive to changing a parameter of event {i}"
+        break  # one parameter perturbation suffices
+    return None
+
+
+def identity_correspondence(comp: Computation) -> Correspondence:
+    """Every event significant, mapped to itself, parameters preserved."""
+    pairs = sorted({(ev.element, ev.event_class) for ev in comp.events})
+    return Correspondence(rules=tuple(
+        SignificantEvents(
+            name=f"id-{el}-{cls}", element=el, event_class=cls,
+            target_element=el, target_class=cls,
+            params=lambda ev: dict(ev.param_dict()))
+        for el, cls in pairs
+    ))
+
+
+def check_compose_laws(
+    a_recipe: ComputationRecipe,
+    b_recipe: ComputationRecipe,
+    compose_parallel: Callable[[Computation, Computation], Computation] = parallel_compose,
+    compose_sequential: Callable[[Computation, Computation], Computation] = sequential_compose,
+    projector: Callable[[Computation, Correspondence], Computation] = project,
+) -> Optional[str]:
+    """Composition and projection round-trips.
+
+    * ``parallel_compose``: cross pairs are concurrent, and restricting
+      back to either side reproduces it exactly (fingerprint equality).
+    * ``sequential_compose``: every ``a`` event temporally precedes
+      every ``b`` event (the barrier law).
+    * ``project`` under the identity correspondence is the identity.
+
+    The composition/projection implementations are injectable for
+    mutant seeding.
+    """
+    a, b = a_recipe.build(), b_recipe.build()
+    a_ids = [ev.eid for ev in a.events]
+    b_ids = [ev.eid for ev in b.events]
+
+    par = compose_parallel(a, b)
+    for x in a_ids:
+        for y in b_ids:
+            if not par.concurrent(x, y):
+                return f"parallel_compose ordered cross pair ({x}, {y})"
+    if restrict_events(par, a_ids).stable_fingerprint() != a.stable_fingerprint():
+        return "restrict_events(parallel_compose(a, b), a) != a"
+    if restrict_events(par, b_ids).stable_fingerprint() != b.stable_fingerprint():
+        return "restrict_events(parallel_compose(a, b), b) != b"
+
+    if a_ids and b_ids:
+        seq = compose_sequential(a, b)
+        for x in a_ids:
+            for y in b_ids:
+                if not seq.temporally_precedes(x, y):
+                    return (f"sequential_compose left {x} unordered before "
+                            f"{y}")
+
+    if a_ids:
+        projected = projector(a, identity_correspondence(a))
+        if projected.stable_fingerprint() != a.stable_fingerprint():
+            return "identity projection changed the computation"
+    return None
+
+
+def check_modes_agree(
+    comp: Computation,
+    restriction: Restriction,
+    vhs_cap: int = 50_000,
+) -> Optional[str]:
+    """Differential oracle: lattice vs exact temporal checking.
+
+    For ``□p`` with an immediate ``p`` the memoised lattice evaluator
+    and exhaustive vhs enumeration are provably equivalent (every
+    reachable history lies on some maximal sequence); any divergence is
+    an implementation bug in one of them.
+    """
+    lattice = check_restriction(comp, restriction, temporal_mode="lattice")
+    exact = check_restriction(comp, restriction, temporal_mode="exact",
+                              vhs_cap=vhs_cap)
+    if lattice.holds != exact.holds:
+        return (f"checker modes disagree on {restriction.name!r}: "
+                f"lattice={lattice.holds} exact={exact.holds} "
+                f"({restriction.formula.describe()})")
+    return None
+
+
+def check_replay_determinism(
+    program,
+    seed: int,
+    max_steps: int = 400,
+) -> Optional[str]:
+    """Replay contract of the scheduler and interpreters.
+
+    The same seed must reproduce the same choices and the same
+    computation; replaying the recorded choices through
+    ``replay_prefix`` must land on the same computation.  Programs
+    violating this (enabled-order depending on ambient state) break
+    every downstream guarantee -- sampling provenance, engine sharding,
+    and cache keying alike.
+    """
+    first = run_random(program, seed, max_steps=max_steps)
+    second = run_random(program, seed, max_steps=max_steps)
+    if first.choices != second.choices:
+        return (f"run_random(seed={seed}) is not reproducible: "
+                f"{first.choices} vs {second.choices}")
+    fp1 = first.computation.stable_fingerprint()
+    if fp1 != second.computation.stable_fingerprint():
+        return f"same choices, different computations (seed={seed})"
+    replayed = replay_prefix(program, first.choices)
+    if replayed.computation().stable_fingerprint() != fp1:
+        return f"replay_prefix diverged from the recorded run (seed={seed})"
+    return None
+
+
+def _diff_signatures(name_a: str, sig_a: Tuple, name_b: str, sig_b: Tuple) -> str:
+    fields = ("problem", "exhaustive", "runs", "deadlocks", "truncated",
+              "distinct", "verdicts", "program-spec-failures",
+              "legality-failures")
+    for field_name, x, y in zip(fields, sig_a, sig_b):
+        if x != y:
+            return (f"{name_a} != {name_b}: first difference in "
+                    f"{field_name}: {x!r} vs {y!r}")
+    return f"{name_a} != {name_b}"
+
+
+def check_engine_agreement(
+    spec: FuzzProgramSpec,
+    jobs: int = 2,
+    max_steps: int = 64,
+    max_runs: int = 4096,
+) -> Optional[str]:
+    """The engine determinism contract: serial == parallel == cached.
+
+    Verifies the same program through all three pipelines and compares
+    :meth:`VerificationReport.signature` pairwise.  Any divergence --
+    different run census, different verdicts, different failing-run
+    lists -- is a real engine bug (or, for seeded mutants, a program
+    whose computations depend on which process built them).
+    """
+    program = FuzzProgram(spec)
+    problem_spec = fuzz_problem_spec(spec)
+    correspondence = fuzz_correspondence(spec)
+
+    def signature(**overrides) -> Tuple:
+        config = EngineConfig(max_steps=max_steps, max_runs=max_runs,
+                              sample=50, **overrides)
+        report, _stats = run_verification(
+            program, problem_spec, correspondence, config=config)
+        return report.signature()
+
+    serial = signature(jobs=1)
+    parallel = signature(jobs=jobs)
+    if serial != parallel:
+        return _diff_signatures("serial", serial,
+                                f"parallel(jobs={jobs})", parallel)
+    with tempfile.TemporaryDirectory(prefix="gem-fuzz-cache-") as cache_dir:
+        cold = signature(jobs=1, cache_dir=cache_dir)
+        warm = signature(jobs=1, cache_dir=cache_dir)
+    if serial != cold:
+        return _diff_signatures("serial", serial, "cold-cache", cold)
+    if cold != warm:
+        return _diff_signatures("cold-cache", cold, "warm-cache", warm)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Composite artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComposeArtifact:
+    """Two element-disjoint recipes for the composition laws."""
+
+    a: ComputationRecipe
+    b: ComputationRecipe
+
+    def shrink_candidates(self) -> Iterator["ComposeArtifact"]:
+        for cand in self.a.shrink_candidates():
+            yield replace(self, a=cand)
+        for cand in self.b.shrink_candidates():
+            yield replace(self, b=cand)
+
+    def __len__(self) -> int:
+        return len(self.a) + len(self.b)
+
+
+@dataclass(frozen=True)
+class CheckerArtifact:
+    """A recipe plus the seed regenerating its random restriction.
+
+    Storing the formula *seed* rather than the formula keeps the
+    artifact ``repr``-round-trippable (formulas print as math, not as
+    constructors) while staying a pure function of the artifact: the
+    checker rebuilds the formula from the seed and the built
+    computation's vocabulary.
+    """
+
+    recipe: ComputationRecipe
+    formula_seed: int
+    max_depth: int = 3
+
+    def restriction(self, comp: Computation) -> Restriction:
+        body = random_formula(
+            random.Random(self.formula_seed), comp, max_depth=self.max_depth)
+        return Restriction("fuzz-always", Henceforth(body))
+
+    def shrink_candidates(self) -> Iterator["CheckerArtifact"]:
+        for cand in self.recipe.shrink_candidates():
+            yield replace(self, recipe=cand)
+
+    def __len__(self) -> int:
+        return len(self.recipe)
+
+
+@dataclass(frozen=True)
+class ReplayArtifact:
+    """A (program case, seed) pair for the replay-determinism oracle."""
+
+    case: str
+    seed: int
+    spec: Optional[FuzzProgramSpec] = None
+
+    def program(self):
+        if self.case == "fuzz":
+            assert self.spec is not None
+            return FuzzProgram(self.spec)
+        if self.case == "monitor":
+            from ..langs.monitor import MonitorProgram, one_slot_buffer_system
+            return MonitorProgram(one_slot_buffer_system(items=(1, 2)))
+        if self.case == "csp":
+            from ..langs.csp import CspProgram, one_slot_buffer_csp_system
+            return CspProgram(one_slot_buffer_csp_system(items=(1, 2)))
+        if self.case == "ada":
+            from ..langs.ada import AdaProgram, one_slot_buffer_ada_system
+            return AdaProgram(one_slot_buffer_ada_system(items=(1, 2)))
+        raise ValueError(f"unknown replay case {self.case!r}")
+
+
+# ---------------------------------------------------------------------------
+# The oracle registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One named fuzz oracle: generator + deterministic checker."""
+
+    name: str
+    summary: str
+    generate: Callable[[random.Random], object]
+    check: Callable[[object], Optional[str]]
+    shrink: Optional[Callable[[object], Iterator[object]]] = None
+
+
+def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
+    """All oracles, keyed by name, in their canonical order.
+
+    ``jobs`` parameterises the engine-differential oracle's parallel
+    pipeline.
+    """
+
+    def gen_order(rng: random.Random) -> ComputationRecipe:
+        return random_computation(rng, max_elements=4, max_events=10)
+
+    def gen_history(rng: random.Random) -> ComputationRecipe:
+        return random_computation(rng, max_elements=3, max_events=6)
+
+    def gen_compose(rng: random.Random) -> ComposeArtifact:
+        return ComposeArtifact(
+            a=random_computation(rng, max_elements=2, max_events=5,
+                                 with_groups=False, element_prefix="L"),
+            b=random_computation(rng, max_elements=2, max_events=5,
+                                 with_groups=False, element_prefix="R"),
+        )
+
+    def gen_checker(rng: random.Random) -> CheckerArtifact:
+        return CheckerArtifact(
+            recipe=random_computation(rng, max_elements=3, max_events=6,
+                                      with_groups=False),
+            formula_seed=rng.randrange(2 ** 31),
+        )
+
+    _REPLAY_CASES = ("monitor", "csp", "ada", "fuzz")
+
+    def gen_replay(rng: random.Random) -> ReplayArtifact:
+        case = rng.choice(_REPLAY_CASES)
+        spec = random_program_spec(rng) if case == "fuzz" else None
+        return ReplayArtifact(case=case, seed=rng.randrange(2 ** 31),
+                              spec=spec)
+
+    def gen_engine(rng: random.Random) -> FuzzProgramSpec:
+        return random_program_spec(rng, max_procs=3, max_steps_per_proc=2,
+                                   dep_density=0.5)
+
+    oracles = [
+        Oracle(
+            "order-laws",
+            "⇒ is a strict partial order; Relation algebra round-trips",
+            gen_order,
+            lambda recipe: check_order_laws(recipe.build()),
+            lambda recipe: recipe.shrink_candidates(),
+        ),
+        Oracle(
+            "history-lattice",
+            "histories are a lattice of down-closed sets; vhs steps are "
+            "concurrent antichains",
+            gen_history,
+            lambda recipe: check_history_laws(recipe.build()),
+            lambda recipe: recipe.shrink_candidates(),
+        ),
+        Oracle(
+            "fingerprint",
+            "stable fingerprints: insertion-order invariant, "
+            "mutation sensitive",
+            gen_order,
+            check_fingerprint_laws,
+            lambda recipe: recipe.shrink_candidates(),
+        ),
+        Oracle(
+            "compose-project",
+            "parallel/sequential composition laws; identity projection "
+            "round-trip",
+            gen_compose,
+            lambda art: check_compose_laws(art.a, art.b),
+            lambda art: art.shrink_candidates(),
+        ),
+        Oracle(
+            "checker-modes",
+            "lattice vs exact temporal checking agree on □p",
+            gen_checker,
+            lambda art: check_modes_agree(
+                (comp := art.recipe.build()), art.restriction(comp)),
+            lambda art: art.shrink_candidates(),
+        ),
+        Oracle(
+            "replay-determinism",
+            "seeded runs and prefix replay reproduce byte-identical "
+            "computations",
+            gen_replay,
+            lambda art: check_replay_determinism(art.program(), art.seed),
+        ),
+        Oracle(
+            "engine-differential",
+            "serial == parallel == cached over report signatures",
+            gen_engine,
+            lambda spec: check_engine_agreement(spec, jobs=jobs),
+            lambda spec: spec.shrink_candidates(),
+        ),
+    ]
+    return {o.name: o for o in oracles}
+
+
+def oracle_names() -> Tuple[str, ...]:
+    return tuple(make_oracles())

@@ -1,0 +1,280 @@
+"""Scheduler programs used by the fuzzer.
+
+:class:`FuzzProgramSpec` is a pure-data description of a tiny concurrent
+program: ``procs[p]`` gives process ``p`` a number of sequential steps,
+and ``deps`` adds cross-process prerequisites -- step ``s`` of process
+``p`` may not run until step ``t`` of process ``q`` has, and when it
+does run, the prerequisite's event *enables* it (a ``⊳`` edge, the
+paper's Section 8.2 prerequisite pattern).  Like the recipes in
+:mod:`repro.fuzz.generators`, specs ``repr``-round-trip, which is what
+the shrinker and the repro snippets rely on.
+
+The ``bug`` field plants known defects for the fuzzer's negative
+controls.  ``"fork-drops-enables"`` violates the engine's cross-process
+determinism contract: the cross-process enable edges are emitted only in
+the main process, so computations built inside forked pool workers
+differ from the serial pipeline's -- exactly the class of bug the
+``engine-differential`` oracle exists to catch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.element import ElementDecl
+from ..core.event import EventClass, ParamSpec
+from ..core.formula import PyPred, Restriction
+from ..core.ids import EventId
+from ..core.specification import Specification
+from ..sim.runtime import Action, SimpleState
+from ..verify.correspondence import Correspondence, SignificantEvents
+from .generators import ComputationRecipe
+
+#: The one bug a spec can carry; see module docstring.
+FORK_DROPS_ENABLES = "fork-drops-enables"
+
+
+def _in_forked_worker() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+@dataclass(frozen=True)
+class FuzzProgramSpec:
+    """Pure-data description of one fuzz program.
+
+    ``procs[p]`` = number of steps of process ``p``; ``deps`` entries
+    are ``(p, s, q, t)``: step ``s`` of proc ``p`` requires (and is
+    enabled by) step ``t`` of proc ``q``.
+    """
+
+    procs: Tuple[int, ...]
+    deps: Tuple[Tuple[int, int, int, int], ...] = ()
+    bug: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for p, s, q, t in self.deps:
+            if not (0 <= p < len(self.procs) and 0 <= s < self.procs[p]):
+                raise ValueError(f"dep ({p},{s},{q},{t}): no such step {p}.{s}")
+            if not (0 <= q < len(self.procs) and 0 <= t < self.procs[q]):
+                raise ValueError(f"dep ({p},{s},{q},{t}): no such step {q}.{t}")
+            if p == q:
+                raise ValueError(
+                    f"dep ({p},{s},{q},{t}): same-process deps are implicit")
+
+    @property
+    def total_steps(self) -> int:
+        return sum(self.procs)
+
+    # -- shrinking ---------------------------------------------------------
+
+    def shrink_candidates(self) -> Iterator["FuzzProgramSpec"]:
+        """One-step reductions: drop a process, a trailing step, a dep."""
+        for p in reversed(range(len(self.procs))):
+            procs = self.procs[:p] + self.procs[p + 1:]
+            deps = tuple(
+                (pp - (pp > p), s, q - (q > p), t)
+                for pp, s, q, t in self.deps if pp != p and q != p)
+            yield replace(self, procs=procs, deps=deps)
+        for p in reversed(range(len(self.procs))):
+            if self.procs[p] <= 1:
+                continue
+            last = self.procs[p] - 1
+            procs = self.procs[:p] + (last,) + self.procs[p + 1:]
+            deps = tuple(
+                d for d in self.deps
+                if not (d[0] == p and d[1] == last)
+                and not (d[2] == p and d[3] == last))
+            yield replace(self, procs=procs, deps=deps)
+        for k in reversed(range(len(self.deps))):
+            yield replace(self, deps=self.deps[:k] + self.deps[k + 1:])
+
+    def __len__(self) -> int:
+        return self.total_steps
+
+
+class FuzzState(SimpleState):
+    """Interpreter state for a :class:`FuzzProgramSpec`.
+
+    Each process performs its steps in order (control-flow chaining via
+    :class:`SimpleState`); a step with unmet cross-process deps is not
+    enabled.  Every step emits one ``Step(s)`` event at element ``Pp``.
+    """
+
+    def __init__(self, spec: FuzzProgramSpec) -> None:
+        super().__init__()
+        self._spec = spec
+        self._next = [0] * len(spec.procs)
+        self._done: Dict[Tuple[int, int], object] = {}
+
+    def enabled(self) -> List[Action]:
+        actions = []
+        for p, total in enumerate(self._spec.procs):
+            s = self._next[p]
+            if s >= total:
+                continue
+            if all((q, t) in self._done
+                   for pp, ss, q, t in self._spec.deps
+                   if pp == p and ss == s):
+                actions.append(Action(f"P{p}", f"s{s}", key=(p, s)))
+        return actions
+
+    def step(self, action: Action) -> None:
+        p, s = action.key  # type: ignore[misc]
+        extra = [
+            self._done[(q, t)]
+            for pp, ss, q, t in self._spec.deps
+            if pp == p and ss == s
+        ]
+        if self._spec.bug == FORK_DROPS_ENABLES and _in_forked_worker():
+            extra = []  # the planted determinism violation
+        ev = self.emit(f"P{p}", f"P{p}", "Step", {"s": s},
+                       extra_enables=extra)
+        self._done[(p, s)] = ev
+        self._next[p] += 1
+
+    def is_final(self) -> bool:
+        return all(n >= total
+                   for n, total in zip(self._next, self._spec.procs))
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """The :class:`~repro.sim.runtime.Program` for a spec."""
+
+    spec: FuzzProgramSpec
+
+    def initial_state(self) -> FuzzState:
+        return FuzzState(self.spec)
+
+
+# ---------------------------------------------------------------------------
+# Verification harness for fuzz programs
+# ---------------------------------------------------------------------------
+
+
+def _identity_params(ev) -> dict:
+    return dict(ev.param_dict())
+
+
+def fuzz_problem_spec(spec: FuzzProgramSpec) -> Specification:
+    """A problem specification a correct run of ``spec`` satisfies.
+
+    Declares every process element (so legality's element check has
+    teeth) and requires each cross-process dep's enable edge to be
+    present whenever both endpoints occurred -- the restriction that
+    turns a dropped ``⊳`` edge into a failing verdict rather than just a
+    different fingerprint.
+    """
+    elements = [
+        ElementDecl.make(
+            f"P{p}", [EventClass("Step", (ParamSpec("s", "INTEGER"),))])
+        for p in range(len(spec.procs))
+    ]
+
+    def deps_present(history, _env, _deps=spec.deps):
+        comp = history.computation
+        for p, s, q, t in _deps:
+            a, b = EventId(f"P{q}", t + 1), EventId(f"P{p}", s + 1)
+            if a in comp and b in comp and not comp.enables(a, b):
+                return False
+        return True
+
+    return Specification(
+        "fuzz-program",
+        elements=elements,
+        restrictions=[Restriction(
+            "dep-edges-present", PyPred("dep-edges-present", deps_present),
+            comment="every cross-process prerequisite emitted its ⊳ edge")],
+    )
+
+
+def fuzz_correspondence(spec: FuzzProgramSpec) -> Correspondence:
+    """Identity correspondence: every Step event is significant."""
+    return Correspondence(rules=tuple(
+        SignificantEvents(
+            name=f"id-P{p}", element=f"P{p}", event_class="Step",
+            target_element=f"P{p}", target_class="Step",
+            params=_identity_params)
+        for p in range(len(spec.procs))
+    ))
+
+
+def random_program_spec(
+    rng,
+    max_procs: int = 3,
+    max_steps_per_proc: int = 3,
+    dep_density: float = 0.3,
+    bug: Optional[str] = None,
+) -> FuzzProgramSpec:
+    """A seeded random spec, deadlock-free by construction.
+
+    Deps always target a strictly smaller step index in another process
+    (``t < s``), so any chain of waiting strictly decreases the step
+    index and cannot cycle.
+    """
+    n_procs = rng.randint(2, max_procs)
+    procs = tuple(rng.randint(1, max_steps_per_proc) for _ in range(n_procs))
+    deps = []
+    for p in range(n_procs):
+        for s in range(1, procs[p]):
+            if rng.random() >= dep_density:
+                continue
+            q = rng.choice([x for x in range(n_procs) if x != p])
+            t = rng.randrange(min(s, procs[q]))
+            deps.append((p, s, q, t))
+    return FuzzProgramSpec(procs=procs, deps=tuple(deps), bug=bug)
+
+
+# ---------------------------------------------------------------------------
+# Single-run replay of a computation recipe
+# ---------------------------------------------------------------------------
+
+
+class _RecipeState:
+    """Emits the recipe's events in insertion order; one run, no choice."""
+
+    def __init__(self, recipe: ComputationRecipe) -> None:
+        from ..core.computation import ComputationBuilder
+
+        self._recipe = recipe
+        self._builder = ComputationBuilder(recipe.group_structure())
+        self._built: Dict[int, object] = {}
+        self._pos = 0
+
+    def enabled(self) -> List[Action]:
+        if self._pos >= len(self._recipe.events):
+            return []
+        return [Action("replay", f"e{self._pos}", key=self._pos)]
+
+    def step(self, action: Action) -> None:
+        i = self._pos
+        element, event_class, params, threads = self._recipe.events[i]
+        self._built[i] = self._builder.add_event(
+            element, event_class, dict(params), threads)
+        for a, b in self._recipe.edges:
+            if b == i:
+                self._builder.add_enable(self._built[a], self._built[b])
+        self._pos += 1
+
+    def is_final(self) -> bool:
+        return self._pos >= len(self._recipe.events)
+
+    def computation(self):
+        return self._builder.freeze()
+
+
+@dataclass(frozen=True)
+class RecipeProgram:
+    """A program whose single execution is exactly ``recipe.build()``.
+
+    Lets hand-written (or fuzz-found) computations flow through the full
+    verification engine -- exploration, dedupe, cache -- as if an
+    interpreter had produced them.
+    """
+
+    recipe: ComputationRecipe
+
+    def initial_state(self) -> _RecipeState:
+        return _RecipeState(self.recipe)

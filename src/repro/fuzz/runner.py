@@ -1,0 +1,148 @@
+"""The fuzz loop: iterate oracles, generate, check, shrink, report.
+
+Iterations are distributed round-robin over the selected oracles, and
+iteration ``i`` of oracle ``o`` is seeded with the string token
+``"{seed}:{o}:{i}"`` -- string seeding of ``random.Random`` is
+documented to be stable across processes and interpreter runs (it
+hashes with SHA-512, not the per-process ``hash``), so every artifact
+is reproducible from the command line alone and the printed token.
+
+On the first failure of an oracle the loop shrinks it, renders a
+runnable pytest repro snippet, and stops scheduling that oracle (one
+minimal counterexample per oracle per run is the useful unit of
+output; hammering a broken law wastes the iteration budget).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.stats import PhaseTimer, ProgressFn
+from .oracles import Oracle, make_oracles
+from .shrink import artifact_size, repro_snippet, shrink_failure
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for one fuzz run (defaults match the CLI)."""
+
+    seed: int = 0
+    iterations: int = 200
+    #: oracle names to run; None = all, in canonical order
+    oracles: Optional[Tuple[str, ...]] = None
+    #: worker processes for the engine-differential oracle
+    jobs: int = 2
+    shrink: bool = True
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle failure, shrunk and rendered for replay."""
+
+    oracle: str
+    seed_token: str
+    message: str
+    artifact: object
+    shrunk_artifact: object
+    shrunk_message: str
+    snippet: str
+
+    def describe(self) -> str:
+        return (
+            f"oracle {self.oracle!r} failed (seed token {self.seed_token!r})\n"
+            f"  original : {artifact_size(self.artifact)} events -- "
+            f"{self.message}\n"
+            f"  shrunk   : {artifact_size(self.shrunk_artifact)} events -- "
+            f"{self.shrunk_message}"
+        )
+
+
+@dataclass
+class FuzzStats:
+    """Counters for one fuzz run, ``EngineStats``-style."""
+
+    iterations: int = 0
+    per_oracle: Dict[str, int] = field(default_factory=dict)
+    failures: int = 0
+    shrink_steps: int = 0
+    #: oracle name -> accumulated seconds (PhaseTimer-compatible)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"fuzz: {self.iterations} iterations, "
+                 f"{self.failures} failing oracle(s)"]
+        for name in sorted(self.per_oracle):
+            seconds = self.phase_seconds.get(name, 0.0)
+            count = self.per_oracle[name]
+            rate = count / seconds if seconds > 0 else float("inf")
+            lines.append(
+                f"  {name:20s} {count:5d} iterations  "
+                f"{seconds:7.2f}s  ({rate:8.1f}/s)")
+        total = sum(self.phase_seconds.values())
+        if total > 0:
+            lines.append(f"  {'total':20s} {self.iterations:5d} iterations  "
+                         f"{total:7.2f}s")
+        return "\n".join(lines)
+
+
+def seed_token(seed: int, oracle: str, iteration: int) -> str:
+    """The reproducible per-artifact seed; printed on failure."""
+    return f"{seed}:{oracle}:{iteration}"
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    progress: Optional[ProgressFn] = None,
+) -> Tuple[List[FuzzFailure], FuzzStats]:
+    """Run the fuzz loop; returns (failures, stats).
+
+    An empty failure list means every oracle held over every generated
+    artifact.
+    """
+    registry = make_oracles(jobs=config.jobs)
+    if config.oracles is None:
+        selected: List[Oracle] = list(registry.values())
+    else:
+        unknown = [n for n in config.oracles if n not in registry]
+        if unknown:
+            raise ValueError(
+                f"unknown oracle(s) {unknown}; known: {sorted(registry)}")
+        selected = [registry[n] for n in config.oracles]
+
+    stats = FuzzStats()
+    failures: List[FuzzFailure] = []
+    dead: set = set()
+    for i in range(config.iterations):
+        oracle = selected[i % len(selected)]
+        if oracle.name in dead:
+            continue
+        token = seed_token(config.seed, oracle.name, i)
+        rng = random.Random(token)
+        with PhaseTimer(stats, oracle.name, progress):
+            artifact = oracle.generate(rng)
+            message = oracle.check(artifact)
+        stats.iterations += 1
+        stats.per_oracle[oracle.name] = (
+            stats.per_oracle.get(oracle.name, 0) + 1)
+        if message is None:
+            continue
+        stats.failures += 1
+        dead.add(oracle.name)
+        if config.shrink and oracle.shrink is not None:
+            with PhaseTimer(stats, f"{oracle.name}:shrink", progress):
+                shrunk, shrunk_message = shrink_failure(
+                    artifact, oracle.check, oracle.shrink)
+        else:
+            shrunk, shrunk_message = artifact, message
+        failures.append(FuzzFailure(
+            oracle=oracle.name,
+            seed_token=token,
+            message=message,
+            artifact=artifact,
+            shrunk_artifact=shrunk,
+            shrunk_message=shrunk_message,
+            snippet=repro_snippet(oracle.name, shrunk, shrunk_message),
+        ))
+    return failures, stats

@@ -142,10 +142,19 @@ def sample_runs(
 
 @dataclass
 class ExplorationResult:
-    """All runs gathered for a program, with provenance."""
+    """All runs gathered for a program, with provenance.
+
+    When the runs came from the sampling fallback, ``sample_seed`` and
+    ``sample_count`` record the seed range actually used
+    (``sample_seed .. sample_seed + sample_count - 1``, one seed per
+    run, as :func:`sample_runs` assigns them) so any individual run can
+    be replayed with ``run_random(program, seed)``.
+    """
 
     runs: List[Run] = field(default_factory=list)
     exhaustive: bool = True
+    sample_seed: Optional[int] = None
+    sample_count: Optional[int] = None
 
     @property
     def completed_runs(self) -> List[Run]:
@@ -171,12 +180,18 @@ class ExplorationResult:
 
     def describe(self) -> str:
         mode = "exhaustive" if self.exhaustive else "sampled"
+        provenance = ""
+        if not self.exhaustive and self.sample_seed is not None:
+            count = (self.sample_count
+                     if self.sample_count is not None else len(self.runs))
+            last = self.sample_seed + max(count, 1) - 1
+            provenance = f", seeds {self.sample_seed}..{last}"
         return (
             f"{mode}: {len(self.runs)} runs "
             f"({self.distinct_computations()} distinct, "
             f"{len(self.completed_runs)} completed, "
             f"{len(self.deadlocked_runs)} deadlocked, "
-            f"{len(self.truncated_runs)} truncated)"
+            f"{len(self.truncated_runs)} truncated{provenance})"
         )
 
 
@@ -201,4 +216,6 @@ def explore_or_sample(
         return ExplorationResult(
             runs=sample_runs(program, sample, seed=seed, max_steps=max_steps),
             exhaustive=False,
+            sample_seed=seed,
+            sample_count=sample,
         )

@@ -259,6 +259,123 @@ class TestMutantsThroughEngine:
         assert failed and all(v.failing_runs for v in failed)
 
 
+# -- fuzz-found-style mutants: structural defects through every pipeline --
+
+
+class TestFuzzFoundMutants:
+    """Two mutant shapes the fuzzer's oracles are built to catch -- a
+    dropped ``⊳`` edge and a reordered ``⇒ₑ`` pair -- replayed through
+    the engine via :class:`~repro.fuzz.programs.RecipeProgram` so the
+    serial, parallel, and cached pipelines all report the violation
+    identically."""
+
+    def _pipelines(self, program, spec, corr, tmp_path):
+        serial = verify_program(program, spec, corr)
+        parallel = verify_program(program, spec, corr, jobs=2)
+        cold = verify_program(program, spec, corr, cache_dir=str(tmp_path))
+        warm = verify_program(program, spec, corr, cache_dir=str(tmp_path))
+        assert parallel.signature() == serial.signature()
+        assert cold.signature() == serial.signature()
+        assert warm.signature() == serial.signature()
+        assert warm.engine_stats.checks_performed == 0
+        return serial
+
+    def _correspondence(self, pairs):
+        from repro.fuzz.programs import _identity_params
+        from repro.verify.correspondence import SignificantEvents
+
+        return Correspondence(rules=tuple(
+            SignificantEvents(
+                name=f"id-{el}-{cls}", element=el, event_class=cls,
+                target_element=el, target_class=cls,
+                params=_identity_params)
+            for el, cls in pairs))
+
+    def test_dropped_enable_edge_fails_everywhere(self, tmp_path):
+        from repro.core.element import ElementDecl
+        from repro.core.event import EventClass
+        from repro.core.formula import (
+            Enables,
+            Exists,
+            ForAll,
+            Henceforth,
+            Implies,
+            Occurred,
+            Restriction,
+        )
+        from repro.fuzz.generators import ComputationRecipe
+        from repro.fuzz.programs import RecipeProgram
+
+        good = ComputationRecipe(
+            events=(("A", "Go", (), ()), ("B", "Go", (), ())),
+            edges=((0, 1),))
+        mutant = good.without_edge(0)  # the fuzz-found defect
+
+        spec = Specification(
+            "edge-required",
+            elements=[
+                ElementDecl.make("A", [EventClass("Go", ())]),
+                ElementDecl.make("B", [EventClass("Go", ())]),
+            ],
+            restrictions=[Restriction(
+                "b-is-enabled",
+                Henceforth(ForAll(
+                    "b", "B.Go",
+                    Implies(Occurred("b"),
+                            Exists("a", "A.Go", Enables("a", "b"))))))])
+        corr = self._correspondence([("A", "Go"), ("B", "Go")])
+
+        assert self._pipelines(
+            RecipeProgram(good), spec, corr, tmp_path / "good").ok
+        report = self._pipelines(
+            RecipeProgram(mutant), spec, corr, tmp_path / "mutant")
+        assert not report.ok
+        assert not report.verdicts["b-is-enabled"].holds
+
+    def test_reordered_element_pair_fails_everywhere(self, tmp_path):
+        from repro.core.element import ElementDecl
+        from repro.core.event import EventClass, ParamSpec
+        from repro.core.formula import (
+            DataCmp,
+            ElementPrecedes,
+            ForAll,
+            Henceforth,
+            Implies,
+            Param,
+            Restriction,
+        )
+        from repro.fuzz.generators import ComputationRecipe
+        from repro.fuzz.programs import RecipeProgram
+
+        good = ComputationRecipe(
+            events=(("A", "Put", (("v", 1),), ()),
+                    ("A", "Put", (("v", 2),), ())))
+        # the fuzz-found defect: the ⇒ₑ pair emitted in the wrong order
+        mutant = ComputationRecipe(
+            events=(("A", "Put", (("v", 2),), ()),
+                    ("A", "Put", (("v", 1),), ())))
+
+        spec = Specification(
+            "values-ascend",
+            elements=[ElementDecl.make(
+                "A", [EventClass("Put", (ParamSpec("v", "INTEGER"),))])],
+            restrictions=[Restriction(
+                "puts-ascending",
+                Henceforth(ForAll("a", "A.Put", ForAll(
+                    "b", "A.Put",
+                    Implies(ElementPrecedes("a", "b"),
+                            DataCmp(Param("a", "v"), "<=",
+                                    Param("b", "v")))))))])
+        corr = self._correspondence([("A", "Put")])
+
+        assert self._pipelines(
+            RecipeProgram(good), spec, corr, tmp_path / "good").ok
+        report = self._pipelines(
+            RecipeProgram(mutant), spec, corr, tmp_path / "mutant")
+        assert not report.ok
+        assert not report.verdicts["puts-ascending"].holds
+
+
 # -- scheduler regression: the silent-fallback bug ------------------------
 
 

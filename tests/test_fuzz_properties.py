@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) driven by the fuzz generators.
+
+Unlike :mod:`tests.test_properties`, which builds ad-hoc random
+structures inline, these strategies wrap :mod:`repro.fuzz.generators`:
+hypothesis draws only a seed (plus size knobs) and the fuzzer's own
+seeded generators produce the artifact.  That keeps the two test layers
+honest against each other -- any structure the ``repro fuzz`` CLI can
+generate is also what hypothesis shrinks over here, and the oracle law
+functions are shared verbatim.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import (
+    check_history_laws,
+    check_order_laws,
+    random_choices,
+    random_computation,
+)
+from repro.fuzz.programs import FuzzProgram, random_program_spec
+
+COMMON = settings(max_examples=25, deadline=None, derandomize=True)
+
+
+@st.composite
+def recipes(draw, max_elements=3, max_events=6):
+    """A fuzz-generator recipe from a hypothesis-drawn seed."""
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    return random_computation(
+        random.Random(seed),
+        max_elements=max_elements,
+        max_events=max_events,
+    )
+
+
+@st.composite
+def program_specs(draw):
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    return random_program_spec(random.Random(seed))
+
+
+# -- order.py: strict-partial-order laws ------------------------------------
+
+
+@COMMON
+@given(recipes(max_elements=4, max_events=9))
+def test_temporal_order_satisfies_spo_laws(recipe):
+    assert check_order_laws(recipe.build()) is None
+
+
+# -- history.py: lattice laws -----------------------------------------------
+
+
+@COMMON
+@given(recipes(max_elements=3, max_events=6))
+def test_histories_form_a_lattice(recipe):
+    assert check_history_laws(recipe.build()) is None
+
+
+# -- computation.py: fingerprint invariance ---------------------------------
+
+
+@COMMON
+@given(recipes(max_elements=3, max_events=8),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_fingerprint_invariant_under_element_preserving_shuffle(recipe, seed):
+    base = recipe.build().stable_fingerprint()
+    order = recipe.element_preserving_shuffle(random.Random(seed))
+    assert recipe.build(order).stable_fingerprint() == base
+
+
+# -- scheduler: generated choice sequences replay ---------------------------
+
+
+@COMMON
+@given(program_specs(), st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_random_choices_drive_program_to_final_state(spec, seed):
+    program = FuzzProgram(spec)
+    choices = random_choices(random.Random(seed), program)
+    state = program.initial_state()
+    for c in choices:
+        state.step(state.enabled()[c])
+    assert state.is_final()
+    assert not state.enabled()

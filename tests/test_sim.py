@@ -154,6 +154,24 @@ class TestExploreOrSample:
         assert len(result.runs) == 7
         assert "sampled" in result.describe()
 
+    def test_sampling_reports_seed_provenance(self):
+        """Regression: the sampling fallback must say which seeds it used
+        (sample_runs assigns seed..seed+n-1), so individual runs can be
+        replayed with run_random(program, seed)."""
+        result = explore_or_sample(CounterProgram(3, 3), max_runs=5,
+                                   sample=7, seed=11)
+        assert result.sample_seed == 11
+        assert result.sample_count == 7
+        assert "seeds 11..17" in result.describe()
+        # the provenance is honest: seed 11 really is the first sampled run
+        assert result.runs[0].choices == run_random(
+            CounterProgram(3, 3), 11).choices
+
+    def test_exhaustive_results_omit_seed_provenance(self):
+        result = explore_or_sample(CounterProgram(2, 2), max_runs=100)
+        assert result.sample_seed is None
+        assert "seeds" not in result.describe()
+
     def test_partitions(self):
         result = ExplorationResult(runs=[
             Run(ComputationBuilder().freeze(), ()),
