@@ -3,10 +3,13 @@
 Commands:
 
 * ``verify <case>`` -- run one of the paper's verification cases
-  (language × problem) over all bounded executions and print the
-  report; ``--mutant`` runs the negative control; ``--jobs N`` fans the
-  engine out across N worker processes, ``--cache DIR`` makes repeat
-  verifications incremental, ``--stats`` prints engine observability;
+  (language × problem, plus the distributed ``db_update`` application)
+  over all bounded executions and print the report; ``--mutant`` runs
+  the negative control; ``--jobs N`` fans the engine out across N
+  worker processes, ``--cache DIR`` makes repeat verifications
+  incremental, ``--stats`` prints engine observability, ``--trace
+  FILE`` writes the whole verification as a JSONL span trace
+  (:mod:`repro.obs`; identical span structure for every ``--jobs``);
 * ``list`` -- list the available cases;
 * ``dot <case>`` -- print one execution of a case as Graphviz DOT;
 * ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
@@ -15,7 +18,10 @@ Commands:
 * ``fuzz`` -- run the generative differential tester
   (:mod:`repro.fuzz`): seeded random computations, formulas, and
   programs against the metamorphic oracle suite, shrinking any failure
-  to a runnable pytest repro (see docs/FUZZING.md).
+  to a runnable pytest repro (see docs/FUZZING.md); also ``--trace``;
+* ``profile <trace.jsonl>`` -- validate a written trace and print
+  per-phase/per-span timings, top restrictions by evaluation cost, and
+  worker utilisation (see docs/OBSERVABILITY.md).
 
 The CLI is a thin veneer over the library; every command's work is one
 or two public API calls.
@@ -55,6 +61,12 @@ def _build_cases() -> Dict[str, Callable]:
         readers_writers_system,
     )
     from .problems import bounded_buffer, one_slot_buffer, readers_writers
+    from .problems.db_update import (
+        DbUpdateProgram,
+        db_update_spec,
+        identity_correspondence,
+        standard_requests,
+    )
 
     def monitor_rw(mutant: bool):
         monitor = readers_writers_monitor_writers_first() if mutant else None
@@ -128,6 +140,16 @@ def _build_cases() -> Dict[str, Callable]:
                 bounded_buffer.ada_correspondence(),
                 ada_program_spec(system))
 
+    def db_update(mutant: bool):
+        # the paper's distributed-database application; the mutant loses
+        # broadcasts, so full-propagation (and convergence) fail
+        requests = standard_requests(n_clients=2, updates_per_client=2,
+                                     n_sites=2)
+        return (DbUpdateProgram(2, requests, lossy=mutant),
+                db_update_spec(2, requests),
+                identity_correspondence(2, requests),
+                None)
+
     return {
         "monitor-readers-writers": monitor_rw,
         "csp-readers-writers": csp_rw,
@@ -138,6 +160,7 @@ def _build_cases() -> Dict[str, Callable]:
         "monitor-bounded-buffer": monitor_bb,
         "csp-bounded-buffer": csp_bb,
         "ada-bounded-buffer": ada_bb,
+        "db_update": db_update,
     }
 
 
@@ -155,43 +178,97 @@ def cmd_verify(args) -> int:
         print(f"unknown case {args.case!r}; try: python -m repro list",
               file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     program, spec, correspondence, program_spec = cases[args.case](args.mutant)
     report = verify_program(program, spec, correspondence,
                             program_spec=program_spec,
-                            jobs=args.jobs, cache_dir=args.cache)
+                            jobs=args.jobs, cache_dir=args.cache,
+                            tracer=tracer)
     print(report.summary())
     if args.stats and report.engine_stats is not None:
         print(report.engine_stats.describe())
-    if args.witness and not report.ok:
-        _print_witness(program, spec, correspondence, report)
+    if (args.witness or args.witness_dot) and not report.ok:
+        _print_witness(program, spec, correspondence, report, tracer,
+                       dot_file=args.witness_dot)
+    if args.trace:
+        from .obs import write_trace
+
+        metrics = (report.engine_stats.metrics
+                   if report.engine_stats is not None else None)
+        n = write_trace(args.trace, tracer, metrics)
+        print(f"trace: {n} record(s) written to {args.trace}")
     if args.mutant:
         return 0 if not report.ok else 1
     return 0 if report.ok else 1
 
 
-def _print_witness(program, spec, correspondence, report) -> int:
-    """Extract and print a counterexample for the first failed verdict."""
+def _print_witness(program, spec, correspondence, report, tracer=None,
+                   dot_file=None) -> int:
+    """Extract and print a counterexample for the first failed verdict.
+
+    The failing run is *replayed* from the engine's recorded choice
+    sequence (``report.failing_run_choices``) rather than re-exploring
+    every run to reach its index; re-exploration remains as the
+    fallback for reports without provenance.  With a tracer the replay
+    is recorded as a ``witness-replay`` span and the checker attaches a
+    subformula explanation trace; ``dot_file`` additionally writes the
+    explanation's Graphviz rendering.
+    """
     from .core.witness import find_witness
+    from .obs import NULL_TRACER
     from .sim import explore
+    from .sim.scheduler import replay_prefix
     from .verify import project
 
+    tracer = tracer or NULL_TRACER
     failing = [v for v in report.verdicts.values() if not v.holds]
     if not failing:
         return 0
     verdict = failing[0]
     run_index = verdict.failing_runs[0]
-    for i, run in enumerate(explore(program)):
-        if i == run_index:
-            projected = spec.label_threads(
-                project(run.computation, correspondence))
-            witness = find_witness(projected, spec.restriction(verdict.name))
-            print(f"\ncounterexample for {verdict.name!r} (run {run_index}):")
-            if witness is None:
-                print("  (witness search did not localise the failure)")
-            else:
-                for line in witness.describe().splitlines():
-                    print("  " + line)
-            break
+    restriction = spec.restriction(verdict.name)
+    with tracer.span("witness-replay",
+                     attrs={"restriction": verdict.name}) as span:
+        choices = report.failing_run_choices.get(run_index)
+        if choices is not None:
+            computation = replay_prefix(program, choices).computation()
+            span.set_meta(replayed=True, choices=len(choices))
+        else:
+            computation = None
+            for i, run in enumerate(explore(program)):
+                if i == run_index:
+                    computation = run.computation
+                    break
+            span.set_meta(replayed=False)
+            if computation is None:
+                return 0
+        projected = spec.label_threads(
+            project(computation, correspondence))
+        witness = find_witness(projected, restriction)
+        explanation = None
+        if tracer.enabled or dot_file:
+            from .obs import explain_restriction
+
+            explanation = explain_restriction(projected, restriction)
+            if explanation is not None:
+                tracer.add_explanation(explanation.to_record())
+    print(f"\ncounterexample for {verdict.name!r} (run {run_index}):")
+    if witness is None:
+        print("  (witness search did not localise the failure)")
+    else:
+        for line in witness.describe().splitlines():
+            print("  " + line)
+    if explanation is not None:
+        print()
+        print(explanation.render_text())
+        if dot_file:
+            with open(dot_file, "w", encoding="utf-8") as fh:
+                fh.write(explanation.to_dot() + "\n")
+            print(f"explanation DOT written to {dot_file}")
     return 0
 
 
@@ -287,7 +364,17 @@ def cmd_fuzz(args) -> int:
         jobs=args.jobs,
         shrink=not args.no_shrink,
     )
-    failures, stats = run_fuzz(config)
+    tracer = metrics = None
+    if args.trace:
+        from .obs import MetricsRegistry, Tracer
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+    failures, stats = run_fuzz(config, tracer=tracer, metrics=metrics)
+    if args.trace:
+        from .obs import write_trace
+
+        n = write_trace(args.trace, tracer, metrics)
+        print(f"trace: {n} record(s) written to {args.trace}")
     print(stats.describe())
     for failure in failures:
         print()
@@ -296,6 +383,14 @@ def cmd_fuzz(args) -> int:
         print(failure.snippet, end="")
         print("-" * 68)
     return 1 if failures else 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import load_trace, render_profile
+
+    data = load_trace(args.trace)
+    print(render_profile(data, top=args.top))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -322,6 +417,14 @@ def main(argv=None) -> int:
     p_verify.add_argument("--stats", action="store_true",
                           help="print engine statistics (shards, dedupe "
                                "ratio, cache hits, phase times)")
+    p_verify.add_argument("--trace", default=None, metavar="FILE",
+                          help="write a JSONL span trace of the whole "
+                               "verification (schema-versioned; analyse "
+                               "with 'repro profile FILE')")
+    p_verify.add_argument("--witness-dot", default=None, metavar="FILE",
+                          help="on failure, write the failure-explanation "
+                               "trace as Graphviz DOT (implies the witness "
+                               "replay)")
 
     p_dot = sub.add_parser("dot", help="print one execution as DOT")
     p_dot.add_argument("case")
@@ -348,6 +451,14 @@ def main(argv=None) -> int:
                              "oracle's parallel pipeline (default 2)")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimising them")
+    p_fuzz.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL span trace of the fuzz run")
+
+    p_profile = sub.add_parser(
+        "profile", help="analyse a JSONL trace written by --trace")
+    p_profile.add_argument("trace", metavar="TRACE.jsonl")
+    p_profile.add_argument("--top", type=int, default=10, metavar="N",
+                           help="rows per ranking table (default 10)")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -357,6 +468,7 @@ def main(argv=None) -> int:
         "lattice": cmd_lattice,
         "examples": cmd_examples,
         "fuzz": cmd_fuzz,
+        "profile": cmd_profile,
     }
     from .core.errors import VerificationError
 

@@ -36,6 +36,7 @@ cross-validates the modes on randomised computations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -130,6 +131,16 @@ class LatticeChecker:
         # ids are reused after garbage collection, which poisons the memo
         self._memo: Dict[Tuple, bool] = {}
         self._visited = 0
+
+    @property
+    def visited(self) -> int:
+        """(formula, history) pairs evaluated so far (memo misses)."""
+        return self._visited
+
+    def distinct_histories(self) -> int:
+        """Distinct history prefixes in the memo -- the explored slice
+        of the computation's history lattice."""
+        return len({key[1] for key in self._memo})
 
     def _env_key(self, env: Dict) -> Tuple:
         return tuple(sorted((k, v.eid) for k, v in env.items()))
@@ -261,15 +272,33 @@ def check_restriction(
     history_cap: int = DEFAULT_HISTORY_CAP,
     with_witness: bool = False,
     _lattice: Optional[LatticeChecker] = None,
+    metrics: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> RestrictionOutcome:
     """Check a single restriction on a (thread-labelled) computation.
 
     With ``with_witness``, a failing outcome's detail carries a located
     counterexample (the failing history and quantifier bindings) from
     :mod:`repro.core.witness` -- costs roughly one extra check.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`, duck-typed so
+    this module needs no obs import) receives ``checker.evals`` /
+    ``checker.seconds`` per restriction.  ``tracer`` (a
+    :class:`repro.obs.Tracer`) wraps the evaluation in a
+    ``restriction`` span, and on failure records a subformula
+    evaluation trace (:mod:`repro.obs.explain`) explaining which
+    binding / history prefix / temporal unrolling flipped the verdict.
     """
+    tracing = tracer is not None and getattr(tracer, "enabled", False)
 
     def fail(detail: str) -> RestrictionOutcome:
+        if tracing:
+            from ..obs.explain import explain_restriction
+
+            explanation = explain_restriction(computation, restriction,
+                                              history_cap=history_cap)
+            if explanation is not None:
+                tracer.add_explanation(explanation.to_record())
         if with_witness:
             from .witness import find_witness
 
@@ -279,31 +308,55 @@ def check_restriction(
                 detail = f"{detail}; witness: {witness.describe()}"
         return RestrictionOutcome(restriction.name, False, detail)
 
-    formula = restriction.formula
-    if not formula.is_temporal():
-        holds = formula.holds_at(full_history(computation))
-        if holds:
-            return RestrictionOutcome(restriction.name, True)
-        return fail("fails at complete computation")
-    if temporal_mode == "lattice":
-        checker = _lattice or LatticeChecker(computation, history_cap)
-        holds = checker.holds(formula)
-        if holds:
-            return RestrictionOutcome(restriction.name, True)
-        return fail("fails over the history lattice")
-    if temporal_mode == "exact":
-        count = 0
-        for seq in maximal_history_sequences(computation, cap=vhs_cap,
-                                             max_step=max_step):
-            count += 1
-            if not formula.holds_on(seq):
-                return RestrictionOutcome(
-                    restriction.name, False,
-                    f"fails on vhs #{count} "
-                    f"(steps: {[sorted(map(str, h.events)) for h in seq]})")
-        return RestrictionOutcome(restriction.name, True,
-                                  f"holds on all {count} maximal vhs")
-    raise SpecificationError(f"unknown temporal_mode {temporal_mode!r}")
+    def decide() -> RestrictionOutcome:
+        formula = restriction.formula
+        if not formula.is_temporal():
+            holds = formula.holds_at(full_history(computation))
+            if holds:
+                return RestrictionOutcome(restriction.name, True)
+            return fail("fails at complete computation")
+        if temporal_mode == "lattice":
+            checker = _lattice or LatticeChecker(computation, history_cap)
+            visited_before = checker.visited
+            holds = checker.holds(formula)
+            if metrics is not None:
+                evals[0] = checker.visited - visited_before
+            if holds:
+                return RestrictionOutcome(restriction.name, True)
+            return fail("fails over the history lattice")
+        if temporal_mode == "exact":
+            count = 0
+            for seq in maximal_history_sequences(computation, cap=vhs_cap,
+                                                 max_step=max_step):
+                count += 1
+                if not formula.holds_on(seq):
+                    return RestrictionOutcome(
+                        restriction.name, False,
+                        f"fails on vhs #{count} (steps: "
+                        f"{[sorted(map(str, h.events)) for h in seq]})")
+            if metrics is not None:
+                evals[0] = count
+            return RestrictionOutcome(restriction.name, True,
+                                      f"holds on all {count} maximal vhs")
+        raise SpecificationError(f"unknown temporal_mode {temporal_mode!r}")
+
+    if metrics is None and not tracing:
+        return decide()
+
+    #: lattice visits (or vhs count), at least 1 for the top-level pass
+    evals = [0]
+    started = time.perf_counter()
+    if tracing:
+        with tracer.span("restriction", attrs={"name": restriction.name}):
+            outcome = decide()
+    else:
+        outcome = decide()
+    if metrics is not None:
+        metrics.inc("checker.evals", max(evals[0], 1),
+                    restriction=restriction.name)
+        metrics.observe("checker.seconds", time.perf_counter() - started,
+                        restriction=restriction.name)
+    return outcome
 
 
 def check_computation(
@@ -314,12 +367,18 @@ def check_computation(
     max_step: Optional[int] = 1,
     history_cap: int = DEFAULT_HISTORY_CAP,
     label_threads: bool = True,
+    metrics: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> CheckResult:
     """Full ``legal(C, σ)`` check: legality rules plus every restriction.
 
     Thread labels are (re)applied before restriction evaluation unless
     ``label_threads`` is false (pass false when the computation already
     carries labels you want preserved exactly).
+
+    ``metrics``/``tracer`` thread through to :func:`check_restriction`;
+    the lattice size actually explored for this computation lands in
+    the ``checker.lattice_histories`` histogram.
     """
     result = CheckResult(spec.name)
     result.legality_violations = check_legality(computation, spec)
@@ -335,8 +394,15 @@ def check_computation(
                 max_step=max_step,
                 history_cap=history_cap,
                 _lattice=lattice if temporal_mode == "lattice" else None,
+                metrics=metrics,
+                tracer=tracer,
             )
         )
+    if metrics is not None:
+        metrics.inc("checker.computations")
+        if temporal_mode == "lattice":
+            metrics.observe("checker.lattice_histories",
+                            lattice.distinct_histories(), spec=spec.name)
     return result
 
 

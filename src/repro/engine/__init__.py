@@ -17,9 +17,13 @@ without changing what it means.  Four ideas, four modules:
   on disk keyed by ``(computation fingerprint, specification key)``
   with versioned invalidation, making re-verification of an unchanged
   workload incremental (zero restriction re-checks);
-* **observability** (:mod:`.stats`) -- an :class:`EngineStats` record
-  (shards, runs/s, dedupe ratio, cache hit rate, per-phase wall times)
-  and a progress-callback hook.
+* **observability** (:mod:`.stats`, backed by :mod:`repro.obs`) -- an
+  :class:`EngineStats` view over a metrics registry (shards, runs/s,
+  dedupe ratio, cache hit rate, per-phase wall times), a guarded
+  progress-callback hook, and optional span tracing: pass a
+  :class:`repro.obs.Tracer` in the config and every phase, task and
+  first-per-task check becomes a span, with worker segments merged
+  deterministically in shard order.
 
 Determinism guarantee
 ---------------------
@@ -38,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.specification import Specification
+from ..obs.trace import NULL_TRACER
 from ..sim.runtime import Program
 from ..sim.scheduler import (
     DEFAULT_MAX_RUNS,
@@ -63,10 +68,17 @@ from .pool import (
     run_tasks,
 )
 from .shard import Shard, make_shards
-from .stats import EngineStats, PhaseTimer, ProgressFn
+from .stats import (
+    EngineStats,
+    GuardedProgress,
+    PhaseTimer,
+    ProgressFn,
+    guard_progress,
+)
 
 __all__ = [
     "Engine", "EngineConfig", "EngineStats", "ProgressFn",
+    "GuardedProgress", "guard_progress",
     "Shard", "make_shards",
     "CheckOutcome", "ResultCache", "spec_cache_key", "CACHE_FORMAT_VERSION",
     "DedupeIndex", "run_fingerprint",
@@ -89,6 +101,10 @@ class EngineConfig:
     #: target shards per worker; >1 absorbs uneven subtree sizes
     shard_factor: int = 4
     progress: Optional[ProgressFn] = None
+    #: a :class:`repro.obs.Tracer` to record spans into (None = no-op).
+    #: With tracing on, the shard target is pinned to a jobs-invariant
+    #: constant so the span structure is identical for every ``jobs``.
+    tracer: Optional[object] = None
 
 
 class Engine:
@@ -97,6 +113,10 @@ class Engine:
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
         self.last_stats: Optional[EngineStats] = None
+        # a hook that raises is warned about once and disabled, rather
+        # than killing a parallel verification mid-shard
+        self._progress = guard_progress(self.config.progress)
+        self._tracer = self.config.tracer or NULL_TRACER
 
     # -- phases ------------------------------------------------------------
 
@@ -109,7 +129,7 @@ class Engine:
     ) -> Optional[ResultCache]:
         if self.config.cache_dir is None:
             return None
-        with PhaseTimer(stats, "cache-load", self.config.progress):
+        with PhaseTimer(stats, "cache-load", self._progress, self._tracer):
             key = spec_cache_key(problem_spec, correspondence, program_spec,
                                  self.config.temporal_mode)
             cache = ResultCache(self.config.cache_dir, key)
@@ -124,15 +144,30 @@ class Engine:
     ) -> "tuple[List[TaskResult], bool]":
         """Explore-and-check: exhaustive shards, else sampling fallback."""
         cfg = self.config
-        with PhaseTimer(stats, "shard", cfg.progress):
-            target = cfg.jobs * cfg.shard_factor if cfg.jobs > 1 else 1
+        tracer = self._tracer
+        with PhaseTimer(stats, "shard", self._progress, tracer):
+            if tracer.enabled:
+                # pinned, jobs-invariant: the shard plan (hence the task
+                # list, hence the span tree) must not depend on --jobs
+                # for traces to compare byte-for-byte across job counts
+                target = cfg.shard_factor * 4
+            else:
+                target = cfg.jobs * cfg.shard_factor if cfg.jobs > 1 else 1
             shards = make_shards(program, target, cfg.max_steps)
         stats.shards = len(shards)
         stats.jobs = effective_jobs(cfg.jobs, len(shards))
 
-        with PhaseTimer(stats, "explore+check", cfg.progress):
+        def absorb(task_results: List[TaskResult], parent) -> None:
+            # shard order == task order: deterministic merged trace
+            for tr in task_results:
+                tracer.graft(tr.spans, parent)
+                stats.metrics.merge_records(tr.metrics)
+
+        with PhaseTimer(stats, "explore+check", self._progress,
+                        tracer) as timer:
             tasks = [Task("explore", prefix=s.prefix) for s in shards]
-            results = run_tasks(state, tasks, cfg.jobs, cfg.progress)
+            results = run_tasks(state, tasks, cfg.jobs, self._progress)
+            absorb(results, timer.span)
             total = sum(len(r.records) for r in results)
             capped = any(r.cap_exceeded for r in results)
             if not capped and total <= cfg.max_runs:
@@ -142,7 +177,9 @@ class Engine:
             sample_tasks = [
                 Task("sample", seed=cfg.seed + i) for i in range(cfg.sample)
             ]
-            sampled = run_tasks(state, sample_tasks, cfg.jobs, cfg.progress)
+            sampled = run_tasks(state, sample_tasks, cfg.jobs,
+                                self._progress)
+            absorb(sampled, timer.span)
             # keep the aborted attempt's results too: their records are
             # empty but their fresh outcomes feed the merge lookup/cache
             return list(results) + sampled, False
@@ -184,12 +221,21 @@ class Engine:
                     report.truncated += 1
                 if program_spec is not None and not outcome.program_spec_ok:
                     report.program_spec_failures.append(index)
+                    if len(report.program_spec_failures) == 1:
+                        report.failing_run_choices[index] = rec.choices
                 if not outcome.legality_ok:
                     report.legality_failures.append(index)
+                    if len(report.legality_failures) == 1:
+                        report.failing_run_choices[index] = rec.choices
                 for name in outcome.failed_restrictions:
                     verdict = report.verdicts[name]
                     verdict.holds = False
                     verdict.failing_runs.append(index)
+                    # provenance for witness replay: each restriction's
+                    # *first* failing run can be re-driven from its
+                    # choice sequence, no re-exploration required
+                    if len(verdict.failing_runs) == 1:
+                        report.failing_run_choices[index] = rec.choices
                 fingerprints.add(rec.fingerprint)
                 index += 1
 
@@ -217,40 +263,47 @@ class Engine:
         still benefits from dedupe and the cache; nothing is explored).
         """
         cfg = self.config
+        tracer = self._tracer
         stats = EngineStats()
-        cache = self._open_cache(problem_spec, correspondence, program_spec,
-                                 stats)
-        snapshot = cache.snapshot() if cache is not None else {}
-        state = WorkerState(
-            program=program,
-            problem_spec=problem_spec,
-            correspondence=correspondence,
-            program_spec=program_spec,
-            temporal_mode=cfg.temporal_mode,
-            max_steps=cfg.max_steps,
-            max_runs=cfg.max_runs,
-            cache_snapshot=snapshot,
-        )
+        with tracer.span("verify", attrs={"problem": problem_spec.name},
+                         meta={"jobs": cfg.jobs}) as root:
+            cache = self._open_cache(problem_spec, correspondence,
+                                     program_spec, stats)
+            snapshot = cache.snapshot() if cache is not None else {}
+            state = WorkerState(
+                program=program,
+                problem_spec=problem_spec,
+                correspondence=correspondence,
+                program_spec=program_spec,
+                temporal_mode=cfg.temporal_mode,
+                max_steps=cfg.max_steps,
+                max_runs=cfg.max_runs,
+                cache_snapshot=snapshot,
+                trace=tracer.enabled,
+            )
 
-        if exploration is not None:
-            stats.mode = "reused"
-            stats.jobs = 1
-            with PhaseTimer(stats, "explore+check", cfg.progress):
-                results = self._check_reused(exploration, state)
-            exhaustive = exploration.exhaustive
-        else:
-            results, exhaustive = self._gather(program, state, stats)
-            stats.mode = "exhaustive" if exhaustive else "sampled"
+            if exploration is not None:
+                stats.mode = "reused"
+                stats.jobs = 1
+                with PhaseTimer(stats, "explore+check", self._progress,
+                                tracer):
+                    results = self._check_reused(exploration, state,
+                                                 stats.metrics, tracer)
+                exhaustive = exploration.exhaustive
+            else:
+                results, exhaustive = self._gather(program, state, stats)
+                stats.mode = "exhaustive" if exhaustive else "sampled"
 
-        with PhaseTimer(stats, "merge", cfg.progress):
-            report = self._merge(results, problem_spec, program_spec,
-                                 exhaustive, snapshot, stats)
+            with PhaseTimer(stats, "merge", self._progress, tracer):
+                report = self._merge(results, problem_spec, program_spec,
+                                     exhaustive, snapshot, stats)
 
-        if cache is not None:
-            with PhaseTimer(stats, "cache-save", cfg.progress):
-                for tr in results:
-                    cache.update(tr.fresh_outcomes)
-                cache.save()
+            if cache is not None:
+                with PhaseTimer(stats, "cache-save", self._progress, tracer):
+                    for tr in results:
+                        cache.update(tr.fresh_outcomes)
+                    cache.save()
+            root.set_meta(mode=stats.mode, shards=stats.shards)
 
         self.last_stats = stats
         report.engine_stats = stats
@@ -258,14 +311,32 @@ class Engine:
 
     @staticmethod
     def _check_reused(
-        exploration: ExplorationResult, state: WorkerState
+        exploration: ExplorationResult,
+        state: WorkerState,
+        metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> List[TaskResult]:
         """Dedupe-and-check runs the caller already holds, in-process."""
+        tracer = tracer or NULL_TRACER
         result = TaskResult()
         index = state.index
+        seen_fps: set = set()
         for run in exploration.runs:
             fp = run_fingerprint(run)
-            index.outcome_for(fp, lambda run=run: state.compute_outcome(run))
+            if tracer.enabled and fp not in seen_fps:
+                seen_fps.add(fp)
+                computed_before = index.computed
+                with tracer.span("check", attrs={"fp": fp[:12]}) as span:
+                    index.outcome_for(
+                        fp,
+                        lambda run=run: state.compute_outcome(
+                            run, metrics=metrics))
+                    span.set_meta(fresh=index.computed > computed_before)
+            else:
+                index.outcome_for(
+                    fp,
+                    lambda run=run: state.compute_outcome(
+                        run, metrics=metrics))
             result.records.append(RunRecord(
                 choices=run.choices,
                 fingerprint=fp,

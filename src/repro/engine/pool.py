@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import RunCapExceeded
 from ..core.specification import Specification
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..sim.runtime import Program, Run
 from ..sim.scheduler import explore, run_random
 from ..verify.correspondence import Correspondence
@@ -67,6 +69,12 @@ class TaskResult:
     dedupe_hits: int = 0
     cache_hits: int = 0
     checks: int = 0
+    #: serialised trace segment (``Tracer.to_records``), empty unless
+    #: the worker state asked for tracing; grafted by the parent in
+    #: shard order so the merged trace is deterministic
+    spans: List[dict] = field(default_factory=list)
+    #: serialised metric records (``MetricsRegistry.records``)
+    metrics: List[dict] = field(default_factory=list)
 
 
 class WorkerState:
@@ -82,6 +90,7 @@ class WorkerState:
         max_steps: int,
         max_runs: int,
         cache_snapshot: Optional[Dict[str, CheckOutcome]] = None,
+        trace: bool = False,
     ) -> None:
         self.program = program
         self.problem_spec = problem_spec
@@ -90,19 +99,24 @@ class WorkerState:
         self.temporal_mode = temporal_mode
         self.max_steps = max_steps
         self.max_runs = max_runs
+        #: when set, tasks record span segments and checker metrics
+        self.trace = trace
         # per-process memo: forked children each mutate their own copy
         self.index = DedupeIndex(seed=cache_snapshot)
 
-    def compute_outcome(self, run: Run) -> CheckOutcome:
+    def compute_outcome(self, run: Run,
+                        metrics: Optional[MetricsRegistry] = None
+                        ) -> CheckOutcome:
         """Check one computation; pure function of (computation, specs)."""
         comp = run.computation
         program_spec_ok = True
         if self.program_spec is not None:
             program_spec_ok = self.program_spec.check(
-                comp, temporal_mode=self.temporal_mode).ok
+                comp, temporal_mode=self.temporal_mode,
+                metrics=metrics).ok
         projected = project(comp, self.correspondence)
         result = self.problem_spec.check(
-            projected, temporal_mode=self.temporal_mode)
+            projected, temporal_mode=self.temporal_mode, metrics=metrics)
         return CheckOutcome(
             failed_restrictions=tuple(result.failed_restrictions()),
             legality_ok=not result.legality_violations,
@@ -121,10 +135,28 @@ def _execute(task: Task) -> TaskResult:
     fresh_before = set(index.fresh)
     dd0, ch0, cp0 = index.dedupe_hits, index.cache_hits, index.computed
     result = TaskResult()
+    tracing = state.trace
+    tracer = Tracer() if tracing else NULL_TRACER
+    metrics = MetricsRegistry() if tracing else None
+    # fingerprints already span-recorded within *this* task: the first
+    # occurrence per task is a deterministic property of the run order,
+    # unlike freshness (which depends on what other tasks ran in this
+    # process), so "check" spans are jobs-invariant while the fresh /
+    # cached distinction stays in non-structural meta
+    seen_fps: set = set()
 
     def consume(run: Run) -> None:
         fp = run_fingerprint(run)
-        index.outcome_for(fp, lambda: state.compute_outcome(run))
+        if tracing and fp not in seen_fps:
+            seen_fps.add(fp)
+            computed_before = index.computed
+            with tracer.span("check", attrs={"fp": fp[:12]}) as span:
+                index.outcome_for(
+                    fp, lambda: state.compute_outcome(run, metrics=metrics))
+                span.set_meta(fresh=index.computed > computed_before)
+        else:
+            index.outcome_for(
+                fp, lambda: state.compute_outcome(run, metrics=metrics))
         result.records.append(RunRecord(
             choices=run.choices,
             fingerprint=fp,
@@ -133,23 +165,30 @@ def _execute(task: Task) -> TaskResult:
             events=len(run.computation),
         ))
 
-    try:
-        if task.kind == "explore":
-            for run in explore(state.program, max_steps=state.max_steps,
-                               max_runs=state.max_runs, prefix=task.prefix):
-                consume(run)
-        elif task.kind == "sample":
-            consume(run_random(state.program, task.seed,
-                               max_steps=state.max_steps))
-        else:  # pragma: no cover - engine never builds other kinds
-            raise ValueError(f"unknown task kind {task.kind!r}")
-    except RunCapExceeded:
-        # runs are discarded (the sampling fallback replaces them), but
-        # verdicts already computed are valid and stay reported: later
-        # tasks in this process may answer them from the memo alone, so
-        # the parent must learn them here or its merge lookup goes blind
-        result.cap_exceeded = True
-        result.records = []
+    with tracer.span(
+            "task",
+            attrs={"kind": task.kind,
+                   "prefix": ",".join(map(str, task.prefix)),
+                   "seed": task.seed},
+            meta={"worker": multiprocessing.current_process().name}):
+        try:
+            if task.kind == "explore":
+                for run in explore(state.program, max_steps=state.max_steps,
+                                   max_runs=state.max_runs,
+                                   prefix=task.prefix):
+                    consume(run)
+            elif task.kind == "sample":
+                consume(run_random(state.program, task.seed,
+                                   max_steps=state.max_steps))
+            else:  # pragma: no cover - engine never builds other kinds
+                raise ValueError(f"unknown task kind {task.kind!r}")
+        except RunCapExceeded:
+            # runs are discarded (the sampling fallback replaces them), but
+            # verdicts already computed are valid and stay reported: later
+            # tasks in this process may answer them from the memo alone, so
+            # the parent must learn them here or its merge lookup goes blind
+            result.cap_exceeded = True
+            result.records = []
 
     result.fresh_outcomes = {
         fp: index.fresh[fp] for fp in set(index.fresh) - fresh_before
@@ -157,6 +196,9 @@ def _execute(task: Task) -> TaskResult:
     result.dedupe_hits = index.dedupe_hits - dd0
     result.cache_hits = index.cache_hits - ch0
     result.checks = index.computed - cp0
+    if tracing:
+        result.spans = tracer.to_records()
+        result.metrics = metrics.records() if metrics is not None else []
     return result
 
 

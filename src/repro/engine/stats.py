@@ -6,40 +6,119 @@ verification) actually asks: how many shards ran on how many workers,
 how many interleavings collapsed to how many distinct partial orders,
 how much the cache absorbed, and where the wall-clock time went.
 
-A *progress hook* -- any ``Callable[[str, Mapping[str, Any]], None]`` --
-may be installed in the engine config; the engine calls it at phase
+Since the ``repro.obs`` subsystem landed, :class:`EngineStats` is a
+**view over a** :class:`~repro.obs.metrics.MetricsRegistry` rather than
+a parallel bookkeeping path: every counter attribute reads and writes
+an ``engine.*`` metric, ``phase_seconds`` is derived from the
+``engine.phase_seconds`` counters, and the registry (``stats.metrics``)
+is what ``--trace`` exports -- so the stats block and the trace can
+never disagree.
+
+A *progress hook* -- any ``Callable[[str, Mapping[str, Any]], None]``
+-- may be installed in the engine config; the engine calls it at phase
 boundaries and per completed shard/task so long-running verifications
-can drive progress bars or structured logs.  Hooks must be cheap and
-must not raise; the engine deliberately does not guard them.
+can drive progress bars or structured logs.  Hooks are **guarded**: a
+hook that raises is warned about once and disabled for the rest of the
+run, rather than killing a parallel verification mid-shard (see
+:func:`guard_progress`).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
 from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..obs.metrics import MetricsRegistry
 
 #: Progress hook signature: ``hook(event_name, info_mapping)``.
 ProgressFn = Callable[[str, Mapping[str, Any]], None]
 
 
-@dataclass
-class EngineStats:
-    """Everything the engine observed about one verification."""
+class GuardedProgress:
+    """Wraps a progress hook: first raise warns and disables it."""
 
-    jobs: int = 1
-    shards: int = 0
-    mode: str = "exhaustive"  # "exhaustive" | "sampled" | "reused"
-    runs: int = 0
-    distinct_computations: int = 0
-    #: distinct computations whose verdicts were computed fresh this run
-    checks_performed: int = 0
-    #: distinct computations whose verdicts came from the persistent cache
-    cache_hits: int = 0
-    #: run-level memo hits (duplicate interleavings folded away)
-    dedupe_hits: int = 0
-    cache_enabled: bool = False
-    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    def __init__(self, hook: ProgressFn) -> None:
+        self._hook: Optional[ProgressFn] = hook
+
+    @property
+    def disabled(self) -> bool:
+        return self._hook is None
+
+    def __call__(self, event: str, info: Mapping[str, Any]) -> None:
+        if self._hook is None:
+            return
+        try:
+            self._hook(event, info)
+        except Exception as exc:
+            self._hook = None
+            warnings.warn(
+                f"progress hook raised {exc!r}; hook disabled for the rest "
+                "of this run", RuntimeWarning, stacklevel=2)
+
+
+def guard_progress(hook: Optional[ProgressFn]) -> Optional[ProgressFn]:
+    """Idempotently wrap ``hook`` in a :class:`GuardedProgress`."""
+    if hook is None or isinstance(hook, GuardedProgress):
+        return hook
+    return GuardedProgress(hook)
+
+
+def _counter(metric: str, doc: str) -> property:
+    def fget(self: "EngineStats") -> int:
+        return int(self.metrics.get(metric))
+
+    def fset(self: "EngineStats", value: int) -> None:
+        self.metrics.set(metric, value)
+
+    return property(fget, fset, doc=doc)
+
+
+class EngineStats:
+    """Everything the engine observed about one verification.
+
+    A view: the numbers live in ``self.metrics`` (``engine.*``
+    counters); only ``mode`` is a plain attribute (it is a string).
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 mode: str = "exhaustive") -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.mode = mode  # "exhaustive" | "sampled" | "reused"
+        if not self.metrics.get("engine.jobs"):
+            self.metrics.set("engine.jobs", 1)
+
+    jobs = _counter("engine.jobs", "worker processes that actually ran")
+    shards = _counter("engine.shards", "exploration shards")
+    runs = _counter("engine.runs", "total runs checked")
+    distinct_computations = _counter(
+        "engine.distinct_computations", "distinct partial orders")
+    checks_performed = _counter(
+        "engine.checks_performed",
+        "distinct computations whose verdicts were computed fresh this run")
+    cache_hits = _counter(
+        "engine.cache_hits",
+        "distinct computations answered from the persistent cache")
+    dedupe_hits = _counter(
+        "engine.dedupe_hits",
+        "run-level memo hits (duplicate interleavings folded away)")
+
+    @property
+    def cache_enabled(self) -> bool:
+        return bool(self.metrics.get("engine.cache_enabled"))
+
+    @cache_enabled.setter
+    def cache_enabled(self, value: bool) -> None:
+        self.metrics.set("engine.cache_enabled", 1 if value else 0)
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase wall seconds (a fresh dict; mutate via
+        :meth:`add_phase_seconds`)."""
+        return self.metrics.by_label("engine.phase_seconds", "phase")
+
+    def add_phase_seconds(self, name: str, seconds: float) -> None:
+        self.metrics.inc("engine.phase_seconds", seconds, phase=name)
 
     @property
     def dedupe_ratio(self) -> float:
@@ -87,33 +166,56 @@ class EngineStats:
         lines.append(f"  phases: {phases if phases else '(none timed)'}")
         return "\n".join(lines)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EngineStats(mode={self.mode!r}, jobs={self.jobs}, "
+                f"runs={self.runs})")
+
 
 class PhaseTimer:
     """``with PhaseTimer(stats, "explore+check"): ...`` wall-time capture.
 
     Re-entering the same phase name accumulates, so retried phases (the
     exhaustive attempt followed by the sampling fallback) show their
-    combined cost.
+    combined cost.  ``stats`` may be an :class:`EngineStats` (preferred:
+    time lands in the metrics registry) or any object with a
+    ``phase_seconds`` dict (the fuzzer's ``FuzzStats``).
+
+    With a ``tracer``, the phase is also a ``phase:<name>`` span;
+    ``self.span`` exposes it while open so callers can graft worker
+    segments under it.
     """
 
-    def __init__(self, stats: EngineStats, name: str,
-                 progress: Optional[ProgressFn] = None) -> None:
+    def __init__(self, stats: Any, name: str,
+                 progress: Optional[ProgressFn] = None,
+                 tracer: Optional[Any] = None) -> None:
         self._stats = stats
         self._name = name
         self._progress = progress
+        self._tracer = tracer
         self._start = 0.0
+        self.span: Optional[Any] = None
 
     def __enter__(self) -> "PhaseTimer":
         self._start = time.perf_counter()
+        if self._tracer is not None:
+            self.span = self._tracer.span(f"phase:{self._name}")
+            self.span.__enter__()
         if self._progress is not None:
             self._progress("phase:start", {"phase": self._name})
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self._start
-        self._stats.phase_seconds[self._name] = (
-            self._stats.phase_seconds.get(self._name, 0.0) + elapsed
-        )
+        if self.span is not None:
+            self.span.__exit__(exc_type, exc, tb)
+            self.span = None
+        add = getattr(self._stats, "add_phase_seconds", None)
+        if add is not None:
+            add(self._name, elapsed)
+        else:
+            self._stats.phase_seconds[self._name] = (
+                self._stats.phase_seconds.get(self._name, 0.0) + elapsed
+            )
         if self._progress is not None:
             self._progress(
                 "phase:end", {"phase": self._name, "seconds": elapsed}

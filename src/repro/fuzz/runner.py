@@ -19,7 +19,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..engine.stats import PhaseTimer, ProgressFn
+from ..engine.stats import PhaseTimer, ProgressFn, guard_progress
+from ..obs.trace import NULL_TRACER
 from .oracles import Oracle, make_oracles
 from .shrink import artifact_size, repro_snippet, shrink_failure
 
@@ -71,8 +72,10 @@ class FuzzStats:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
+        shrink = (f", {self.shrink_steps} shrink step(s)"
+                  if self.shrink_steps else "")
         lines = [f"fuzz: {self.iterations} iterations, "
-                 f"{self.failures} failing oracle(s)"]
+                 f"{self.failures} failing oracle(s){shrink}"]
         for name in sorted(self.per_oracle):
             seconds = self.phase_seconds.get(name, 0.0)
             count = self.per_oracle[name]
@@ -95,12 +98,21 @@ def seed_token(seed: int, oracle: str, iteration: int) -> str:
 def run_fuzz(
     config: FuzzConfig,
     progress: Optional[ProgressFn] = None,
+    tracer: Optional[object] = None,
+    metrics: Optional[object] = None,
 ) -> Tuple[List[FuzzFailure], FuzzStats]:
     """Run the fuzz loop; returns (failures, stats).
 
     An empty failure list means every oracle held over every generated
-    artifact.
+    artifact.  ``progress`` hooks are guarded (a raising hook is warned
+    about once and disabled).  ``tracer`` records one ``fuzz-iteration``
+    span per iteration and one ``shrink`` span per shrink session;
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives
+    ``fuzz.iterations`` / ``fuzz.failures`` / ``fuzz.shrink_steps``
+    counters, labelled per oracle.
     """
+    progress = guard_progress(progress)
+    tracer = tracer or NULL_TRACER
     registry = make_oracles(jobs=config.jobs)
     if config.oracles is None:
         selected: List[Oracle] = list(registry.values())
@@ -121,19 +133,38 @@ def run_fuzz(
         token = seed_token(config.seed, oracle.name, i)
         rng = random.Random(token)
         with PhaseTimer(stats, oracle.name, progress):
-            artifact = oracle.generate(rng)
-            message = oracle.check(artifact)
+            with tracer.span("fuzz-iteration",
+                             attrs={"oracle": oracle.name, "token": token}):
+                artifact = oracle.generate(rng)
+                message = oracle.check(artifact)
         stats.iterations += 1
         stats.per_oracle[oracle.name] = (
             stats.per_oracle.get(oracle.name, 0) + 1)
+        if metrics is not None:
+            metrics.inc("fuzz.iterations", oracle=oracle.name)
         if message is None:
             continue
         stats.failures += 1
         dead.add(oracle.name)
+        if metrics is not None:
+            metrics.inc("fuzz.failures", oracle=oracle.name)
         if config.shrink and oracle.shrink is not None:
+
+            def count_step(_candidate: object) -> None:
+                stats.shrink_steps += 1
+                if metrics is not None:
+                    metrics.inc("fuzz.shrink_steps", oracle=oracle.name)
+
             with PhaseTimer(stats, f"{oracle.name}:shrink", progress):
-                shrunk, shrunk_message = shrink_failure(
-                    artifact, oracle.check, oracle.shrink)
+                with tracer.span("shrink",
+                                 attrs={"oracle": oracle.name}) as span:
+                    steps_before = stats.shrink_steps
+                    shrunk, shrunk_message = shrink_failure(
+                        artifact, oracle.check, oracle.shrink,
+                        on_reduce=count_step)
+                    span.set_meta(
+                        steps=stats.shrink_steps - steps_before,
+                        events=artifact_size(shrunk))
         else:
             shrunk, shrunk_message = artifact, message
         failures.append(FuzzFailure(

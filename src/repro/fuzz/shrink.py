@@ -35,6 +35,7 @@ def shrink_failure(
     check: FailFn,
     shrink: Optional[ShrinkFn],
     max_checks: int = 2000,
+    on_reduce: Optional[Callable[[object], None]] = None,
 ) -> Tuple[object, str]:
     """Greedily minimise ``artifact`` while ``check`` keeps failing.
 
@@ -42,6 +43,8 @@ def shrink_failure(
     message.  ``check`` returns a message on failure, ``None`` on pass;
     the initial artifact must fail.  ``max_checks`` bounds total oracle
     invocations so a slow oracle cannot stall the fuzz loop.
+    ``on_reduce`` is invoked with each *accepted* reduction -- the fuzz
+    runner counts shrink steps (and meters them) through it.
     """
     message = check(artifact)
     if message is None:
@@ -63,6 +66,8 @@ def shrink_failure(
             if cand_message is not None:
                 artifact, message = candidate, cand_message
                 progress = True
+                if on_reduce is not None:
+                    on_reduce(candidate)
                 break
             if checks >= max_checks:
                 break

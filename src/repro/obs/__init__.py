@@ -1,0 +1,60 @@
+"""``repro.obs`` -- observability for the verification stack.
+
+Three legs, three modules (plus the offline analyser):
+
+* :mod:`.trace` -- span-based tracing: nested, attributed spans with a
+  zero-overhead no-op default, deterministic fork-pool merge, and a
+  versioned JSONL export (``--trace FILE`` on the CLI);
+* :mod:`.metrics` -- labelled counters and histograms (formula
+  evaluations per restriction, lattice sizes, cache/dedupe hits,
+  shrink steps), mergeable across worker processes; ``EngineStats`` is
+  a view over this registry;
+* :mod:`.explain` -- subformula evaluation traces for failed
+  restrictions: which binding, which history prefix, which □/◇
+  unrolling flipped the verdict, rendered as text and DOT;
+* :mod:`.profile` -- ``repro profile TRACE.jsonl``: per-phase and
+  per-span timing breakdowns, top restrictions by evaluation cost,
+  worker utilisation.
+
+Layering: ``obs.metrics`` and ``obs.trace`` import nothing above
+:mod:`repro.core.errors`, so every layer (core checker, scheduler,
+engine, fuzzer) can accept a tracer/registry without cycles;
+``obs.explain`` builds on :mod:`repro.core.witness`.  Callers that were
+handed no tracer use :data:`NULL_TRACER` and pay a truthiness check.
+"""
+
+from .explain import ExplainStep, ExplanationTrace, explain_restriction
+from .metrics import HistogramStat, MetricsRegistry
+from .profile import (
+    load_trace,
+    phase_breakdown,
+    render_profile,
+    restriction_costs,
+    span_aggregates,
+    worker_utilisation,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA_VERSION,
+    TraceData,
+    TraceSchemaError,
+    Tracer,
+    iter_spans,
+    read_trace,
+    structure_dump,
+    validate_record,
+    write_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceData",
+    "TraceSchemaError", "read_trace", "write_trace", "validate_record",
+    "structure_dump", "iter_spans",
+    "MetricsRegistry", "HistogramStat",
+    "ExplanationTrace", "ExplainStep", "explain_restriction",
+    "load_trace", "render_profile", "phase_breakdown", "span_aggregates",
+    "restriction_costs", "worker_utilisation",
+]

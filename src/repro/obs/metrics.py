@@ -1,0 +1,166 @@
+"""The metrics registry: labelled counters and histograms.
+
+Observability's second leg (spans in :mod:`repro.obs.trace` are the
+first): cheap numeric aggregates that survive process boundaries.  A
+:class:`MetricsRegistry` holds *counters* (monotone or gauge-set
+floats) and *histograms* (count/sum/min/max aggregates -- enough for
+means and extremes without storing samples), both keyed by a metric
+name plus a small label mapping, Prometheus-style::
+
+    registry.inc("checker.evals", 42, restriction="mutex-rw")
+    registry.observe("checker.seconds", 0.0031, restriction="mutex-rw")
+
+Registries are designed to be **merged**: engine workers each populate
+a private registry and ship :meth:`records` (plain dicts, picklable and
+JSONL-ready) back to the parent, which folds them in with
+:meth:`merge_records` -- counters add, histograms combine -- in shard
+order, so the merged registry is deterministic for a deterministic
+workload.  The same record format is what :func:`repro.obs.trace.write_trace`
+emits as ``{"type": "metric", ...}`` lines.
+
+This module is dependency-free (it imports nothing from the rest of
+the package) so any layer -- core checker, engine, fuzzer -- can accept
+a registry without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: (metric name, sorted (label, value) pairs) -- the storage key.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> _Key:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+@dataclass
+class HistogramStat:
+    """Aggregate of observed values: count, sum, min, max."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def combine(self, other: "HistogramStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """Labelled counters and histograms with deterministic merge."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, HistogramStat] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` to counter ``name{labels}``."""
+        k = _key(name, labels)
+        self._counters[k] = self._counters.get(k, 0.0) + value
+
+    def set(self, name: str, value: float, **labels: Any) -> None:
+        """Set counter ``name{labels}`` to ``value`` (gauge semantics)."""
+        self._counters[_key(name, labels)] = float(value)
+
+    def get(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        return self._counters.get(_key(name, labels), default)
+
+    def by_label(self, name: str, label: str) -> Dict[str, float]:
+        """Counter values of ``name`` grouped by one label's value."""
+        out: Dict[str, float] = {}
+        for (n, labels), value in self._counters.items():
+            if n != name:
+                continue
+            for k, v in labels:
+                if k == label:
+                    out[v] = out.get(v, 0.0) + value
+        return out
+
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one sample into histogram ``name{labels}``."""
+        k = _key(name, labels)
+        stat = self._histograms.get(k)
+        if stat is None:
+            stat = self._histograms[k] = HistogramStat()
+        stat.observe(value)
+
+    def histogram(self, name: str, **labels: Any) -> Optional[HistogramStat]:
+        return self._histograms.get(_key(name, labels))
+
+    def histograms_by_label(self, name: str,
+                            label: str) -> Dict[str, HistogramStat]:
+        """Histograms of ``name`` grouped (combined) by one label's value."""
+        out: Dict[str, HistogramStat] = {}
+        for (n, labels), stat in self._histograms.items():
+            if n != name:
+                continue
+            for k, v in labels:
+                if k == label:
+                    agg = out.setdefault(v, HistogramStat())
+                    agg.combine(stat)
+        return out
+
+    # -- transport ---------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All metrics as plain dicts (picklable, JSONL-ready), sorted."""
+        out: List[Dict[str, Any]] = []
+        for (name, labels), value in sorted(self._counters.items()):
+            out.append({"type": "metric", "kind": "counter", "name": name,
+                        "labels": dict(labels), "value": value})
+        for (name, labels), stat in sorted(self._histograms.items()):
+            out.append({"type": "metric", "kind": "histogram", "name": name,
+                        "labels": dict(labels), "count": stat.count,
+                        "sum": stat.total, "min": stat.min, "max": stat.max})
+        return out
+
+    def merge_records(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Fold serialized :meth:`records` in: counters add, histograms
+        combine.  Merging the same registry's records twice double-counts
+        -- callers merge each segment exactly once, in shard order."""
+        for rec in records:
+            if rec.get("type") != "metric":
+                continue
+            labels = dict(rec.get("labels", {}))
+            if rec["kind"] == "counter":
+                self.inc(rec["name"], float(rec["value"]), **labels)
+            elif rec["kind"] == "histogram":
+                k = _key(rec["name"], labels)
+                stat = self._histograms.setdefault(k, HistogramStat())
+                stat.combine(HistogramStat(
+                    count=int(rec["count"]), total=float(rec["sum"]),
+                    min=float(rec["min"]), max=float(rec["max"])))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (in-process convenience)."""
+        for (name, labels), value in other._counters.items():
+            self._counters[(name, labels)] = (
+                self._counters.get((name, labels), 0.0) + value)
+        for (name, labels), stat in other._histograms.items():
+            agg = self._histograms.setdefault((name, labels), HistogramStat())
+            agg.combine(stat)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)

@@ -1,0 +1,157 @@
+"""``repro profile TRACE.jsonl`` -- offline analysis of a written trace.
+
+Answers the questions ROADMAP's "fast as the hardware allows" goal
+needs answered before anything can be optimised:
+
+* **per-phase timings** -- where did the wall clock go (shard, explore,
+  check, merge, cache I/O)?
+* **span aggregates** -- how many of each span, with total/mean/max
+  durations;
+* **top restrictions by evaluation cost** -- the ``checker.evals`` /
+  ``checker.seconds`` metrics grouped per restriction, most expensive
+  first;
+* **worker utilisation** -- per-worker busy time over the explore+check
+  window, which shows shard imbalance directly.
+
+Everything here is a pure function of the parsed
+:class:`repro.obs.trace.TraceData`; the CLI wrapper just reads, renders
+and prints.  Reading validates every record against the schema, so
+``repro profile`` doubles as the trace validator CI uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .metrics import HistogramStat, MetricsRegistry
+from .trace import Span, TraceData, iter_spans, read_trace
+
+
+def load_trace(path: str) -> TraceData:
+    """Read + validate a trace file (thin alias of :func:`read_trace`)."""
+    return read_trace(path)
+
+
+def phase_breakdown(data: TraceData) -> List[Tuple[str, float]]:
+    """(phase name, accumulated seconds), longest first.
+
+    Prefers ``phase:*`` spans; falls back to the ``engine.phase_seconds``
+    metric so traces written without span detail still profile.
+    """
+    acc: Dict[str, float] = {}
+    for span in iter_spans(data.spans):
+        if span.name.startswith("phase:"):
+            name = span.name[len("phase:"):]
+            acc[name] = acc.get(name, 0.0) + span.duration
+    if not acc:
+        registry = MetricsRegistry()
+        registry.merge_records(data.metric_records)
+        acc = registry.by_label("engine.phase_seconds", "phase")
+    return sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def span_aggregates(data: TraceData) -> List[Tuple[str, HistogramStat]]:
+    """(span name, duration histogram), by total duration, longest first."""
+    acc: Dict[str, HistogramStat] = {}
+    for span in iter_spans(data.spans):
+        stat = acc.setdefault(span.name, HistogramStat())
+        stat.observe(span.duration)
+    return sorted(acc.items(), key=lambda kv: (-kv[1].total, kv[0]))
+
+
+def restriction_costs(data: TraceData) -> List[Tuple[str, float, float]]:
+    """(restriction, formula evaluations, seconds), costliest first."""
+    registry = MetricsRegistry()
+    registry.merge_records(data.metric_records)
+    evals = registry.by_label("checker.evals", "restriction")
+    seconds = registry.histograms_by_label("checker.seconds", "restriction")
+    names = sorted(set(evals) | set(seconds))
+    rows = [(name, evals.get(name, 0.0),
+             seconds[name].total if name in seconds else 0.0)
+            for name in names]
+    return sorted(rows, key=lambda r: (-r[2], -r[1], r[0]))
+
+
+def worker_utilisation(data: TraceData) -> List[Tuple[str, int, float, float]]:
+    """(worker, tasks, busy seconds, utilisation) from ``task`` spans.
+
+    Utilisation is busy time over the whole explore+check window, so
+    idle tail-latency (one slow shard pinning one worker) shows up as
+    every *other* worker's low percentage.
+    """
+    tasks: Dict[str, List[Span]] = {}
+    window_start, window_end = float("inf"), float("-inf")
+    for span in iter_spans(data.spans):
+        if span.name != "task":
+            continue
+        worker = str(span.meta.get("worker", "?"))
+        tasks.setdefault(worker, []).append(span)
+        window_start = min(window_start, span.t_start)
+        window_end = max(window_end, span.t_end)
+    window = max(window_end - window_start, 0.0)
+    rows = []
+    for worker in sorted(tasks):
+        busy = sum(s.duration for s in tasks[worker])
+        util = busy / window if window > 0 else 0.0
+        rows.append((worker, len(tasks[worker]), busy, util))
+    return rows
+
+
+def render_profile(data: TraceData, top: int = 10) -> str:
+    """The full ``repro profile`` report, one string."""
+    lines: List[str] = []
+    schema = data.meta.get("schema")
+    created = data.meta.get("created", "?")
+    n_spans = sum(1 for _ in iter_spans(data.spans))
+    lines.append(f"trace: schema v{schema}, created {created}, "
+                 f"{n_spans} span(s), {len(data.metric_records)} metric(s), "
+                 f"{len(data.explanations)} explanation(s)")
+
+    phases = phase_breakdown(data)
+    lines.append("")
+    lines.append("phases:")
+    if phases:
+        total = sum(secs for _, secs in phases)
+        for name, secs in phases:
+            share = secs / total if total > 0 else 0.0
+            lines.append(f"  {name:16s} {secs:9.4f}s  {share:6.1%}")
+        lines.append(f"  {'total':16s} {total:9.4f}s")
+    else:
+        lines.append("  (no phase spans or metrics)")
+
+    aggs = span_aggregates(data)
+    if aggs:
+        lines.append("")
+        lines.append("spans (by total duration):")
+        for name, stat in aggs[:top]:
+            lines.append(
+                f"  {name:16s} {stat.count:6d}x  total {stat.total:9.4f}s  "
+                f"mean {stat.mean:9.6f}s  max {stat.max:9.6f}s")
+
+    costs = restriction_costs(data)
+    lines.append("")
+    lines.append("restrictions (by evaluation cost):")
+    if costs:
+        for name, evals, secs in costs[:top]:
+            lines.append(f"  {name:32s} {int(evals):10d} evals  "
+                         f"{secs:9.4f}s")
+    else:
+        lines.append("  (no checker metrics in trace)")
+
+    workers = worker_utilisation(data)
+    lines.append("")
+    lines.append("workers:")
+    if workers:
+        for worker, n_tasks, busy, util in workers:
+            lines.append(f"  {worker:24s} {n_tasks:4d} task(s)  "
+                         f"busy {busy:9.4f}s  utilisation {util:6.1%}")
+    else:
+        lines.append("  (no task spans in trace)")
+
+    if data.explanations:
+        lines.append("")
+        lines.append("explanations:")
+        for exp in data.explanations:
+            lines.append(f"  {exp.get('restriction', '?')}")
+
+    return "\n".join(lines)

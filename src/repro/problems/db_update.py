@@ -373,3 +373,42 @@ def db_update_spec(
         groups=groups,
         restrictions=restrictions,
     )
+
+
+def identity_correspondence(
+    n_sites: int,
+    requests: Sequence[UpdateRequest],
+) -> "Correspondence":
+    """Identity mapping: the program *is* its own significant object.
+
+    The db-update program is written directly at the specification's
+    level of abstraction (one element per client and site, the same
+    event classes), so verification projects each computation onto
+    itself: every Submit/Apply/Discard is significant, parameters pass
+    through unchanged.  This is the degenerate -- but perfectly legal --
+    corner of the paper's Section 9 correspondence machinery, and it
+    makes the case a good tracing workload: everything the checker does
+    is attributable to the problem restrictions alone.
+    """
+    from ..verify.correspondence import Correspondence, SignificantEvents
+
+    def ident(ev):
+        return dict(ev.param_dict())
+
+    rules: List[SignificantEvents] = [
+        SignificantEvents(
+            name=f"id-{client_element(c)}-Submit",
+            element=client_element(c), event_class="Submit",
+            target_element=client_element(c), target_class="Submit",
+            params=ident,
+        )
+        for c in sorted({r.client for r in requests})
+    ]
+    for i in range(n_sites):
+        el = site_element(i)
+        for cls in ("Apply", "Discard"):
+            rules.append(SignificantEvents(
+                name=f"id-{el}-{cls}", element=el, event_class=cls,
+                target_element=el, target_class=cls, params=ident,
+            ))
+    return Correspondence(rules=tuple(rules))

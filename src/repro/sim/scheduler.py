@@ -201,6 +201,7 @@ def explore_or_sample(
     max_runs: int = DEFAULT_MAX_RUNS,
     sample: int = 200,
     seed: int = 0,
+    tracer: Optional[object] = None,
 ) -> ExplorationResult:
     """Exhaustive exploration when it fits in ``max_runs``, else sampling.
 
@@ -208,13 +209,26 @@ def explore_or_sample(
     "verified over all N executions" or "checked on N samples", never
     blur the two.  Only :class:`RunCapExceeded` triggers the sampling
     fallback; bad bounds and genuine interpreter failures propagate.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, duck-typed) records the
+    exploration as an ``explore`` span -- plus a ``sample`` span when
+    the fallback fires -- each annotated with the run count.
     """
+    if tracer is None:
+        from ..obs.trace import NULL_TRACER
+        tracer = NULL_TRACER
     try:
-        runs = list(explore(program, max_steps=max_steps, max_runs=max_runs))
+        with tracer.span("explore") as span:
+            runs = list(explore(program, max_steps=max_steps,
+                                max_runs=max_runs))
+            span.set_meta(runs=len(runs))
         return ExplorationResult(runs=runs, exhaustive=True)
     except RunCapExceeded:
+        with tracer.span("sample", attrs={"seed": seed, "count": sample}):
+            runs = sample_runs(program, sample, seed=seed,
+                               max_steps=max_steps)
         return ExplorationResult(
-            runs=sample_runs(program, sample, seed=seed, max_steps=max_steps),
+            runs=runs,
             exhaustive=False,
             sample_seed=seed,
             sample_count=sample,

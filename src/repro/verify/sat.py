@@ -59,6 +59,11 @@ class VerificationReport:
     ``engine_stats`` carries the :class:`repro.engine.EngineStats` of
     the run that produced this report (observability only: it does not
     participate in :meth:`signature` or :meth:`summary`).
+    ``failing_run_choices`` maps a few failing run indices (the first
+    per restriction / legality / program-spec verdict) to their
+    scheduler choice sequences, so a witness can be replayed with
+    ``replay_prefix(program, choices)`` instead of re-exploring every
+    run; provenance only, also excluded from :meth:`signature`.
     """
 
     problem_name: str
@@ -73,6 +78,8 @@ class VerificationReport:
     distinct_computations: int = 0
     dedupe_ratio: float = 1.0
     engine_stats: Optional[object] = field(default=None, compare=False)
+    failing_run_choices: Dict[int, Tuple[int, ...]] = field(
+        default_factory=dict, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -166,6 +173,7 @@ def verify_program(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress=None,
+    tracer=None,
 ) -> VerificationReport:
     """The paper's proof obligation, executed by :mod:`repro.engine`.
 
@@ -174,6 +182,8 @@ def verify_program(
     ``jobs=1`` by construction).  ``cache_dir`` enables the persistent
     result cache, making re-verification of an unchanged workload
     incremental.  ``progress`` installs an engine progress hook.
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the whole
+    verification as a span tree -- the CLI's ``--trace FILE``.
 
     Pass ``exploration`` to reuse runs already gathered (e.g. when
     verifying one program against several problem variants).
@@ -192,6 +202,7 @@ def verify_program(
         temporal_mode=temporal_mode,
         allow_deadlock=allow_deadlock,
         progress=progress,
+        tracer=tracer,
     )
     return Engine(config).verify(
         program, problem_spec, correspondence,

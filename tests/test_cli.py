@@ -19,11 +19,11 @@ class TestList:
     def test_lists_all_cases(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out.splitlines()
-        assert len(out) == 9
+        assert len(out) == 10
         assert out == sorted(out)
         assert CASE in out
         assert {line.split("-")[0] for line in out} == {"monitor", "csp",
-                                                        "ada"}
+                                                        "ada", "db_update"}
 
 
 class TestVerify:
@@ -84,6 +84,78 @@ class TestVerify:
     def test_mutant_through_parallel_engine(self, capsys):
         assert main(["verify", CASE, "--mutant", "--jobs", "2"]) == 0
         assert "FAILED" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import iter_spans, read_trace
+
+        path = str(tmp_path / "t.jsonl")
+        assert main(["verify", CASE, "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert f"record(s) written to {path}" in out
+        data = read_trace(path)  # raises TraceSchemaError if malformed
+        names = {s.name for s in iter_spans(data.spans)}
+        assert {"verify", "task", "check"} <= names
+        assert any(r["name"] == "engine.runs" for r in data.metric_records)
+
+    def test_trace_structure_identical_across_jobs(self, tmp_path, capsys):
+        from repro.obs import read_trace, structure_dump
+
+        p1, p4 = str(tmp_path / "t1.jsonl"), str(tmp_path / "t4.jsonl")
+        assert main(["verify", "db_update", "--trace", p1]) == 0
+        assert main(["verify", "db_update", "--trace", p4,
+                     "--jobs", "4"]) == 0
+        capsys.readouterr()
+        assert structure_dump(read_trace(p1).spans) \
+            == structure_dump(read_trace(p4).spans)
+
+    def test_mutant_trace_carries_explanation(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "t.jsonl")
+        assert main(["verify", CASE, "--mutant", "--witness",
+                     "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "counterexample for" in out
+        assert "explanation for restriction" in out
+        data = read_trace(path)
+        assert data.explanations  # the why-trace rode along in the file
+
+    def test_witness_dot_file(self, tmp_path, capsys):
+        dot = tmp_path / "w.dot"
+        assert main(["verify", CASE, "--mutant", "--witness-dot",
+                     str(dot)]) == 0
+        capsys.readouterr()
+        assert dot.read_text().startswith("digraph")
+
+    def test_profile_renders_report(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        assert main(["verify", CASE, "--trace", path, "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["profile", path]) == 0
+        out = capsys.readouterr().out
+        assert "phases:" in out
+        assert "workers:" in out
+
+    def test_profile_rejects_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "nonsense"}\n')
+        assert main(["profile", str(bad)]) == 2
+        assert "unknown record type" in capsys.readouterr().err
+
+    def test_fuzz_trace(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "f.jsonl")
+        assert main(["fuzz", "--iterations", "4",
+                     "--oracle", "order-laws",
+                     "--trace", path]) == 0
+        capsys.readouterr()
+        data = read_trace(path)
+        assert any(s.name == "fuzz-iteration" for s in data.spans)
+        assert any(r["name"] == "fuzz.iterations"
+                   for r in data.metric_records)
 
 
 class TestDrawing:
