@@ -1,0 +1,245 @@
+"""Checker/engine benchmarks behind ``repro bench`` (docs/PERF.md).
+
+Measures the compiled restriction checker (:mod:`repro.core.compile`)
+against the reference lattice interpreter on the S1
+chains-with-cross-talk workload (the same shape as
+``benchmarks/bench_checker_scaling.py``) plus one end-to-end engine
+verification, and writes the results as JSON.  The JSON file doubles as
+the committed regression baseline (``BENCH_checker.json``): when the
+output file already exists, the run first *gates* against it --
+a gated workload whose compiled-vs-interpreted speedup ratio drops by
+more than ``GATE_TOLERANCE`` fails the run and leaves the baseline
+untouched.  Comparing speedup *ratios* rather than wall-clock seconds
+keeps the gate meaningful across machines of different speeds.
+
+Every measurement is a correctness check before it is a timer: the
+compiled verdict is asserted equal to the interpreted one (and the
+engine reports signature-equal) before any number is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Gated workloads may lose at most this fraction of their baseline
+#: compiled-vs-interpreted speedup ratio (CI ``bench-smoke``).
+GATE_TOLERANCE = 0.25
+
+#: (name, chains, length, gated).  Small sizes are reported for the
+#: scaling picture but not gated: there the one-off compile/bind cost
+#: is comparable to the walk itself, so the ratio is noise-dominated.
+CHECKER_WORKLOADS: Tuple[Tuple[str, int, int, bool], ...] = (
+    ("checker:2x10", 2, 10, False),
+    ("checker:2x20", 2, 20, True),
+    ("checker:3x10", 3, 10, True),
+)
+QUICK_CHECKER_WORKLOADS = CHECKER_WORKLOADS[:2]
+
+
+def build_chain_workload(chains: int, length: int, cross_every: int = 2):
+    """P chains of L ``Step`` events with every k-th event
+    cross-enabling its neighbour chain (the S1 bench shape)."""
+    from .core import ComputationBuilder
+
+    b = ComputationBuilder()
+    rows: List[list] = []
+    for c in range(chains):
+        row = []
+        prev = None
+        for i in range(length):
+            ev = b.add_event(f"chain{c}", "Step", {"i": i})
+            if prev is not None:
+                b.add_enable(prev, ev)
+            prev = ev
+            row.append(ev)
+        rows.append(row)
+    for c in range(chains - 1):
+        for i in range(0, length, cross_every):
+            b.add_enable(rows[c][i], rows[c + 1][i])
+    return b.freeze()
+
+
+def safety_restriction():
+    """The S1 safety formula: □ ∀x:chain0.Step (occurred(x) ⊃
+    ∃y:chain0.Step occurred(y)) -- non-monotone body, so both modes
+    genuinely walk the lattice."""
+    from .core import (Exists, ForAll, Henceforth, Implies, Occurred,
+                       Restriction)
+
+    return Restriction("s1-safety", Henceforth(ForAll(
+        "x", "chain0.Step",
+        Implies(Occurred("x"), Exists("y", "chain0.Step", Occurred("y"))))))
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_checker_bench(quick: bool = False, repeats: int = 3,
+                      history_cap: int = 5_000_000) -> Dict[str, dict]:
+    """Compiled vs interpreted lattice checking per S1 workload."""
+    from .core.checker import check_restriction
+
+    restriction = safety_restriction()
+    workloads = QUICK_CHECKER_WORKLOADS if quick else CHECKER_WORKLOADS
+    results: Dict[str, dict] = {}
+    for name, chains, length, gated in workloads:
+        comp = build_chain_workload(chains, length)
+        lattice_s, lat = _best_of(repeats, lambda: check_restriction(
+            comp, restriction, temporal_mode="lattice",
+            history_cap=history_cap))
+
+        def compiled_once():
+            # a fresh computation per repeat so the timing includes the
+            # full compile + bind + walk (no warm bitmask tables)
+            fresh = build_chain_workload(chains, length)
+            return check_restriction(fresh, restriction,
+                                     temporal_mode="compiled",
+                                     history_cap=history_cap)
+
+        compiled_s, com = _best_of(repeats, compiled_once)
+        assert (lat.holds, lat.detail) == (com.holds, com.detail), (
+            f"{name}: compiled verdict {com} != interpreted {lat}")
+        results[name] = {
+            "chains": chains,
+            "length": length,
+            "gate": gated,
+            "lattice_s": round(lattice_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(lattice_s / compiled_s, 2),
+        }
+    return results
+
+
+def run_engine_bench(repeats: int = 1) -> Dict[str, dict]:
+    """End-to-end ``verify_program`` compiled vs interpreted on the
+    monitor bounded-buffer case (report signatures must match)."""
+    from .langs.monitor import (MonitorProgram, bounded_buffer_system,
+                                monitor_program_spec)
+    from .problems import bounded_buffer
+    from .verify import verify_program
+
+    system = bounded_buffer_system(capacity=2, items=(1, 2, 3))
+    args = (MonitorProgram(system),
+            bounded_buffer.bounded_buffer_spec(2),
+            bounded_buffer.monitor_correspondence("bb"))
+    kwargs = {"program_spec": monitor_program_spec(system)}
+
+    lattice_s, lat = _best_of(repeats, lambda: verify_program(
+        *args, temporal_mode="lattice", **kwargs))
+    compiled_s, com = _best_of(repeats, lambda: verify_program(
+        *args, temporal_mode="compiled", **kwargs))
+    assert lat.signature() == com.signature(), (
+        "engine: compiled report signature differs from interpreted")
+    return {
+        "engine:monitor-bb": {
+            "gate": False,
+            "lattice_s": round(lattice_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(lattice_s / compiled_s, 2),
+        }
+    }
+
+
+def compare_to_baseline(results: Dict[str, dict], baseline: dict,
+                        tolerance: float = GATE_TOLERANCE) -> List[str]:
+    """Regression messages for gated workloads present in both runs."""
+    regressions: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, row in results.items():
+        if not row.get("gate"):
+            continue
+        base = base_workloads.get(name)
+        if base is None or "speedup" not in base:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            regressions.append(
+                f"{name}: speedup {row['speedup']}x is more than "
+                f"{tolerance:.0%} below the baseline {base['speedup']}x "
+                f"(floor {floor:.2f}x)")
+    return regressions
+
+
+def run_bench(quick: bool = False, json_path: Optional[str] = None,
+              baseline_path: Optional[str] = None, repeats: int = 3,
+              out=sys.stdout) -> int:
+    """The ``repro bench`` entry point (also used by CI bench-smoke)."""
+    results = run_checker_bench(quick=quick, repeats=repeats)
+    if not quick:
+        results.update(run_engine_bench())
+    for name, row in results.items():
+        print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
+              f"compiled {row['compiled_s']:.4f}s   "
+              f"speedup {row['speedup']}x"
+              f"{'   [gated]' if row.get('gate') else ''}", file=out)
+
+    # gate before (over)writing, so a regressing run never replaces the
+    # baseline it failed against
+    baseline_file = baseline_path or json_path
+    baseline = None
+    if baseline_file is not None:
+        try:
+            with open(baseline_file) as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            baseline = None
+    if baseline is not None:
+        regressions = compare_to_baseline(results, baseline)
+        for message in regressions:
+            print(f"REGRESSION: {message}", file=out)
+        if regressions:
+            return 1
+        print(f"gate: no regression vs {baseline_file} "
+              f"(tolerance {GATE_TOLERANCE:.0%})", file=out)
+
+    if json_path is not None:
+        payload = {
+            "schema": 1,
+            "bench": "repro bench",
+            "quick": quick,
+            "gate_tolerance": GATE_TOLERANCE,
+            "workloads": results,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {json_path}", file=out)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="compiled-checker benchmarks with a regression gate")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads only, skip the engine bench "
+                             "(CI bench-smoke)")
+    parser.add_argument("--json", nargs="?", const="BENCH_checker.json",
+                        default=None, metavar="FILE",
+                        help="write results as JSON (default file: "
+                             "BENCH_checker.json); if the file exists it "
+                             "is used as the regression baseline first")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="gate against this baseline instead of the "
+                             "--json target")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="timing repeats per measurement, best-of "
+                             "(default 3)")
+    args = parser.parse_args(argv)
+    return run_bench(quick=args.quick, json_path=args.json,
+                     baseline_path=args.baseline, repeats=args.repeats)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

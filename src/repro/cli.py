@@ -9,7 +9,9 @@ Commands:
   worker processes, ``--cache DIR`` makes repeat verifications
   incremental, ``--stats`` prints engine observability, ``--trace
   FILE`` writes the whole verification as a JSONL span trace
-  (:mod:`repro.obs`; identical span structure for every ``--jobs``);
+  (:mod:`repro.obs`; identical span structure for every ``--jobs``),
+  ``--no-compile`` falls back from the compiled bitmask checker to the
+  reference lattice interpreter (docs/PERF.md);
 * ``list`` -- list the available cases;
 * ``dot <case>`` -- print one execution of a case as Graphviz DOT;
 * ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
@@ -21,7 +23,10 @@ Commands:
   to a runnable pytest repro (see docs/FUZZING.md); also ``--trace``;
 * ``profile <trace.jsonl>`` -- validate a written trace and print
   per-phase/per-span timings, top restrictions by evaluation cost, and
-  worker utilisation (see docs/OBSERVABILITY.md).
+  worker utilisation (see docs/OBSERVABILITY.md);
+* ``bench`` -- compiled-vs-interpreted checker/engine benchmarks with a
+  JSON baseline and a speedup-ratio regression gate (``--json``
+  writes/gates against ``BENCH_checker.json``; see docs/PERF.md).
 
 The CLI is a thin veneer over the library; every command's work is one
 or two public API calls.
@@ -184,9 +189,11 @@ def cmd_verify(args) -> int:
 
         tracer = Tracer()
     program, spec, correspondence, program_spec = cases[args.case](args.mutant)
+    mode = "lattice" if args.no_compile else "compiled"
     report = verify_program(program, spec, correspondence,
                             program_spec=program_spec,
                             jobs=args.jobs, cache_dir=args.cache,
+                            temporal_mode=mode,
                             tracer=tracer)
     print(report.summary())
     if args.stats and report.engine_stats is not None:
@@ -393,6 +400,13 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import run_bench
+
+    return run_bench(quick=args.quick, json_path=args.json,
+                     baseline_path=args.baseline, repeats=args.repeats)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -425,6 +439,11 @@ def main(argv=None) -> int:
                           help="on failure, write the failure-explanation "
                                "trace as Graphviz DOT (implies the witness "
                                "replay)")
+    p_verify.add_argument("--no-compile", action="store_true",
+                          help="check restrictions with the reference "
+                               "lattice interpreter instead of the "
+                               "compiled bitmask checker (escape hatch; "
+                               "reports are identical, only slower)")
 
     p_dot = sub.add_parser("dot", help="print one execution as DOT")
     p_dot.add_argument("case")
@@ -460,6 +479,24 @@ def main(argv=None) -> int:
     p_profile.add_argument("--top", type=int, default=10, metavar="N",
                            help="rows per ranking table (default 10)")
 
+    p_bench = sub.add_parser(
+        "bench", help="compiled-checker benchmarks with a regression gate "
+                      "(docs/PERF.md)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small workloads only, skip the engine bench "
+                              "(CI bench-smoke)")
+    p_bench.add_argument("--json", nargs="?", const="BENCH_checker.json",
+                         default=None, metavar="FILE",
+                         help="write results as JSON (default file: "
+                              "BENCH_checker.json); an existing file is "
+                              "the regression baseline first")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE",
+                         help="gate against this baseline instead of the "
+                              "--json target")
+    p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="timing repeats per measurement, best-of "
+                              "(default 3)")
+
     args = parser.parse_args(argv)
     handlers = {
         "list": cmd_list,
@@ -469,6 +506,7 @@ def main(argv=None) -> int:
         "examples": cmd_examples,
         "fuzz": cmd_fuzz,
         "profile": cmd_profile,
+        "bench": cmd_bench,
     }
     from .core.errors import VerificationError
 

@@ -25,8 +25,17 @@ from .checker import (
     check_restriction,
     check_safety_at_all_histories,
 )
+from .compile import (
+    CompiledRestriction,
+    CompiledSpec,
+    SpecPlan,
+    bind_restriction,
+    is_compilable,
+    plan_for,
+)
 from .compose import parallel_compose, restrict_events, sequential_compose
 from .computation import Computation, ComputationBuilder
+from .evalcore import EventIndex, event_index, iter_bits
 from .element import ElementDecl, EventClassRef
 from .errors import (
     ComputationError,
@@ -154,6 +163,9 @@ __all__ = [
     "check_computation", "check_restriction",
     "check_safety_at_all_histories", "CheckResult", "RestrictionOutcome",
     "LatticeChecker",
+    # compiled checking
+    "CompiledRestriction", "CompiledSpec", "SpecPlan", "bind_restriction",
+    "is_compilable", "plan_for", "EventIndex", "event_index", "iter_bits",
     # errors
     "GemError", "SpecificationError", "ComputationError", "CycleError",
     "LegalityViolation", "RestrictionViolation", "VerificationError",

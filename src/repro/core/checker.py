@@ -17,13 +17,25 @@ modes:
     Section 7 semantics).  Exact but exponential; use for small
     computations and cross-validation.
 
-``lattice`` (default)
+``lattice``
     Evaluate recursively over the lattice of histories, reading □ as
     "at every history reachable from here" (AG) and ◇ as "on every
     path from here, eventually" (AF), with memoisation keyed by
     (subformula, history, relevant bindings).
 
-The two modes agree on the formula shapes used throughout this
+``compiled`` (default)
+    Same lattice semantics, but each restriction is first compiled by
+    :mod:`repro.core.compile` into closures over bitmask histories,
+    with quantifier-domain pruning, constant folding, guard hoisting
+    and monotone latching.  Restrictions the compiler cannot express
+    (``PyPred``, unknown nodes) transparently fall back to the
+    ``lattice`` interpreter (the ``checker.fallbacks`` metric counts
+    them), and the interpreter remains the reference oracle the
+    compiled mode is differentially tested against.  Failure
+    explanations and witnesses are always produced by the interpreter,
+    so diagnostics are identical across the two modes.
+
+The lattice/exact modes agree on the formula shapes used throughout this
 reproduction.  For ``□p`` with immediate ``p`` they agree always: a vhs
 visits only reachable histories, and every reachable history lies on
 some maximal vhs.  For ``◇p`` and for nesting like ``□(p ⊃ ◇q)`` they
@@ -266,12 +278,13 @@ class LatticeChecker:
 def check_restriction(
     computation: Computation,
     restriction: Restriction,
-    temporal_mode: str = "lattice",
+    temporal_mode: str = "compiled",
     vhs_cap: int = DEFAULT_VHS_CAP,
     max_step: Optional[int] = 1,
     history_cap: int = DEFAULT_HISTORY_CAP,
     with_witness: bool = False,
     _lattice: Optional[LatticeChecker] = None,
+    _compiled: Optional[object] = None,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> RestrictionOutcome:
@@ -283,11 +296,19 @@ def check_restriction(
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`, duck-typed so
     this module needs no obs import) receives ``checker.evals`` /
-    ``checker.seconds`` per restriction.  ``tracer`` (a
-    :class:`repro.obs.Tracer`) wraps the evaluation in a
-    ``restriction`` span, and on failure records a subformula
-    evaluation trace (:mod:`repro.obs.explain`) explaining which
-    binding / history prefix / temporal unrolling flipped the verdict.
+    ``checker.seconds`` per restriction (plus
+    ``checker.compiled_evals`` / ``checker.fallbacks`` in compiled
+    mode).  ``tracer`` (a :class:`repro.obs.Tracer`) wraps the
+    evaluation in a ``restriction`` span, and on failure records a
+    subformula evaluation trace (:mod:`repro.obs.explain`) explaining
+    which binding / history prefix / temporal unrolling flipped the
+    verdict; explanations always come from the reference interpreter,
+    also under ``temporal_mode="compiled"``.
+
+    ``_compiled`` is the :class:`repro.core.compile.CompiledSpec`
+    shared across a spec's restrictions by :func:`check_computation`;
+    without it, compiled mode compiles the single restriction on the
+    spot.
     """
     tracing = tracer is not None and getattr(tracer, "enabled", False)
 
@@ -310,12 +331,40 @@ def check_restriction(
 
     def decide() -> RestrictionOutcome:
         formula = restriction.formula
-        if not formula.is_temporal():
+        temporal = formula.is_temporal()
+        mode = temporal_mode
+        if mode == "compiled":
+            from .compile import bind_restriction
+
+            cspec = _compiled if _compiled is not None else bind_restriction(
+                computation, restriction, history_cap)
+            compiled = cspec.restriction(restriction)
+            if compiled is not None:
+                visited_before = cspec.visited
+                holds = compiled.holds()
+                if metrics is not None:
+                    evals[0] = cspec.visited - visited_before
+                    metrics.inc("checker.compiled_evals", max(evals[0], 1),
+                                restriction=restriction.name)
+                if holds:
+                    return RestrictionOutcome(restriction.name, True)
+                # detail strings match the interpreter byte for byte,
+                # and fail() re-derives witnesses/explanations through
+                # the interpreter, so failure output is mode-invariant
+                return fail("fails over the history lattice" if temporal
+                            else "fails at complete computation")
+            # PyPred or an unknown node: whole-restriction fallback to
+            # the reference interpreter
+            if metrics is not None:
+                metrics.inc("checker.fallbacks", 1,
+                            restriction=restriction.name)
+            mode = "lattice"
+        if not temporal:
             holds = formula.holds_at(full_history(computation))
             if holds:
                 return RestrictionOutcome(restriction.name, True)
             return fail("fails at complete computation")
-        if temporal_mode == "lattice":
+        if mode == "lattice":
             checker = _lattice or LatticeChecker(computation, history_cap)
             visited_before = checker.visited
             holds = checker.holds(formula)
@@ -324,7 +373,7 @@ def check_restriction(
             if holds:
                 return RestrictionOutcome(restriction.name, True)
             return fail("fails over the history lattice")
-        if temporal_mode == "exact":
+        if mode == "exact":
             count = 0
             for seq in maximal_history_sequences(computation, cap=vhs_cap,
                                                  max_step=max_step):
@@ -338,7 +387,7 @@ def check_restriction(
                 evals[0] = count
             return RestrictionOutcome(restriction.name, True,
                                       f"holds on all {count} maximal vhs")
-        raise SpecificationError(f"unknown temporal_mode {temporal_mode!r}")
+        raise SpecificationError(f"unknown temporal_mode {mode!r}")
 
     if metrics is None and not tracing:
         return decide()
@@ -362,7 +411,7 @@ def check_restriction(
 def check_computation(
     computation: Computation,
     spec: Specification,
-    temporal_mode: str = "lattice",
+    temporal_mode: str = "compiled",
     vhs_cap: int = DEFAULT_VHS_CAP,
     max_step: Optional[int] = 1,
     history_cap: int = DEFAULT_HISTORY_CAP,
@@ -376,6 +425,12 @@ def check_computation(
     ``label_threads`` is false (pass false when the computation already
     carries labels you want preserved exactly).
 
+    In the default ``compiled`` mode the specification's restrictions
+    are compiled once (the per-spec analysis plan is cached on the spec
+    instance, so engine workers inherit it across computations) and
+    share one bitmask kernel per computation; restrictions the compiler
+    rejects fall back to the shared :class:`LatticeChecker`.
+
     ``metrics``/``tracer`` thread through to :func:`check_restriction`;
     the lattice size actually explored for this computation lands in
     the ``checker.lattice_histories`` histogram.
@@ -384,6 +439,11 @@ def check_computation(
     result.legality_violations = check_legality(computation, spec)
     labelled = spec.label_threads(computation) if label_threads else computation
     lattice = LatticeChecker(labelled, history_cap)
+    compiled = None
+    if temporal_mode == "compiled":
+        from .compile import plan_for
+
+        compiled = plan_for(spec).bind(labelled, history_cap)
     for restriction in spec.all_restrictions():
         result.outcomes.append(
             check_restriction(
@@ -393,7 +453,9 @@ def check_computation(
                 vhs_cap=vhs_cap,
                 max_step=max_step,
                 history_cap=history_cap,
-                _lattice=lattice if temporal_mode == "lattice" else None,
+                _lattice=lattice if temporal_mode in ("lattice", "compiled")
+                else None,
+                _compiled=compiled,
                 metrics=metrics,
                 tracer=tracer,
             )
@@ -403,6 +465,9 @@ def check_computation(
         if temporal_mode == "lattice":
             metrics.observe("checker.lattice_histories",
                             lattice.distinct_histories(), spec=spec.name)
+        elif temporal_mode == "compiled":
+            metrics.observe("checker.lattice_histories",
+                            compiled.distinct_histories(), spec=spec.name)
     return result
 
 

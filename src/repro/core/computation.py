@@ -62,6 +62,7 @@ class Computation:
         "_enable",
         "_temporal",
         "_groups",
+        "_evalcore",
     )
 
     def __init__(
@@ -115,6 +116,8 @@ class Computation:
             )
         self._temporal: Relation = combined.transitive_closure()
         self._groups = groups
+        # lazily built bitmask tables (repro.core.evalcore.event_index)
+        self._evalcore = None
 
     # -- event access ------------------------------------------------------
 

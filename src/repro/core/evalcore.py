@@ -1,0 +1,167 @@
+"""Bitmask evaluation kernel shared by the compiled checker.
+
+The lattice interpreter (:mod:`repro.core.checker`) represents a history
+as a ``frozenset`` of :class:`~repro.core.ids.EventId` and re-derives
+frontier/addable sets through Python iterators on every call.  The
+compiled checker (:mod:`repro.core.compile`) instead fixes one dense
+event indexing per computation and works with plain ``int`` bitmasks:
+
+* a history is an ``int`` with bit *i* set iff event *i* has occurred;
+* the child of history ``m`` adding event *i* is ``m | (1 << i)``;
+* the relations ``⊳``, ``⇒ₑ`` and ``⇒`` are per-event successor masks
+  (re-using :class:`~repro.core.order.Relation`'s ``succ_bits`` tables
+  -- the temporal relation is already transitively closed, so its raw
+  successor table *is* the closure);
+* ``addable(m)`` is "every bit i ∉ m whose temporal-predecessor mask is
+  contained in m", one AND-NOT per event.
+
+An :class:`EventIndex` is built once per computation and cached on the
+:class:`~repro.core.computation.Computation` instance, so the engine's
+workers, the fuzz oracles and repeated ``check_computation`` calls all
+share the same tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .computation import Computation
+from .event import Event
+from .history import History
+from .ids import EventId
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class EventIndex:
+    """Dense event indexing plus relation bitmask tables for one computation.
+
+    Event *i* is ``computation.events[i]`` (builder insertion order), so
+    the indexing is deterministic run to run.  All masks use that
+    indexing.
+    """
+
+    __slots__ = (
+        "computation",
+        "events",
+        "n",
+        "full_mask",
+        "index_of",
+        "temporal_succ",
+        "temporal_pred",
+        "enable_succ",
+        "element_succ",
+        "threads",
+    )
+
+    def __init__(self, computation: Computation) -> None:
+        self.computation = computation
+        self.events: Tuple[Event, ...] = computation.events
+        n = len(self.events)
+        self.n = n
+        self.full_mask = (1 << n) - 1
+        self.index_of: Dict[EventId, int] = {
+            ev.eid: i for i, ev in enumerate(self.events)
+        }
+        temporal = computation.temporal_relation
+        # ⇒ is transitively closed at construction, so the raw successor
+        # table equals the closure; closure_table() shares the Relation's
+        # memoised list rather than recomputing reachability
+        closure = temporal.closure_table()
+        remap = [self.index_of[node] for node in temporal.nodes]
+        self.temporal_succ: List[int] = [0] * n
+        for rel_i, bits in enumerate(closure):
+            acc = 0
+            for rel_j in iter_bits(bits):
+                acc |= 1 << remap[rel_j]
+            self.temporal_succ[remap[rel_i]] = acc
+        self.temporal_pred: List[int] = _transpose(self.temporal_succ)
+        enable = computation.enable_relation
+        enable_remap = [self.index_of[node] for node in enable.nodes]
+        self.enable_succ: List[int] = [0] * n
+        for rel_i, bits in enumerate(enable.succ_table()):
+            acc = 0
+            for rel_j in iter_bits(bits):
+                acc |= 1 << enable_remap[rel_j]
+            self.enable_succ[enable_remap[rel_i]] = acc
+        # ⇒ₑ: same element, smaller occurrence number
+        self.element_succ: List[int] = [0] * n
+        by_element: Dict[str, List[int]] = {}
+        for i, ev in enumerate(self.events):
+            by_element.setdefault(ev.eid.element, []).append(i)
+        for members in by_element.values():
+            members.sort(key=lambda i: self.events[i].eid.index)
+            for pos, i in enumerate(members):
+                acc = 0
+                for j in members[pos + 1:]:
+                    acc |= 1 << j
+                self.element_succ[i] = acc
+        self.threads: Tuple[frozenset, ...] = tuple(
+            ev.threads for ev in self.events)
+
+    # -- history/mask conversion ------------------------------------------
+
+    def mask_of(self, eids) -> int:
+        """Bitmask of an iterable of event ids."""
+        acc = 0
+        index_of = self.index_of
+        for eid in eids:
+            acc |= 1 << index_of[eid]
+        return acc
+
+    def history_of(self, mask: int) -> History:
+        """The :class:`History` a mask denotes (trusted: masks produced
+        by the kernel are down-closed by construction)."""
+        events = self.events
+        return History(
+            self.computation,
+            (events[i].eid for i in iter_bits(mask)),
+            _trusted=True,
+        )
+
+    # -- lattice steps ------------------------------------------------------
+
+    def addable_mask(self, mask: int) -> int:
+        """Events that could extend history ``mask`` (the *potential*
+        events): not occurred, every temporal predecessor occurred."""
+        acc = 0
+        pred = self.temporal_pred
+        remaining = self.full_mask & ~mask
+        for i in iter_bits(remaining):
+            if not pred[i] & ~mask:
+                acc |= 1 << i
+        return acc
+
+    def frontier_mask(self, mask: int) -> int:
+        """Members of ``mask`` with no temporal successor inside it."""
+        acc = 0
+        succ = self.temporal_succ
+        for i in iter_bits(mask):
+            if not succ[i] & mask:
+                acc |= 1 << i
+        return acc
+
+
+def _transpose(table: List[int]) -> List[int]:
+    out = [0] * len(table)
+    for i, bits in enumerate(table):
+        mask = 1 << i
+        for j in iter_bits(bits):
+            out[j] |= mask
+    return out
+
+
+def event_index(computation: Computation) -> EventIndex:
+    """The computation's :class:`EventIndex`, built once and cached on
+    the instance (like :class:`Relation`'s closure tables)."""
+    cached: Optional[EventIndex] = computation._evalcore
+    if cached is None:
+        cached = EventIndex(computation)
+        computation._evalcore = cached
+    return cached

@@ -48,11 +48,13 @@ class History:
     computations never compare equal.
     """
 
-    __slots__ = ("_comp", "_events", "_hash")
+    __slots__ = ("_comp", "_events", "_hash", "_frontier", "_addable")
 
     def __init__(self, computation: Computation, events: Iterable[EventId],
                  _trusted: bool = False):
         self._comp = computation
+        self._frontier: Optional[FrozenSet[EventId]] = None
+        self._addable: Optional[FrozenSet[EventId]] = None
         ev_set = frozenset(events)
         if not _trusted:
             for eid in ev_set:
@@ -118,28 +120,39 @@ class History:
         return len(self._events) == len(self._comp)
 
     def frontier(self) -> FrozenSet[EventId]:
-        """Members with no temporal successor inside the history."""
-        temporal = self._comp.temporal_relation
-        out: Set[EventId] = set()
-        for eid in self._events:
-            if all(s not in self._events for s in temporal.successors(eid)):
-                out.add(eid)
-        return frozenset(out)
+        """Members with no temporal successor inside the history.
+
+        Pure and called inside lattice-walk and scheduler inner loops,
+        so the result is computed once and cached on the instance.
+        """
+        if self._frontier is None:
+            temporal = self._comp.temporal_relation
+            out: Set[EventId] = set()
+            for eid in self._events:
+                if all(s not in self._events
+                       for s in temporal.successors(eid)):
+                    out.add(eid)
+            self._frontier = frozenset(out)
+        return self._frontier
 
     def addable(self) -> FrozenSet[EventId]:
         """Events of the computation that could extend this history.
 
         These are exactly the *potential* events: not yet occurred, with
-        every temporal predecessor already in the history.
+        every temporal predecessor already in the history.  Cached per
+        instance (see :meth:`frontier`).
         """
-        temporal = self._comp.temporal_relation
-        out: Set[EventId] = set()
-        for ev in self._comp.events:
-            if ev.eid in self._events:
-                continue
-            if all(p in self._events for p in temporal.predecessors(ev.eid)):
-                out.add(ev.eid)
-        return frozenset(out)
+        if self._addable is None:
+            temporal = self._comp.temporal_relation
+            out: Set[EventId] = set()
+            for ev in self._comp.events:
+                if ev.eid in self._events:
+                    continue
+                if all(p in self._events
+                       for p in temporal.predecessors(ev.eid)):
+                    out.add(ev.eid)
+            self._addable = frozenset(out)
+        return self._addable
 
     def potential(self, eid: EventId) -> bool:
         """The paper's ``potential(e)``: e may legally extend this history."""

@@ -152,6 +152,29 @@ class Relation:
 
     # -- closure & order properties ---------------------------------------
 
+    def succ_table(self) -> List[int]:
+        """The raw successor bitset table (``succ[i]`` bit j ⇔ i R j).
+
+        The list is the relation's own storage -- callers must treat it
+        as read-only.  Bit positions follow :attr:`nodes` order.
+        """
+        return self._succ
+
+    def closure_table(self) -> List[int]:
+        """The strict-transitive-closure successor table, memoised.
+
+        Computed at most once per instance and shared by every caller
+        (``down_set``, ``is_down_closed``, the compiled checker's
+        :class:`~repro.core.evalcore.EventIndex`, and every
+        :class:`~repro.core.history.History` of the owning computation
+        all read the identical list object).
+        """
+        return self._closure_table()
+
+    def closure_pred_table(self) -> List[int]:
+        """Transpose of :meth:`closure_table`, memoised the same way."""
+        return self._closure_pred_table()
+
     def _closure_table(self) -> List[int]:
         """Strict transitive closure as a successor bitset table.
 

@@ -96,7 +96,10 @@ class EngineConfig:
     max_runs: int = DEFAULT_MAX_RUNS
     sample: int = 200
     seed: int = 0
-    temporal_mode: str = "lattice"
+    #: "compiled" (default: bitmask-compiled restrictions with the
+    #: interpreter as fallback), "lattice" (pure interpreter -- the
+    #: ``--no-compile`` escape hatch) or "exact" (vhs enumeration)
+    temporal_mode: str = "compiled"
     allow_deadlock: bool = False
     #: target shards per worker; >1 absorbs uneven subtree sizes
     shard_factor: int = 4

@@ -103,6 +103,15 @@ class WorkerState:
         self.trace = trace
         # per-process memo: forked children each mutate their own copy
         self.index = DedupeIndex(seed=cache_snapshot)
+        if temporal_mode == "compiled":
+            # prime the per-spec compilation plans (AST analysis) in
+            # the parent, before the pool forks: every worker inherits
+            # them and only does the cheap per-computation binding
+            from ..core.compile import plan_for
+
+            plan_for(problem_spec)
+            if program_spec is not None:
+                plan_for(program_spec)
 
     def compute_outcome(self, run: Run,
                         metrics: Optional[MetricsRegistry] = None

@@ -26,6 +26,7 @@ from .oracles import (
     ComposeArtifact,
     Oracle,
     ReplayArtifact,
+    check_compiled_agrees,
     check_compose_laws,
     check_engine_agreement,
     check_fingerprint_laws,
@@ -55,7 +56,8 @@ __all__ = [
     "Oracle", "make_oracles", "oracle_names",
     "CheckerArtifact", "ComposeArtifact", "ReplayArtifact",
     "check_order_laws", "check_history_laws", "check_fingerprint_laws",
-    "check_compose_laws", "check_modes_agree", "check_replay_determinism",
+    "check_compiled_agrees", "check_compose_laws", "check_modes_agree",
+    "check_replay_determinism",
     "check_engine_agreement", "identity_correspondence",
     "FuzzProgram", "FuzzProgramSpec", "RecipeProgram",
     "FORK_DROPS_ENABLES", "fuzz_problem_spec", "fuzz_correspondence",

@@ -294,6 +294,40 @@ def check_modes_agree(
     return None
 
 
+def check_compiled_agrees(
+    comp: Computation,
+    restriction: Restriction,
+    vhs_cap: int = 50_000,
+    compiled_check=None,
+) -> Optional[str]:
+    """Differential oracle: compiled vs lattice vs exact checking.
+
+    The compiled bitmask checker (:mod:`repro.core.compile`) must
+    reproduce the interpreter's :class:`RestrictionOutcome` *exactly*
+    (verdict and detail string) on every formula it compiles, and both
+    must agree with exhaustive vhs enumeration on the ``□p`` shapes the
+    artifact generator produces.  ``compiled_check`` is injectable for
+    mutant seeding (a deliberately broken compiled evaluator must be
+    caught by this oracle).
+    """
+    impl = compiled_check or (lambda c, r: check_restriction(
+        c, r, temporal_mode="compiled"))
+    lattice = check_restriction(comp, restriction, temporal_mode="lattice")
+    compiled = impl(comp, restriction)
+    if (lattice.holds, lattice.detail) != (compiled.holds, compiled.detail):
+        return (f"compiled checker disagrees with interpreter on "
+                f"{restriction.name!r}: compiled=({compiled.holds}, "
+                f"{compiled.detail!r}) lattice=({lattice.holds}, "
+                f"{lattice.detail!r}) ({restriction.formula.describe()})")
+    exact = check_restriction(comp, restriction, temporal_mode="exact",
+                              vhs_cap=vhs_cap)
+    if compiled.holds != exact.holds:
+        return (f"compiled checker disagrees with exact enumeration on "
+                f"{restriction.name!r}: compiled={compiled.holds} "
+                f"exact={exact.holds} ({restriction.formula.describe()})")
+    return None
+
+
 def check_replay_determinism(
     program,
     seed: int,
@@ -540,6 +574,15 @@ def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
             "lattice vs exact temporal checking agree on □p",
             gen_checker,
             lambda art: check_modes_agree(
+                (comp := art.recipe.build()), art.restriction(comp)),
+            lambda art: art.shrink_candidates(),
+        ),
+        Oracle(
+            "compiled-differential",
+            "compiled bitmask checker == lattice interpreter == exact "
+            "enumeration",
+            gen_checker,
+            lambda art: check_compiled_agrees(
                 (comp := art.recipe.build()), art.restriction(comp)),
             lambda art: art.shrink_candidates(),
         ),

@@ -168,7 +168,7 @@ def verify_program(
     sample: int = 200,
     seed: int = 0,
     allow_deadlock: bool = False,
-    temporal_mode: str = "lattice",
+    temporal_mode: str = "compiled",
     exploration: Optional[ExplorationResult] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
