@@ -1,0 +1,163 @@
+"""S7 -- partial-order reduction bench: reduced vs full exploration.
+
+Measures, for each workload, the same exploration twice through
+``repro.sim.scheduler.explore``:
+
+* **full** -- every enabled action expanded at every branch point (the
+  pre-POR behaviour, ``--no-por``);
+* **por**  -- ample-set reduction (:mod:`repro.engine.por`) expanding
+  only one process's actions wherever its whole action set is
+  independent of every other process's future.
+
+Every pass asserts the soundness contract before any number is
+reported (same policy as every other bench in this directory): the
+reduced exploration's set of computation fingerprints -- and hence
+every verdict downstream -- must equal the full exploration's exactly,
+and the gated monitor workloads must show at least ``GATE_MIN`` times
+fewer schedules.
+
+The monitor workloads run with ``eager_reductions=False``: the eager
+interpreter reductions (PR 1) already collapse those explorations to
+one run per distinct computation, leaving a sound POR nothing to prune
+-- which ``tests/test_por.py`` asserts separately.  POR's value is on
+the raw interleaving explosion, and on interpreters (db-update) with
+no eager reductions at all.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_por.py [--quick]
+        [--out por_bench.json]
+
+``WORKLOADS`` is importable; ``tests/test_por.py`` runs the same
+differential laws over every entry through the fuzz oracle, so adding
+a workload here automatically extends the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.engine.por import AmpleSelector  # noqa: E402
+from repro.sim.scheduler import explore  # noqa: E402
+
+#: Gated workloads must shed at least this factor of schedules.
+GATE_MIN = 3.0
+
+MAX_RUNS = 500_000
+
+
+def _rw_noeager():
+    from repro.langs.monitor import MonitorProgram, readers_writers_system
+
+    return MonitorProgram(readers_writers_system(1, 1),
+                          eager_reductions=False)
+
+
+def _osb_noeager():
+    from repro.langs.monitor import MonitorProgram, one_slot_buffer_system
+
+    return MonitorProgram(one_slot_buffer_system(items=(1, 2)),
+                          eager_reductions=False)
+
+
+def _bb_noeager():
+    from repro.langs.monitor import MonitorProgram, bounded_buffer_system
+
+    return MonitorProgram(bounded_buffer_system(capacity=2, items=(1, 2)),
+                          eager_reductions=False)
+
+
+def _db_update():
+    from repro.problems.db_update import DbUpdateProgram, standard_requests
+
+    return DbUpdateProgram(3, standard_requests(n_clients=2, n_sites=3))
+
+
+#: name -> (factory, gated).  db-update is reported but not gated: its
+#: reduction ratio is real yet modest (delivers commute only in the
+#: endgame, once no submit can still broadcast to the sites involved).
+WORKLOADS = {
+    "readers-writers": (_rw_noeager, True),
+    "one-slot-buffer": (_osb_noeager, True),
+    "bounded-buffer": (_bb_noeager, True),
+    "db-update": (_db_update, False),
+}
+
+#: subset cheap enough for CI smoke runs
+QUICK_WORKLOADS = ("readers-writers", "db-update")
+
+
+def bench_workload(name: str) -> dict:
+    factory, gated = WORKLOADS[name]
+
+    t0 = time.perf_counter()
+    full = list(explore(factory(), max_runs=MAX_RUNS))
+    full_s = time.perf_counter() - t0
+
+    selector = AmpleSelector()
+    t0 = time.perf_counter()
+    reduced = list(explore(factory(), max_runs=MAX_RUNS, por=selector))
+    por_s = time.perf_counter() - t0
+
+    full_fps = {r.computation.stable_fingerprint() for r in full}
+    por_fps = {r.computation.stable_fingerprint() for r in reduced}
+    assert full_fps == por_fps, (
+        f"{name}: reduced fingerprint set differs from full "
+        f"(missing {len(full_fps - por_fps)}, extra {len(por_fps - full_fps)})")
+
+    ratio = len(full) / len(reduced)
+    assert not gated or ratio >= GATE_MIN, (
+        f"{name}: reduction {ratio:.1f}x is below the {GATE_MIN:.0f}x floor")
+
+    return {
+        "workload": name,
+        "gate": gated,
+        "full_runs": len(full),
+        "por_runs": len(reduced),
+        "distinct": len(full_fps),
+        "pruned_branches": selector.pruned,
+        "reduced_nodes": selector.reduced_nodes,
+        "branch_nodes": selector.nodes,
+        "proviso_expansions": selector.proviso_expansions,
+        "full_s": round(full_s, 4),
+        "por_s": round(por_s, 4),
+        "reduction": round(ratio, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="cheap workloads only (CI smoke)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write rows as JSON")
+    args = parser.parse_args(argv)
+
+    names = QUICK_WORKLOADS if args.quick else tuple(WORKLOADS)
+    rows = []
+    for name in names:
+        row = bench_workload(name)
+        rows.append(row)
+        print(f"{name:18s} full {row['full_runs']:>6} runs "
+              f"({row['full_s']:8.3f}s)   por {row['por_runs']:>4} runs "
+              f"({row['por_s']:6.3f}s)   reduction {row['reduction']:>6.1f}x"
+              f"{'   [gated]' if row['gate'] else ''}")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"schema": 1, "bench": "por", "rows": rows}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,27 @@
-"""Checker/engine benchmarks behind ``repro bench`` (docs/PERF.md).
+"""Checker/engine/POR benchmarks behind ``repro bench`` (docs/PERF.md).
 
 Measures the compiled restriction checker (:mod:`repro.core.compile`)
 against the reference lattice interpreter on the S1
 chains-with-cross-talk workload (the same shape as
-``benchmarks/bench_checker_scaling.py``) plus one end-to-end engine
-verification, and writes the results as JSON.  The JSON file doubles as
-the committed regression baseline (``BENCH_checker.json``): when the
-output file already exists, the run first *gates* against it --
-a gated workload whose compiled-vs-interpreted speedup ratio drops by
-more than ``GATE_TOLERANCE`` fails the run and leaves the baseline
-untouched.  Comparing speedup *ratios* rather than wall-clock seconds
-keeps the gate meaningful across machines of different speeds.
+``benchmarks/bench_checker_scaling.py``), one end-to-end engine
+verification, and the partial-order reduction's schedule savings
+(:mod:`repro.engine.por`, S7 -- reduced vs full exploration on the
+unreduced readers/writers and bounded-buffer monitors), and writes the
+results as JSON.  The JSON file doubles as the committed regression
+baseline (``BENCH_checker.json``): when the output file already
+exists, the run first *gates* against it -- a gated workload whose
+ratio (compiled-vs-interpreted speedup, or full-vs-reduced schedule
+count for the ``por:*`` rows) drops by more than ``GATE_TOLERANCE``
+fails the run and leaves the baseline untouched.  Comparing *ratios*
+rather than wall-clock seconds keeps the gate meaningful across
+machines of different speeds -- the POR rows' ratios are run counts,
+deterministic on any machine.
 
 Every measurement is a correctness check before it is a timer: the
-compiled verdict is asserted equal to the interpreted one (and the
-engine reports signature-equal) before any number is reported.
+compiled verdict is asserted equal to the interpreted one, the engine
+reports signature-equal, and the reduced exploration's computation
+fingerprint set equal to the full one's, before any number is
+reported.
 """
 
 from __future__ import annotations
@@ -151,6 +158,78 @@ def run_engine_bench(repeats: int = 1) -> Dict[str, dict]:
     }
 
 
+#: Minimum full-vs-reduced schedule ratio for gated ``por:*`` rows --
+#: an absolute floor asserted on every run, independent of the
+#: baseline-relative gate.
+POR_GATE_MIN = 3.0
+
+#: (name, builder args, gated).  The ablation (``eager_reductions=
+#: False``) configurations: with eager reductions on, the monitor
+#: explorations are already canonical (runs == distinct computations)
+#: and a sound POR has nothing to prune -- the reduction's value shows
+#: on the raw interleaving explosion.  Sizes are the largest whose
+#: *full* exploration stays in seconds (the S3 bb depth itself runs to
+#: millions of schedules unreduced).
+POR_WORKLOADS: Tuple[Tuple[str, str, bool], ...] = (
+    ("por:readers-writers", "rw", True),
+    ("por:bounded-buffer", "bb", True),
+)
+QUICK_POR_WORKLOADS = POR_WORKLOADS[:1]
+
+
+def _por_program(kind: str):
+    from .langs.monitor import (MonitorProgram, bounded_buffer_system,
+                                readers_writers_system)
+
+    if kind == "rw":
+        return MonitorProgram(readers_writers_system(1, 1),
+                              eager_reductions=False)
+    return MonitorProgram(bounded_buffer_system(capacity=2, items=(1, 2)),
+                          eager_reductions=False)
+
+
+def run_por_bench(quick: bool = False,
+                  max_runs: int = 200_000) -> Dict[str, dict]:
+    """Full vs POR-reduced exploration: schedule counts and wall time.
+
+    Asserts the soundness contract before reporting: identical
+    computation-fingerprint sets, and at least :data:`POR_GATE_MIN`
+    times fewer schedules on every gated workload.
+    """
+    from .engine.por import AmpleSelector
+    from .sim.scheduler import explore
+
+    workloads = QUICK_POR_WORKLOADS if quick else POR_WORKLOADS
+    results: Dict[str, dict] = {}
+    for name, kind, gated in workloads:
+        t0 = time.perf_counter()
+        full = list(explore(_por_program(kind), max_runs=max_runs))
+        full_s = time.perf_counter() - t0
+        selector = AmpleSelector()
+        t0 = time.perf_counter()
+        reduced = list(explore(_por_program(kind), max_runs=max_runs,
+                               por=selector))
+        por_s = time.perf_counter() - t0
+        full_fps = {r.computation.stable_fingerprint() for r in full}
+        por_fps = {r.computation.stable_fingerprint() for r in reduced}
+        assert full_fps == por_fps, (
+            f"{name}: reduced fingerprint set differs from full")
+        ratio = len(full) / len(reduced)
+        assert not gated or ratio >= POR_GATE_MIN, (
+            f"{name}: reduction {ratio:.1f}x is below the "
+            f"{POR_GATE_MIN:.0f}x floor")
+        results[name] = {
+            "gate": gated,
+            "full_runs": len(full),
+            "por_runs": len(reduced),
+            "pruned_branches": selector.pruned,
+            "full_s": round(full_s, 6),
+            "por_s": round(por_s, 6),
+            "speedup": round(ratio, 2),
+        }
+    return results
+
+
 def compare_to_baseline(results: Dict[str, dict], baseline: dict,
                         tolerance: float = GATE_TOLERANCE) -> List[str]:
     """Regression messages for gated workloads present in both runs."""
@@ -178,11 +257,18 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
     results = run_checker_bench(quick=quick, repeats=repeats)
     if not quick:
         results.update(run_engine_bench())
+    results.update(run_por_bench(quick=quick))
     for name, row in results.items():
-        print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
-              f"compiled {row['compiled_s']:.4f}s   "
-              f"speedup {row['speedup']}x"
-              f"{'   [gated]' if row.get('gate') else ''}", file=out)
+        gated = "   [gated]" if row.get("gate") else ""
+        if "full_runs" in row:
+            print(f"{name:18s} full {row['full_runs']} runs "
+                  f"({row['full_s']:.4f}s)   por {row['por_runs']} runs "
+                  f"({row['por_s']:.4f}s)   reduction {row['speedup']}x"
+                  f"{gated}", file=out)
+        else:
+            print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
+                  f"compiled {row['compiled_s']:.4f}s   "
+                  f"speedup {row['speedup']}x{gated}", file=out)
 
     # gate before (over)writing, so a regressing run never replaces the
     # baseline it failed against

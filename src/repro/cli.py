@@ -11,7 +11,9 @@ Commands:
   FILE`` writes the whole verification as a JSONL span trace
   (:mod:`repro.obs`; identical span structure for every ``--jobs``),
   ``--no-compile`` falls back from the compiled bitmask checker to the
-  reference lattice interpreter (docs/PERF.md);
+  reference lattice interpreter (docs/PERF.md), ``--no-por`` disables
+  the ample-set partial-order reduction and expands every
+  interleaving (same verdicts either way; docs/ENGINE.md);
 * ``list`` -- list the available cases;
 * ``dot <case>`` -- print one execution of a case as Graphviz DOT;
 * ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
@@ -194,7 +196,7 @@ def cmd_verify(args) -> int:
                             program_spec=program_spec,
                             jobs=args.jobs, cache_dir=args.cache,
                             temporal_mode=mode,
-                            tracer=tracer)
+                            tracer=tracer, por=args.por)
     print(report.summary())
     if args.stats and report.engine_stats is not None:
         print(report.engine_stats.describe())
@@ -444,6 +446,12 @@ def main(argv=None) -> int:
                                "lattice interpreter instead of the "
                                "compiled bitmask checker (escape hatch; "
                                "reports are identical, only slower)")
+    p_verify.add_argument("--por", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="ample-set partial-order reduction of the "
+                               "exploration (default on; --no-por explores "
+                               "every interleaving -- same verdicts and "
+                               "witnesses, larger run census)")
 
     p_dot = sub.add_parser("dot", help="print one execution as DOT")
     p_dot.add_argument("case")

@@ -58,6 +58,12 @@ from .cache import (
     spec_cache_key,
 )
 from .dedupe import DedupeIndex, run_fingerprint
+from .por import (
+    DEFAULT_PROVISO_LIMIT,
+    AmpleSelector,
+    event_independent,
+    make_selector,
+)
 from .pool import (
     RunRecord,
     Task,
@@ -82,6 +88,8 @@ __all__ = [
     "Shard", "make_shards",
     "CheckOutcome", "ResultCache", "spec_cache_key", "CACHE_FORMAT_VERSION",
     "DedupeIndex", "run_fingerprint",
+    "AmpleSelector", "make_selector", "event_independent",
+    "DEFAULT_PROVISO_LIMIT",
     "run_verification",
 ]
 
@@ -101,6 +109,12 @@ class EngineConfig:
     #: ``--no-compile`` escape hatch) or "exact" (vhs enumeration)
     temporal_mode: str = "compiled"
     allow_deadlock: bool = False
+    #: partial-order reduction (:mod:`repro.engine.por`): expand only an
+    #: ample subset of enabled actions at each branch point.  Default on;
+    #: ``--no-por`` turns it off (the fingerprint sets, verdicts and
+    #: witnesses are identical either way on untruncated exploration --
+    #: the reduced run census is just smaller)
+    por: bool = True
     #: target shards per worker; >1 absorbs uneven subtree sizes
     shard_factor: int = 4
     progress: Optional[ProgressFn] = None
@@ -156,7 +170,18 @@ class Engine:
                 target = cfg.shard_factor * 4
             else:
                 target = cfg.jobs * cfg.shard_factor if cfg.jobs > 1 else 1
-            shards = make_shards(program, target, cfg.max_steps)
+            # the planner's selector makes the plan partition the
+            # *reduced* tree; its counters cover the branch points the
+            # plan split through (workers count the rest, so the merged
+            # totals cover each reduced-tree branch point exactly once)
+            plan_selector = make_selector(cfg.por)
+            shards = make_shards(program, target, cfg.max_steps,
+                                 por=plan_selector)
+        if plan_selector is not None:
+            stats.por_nodes += plan_selector.nodes
+            stats.por_reduced_nodes += plan_selector.reduced_nodes
+            stats.por_pruned += plan_selector.pruned
+            stats.por_proviso_expansions += plan_selector.proviso_expansions
         stats.shards = len(shards)
         stats.jobs = effective_jobs(cfg.jobs, len(shards))
 
@@ -211,6 +236,10 @@ class Engine:
             stats.checks_performed += tr.checks
             stats.cache_hits += tr.cache_hits
             stats.dedupe_hits += tr.dedupe_hits
+            stats.por_nodes += tr.por_nodes
+            stats.por_reduced_nodes += tr.por_reduced_nodes
+            stats.por_pruned += tr.por_pruned
+            stats.por_proviso_expansions += tr.por_proviso_expansions
 
         fingerprints = set()
         index = 0
@@ -268,6 +297,7 @@ class Engine:
         cfg = self.config
         tracer = self._tracer
         stats = EngineStats()
+        stats.por_enabled = cfg.por
         with tracer.span("verify", attrs={"problem": problem_spec.name},
                          meta={"jobs": cfg.jobs}) as root:
             cache = self._open_cache(problem_spec, correspondence,
@@ -283,6 +313,7 @@ class Engine:
                 max_runs=cfg.max_runs,
                 cache_snapshot=snapshot,
                 trace=tracer.enabled,
+                por=cfg.por,
             )
 
             if exploration is not None:

@@ -35,6 +35,7 @@ from ..verify.correspondence import Correspondence
 from ..verify.projection import project
 from .cache import CheckOutcome
 from .dedupe import DedupeIndex, run_fingerprint
+from .por import make_selector
 from .stats import ProgressFn
 
 
@@ -69,6 +70,12 @@ class TaskResult:
     dedupe_hits: int = 0
     cache_hits: int = 0
     checks: int = 0
+    #: partial-order reduction counters for this task's subtree (see
+    #: :class:`repro.engine.por.AmpleSelector`); all zero with POR off
+    por_nodes: int = 0
+    por_reduced_nodes: int = 0
+    por_pruned: int = 0
+    por_proviso_expansions: int = 0
     #: serialised trace segment (``Tracer.to_records``), empty unless
     #: the worker state asked for tracing; grafted by the parent in
     #: shard order so the merged trace is deterministic
@@ -91,6 +98,7 @@ class WorkerState:
         max_runs: int,
         cache_snapshot: Optional[Dict[str, CheckOutcome]] = None,
         trace: bool = False,
+        por: bool = True,
     ) -> None:
         self.program = program
         self.problem_spec = problem_spec
@@ -101,6 +109,8 @@ class WorkerState:
         self.max_runs = max_runs
         #: when set, tasks record span segments and checker metrics
         self.trace = trace
+        #: when set, explore tasks apply partial-order reduction
+        self.por = por
         # per-process memo: forked children each mutate their own copy
         self.index = DedupeIndex(seed=cache_snapshot)
         if temporal_mode == "compiled":
@@ -174,6 +184,7 @@ def _execute(task: Task) -> TaskResult:
             events=len(run.computation),
         ))
 
+    selector = make_selector(state.por) if task.kind == "explore" else None
     with tracer.span(
             "task",
             attrs={"kind": task.kind,
@@ -184,7 +195,7 @@ def _execute(task: Task) -> TaskResult:
             if task.kind == "explore":
                 for run in explore(state.program, max_steps=state.max_steps,
                                    max_runs=state.max_runs,
-                                   prefix=task.prefix):
+                                   prefix=task.prefix, por=selector):
                     consume(run)
             elif task.kind == "sample":
                 consume(run_random(state.program, task.seed,
@@ -205,6 +216,11 @@ def _execute(task: Task) -> TaskResult:
     result.dedupe_hits = index.dedupe_hits - dd0
     result.cache_hits = index.cache_hits - ch0
     result.checks = index.computed - cp0
+    if selector is not None:
+        result.por_nodes = selector.nodes
+        result.por_reduced_nodes = selector.reduced_nodes
+        result.por_pruned = selector.pruned
+        result.por_proviso_expansions = selector.proviso_expansions
     if tracing:
         result.spans = tracer.to_records()
         result.metrics = metrics.records() if metrics is not None else []

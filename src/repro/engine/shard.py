@@ -26,10 +26,10 @@ exactly its one run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..sim.runtime import Program
-from ..sim.scheduler import replay_prefix
+from ..sim.runtime import Program, advance_postponed
+from ..sim.scheduler import replay_prefix, replay_with_postponed
 
 #: Never split through more than this many branch levels; beyond it the
 #: replay cost of expansion outweighs any balance gain.
@@ -49,24 +49,42 @@ class Shard:
 
 
 def _next_branch(
-    program: Program, prefix: Tuple[int, ...], max_steps: int
-) -> Tuple[Tuple[int, ...], int]:
-    """Walk the single-action spine below ``prefix``.
+    program: Program, prefix: Tuple[int, ...], max_steps: int,
+    por: Optional[object] = None,
+) -> Tuple[Tuple[int, ...], List[int]]:
+    """Walk the single-choice spine below ``prefix``.
 
-    Returns ``(extended_prefix, n_choices)`` where ``n_choices`` is the
-    branching factor at the first real choice point (0 for a leaf).
-    Extending through forced choices does not change the subtree, only
-    names it more precisely.
+    Returns ``(extended_prefix, branches)`` where ``branches`` is the
+    list of choice indices explored at the first real branch point
+    (empty for a leaf).  Extending through forced choices does not
+    change the subtree, only names it more precisely.
+
+    With ``por`` (an :class:`repro.engine.por.AmpleSelector`), branches
+    are the *ample* indices -- the same function of the path the
+    workers' exploration applies, so shard children are exactly the
+    subtrees the reduced DFS would visit, and an ample singleton is a
+    spine step even where several actions are enabled.
     """
-    state = replay_prefix(program, prefix)
+    if por is None:
+        state = replay_prefix(program, prefix)
+        postponed: Optional[dict] = None
+    else:
+        state, postponed = replay_with_postponed(program, prefix)
     while True:
         actions = state.enabled()
         if not actions or len(prefix) >= max_steps:
-            return prefix, 0
-        if len(actions) > 1:
-            return prefix, len(actions)
-        state.step(actions[0])
-        prefix = prefix + (0,)
+            return prefix, []
+        if por is None:
+            branches = list(range(len(actions)))
+        else:
+            branches = por.ample(state, actions, postponed)
+        if len(branches) > 1:
+            return prefix, branches
+        i = branches[0]
+        if por is not None:
+            postponed = advance_postponed(postponed, actions, actions[i])
+        state.step(actions[i])
+        prefix = prefix + (i,)
 
 
 def make_shards(
@@ -74,6 +92,7 @@ def make_shards(
     target: int,
     max_steps: int,
     max_rounds: int = MAX_SPLIT_ROUNDS,
+    por: Optional[object] = None,
 ) -> List[Shard]:
     """At least ``target`` shards covering the whole tree (best effort).
 
@@ -83,6 +102,10 @@ def make_shards(
     full run set.  Stops at ``target`` shards, after ``max_rounds``
     branch levels, or when every shard is terminal (a tree smaller than
     the target -- fine, workers just idle).
+
+    ``por`` makes the plan partition the *reduced* tree instead: ample
+    selection is deterministic per choice path, so planner and workers
+    agree on which subtrees exist regardless of ``jobs``.
     """
     shards = [Shard((), False)]
     for _round in range(max_rounds):
@@ -95,12 +118,11 @@ def make_shards(
             if shard.terminal:
                 nxt.append(shard)
                 continue
-            prefix, n_choices = _next_branch(program, shard.prefix, max_steps)
-            if n_choices == 0:
+            prefix, branches = _next_branch(program, shard.prefix, max_steps,
+                                            por=por)
+            if not branches:
                 nxt.append(Shard(prefix, True))
             else:
-                nxt.extend(
-                    Shard(prefix + (i,), False) for i in range(n_choices)
-                )
+                nxt.extend(Shard(prefix + (i,), False) for i in branches)
         shards = nxt
     return shards

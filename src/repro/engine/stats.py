@@ -102,6 +102,19 @@ class EngineStats:
     dedupe_hits = _counter(
         "engine.dedupe_hits",
         "run-level memo hits (duplicate interleavings folded away)")
+    # partial-order reduction (repro.engine.por); the "por.*" namespace
+    # rather than "engine.*" so traces group the reduction's own story
+    por_nodes = _counter(
+        "por.nodes", "branch points consulted by the ample selector")
+    por_reduced_nodes = _counter(
+        "por.reduced_nodes", "branch points where a strict subset expanded")
+    por_pruned = _counter(
+        "por.pruned_interleavings",
+        "enabled branches not expanded (each roots >= 1 pruned "
+        "interleaving)")
+    por_proviso_expansions = _counter(
+        "por.proviso_expansions",
+        "full expansions forced by the ignoring-prevention proviso")
 
     @property
     def cache_enabled(self) -> bool:
@@ -110,6 +123,14 @@ class EngineStats:
     @cache_enabled.setter
     def cache_enabled(self, value: bool) -> None:
         self.metrics.set("engine.cache_enabled", 1 if value else 0)
+
+    @property
+    def por_enabled(self) -> bool:
+        return bool(self.metrics.get("engine.por_enabled"))
+
+    @por_enabled.setter
+    def por_enabled(self, value: bool) -> None:
+        self.metrics.set("engine.por_enabled", 1 if value else 0)
 
     @property
     def phase_seconds(self) -> Dict[str, float]:
@@ -158,6 +179,10 @@ class EngineStats:
             f"{self.cache_hits} from cache "
             f"(hit rate {self.cache_hit_rate:.0%})"
             + ("" if self.cache_enabled else " [cache disabled]"),
+            (f"  por: {self.por_pruned} branch(es) pruned at "
+             f"{self.por_reduced_nodes} of {self.por_nodes} branch "
+             f"point(s), {self.por_proviso_expansions} proviso "
+             "expansion(s)") if self.por_enabled else "  por: disabled",
             f"  throughput: {self.runs_per_second:.1f} runs/s",
         ]
         phases = ", ".join(

@@ -29,7 +29,8 @@ from ..core.computation import Computation
 from ..core.formula import Formula, Henceforth, Restriction
 from ..core.history import History, all_histories, maximal_history_sequences
 from ..engine import EngineConfig, run_verification
-from ..sim.scheduler import replay_prefix, run_random
+from ..engine.por import AmpleSelector
+from ..sim.scheduler import explore, replay_prefix, run_random
 from ..verify.correspondence import Correspondence, SignificantEvents
 from ..verify.projection import project
 from .generators import (
@@ -380,6 +381,12 @@ def check_engine_agreement(
     different run census, different verdicts, different failing-run
     lists -- is a real engine bug (or, for seeded mutants, a program
     whose computations depend on which process built them).
+
+    Runs with ``por=False``: partial-order reduction can collapse a
+    tiny program's exploration to a single branch-free shard, in which
+    case the pool never forks and fork-dependent nondeterminism would
+    be invisible.  POR-vs-full agreement has its own oracle,
+    :func:`check_por_agrees`.
     """
     program = FuzzProgram(spec)
     problem_spec = fuzz_problem_spec(spec)
@@ -387,7 +394,7 @@ def check_engine_agreement(
 
     def signature(**overrides) -> Tuple:
         config = EngineConfig(max_steps=max_steps, max_runs=max_runs,
-                              sample=50, **overrides)
+                              sample=50, por=False, **overrides)
         report, _stats = run_verification(
             program, problem_spec, correspondence, config=config)
         return report.signature()
@@ -404,6 +411,122 @@ def check_engine_agreement(
         return _diff_signatures("serial", serial, "cold-cache", cold)
     if cold != warm:
         return _diff_signatures("cold-cache", cold, "warm-cache", warm)
+    return None
+
+
+def _run_signature(run) -> Tuple:
+    return (run.computation.stable_fingerprint(), run.deadlocked,
+            run.truncated)
+
+
+def check_por_program_agrees(
+    program,
+    max_steps: int = 64,
+    max_runs: int = 100_000,
+    selector_factory: Optional[Callable[[], object]] = None,
+) -> Optional[str]:
+    """Exploration-level POR laws, for *any* scheduler program.
+
+    The reduced exploration must produce exactly the full exploration's
+    set of computation classes (stable fingerprint + deadlock +
+    truncation outcome), never more runs than the full walk, and every
+    reduced run's choice sequence must be a run of the full DFS.
+    ``selector_factory`` builds the selector under test (default:
+    :class:`repro.engine.por.AmpleSelector`); injecting an unsound one
+    is how the killed-mutant tests prove these laws have teeth.
+    """
+    make = selector_factory or AmpleSelector
+    full = list(explore(program, max_steps=max_steps, max_runs=max_runs))
+    reduced = list(explore(program, max_steps=max_steps, max_runs=max_runs,
+                           por=make()))
+    if len(reduced) > len(full):
+        return (f"por produced more runs ({len(reduced)}) than full "
+                f"exploration ({len(full)})")
+    full_sigs = {_run_signature(r) for r in full}
+    red_sigs = {_run_signature(r) for r in reduced}
+    missing = full_sigs - red_sigs
+    if missing:
+        fp = sorted(missing)[0][0]
+        return (f"por dropped {len(missing)} of {len(full_sigs)} computation "
+                f"classes (e.g. fingerprint {fp[:16]})")
+    extra = red_sigs - full_sigs
+    if extra:
+        return (f"por produced {len(extra)} computation classes the full "
+                "exploration lacks")
+    full_choices = {r.choices for r in full}
+    for r in reduced:
+        if r.choices not in full_choices:
+            return f"por run {r.choices} is not a run of the full exploration"
+    return None
+
+
+def check_por_agrees(
+    spec: FuzzProgramSpec,
+    max_steps: int = 64,
+    max_runs: int = 100_000,
+    selector_factory: Optional[Callable[[], object]] = None,
+) -> Optional[str]:
+    """The POR soundness contract: reduced == full, up to commutation.
+
+    Ample-set partial-order reduction (:mod:`repro.engine.por`) prunes
+    interleavings whose computations it proves equal to one it keeps.
+    Verdicts are pure functions of the computation partial order, so
+    the contract is: the reduced exploration must produce *exactly* the
+    full exploration's set of computation classes -- same stable
+    fingerprints, same deadlock/truncation outcomes -- with every
+    reduced run also being a run of the full DFS.  On top of that, the
+    engine's reports with and without reduction must agree on the
+    overall verdict, every per-restriction verdict, the distinct
+    computation census, and deadlock detection; and every failure
+    witness recorded under reduction must replay to a computation the
+    full exploration also reaches.
+
+    ``selector_factory`` is the injectable implementation: the
+    killed-mutant tests pass a deliberately unsound selector (one that
+    drops a dependent action from the ample set) to prove this oracle
+    can actually fail.
+    """
+    program = FuzzProgram(spec)
+    message = check_por_program_agrees(
+        program, max_steps=max_steps, max_runs=max_runs,
+        selector_factory=selector_factory)
+    if message is not None or selector_factory is not None:
+        # with a factory injected only the exploration-level laws run:
+        # the engine builds its own selectors internally
+        return message
+    full = list(explore(program, max_steps=max_steps, max_runs=max_runs))
+    full_sigs = {_run_signature(r) for r in full}
+
+    problem_spec = fuzz_problem_spec(spec)
+    correspondence = fuzz_correspondence(spec)
+
+    def report(por: bool):
+        config = EngineConfig(max_steps=max_steps, max_runs=max_runs,
+                              sample=50, por=por)
+        rep, _stats = run_verification(
+            program, problem_spec, correspondence, config=config)
+        return rep
+
+    on, off = report(True), report(False)
+    if on.ok != off.ok:
+        return f"verdict parity broken: ok={on.ok} with por, {off.ok} without"
+    if on.distinct_computations != off.distinct_computations:
+        return (f"distinct computations differ: {on.distinct_computations} "
+                f"with por, {off.distinct_computations} without")
+    verdicts_on = sorted((n, v.holds) for n, v in on.verdicts.items())
+    verdicts_off = sorted((n, v.holds) for n, v in off.verdicts.items())
+    if verdicts_on != verdicts_off:
+        return (f"per-restriction verdicts differ: {verdicts_on} with por, "
+                f"{verdicts_off} without")
+    if (on.deadlocks > 0) != (off.deadlocks > 0):
+        return (f"deadlock detection differs: {on.deadlocks} with por, "
+                f"{off.deadlocks} without")
+    known = {s[0] for s in full_sigs}
+    for idx, choices in on.failing_run_choices.items():
+        comp = replay_prefix(program, choices).computation()
+        if comp.stable_fingerprint() not in known:
+            return (f"por witness for run {idx} replays to a computation the "
+                    "full exploration never reaches")
     return None
 
 
@@ -598,6 +721,14 @@ def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
             "serial == parallel == cached over report signatures",
             gen_engine,
             lambda spec: check_engine_agreement(spec, jobs=jobs),
+            lambda spec: spec.shrink_candidates(),
+        ),
+        Oracle(
+            "por-differential",
+            "ample-set reduction preserves computation classes, verdicts "
+            "and witnesses",
+            gen_engine,
+            check_por_agrees,
             lambda spec: spec.shrink_candidates(),
         ),
     ]

@@ -28,7 +28,7 @@ from ..core.event import EventClass, ParamSpec
 from ..core.formula import PyPred, Restriction
 from ..core.ids import EventId
 from ..core.specification import Specification
-from ..sim.runtime import Action, SimpleState
+from ..sim.runtime import Action, Footprint, SimpleState
 from ..verify.correspondence import Correspondence, SignificantEvents
 from .generators import ComputationRecipe
 
@@ -137,6 +137,37 @@ class FuzzState(SimpleState):
     def is_final(self) -> bool:
         return all(n >= total
                    for n, total in zip(self._next, self._spec.procs))
+
+    # -- partial-order reduction hooks (repro.engine.por) ------------------
+    #
+    # Tokens: ("step", p, s) -- written exactly once, by step s of proc
+    # p; read by every step that lists it as a prerequisite.  Two steps
+    # with disjoint tokens emit at different elements with enables from
+    # already-built events, so they commute to the identical partial
+    # order; a step and a future step that reads its token must not be
+    # reordered (the reader is not even enabled before the writer runs).
+
+    def por_action_footprint(self, action: Action) -> Footprint:
+        p, s = action.key  # type: ignore[misc]
+        reads = frozenset(
+            ("step", q, t)
+            for pp, ss, q, t in self._spec.deps if pp == p and ss == s)
+        return Footprint(reads, frozenset({("step", p, s)}))
+
+    def por_remaining_footprints(self) -> Dict[str, Footprint]:
+        out: Dict[str, Footprint] = {}
+        for p, total in enumerate(self._spec.procs):
+            if self._next[p] >= total:
+                continue
+            reads = set()
+            writes = set()
+            for s in range(self._next[p], total):
+                writes.add(("step", p, s))
+                for pp, ss, q, t in self._spec.deps:
+                    if pp == p and ss == s:
+                        reads.add(("step", q, t))
+            out[f"P{p}"] = Footprint(frozenset(reads), frozenset(writes))
+        return out
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ...core.errors import SpecificationError
-from ...sim.runtime import Action, SimpleState
+from ...sim.runtime import Action, Footprint, SimpleState
 from .ast import (
     Assign,
     CallOp,
@@ -472,6 +472,61 @@ class MonitorState(SimpleState):
                 ps.locals[local] = self.vars[mvar]
         ps.frame = None
         self._advance_script(ps)
+
+    # -- partial-order reduction hooks (repro.engine.por) ------------------
+    #
+    # Tokens: ``("caller", name)`` covers a process's private element and
+    # locals; ``("mon", self.mname)`` covers everything inside the
+    # monitor (lock, entry, var and cond elements, monitor variables,
+    # the queues); ``("data", el)`` covers one shared data element.
+    # Everything is a *write*: emitting any event at a shared element
+    # appends to that element's order, so even a DataReadOp (whose
+    # Getval is recorded at the data element) does not commute with
+    # another read of the same element -- the two orders are distinct
+    # computations.
+    #
+    # Tenure attribution: an acquire may emit events at *other*
+    # processes' private elements (Hoare hand-off Return, copy_out into
+    # their locals).  Those processes are QUEUED or COND_WAITING: they
+    # have no enabled action, and their pc still sits at the CallOp, so
+    # their remaining footprint includes ``("mon", m)``.  The acquire's
+    # own ``("mon", m)`` write therefore conflicts with every mid-entry
+    # process, and the ample check never commutes an acquire past
+    # anything it could touch.
+
+    def _op_footprint(self, name: str, op) -> Optional[Footprint]:
+        mine = ("caller", name)
+        if isinstance(op, NoteOp):
+            return Footprint(writes=frozenset({mine}))
+        if isinstance(op, (DataReadOp, DataWriteOp)):
+            return Footprint(writes=frozenset({mine, ("data", op.element)}))
+        if isinstance(op, CallOp):
+            return Footprint(writes=frozenset({mine, ("mon", self.mname)}))
+        return None
+
+    def por_action_footprint(self, action: Action) -> Optional[Footprint]:
+        kind, name = action.key  # type: ignore[misc]
+        if kind == "acquire":
+            return Footprint(
+                writes=frozenset({("caller", name), ("mon", self.mname)}))
+        ps = self.procs[name]
+        return self._op_footprint(name, ps.caller.script[ps.pc])
+
+    def por_remaining_footprints(self) -> Dict[str, Footprint]:
+        out: Dict[str, Footprint] = {}
+        for name, ps in self.procs.items():
+            if ps.status == DONE:
+                continue
+            writes = {("caller", name)}
+            if ps.status != SCRIPT:
+                writes.add(("mon", self.mname))
+            for op in ps.caller.script[ps.pc:]:
+                if isinstance(op, CallOp):
+                    writes.add(("mon", self.mname))
+                elif isinstance(op, (DataReadOp, DataWriteOp)):
+                    writes.add(("data", op.element))
+            out[name] = Footprint(writes=frozenset(writes))
+        return out
 
 
 @dataclass(frozen=True)

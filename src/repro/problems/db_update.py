@@ -57,7 +57,7 @@ from ..core import (
     Restriction,
     Specification,
 )
-from ..sim.runtime import Action, SimpleState
+from ..sim.runtime import Action, Footprint, SimpleState
 
 
 def site_element(i: int) -> str:
@@ -166,6 +166,46 @@ class DbUpdateState(SimpleState):
                       {"value": value, "ts": list(stamp),
                        "origin": stamp[1]},
                       extra_enables=[origin_ev])
+
+    # -- partial-order reduction hooks (repro.engine.por) ------------------
+    #
+    # Tokens: ``("site", i)`` covers site i's element order, replica,
+    # clock and any message in flight to it; ``("client", c)`` covers
+    # client c's element; ``("queue",)`` covers the global request
+    # sequence.  A submit is encoded as writing *every* site: it appends
+    # at the home site and creates the future messages whose delivers
+    # append at all the others -- symmetric footprints cannot express
+    # that asymmetric future dependence, so we over-approximate.  All
+    # future submits live under the reserved pseudo-process
+    # ``<clients>`` (they are globally sequenced by ``next_request``, so
+    # they can never be reordered before the current one anyway); its
+    # remaining footprint keeps every site dirty, which pins delivers
+    # until the endgame -- only once no submits remain do delivers to
+    # distinct sites commute and get ample-reduced.  Delivers to the
+    # *same* site share a process (the site element), so the branch
+    # between them is always preserved inside the group.
+
+    def por_action_footprint(self, action: Action) -> Footprint:
+        if action.key[0] == "submit":
+            req = self.requests[self.next_request]
+            writes = {("queue",), ("client", req.client)}
+            writes.update(("site", i) for i in range(self.n_sites))
+            return Footprint(writes=frozenset(writes))
+        target = self.in_flight[action.key[1]][0]
+        return Footprint(writes=frozenset({("site", target)}))
+
+    def por_remaining_footprints(self) -> Dict[str, Footprint]:
+        out: Dict[str, Footprint] = {}
+        if self.next_request < len(self.requests):
+            writes = {("queue",)}
+            writes.update(("client", r.client)
+                          for r in self.requests[self.next_request:])
+            writes.update(("site", i) for i in range(self.n_sites))
+            out["<clients>"] = Footprint(writes=frozenset(writes))
+        for target, _value, _stamp, _origin in self.in_flight:
+            out.setdefault(site_element(target),
+                           Footprint(writes=frozenset({("site", target)})))
+        return out
 
 
 @dataclass(frozen=True)

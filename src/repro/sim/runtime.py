@@ -28,9 +28,55 @@ order), and ``step(choice)`` must be deterministic given the choice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from ..core.computation import Computation, ComputationBuilder
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Static read/write access summary of an action (or of a process's
+    whole remaining behaviour), used by partial-order reduction.
+
+    Tokens are opaque hashable values chosen by the interpreter --
+    typically ``("kind", name)`` tuples naming the elements, queues and
+    shared variables an action observes or mutates.  Two actions
+    *conflict* under the standard rule: a write on either side against
+    any access on the other.  Non-conflicting enabled actions must
+    genuinely commute -- executing them in either order must yield the
+    same interpreter state and the same computation (partial order) --
+    and must not enable/disable each other; that contract is what makes
+    the reduction fingerprint-preserving (see :mod:`repro.engine.por`).
+    """
+
+    reads: FrozenSet = frozenset()
+    writes: FrozenSet = frozenset()
+
+    def conflicts(self, other: "Footprint") -> bool:
+        """Write/write or read/write overlap in either direction."""
+        if self.writes & (other.reads | other.writes):
+            return True
+        return bool(other.writes & self.reads)
+
+
+def advance_postponed(postponed, actions: Sequence["Action"],
+                      chosen: "Action") -> dict:
+    """Partial-order reduction's postponement counters, advanced one step.
+
+    Every process with an enabled action in ``actions`` other than the
+    ``chosen`` one is postponed one more consecutive step; the chosen
+    process and processes with nothing enabled reset (drop out).  A pure
+    function of the choice path -- never of any ample decision -- so any
+    replayer reconstructs the counters identically (see
+    :mod:`repro.engine.por`).
+    """
+    old = postponed or {}
+    out: dict = {}
+    for action in actions:
+        p = action.process
+        if p != chosen.process and p not in out:
+            out[p] = old.get(p, 0) + 1
+    return out
 
 
 @dataclass(frozen=True)
@@ -52,7 +98,37 @@ class Action:
 
 
 class SimState(Protocol):
-    """What a language interpreter must expose to the scheduler."""
+    """What a language interpreter must expose to the scheduler.
+
+    Interpreters may additionally implement the two optional
+    partial-order-reduction hooks (duck-typed; their absence simply
+    disables the reduction for that interpreter):
+
+    ``por_action_footprint(action) -> Optional[Footprint]``
+        Access summary of one *enabled* action.  ``None`` means
+        "unknown" and forces full expansion at this state.
+
+    ``por_remaining_footprints() -> Dict[str, Footprint]``
+        For every process that may still act (keyed by process name,
+        pseudo-processes allowed), an over-approximation of the
+        accesses of *all* its future actions from this state onward.
+        A process absent from the map is promised to never act again.
+
+    Contract (the ample-set argument in :mod:`repro.engine.por` relies
+    on each point; the differential oracle ``check_por_agrees`` tests
+    them empirically):
+
+    * each process's enabled actions are sequential -- new actions for
+      a process appear only from its own steps or are covered by a
+      pseudo-process entry in the remaining map;
+    * an action's true effects (state mutated, events emitted,
+      enabledness of other processes changed) are covered by its
+      declared footprint whenever the footprint is conflict-free
+      against every other process's remaining footprint;
+    * two enabled actions with non-conflicting footprints commute to
+      the *same* computation (identical partial order, hence identical
+      ``stable_fingerprint``).
+    """
 
     def enabled(self) -> Sequence[Action]:
         """Actions currently enabled, in deterministic order."""

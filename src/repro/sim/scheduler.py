@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import RunCapExceeded, VerificationError
-from .runtime import Action, Program, Run, SimState
+from .runtime import Action, Program, Run, SimState, advance_postponed
 
 #: Guard against interpreter bugs producing unbounded executions.
 DEFAULT_MAX_STEPS = 10_000
@@ -57,11 +57,33 @@ def replay_prefix(program: Program, choices: Sequence[int]) -> SimState:
 _replay = replay_prefix
 
 
+def replay_with_postponed(program: Program, choices: Sequence[int]):
+    """Like :func:`replay_prefix`, also tracking the partial-order
+    reduction's postponement counters along the path.
+
+    Returns ``(state, postponed)`` where ``postponed`` maps each
+    process with an enabled action at the resulting state's history to
+    how many consecutive preceding steps it was passed over.  Counters
+    depend only on the choice path (never on ample decisions), so any
+    replayer -- the shard planner, a worker resuming a prefix --
+    reconstructs them identically.
+    """
+    state = program.initial_state()
+    postponed: dict = {}
+    for choice in choices:
+        actions = state.enabled()
+        chosen = actions[choice]
+        postponed = advance_postponed(postponed, actions, chosen)
+        state.step(chosen)
+    return state, postponed
+
+
 def explore(
     program: Program,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_runs: int = DEFAULT_MAX_RUNS,
     prefix: Sequence[int] = (),
+    por: Optional[object] = None,
 ) -> Iterator[Run]:
     """Enumerate every maximal run of ``program``, depth-first.
 
@@ -75,6 +97,13 @@ def explore(
     prefix order reproduces the full DFS order exactly.  ``max_steps``
     counts total choices including the prefix; ``max_runs`` caps the
     runs produced by *this* call.
+
+    ``por`` (an :class:`repro.engine.por.AmpleSelector`, duck-typed)
+    enables partial-order reduction: at each branch point only the
+    selector's ample subset of enabled actions is expanded.  Choice
+    indices still index the *full* enabled list, so recorded runs
+    replay through :func:`replay_prefix` unchanged, and the reduced run
+    set is a subset of the full DFS order.
     """
     if max_steps < 1:
         raise VerificationError("max_steps must be positive")
@@ -82,7 +111,11 @@ def explore(
 
     def rec(choices: Tuple[int, ...]) -> Iterator[Run]:
         nonlocal produced
-        state = replay_prefix(program, choices)
+        if por is None:
+            state = replay_prefix(program, choices)
+            postponed = None
+        else:
+            state, postponed = replay_with_postponed(program, choices)
         actions = state.enabled()
         if not actions or len(choices) >= max_steps:
             produced += 1
@@ -99,7 +132,11 @@ def explore(
             else:
                 yield Run(state.computation(), choices, deadlocked=True)
             return
-        for i in range(len(actions)):
+        if por is None:
+            branches = range(len(actions))
+        else:
+            branches = por.ample(state, actions, postponed)
+        for i in branches:
             yield from rec(choices + (i,))
 
     return rec(tuple(prefix))
@@ -149,12 +186,19 @@ class ExplorationResult:
     (``sample_seed .. sample_seed + sample_count - 1``, one seed per
     run, as :func:`sample_runs` assigns them) so any individual run can
     be replayed with ``run_random(program, seed)``.
+
+    ``por_pruned`` counts the enabled branches partial-order reduction
+    declined to expand during (the exhaustive attempt of) this
+    exploration -- runs *proven redundant*, a different thing entirely
+    from runs *not attempted* because a sample cap replaced exhaustion;
+    :meth:`describe` reports the two separately.
     """
 
     runs: List[Run] = field(default_factory=list)
     exhaustive: bool = True
     sample_seed: Optional[int] = None
     sample_count: Optional[int] = None
+    por_pruned: int = 0
 
     @property
     def completed_runs(self) -> List[Run]:
@@ -182,16 +226,21 @@ class ExplorationResult:
         mode = "exhaustive" if self.exhaustive else "sampled"
         provenance = ""
         if not self.exhaustive and self.sample_seed is not None:
+            # sampled runs and POR-pruned branches are different losses:
+            # the former were never attempted (cap), the latter were
+            # proven redundant -- surface both counts, never conflated
             count = (self.sample_count
                      if self.sample_count is not None else len(self.runs))
             last = self.sample_seed + max(count, 1) - 1
-            provenance = f", seeds {self.sample_seed}..{last}"
+            provenance = f", {count} sampled, seeds {self.sample_seed}..{last}"
+        pruned = (f", {self.por_pruned} branches pruned by por"
+                  if self.por_pruned else "")
         return (
             f"{mode}: {len(self.runs)} runs "
             f"({self.distinct_computations()} distinct, "
             f"{len(self.completed_runs)} completed, "
             f"{len(self.deadlocked_runs)} deadlocked, "
-            f"{len(self.truncated_runs)} truncated{provenance})"
+            f"{len(self.truncated_runs)} truncated{provenance}{pruned})"
         )
 
 
@@ -202,6 +251,7 @@ def explore_or_sample(
     sample: int = 200,
     seed: int = 0,
     tracer: Optional[object] = None,
+    por: Optional[object] = None,
 ) -> ExplorationResult:
     """Exhaustive exploration when it fits in ``max_runs``, else sampling.
 
@@ -213,16 +263,28 @@ def explore_or_sample(
     ``tracer`` (a :class:`repro.obs.Tracer`, duck-typed) records the
     exploration as an ``explore`` span -- plus a ``sample`` span when
     the fallback fires -- each annotated with the run count.
+
+    ``por`` (an :class:`repro.engine.por.AmpleSelector`) reduces the
+    exhaustive attempt; random sampling is never reduced (a sample is
+    one arbitrary interleaving already).  The selector's pruned-branch
+    count is reported either way, so a result can honestly say both
+    "N runs were sampled" and "M branches were pruned before the cap
+    was hit".
     """
     if tracer is None:
         from ..obs.trace import NULL_TRACER
         tracer = NULL_TRACER
+
+    def pruned() -> int:
+        return por.pruned if por is not None else 0
+
     try:
         with tracer.span("explore") as span:
             runs = list(explore(program, max_steps=max_steps,
-                                max_runs=max_runs))
-            span.set_meta(runs=len(runs))
-        return ExplorationResult(runs=runs, exhaustive=True)
+                                max_runs=max_runs, por=por))
+            span.set_meta(runs=len(runs), por_pruned=pruned())
+        return ExplorationResult(runs=runs, exhaustive=True,
+                                 por_pruned=pruned())
     except RunCapExceeded:
         with tracer.span("sample", attrs={"seed": seed, "count": sample}):
             runs = sample_runs(program, sample, seed=seed,
@@ -232,4 +294,5 @@ def explore_or_sample(
             exhaustive=False,
             sample_seed=seed,
             sample_count=sample,
+            por_pruned=pruned(),
         )

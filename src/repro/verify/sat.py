@@ -174,6 +174,7 @@ def verify_program(
     cache_dir: Optional[str] = None,
     progress=None,
     tracer=None,
+    por: bool = True,
 ) -> VerificationReport:
     """The paper's proof obligation, executed by :mod:`repro.engine`.
 
@@ -184,6 +185,11 @@ def verify_program(
     incremental.  ``progress`` installs an engine progress hook.
     ``tracer`` (a :class:`repro.obs.Tracer`) records the whole
     verification as a span tree -- the CLI's ``--trace FILE``.
+    ``por`` (default on) enables ample-set partial-order reduction of
+    the exploration (:mod:`repro.engine.por`): redundant interleavings
+    are pruned at generation time, preserving the fingerprint set,
+    every verdict and every witness; the CLI's ``--no-por`` turns it
+    off (run indices and censuses then count all interleavings).
 
     Pass ``exploration`` to reuse runs already gathered (e.g. when
     verifying one program against several problem variants).
@@ -203,6 +209,7 @@ def verify_program(
         allow_deadlock=allow_deadlock,
         progress=progress,
         tracer=tracer,
+        por=por,
     )
     return Engine(config).verify(
         program, problem_spec, correspondence,

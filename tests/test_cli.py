@@ -86,6 +86,52 @@ class TestVerify:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestPorFlag:
+    def test_flag_matrix_is_byte_identical(self, capsys):
+        # CASE's eager exploration is already canonical (runs ==
+        # distinct computations), so a sound POR prunes nothing there:
+        # every combination of --por/--no-por, --no-compile and --jobs
+        # must print the exact same report
+        outputs = set()
+        for por in (["--por"], ["--no-por"]):
+            for compile_ in ([], ["--no-compile"]):
+                for jobs in (["--jobs", "1"], ["--jobs", "4"]):
+                    argv = ["verify", CASE, *por, *compile_, *jobs]
+                    assert main(argv) == 0
+                    outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_no_por_counts_all_interleavings(self, capsys):
+        # db_update has genuinely redundant interleavings; --no-por
+        # counts them all, --por (the default) prunes them -- both
+        # verify, over the same distinct computations
+        assert main(["verify", "db_update"]) == 0
+        reduced = capsys.readouterr().out
+        assert main(["verify", "db_update", "--no-por"]) == 0
+        full = capsys.readouterr().out
+        assert "VERIFIED" in reduced and "VERIFIED" in full
+        distinct = [line.split("runs, ")[1]
+                    for line in (reduced, full)]
+        assert distinct[0] == distinct[1]
+        runs = [int(out.split("(all ")[1].split(" runs")[0])
+                for out in (reduced, full)]
+        assert runs[0] < runs[1]
+
+    def test_no_por_jobs_invariant(self, capsys):
+        assert main(["verify", "db_update", "--no-por"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["verify", "db_update", "--no-por", "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_stats_name_the_reduction(self, capsys):
+        assert main(["verify", "db_update", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned at" in out
+        assert main(["verify", "db_update", "--no-por", "--stats"]) == 0
+        assert "por: disabled" in capsys.readouterr().out
+
+
 class TestTrace:
     def test_trace_writes_schema_valid_jsonl(self, tmp_path, capsys):
         from repro.obs import iter_spans, read_trace

@@ -189,6 +189,28 @@ class TestMergeStability:
         assert r1.signature() == r4.signature()
         assert structure_dump(t1.roots) == structure_dump(t4.roots)
 
+    def test_structure_byte_stable_across_jobs_without_por(self):
+        # ample selection is a pure function of (state, path), so the
+        # jobs-invariance guarantee must hold per por setting -- the
+        # reduced tree with --por (above), the full tree without (here)
+        t1, t4 = Tracer(), Tracer()
+        r1 = verify_fuzz_spec(SPEC, tracer=t1, jobs=1, por=False)
+        r4 = verify_fuzz_spec(SPEC, tracer=t4, jobs=4, por=False)
+        assert r1.signature() == r4.signature()
+        assert structure_dump(t1.roots) == structure_dump(t4.roots)
+
+    def test_por_prunes_are_traced_in_span_meta(self):
+        from repro.engine.por import AmpleSelector
+        from repro.sim.scheduler import explore_or_sample
+
+        tracer = Tracer()
+        explore_or_sample(FuzzProgram(SPEC), tracer=tracer,
+                          por=AmpleSelector())
+        explores = [s for s in iter_spans(tracer.roots)
+                    if s.name == "explore"]
+        assert explores
+        assert explores[0].meta.get("por_pruned", 0) > 0
+
     def test_parallel_trace_has_worker_meta(self):
         tracer = Tracer()
         verify_fuzz_spec(SPEC, tracer=tracer, jobs=2)
@@ -361,10 +383,18 @@ class TestEngineStatsView:
         assert stats.metrics.get("checker.evals", restriction="r") == 10
 
     def test_describe_still_renders(self):
-        report = verify_fuzz_spec(SPEC, jobs=2)
+        # por off: reduction collapses SPEC to one shard (hence one worker)
+        report = verify_fuzz_spec(SPEC, jobs=2, por=False)
         text = report.engine_stats.describe()
         assert "engine: exhaustive, 2 worker(s)" in text
         assert "dedupe ratio" in text
+        assert "por: disabled" in text
+
+    def test_describe_renders_por_line(self):
+        report = verify_fuzz_spec(SPEC, jobs=2)
+        text = report.engine_stats.describe()
+        assert "pruned at" in text
+        assert "proviso expansion(s)" in text
 
     def test_trace_and_stats_cannot_disagree(self):
         tracer = Tracer()

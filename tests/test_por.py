@@ -1,0 +1,489 @@
+"""Differential suite gating partial-order reduction (repro.engine.por).
+
+The contract under test: ample-set reduction may prune interleavings,
+never behaviours.  On every built-in problem (all ten CLI cases, their
+mutants, the ablation variants) and on hundreds of seeded fuzz
+programs, POR and full exploration must produce identical
+computation-fingerprint sets, identical verdicts, and witnesses that
+replay to computations the full exploration also reaches -- asserted
+through the same law functions (``check_por_agrees``,
+``check_por_program_agrees``) the ``repro fuzz`` CLI runs as a standing
+oracle.  Killed-mutant tests inject a deliberately unsound selector to
+prove the laws can fail; Hypothesis properties pin the event-level
+independence relation the reduction's correctness argument rests on.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import _build_cases
+from repro.core.evalcore import event_index, iter_bits
+from repro.engine import EngineConfig, run_verification
+from repro.engine.por import (
+    DEFAULT_PROVISO_LIMIT,
+    AmpleSelector,
+    advance_postponed,
+    event_independent,
+    independent_pairs,
+    make_selector,
+)
+from repro.fuzz.generators import random_computation
+from repro.fuzz.oracles import check_por_agrees, check_por_program_agrees
+from repro.fuzz.programs import (
+    FORK_DROPS_ENABLES,
+    FuzzProgram,
+    FuzzProgramSpec,
+    fuzz_correspondence,
+    fuzz_problem_spec,
+    random_program_spec,
+)
+from repro.langs.monitor import (
+    MonitorProgram,
+    bounded_buffer_system,
+    one_slot_buffer_system,
+    readers_writers_system,
+)
+from repro.problems.db_update import DbUpdateProgram, standard_requests
+from repro.sim.runtime import Action, Footprint
+from repro.sim.scheduler import ExplorationResult, explore, explore_or_sample
+
+COMMON = settings(max_examples=25, deadline=None, derandomize=True)
+
+
+# -- Footprint algebra ------------------------------------------------------
+
+
+class TestFootprint:
+    def test_read_read_does_not_conflict(self):
+        a = Footprint(reads=frozenset({"x"}))
+        b = Footprint(reads=frozenset({"x"}))
+        assert not a.conflicts(b)
+
+    def test_write_write_conflicts(self):
+        a = Footprint(writes=frozenset({"x"}))
+        b = Footprint(writes=frozenset({"x"}))
+        assert a.conflicts(b)
+
+    def test_read_write_conflicts_both_ways(self):
+        r = Footprint(reads=frozenset({"x"}))
+        w = Footprint(writes=frozenset({"x"}))
+        assert r.conflicts(w) and w.conflicts(r)
+
+    def test_disjoint_tokens_do_not_conflict(self):
+        a = Footprint(reads=frozenset({"a"}), writes=frozenset({"b"}))
+        b = Footprint(reads=frozenset({"c"}), writes=frozenset({"d"}))
+        assert not a.conflicts(b) and not b.conflicts(a)
+
+    @COMMON
+    @given(data=st.data())
+    def test_conflicts_is_symmetric(self, data):
+        tokens = list("abcd")
+        def fp():
+            return Footprint(
+                reads=frozenset(data.draw(st.sets(st.sampled_from(tokens)))),
+                writes=frozenset(data.draw(st.sets(st.sampled_from(tokens)))))
+        a, b = fp(), fp()
+        assert a.conflicts(b) == b.conflicts(a)
+
+
+# -- postponement counters (ignoring-prevention proviso) --------------------
+
+
+def _acts(*names):
+    return [Action(n, "go", key=n) for n in names]
+
+
+class TestAdvancePostponed:
+    def test_passed_over_processes_count_up(self):
+        actions = _acts("p", "q", "r")
+        post = advance_postponed({}, actions, actions[0])
+        assert post == {"q": 1, "r": 1}
+        post = advance_postponed(post, actions, actions[1])
+        assert post == {"p": 1, "r": 2}
+
+    def test_disabled_processes_drop_out(self):
+        post = advance_postponed({"q": 3}, _acts("p"), _acts("p")[0])
+        assert post == {}
+
+    def test_counters_are_a_pure_function_of_the_path(self):
+        actions = _acts("p", "q")
+        one = advance_postponed({}, actions, actions[0])
+        two = advance_postponed({}, actions, actions[0])
+        assert one == two == {"q": 1}
+
+
+# -- differential: every built-in problem -----------------------------------
+
+CASES = _build_cases()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("mutant", [False, True])
+def test_por_agrees_on_builtin_case(name, mutant):
+    program = CASES[name](mutant)[0]
+    assert check_por_program_agrees(
+        program, max_steps=10_000, max_runs=200_000) is None
+
+
+EAGER_ZERO_PRUNE = [
+    ("rw(1,1)", lambda: MonitorProgram(readers_writers_system(1, 1))),
+    ("osb", lambda: MonitorProgram(one_slot_buffer_system())),
+    ("bb", lambda: MonitorProgram(bounded_buffer_system())),
+]
+
+
+@pytest.mark.parametrize("name,make", EAGER_ZERO_PRUNE,
+                         ids=[n for n, _ in EAGER_ZERO_PRUNE])
+def test_eager_monitor_exploration_is_already_canonical(name, make):
+    # eager reductions leave runs == distinct computations; a *sound*
+    # POR has nothing left to prune there, and the run census the
+    # existing tests pin (e.g. rw(1,1) -> 6 runs) must not move
+    selector = AmpleSelector()
+    runs = list(explore(make(), max_steps=10_000, max_runs=200_000,
+                        por=selector))
+    full = list(explore(make(), max_steps=10_000, max_runs=200_000))
+    assert len(runs) == len(full)
+    assert selector.pruned == 0
+
+
+NO_EAGER = [
+    ("rw(1,1)", lambda: MonitorProgram(
+        readers_writers_system(1, 1), eager_reductions=False)),
+    ("rw(1,1)-fifo", lambda: MonitorProgram(
+        readers_writers_system(1, 1), entry_grant="fifo",
+        eager_reductions=False)),
+    ("osb(1,2)", lambda: MonitorProgram(
+        one_slot_buffer_system(items=(1, 2)), eager_reductions=False)),
+    ("osb(1,2)-mesa", lambda: MonitorProgram(
+        one_slot_buffer_system(items=(1, 2)), eager_reductions=False,
+        semantics="mesa")),
+    ("bb(2,(1,2))", lambda: MonitorProgram(
+        bounded_buffer_system(capacity=2, items=(1, 2)),
+        eager_reductions=False)),
+]
+
+
+@pytest.mark.parametrize("name,make", NO_EAGER,
+                         ids=[n for n, _ in NO_EAGER])
+def test_por_agrees_on_unreduced_monitor(name, make):
+    # the ablation configurations are where POR earns its keep: the
+    # interleaving explosion eager reductions normally hide
+    assert check_por_program_agrees(
+        make(), max_steps=10_000, max_runs=200_000) is None
+
+
+def test_por_prunes_heavily_without_eager_reductions():
+    program = MonitorProgram(one_slot_buffer_system(items=(1, 2)),
+                             eager_reductions=False)
+    full = list(explore(program, max_steps=10_000, max_runs=200_000))
+    selector = AmpleSelector()
+    reduced = list(explore(program, max_steps=10_000, max_runs=200_000,
+                           por=selector))
+    assert len(full) >= 3 * len(reduced)  # the BENCH gate's floor
+    assert selector.pruned > 0
+    assert selector.reduced_nodes <= selector.nodes
+
+
+DB_CASES = [
+    ("2-sites", lambda: DbUpdateProgram(2, standard_requests())),
+    ("3-sites", lambda: DbUpdateProgram(
+        3, standard_requests(n_clients=2, n_sites=3))),
+    ("broken-ts", lambda: DbUpdateProgram(
+        3, standard_requests(n_clients=2, n_sites=3),
+        broken_timestamps=True)),
+    ("lossy", lambda: DbUpdateProgram(
+        3, standard_requests(n_clients=2, n_sites=3), lossy=True)),
+]
+
+
+@pytest.mark.parametrize("name,make", DB_CASES,
+                         ids=[n for n, _ in DB_CASES])
+def test_por_agrees_on_db_update(name, make):
+    assert check_por_program_agrees(
+        make(), max_steps=10_000, max_runs=200_000) is None
+
+
+# -- differential: 200+ seeded fuzz programs --------------------------------
+
+
+@pytest.mark.parametrize("seed", range(200))
+def test_por_agrees_on_fuzz_program(seed):
+    # full differential per seed: fingerprint sets, run subset, engine
+    # verdict parity (por on vs off), witness replay
+    spec = random_program_spec(random.Random(seed), max_procs=3,
+                               max_steps_per_proc=3, dep_density=0.5)
+    assert check_por_agrees(spec) is None
+
+
+@pytest.mark.parametrize("seed", range(200, 210))
+def test_por_agrees_on_planted_fork_mutant(seed):
+    # the fork-drops-enables mutant corrupts computations only inside
+    # forked pool workers; the reduction itself must stay sound on it
+    spec = random_program_spec(random.Random(seed), max_procs=3,
+                               max_steps_per_proc=2, dep_density=0.5,
+                               bug=FORK_DROPS_ENABLES)
+    assert check_por_agrees(spec) is None
+
+
+def test_por_agrees_on_deadlocking_program():
+    # cyclic cross-deps: both processes stall after their first step
+    spec = FuzzProgramSpec(procs=(2, 2), deps=((0, 1, 1, 1), (1, 1, 0, 1)))
+    runs = list(explore(FuzzProgram(spec), por=AmpleSelector()))
+    assert all(r.deadlocked for r in runs)
+    assert check_por_agrees(spec) is None
+
+
+# -- killed mutants: the suite can actually fail ----------------------------
+
+
+class _DroppingSelector(AmpleSelector):
+    """Unsound on purpose: keeps only the first enabled action, even
+    when the dropped ones are dependent on it."""
+
+    def ample(self, state, actions, postponed):
+        if len(actions) > 1:
+            self.nodes += 1
+            self.reduced_nodes += 1
+            self.pruned += len(actions) - 1
+            return [0]
+        return list(range(len(actions)))
+
+
+class TestKilledMutants:
+    def test_dropping_a_dependent_action_is_caught(self):
+        program = DbUpdateProgram(
+            3, standard_requests(n_clients=2, n_sites=3))
+        message = check_por_program_agrees(
+            program, selector_factory=_DroppingSelector)
+        assert message is not None
+        assert "dropped" in message
+
+    def test_dropping_is_caught_on_monitor_interleavings(self):
+        program = MonitorProgram(one_slot_buffer_system(items=(1, 2)),
+                                 eager_reductions=False)
+        message = check_por_program_agrees(
+            program, max_steps=10_000, max_runs=200_000,
+            selector_factory=_DroppingSelector)
+        assert message is not None
+        assert "dropped" in message
+
+    def test_oracle_entry_point_accepts_the_injected_selector(self):
+        spec = FuzzProgramSpec(procs=(2, 2), deps=((1, 1, 0, 0),))
+        # fuzz computations are order-independent, so even the unsound
+        # selector preserves the (single) class here -- the law that
+        # catches it needs shared elements, exercised above
+        assert check_por_agrees(spec, selector_factory=AmpleSelector) is None
+
+
+# -- proviso ----------------------------------------------------------------
+
+
+class TestProviso:
+    def test_tight_proviso_limit_stays_sound(self):
+        program = MonitorProgram(one_slot_buffer_system(items=(1, 2)),
+                                 eager_reductions=False)
+        message = check_por_program_agrees(
+            program, max_steps=10_000, max_runs=200_000,
+            selector_factory=lambda: AmpleSelector(proviso_limit=1))
+        assert message is None
+
+    def test_tight_proviso_limit_forces_full_expansions(self):
+        program = MonitorProgram(one_slot_buffer_system(items=(1, 2)),
+                                 eager_reductions=False)
+        selector = AmpleSelector(proviso_limit=1)
+        list(explore(program, max_steps=10_000, max_runs=200_000,
+                     por=selector))
+        assert selector.proviso_expansions > 0
+
+    def test_default_limit_never_fires_on_bounded_workloads(self):
+        program = MonitorProgram(one_slot_buffer_system(items=(1, 2)),
+                                 eager_reductions=False)
+        selector = AmpleSelector()
+        list(explore(program, max_steps=10_000, max_runs=200_000,
+                     por=selector))
+        assert selector.proviso_limit == DEFAULT_PROVISO_LIMIT
+        assert selector.proviso_expansions == 0
+
+    def test_make_selector_gates_on_the_flag(self):
+        assert make_selector(False) is None
+        assert isinstance(make_selector(True), AmpleSelector)
+
+
+# -- engine wiring: determinism and observability ---------------------------
+
+
+def _verify_fuzz(spec, **overrides):
+    config = EngineConfig(max_steps=64, max_runs=4096, sample=50,
+                          **overrides)
+    report, _stats = run_verification(
+        FuzzProgram(spec), fuzz_problem_spec(spec),
+        fuzz_correspondence(spec), config=config)
+    return report
+
+
+class TestEngineWiring:
+    SPEC = FuzzProgramSpec(procs=(2, 2), deps=((1, 1, 0, 0),))
+
+    def test_reports_jobs_invariant_per_por_setting(self):
+        for por in (True, False):
+            sigs = {_verify_fuzz(self.SPEC, por=por, jobs=j).signature()
+                    for j in (1, 4)}
+            assert len(sigs) == 1
+
+    def test_por_counters_reach_the_metrics_registry(self):
+        report = _verify_fuzz(self.SPEC, por=True)
+        metrics = report.engine_stats.metrics
+        assert metrics.get("engine.por_enabled") == 1
+        assert metrics.get("por.pruned_interleavings") > 0
+        assert metrics.get("por.reduced_nodes") <= metrics.get("por.nodes")
+
+    def test_por_counters_jobs_invariant(self):
+        # planner and workers split the branch points between them; the
+        # totals must not depend on the split
+        per_jobs = []
+        for jobs in (1, 4):
+            m = _verify_fuzz(self.SPEC, por=True, jobs=jobs).engine_stats
+            per_jobs.append((m.por_nodes, m.por_reduced_nodes, m.por_pruned))
+        assert per_jobs[0] == per_jobs[1]
+
+    def test_disabled_por_reports_disabled(self):
+        report = _verify_fuzz(self.SPEC, por=False)
+        stats = report.engine_stats
+        assert not stats.por_enabled
+        assert stats.por_pruned == 0
+        assert "por: disabled" in stats.describe()
+
+    def test_verdict_parity_between_por_settings(self):
+        on = _verify_fuzz(self.SPEC, por=True)
+        off = _verify_fuzz(self.SPEC, por=False)
+        assert on.ok == off.ok
+        assert on.distinct_computations == off.distinct_computations
+        assert on.runs_checked <= off.runs_checked
+
+
+# -- ExplorationResult.describe: pruned vs sampled --------------------------
+
+
+class TestDescribeProvenance:
+    def _runs(self, n=2):
+        from repro.sim.scheduler import sample_runs
+        return sample_runs(FuzzProgram(FuzzProgramSpec(procs=(1, 2))), n)
+
+    def test_sampled_and_pruned_counts_are_separate(self):
+        result = ExplorationResult(
+            runs=self._runs(3), exhaustive=False, sample_seed=7,
+            sample_count=3, por_pruned=5)
+        text = result.describe()
+        assert "3 sampled, seeds 7..9" in text
+        assert "5 branches pruned by por" in text
+
+    def test_exhaustive_result_reports_pruning_without_sampling(self):
+        result = ExplorationResult(runs=self._runs(1), por_pruned=4)
+        text = result.describe()
+        assert "4 branches pruned by por" in text
+        assert "sampled" not in text
+
+    def test_no_pruning_no_noise(self):
+        result = ExplorationResult(runs=self._runs(1))
+        assert "por" not in result.describe()
+
+    def test_sampling_fallback_still_reports_pruned_branches(self):
+        # the exhaustive attempt prunes some branches before hitting the
+        # cap; honest provenance reports both losses separately
+        program = MonitorProgram(
+            readers_writers_system(1, 1), eager_reductions=False)
+        result = explore_or_sample(program, max_runs=10, sample=5,
+                                   por=AmpleSelector())
+        assert not result.exhaustive
+        assert result.sample_count == 5
+        assert result.por_pruned > 0
+        text = result.describe()
+        assert "sampled" in text and "pruned by por" in text
+
+
+# -- event-level independence (Hypothesis) ----------------------------------
+
+
+@st.composite
+def computations(draw, max_elements=3, max_events=7):
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    return random_computation(
+        random.Random(seed), max_elements=max_elements,
+        max_events=max_events).build()
+
+
+@COMMON
+@given(computations())
+def test_independence_is_irreflexive(comp):
+    index = event_index(comp)
+    for i in range(index.n):
+        assert not event_independent(index, i, i)
+
+
+@COMMON
+@given(computations())
+def test_independence_is_symmetric(comp):
+    index = event_index(comp)
+    for i in range(index.n):
+        for j in range(index.n):
+            assert event_independent(index, i, j) == \
+                event_independent(index, j, i)
+
+
+@COMMON
+@given(computations())
+def test_independent_pairs_matches_the_predicate(comp):
+    index = event_index(comp)
+    pairs = set(independent_pairs(index))
+    for i in range(index.n):
+        for j in range(i + 1, index.n):
+            assert ((i, j) in pairs) == event_independent(index, i, j)
+
+
+def _reachable_masks(index, cap=600):
+    seen = {0}
+    frontier = [0]
+    while frontier and len(seen) < cap:
+        mask = frontier.pop()
+        for i in iter_bits(index.addable_mask(mask)):
+            nxt = mask | (1 << i)
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+@COMMON
+@given(computations(max_elements=3, max_events=6))
+def test_commuting_independent_events_is_a_diamond(comp):
+    """From any reachable history, two simultaneously addable events are
+    independent, and adding them in either order reaches the same
+    history mask (the lattice diamond POR's soundness rests on)."""
+    index = event_index(comp)
+    for mask in _reachable_masks(index):
+        addable = list(iter_bits(index.addable_mask(mask)))
+        for a in range(len(addable)):
+            for b in range(a + 1, len(addable)):
+                i, j = addable[a], addable[b]
+                assert event_independent(index, i, j)
+                via_i = mask | (1 << i)
+                via_j = mask | (1 << j)
+                # still addable after the other: the diamond commutes
+                assert (index.addable_mask(via_i) >> j) & 1
+                assert (index.addable_mask(via_j) >> i) & 1
+                assert via_i | (1 << j) == via_j | (1 << i)
+
+
+@COMMON
+@given(computations(max_elements=3, max_events=6))
+def test_dependent_events_are_never_simultaneously_addable(comp):
+    index = event_index(comp)
+    for mask in _reachable_masks(index):
+        addable = list(iter_bits(index.addable_mask(mask)))
+        for a in range(len(addable)):
+            for b in range(a + 1, len(addable)):
+                i, j = addable[a], addable[b]
+                assert not (index.temporal_succ[i] >> j) & 1
+                assert not (index.temporal_succ[j] >> i) & 1
