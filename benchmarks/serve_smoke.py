@@ -1,0 +1,90 @@
+"""CI serve-smoke: daemon-vs-one-shot byte-identity over the catalog.
+
+Boots a real daemon (background thread, ephemeral port, resident
+pool), submits the **whole catalog** as one batch, and asserts every
+job's report signature byte-identical (canonical JSON) to a one-shot
+engine run of the same case.  Then resubmits the catalog warm and
+asserts the shared result cache actually served: zero restriction
+checks, cache+dedupe hits > 0 on every non-degenerate case.
+
+Run directly (CI) or locally::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.cli import case_catalog  # noqa: E402
+from repro.engine import EngineConfig, run_verification  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.daemon import start_in_thread  # noqa: E402
+from repro.serve.protocol import signature_json  # noqa: E402
+
+
+def main() -> int:
+    catalog = case_catalog()
+    names = list(catalog)
+
+    print(f"serve-smoke: one-shot baseline over {len(names)} case(s)")
+    expected = {}
+    for name in names:
+        program, spec, corr, pspec = catalog[name].factory(False)
+        report, _ = run_verification(program, spec, corr, pspec,
+                                     EngineConfig(jobs=1))
+        expected[name] = signature_json(report.signature())
+
+    handle = start_in_thread(jobs=2, job_workers=2)
+    try:
+        client = ServeClient(port=handle.port)
+        assert client.ping(), "daemon did not come up"
+        assert client.cases() == [
+            {"name": e.name, "language": e.language, "mutant": e.has_mutant}
+            for e in catalog.values()
+        ], "GET /cases differs from the CLI catalog"
+
+        print(f"serve-smoke: cold batch via http://127.0.0.1:{handle.port}")
+        t0 = time.perf_counter()
+        ids = client.submit([{"case": name, "jobs": 2} for name in names])
+        for name, job_id in zip(names, ids):
+            snap = client.wait(job_id, timeout=600)
+            assert snap["state"] == "done", f"{name}: ended {snap['state']}"
+            assert snap["result"]["signature"] == expected[name], (
+                f"{name}: daemon signature differs from one-shot CLI")
+        cold_s = time.perf_counter() - t0
+        print(f"serve-smoke: cold batch OK in {cold_s:.2f}s "
+              f"(all signatures byte-identical)")
+
+        t0 = time.perf_counter()
+        ids = client.submit([{"case": name, "jobs": 2} for name in names])
+        warm_hits = 0
+        for name, job_id in zip(names, ids):
+            snap = client.wait(job_id, timeout=600)
+            assert snap["state"] == "done", f"{name}: ended {snap['state']}"
+            assert snap["result"]["signature"] == expected[name], (
+                f"{name}: warm signature differs from one-shot CLI")
+            stats = snap["result"]["stats"]
+            assert stats["checks_performed"] == 0, (
+                f"{name}: warm resubmission recomputed "
+                f"{stats['checks_performed']} outcome(s)")
+            warm_hits += stats["cache_hits"] + stats["dedupe_hits"]
+        warm_s = time.perf_counter() - t0
+        assert warm_hits > 0, "warm pass reported no cache/dedupe hits"
+        print(f"serve-smoke: warm batch OK in {warm_s:.2f}s "
+              f"({warm_hits} cache/dedupe hit(s), 0 re-checks)")
+
+        daemon_stats = client.stats()
+        print(f"serve-smoke: daemon stats {daemon_stats}")
+        assert daemon_stats["cache"]["hits"] > 0
+    finally:
+        handle.stop()
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

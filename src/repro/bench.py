@@ -4,10 +4,12 @@ Measures the compiled restriction checker (:mod:`repro.core.compile`)
 against the reference lattice interpreter on the S1
 chains-with-cross-talk workload (the same shape as
 ``benchmarks/bench_checker_scaling.py``), one end-to-end engine
-verification, and the partial-order reduction's schedule savings
-(:mod:`repro.engine.por`, S7 -- reduced vs full exploration on the
-unreduced readers/writers and bounded-buffer monitors), and writes the
-results as JSON.  The JSON file doubles as the committed regression
+verification, the serve daemon's warm-resubmission win over the
+per-invocation engine path (:mod:`repro.serve`, S8 -- a real daemon on
+an ephemeral port, signatures asserted identical to one-shot), and the
+partial-order reduction's schedule savings (:mod:`repro.engine.por`,
+S7 -- reduced vs full exploration on the unreduced readers/writers and
+bounded-buffer monitors), and writes the results as JSON.  The JSON file doubles as the committed regression
 baseline (``BENCH_checker.json``): when the output file already
 exists, the run first *gates* against it -- a gated workload whose
 ratio (compiled-vs-interpreted speedup, or full-vs-reduced schedule
@@ -158,6 +160,89 @@ def run_engine_bench(repeats: int = 1) -> Dict[str, dict]:
     }
 
 
+#: Minimum one-shot-vs-warm-daemon ratio for the gated ``serve:warm``
+#: row -- an absolute floor asserted on every run, independent of the
+#: baseline-relative gate.  A resident daemon whose warm resubmission
+#: is not at least this much faster than re-running the engine from
+#: scratch is not earning its memory footprint.
+SERVE_GATE_MIN = 3.0
+
+
+def run_serve_bench(repeats: int = 3) -> Dict[str, dict]:
+    """Warm-daemon resubmission vs the per-invocation engine path.
+
+    Boots a real daemon (background thread, ephemeral port), submits
+    the monitor bounded-buffer case cold, then resubmits it warm
+    (``repeats`` times, best-of): the warm run answers from the hot
+    resident state and the shared result cache, so its wall time is
+    exploration plus cache replay -- no spec-plan compilation, no
+    restriction checks.  The daemon's report signature is asserted
+    byte-identical to the one-shot engine's before any number is
+    reported, and ``serve:warm`` must beat the one-shot time by
+    :data:`SERVE_GATE_MIN` on every run.
+    """
+    from .serve.daemon import start_in_thread
+    from .serve.client import ServeClient
+    from .serve.protocol import signature_json
+    from .langs.monitor import (MonitorProgram, bounded_buffer_system,
+                                monitor_program_spec)
+    from .problems import bounded_buffer
+    from .verify import verify_program
+
+    system = bounded_buffer_system(capacity=2, items=(1, 2, 3))
+    oneshot_s, report = _best_of(repeats, lambda: verify_program(
+        MonitorProgram(system),
+        bounded_buffer.bounded_buffer_spec(2),
+        bounded_buffer.monitor_correspondence("bb"),
+        program_spec=monitor_program_spec(system)))
+
+    handle = start_in_thread(jobs=1, job_workers=1)
+    try:
+        client = ServeClient(port=handle.port)
+        spec = {"case": "monitor-bounded-buffer"}
+
+        t0 = time.perf_counter()
+        cold = client.verify(spec, timeout=300)
+        cold_s = time.perf_counter() - t0
+        assert cold["state"] == "done", f"cold job ended {cold['state']}"
+
+        def warm_once():
+            snap = client.verify(spec, timeout=300)
+            assert snap["state"] == "done", f"warm job ended {snap['state']}"
+            return snap
+
+        warm_s, warm = _best_of(repeats, warm_once)
+    finally:
+        handle.stop()
+
+    expected = signature_json(report.signature())
+    for label, snap in (("cold", cold), ("warm", warm)):
+        assert snap["result"]["signature"] == expected, (
+            f"serve: {label} daemon signature differs from the one-shot "
+            f"engine's")
+    assert warm["result"]["stats"]["checks_performed"] == 0, (
+        "serve: warm resubmission recomputed outcomes instead of "
+        "replaying the shared cache")
+    warm_speedup = oneshot_s / warm_s
+    assert warm_speedup >= SERVE_GATE_MIN, (
+        f"serve:warm: {warm_speedup:.1f}x over the per-invocation path "
+        f"is below the {SERVE_GATE_MIN:.0f}x floor")
+    return {
+        "serve:cold": {
+            "gate": False,
+            "oneshot_s": round(oneshot_s, 6),
+            "serve_s": round(cold_s, 6),
+            "speedup": round(oneshot_s / cold_s, 2),
+        },
+        "serve:warm": {
+            "gate": True,
+            "oneshot_s": round(oneshot_s, 6),
+            "serve_s": round(warm_s, 6),
+            "speedup": round(warm_speedup, 2),
+        },
+    }
+
+
 #: Minimum full-vs-reduced schedule ratio for gated ``por:*`` rows --
 #: an absolute floor asserted on every run, independent of the
 #: baseline-relative gate.
@@ -257,6 +342,7 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
     results = run_checker_bench(quick=quick, repeats=repeats)
     if not quick:
         results.update(run_engine_bench())
+        results.update(run_serve_bench(repeats=repeats))
     results.update(run_por_bench(quick=quick))
     for name, row in results.items():
         gated = "   [gated]" if row.get("gate") else ""
@@ -265,6 +351,10 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
                   f"({row['full_s']:.4f}s)   por {row['por_runs']} runs "
                   f"({row['por_s']:.4f}s)   reduction {row['speedup']}x"
                   f"{gated}", file=out)
+        elif "serve_s" in row:
+            print(f"{name:18s} one-shot {row['oneshot_s']:.4f}s   "
+                  f"daemon {row['serve_s']:.4f}s   "
+                  f"speedup {row['speedup']}x{gated}", file=out)
         else:
             print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
                   f"compiled {row['compiled_s']:.4f}s   "

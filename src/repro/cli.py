@@ -14,7 +14,9 @@ Commands:
   reference lattice interpreter (docs/PERF.md), ``--no-por`` disables
   the ample-set partial-order reduction and expands every
   interleaving (same verdicts either way; docs/ENGINE.md);
-* ``list`` -- list the available cases;
+* ``list`` -- list the available cases (``--json`` adds language and
+  mutant-availability metadata, the same body the serve daemon's
+  ``GET /cases`` returns);
 * ``dot <case>`` -- print one execution of a case as Graphviz DOT;
 * ``lattice`` -- print the Section 7 diamond's history lattice as DOT;
 * ``examples`` -- print the paper's two inline worked examples
@@ -28,7 +30,12 @@ Commands:
   worker utilisation (see docs/OBSERVABILITY.md);
 * ``bench`` -- compiled-vs-interpreted checker/engine benchmarks with a
   JSON baseline and a speedup-ratio regression gate (``--json``
-  writes/gates against ``BENCH_checker.json``; see docs/PERF.md).
+  writes/gates against ``BENCH_checker.json``; see docs/PERF.md);
+* ``serve`` -- run the resident verification daemon (:mod:`repro.serve`:
+  fork-once worker pool, shared result cache, JSON-over-HTTP API;
+  see docs/SERVICE.md);
+* ``submit`` -- send one case to a running daemon and print its report
+  summary (exit codes mirror ``verify``).
 
 The CLI is a thin veneer over the library; every command's work is one
 or two public API calls.
@@ -37,8 +44,54 @@ or two public API calls.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CaseEntry:
+    """One catalog case: metadata plus the workload factory.
+
+    ``has_mutant`` records whether ``--mutant`` actually changes the
+    workload (some CSP/Ada factories accept the flag but have no
+    negative control); ``repro list --json`` and the daemon's ``GET
+    /cases`` both report it so clients do not submit no-op mutants.
+    """
+
+    name: str
+    language: str
+    has_mutant: bool
+    factory: Callable
+
+
+def _case_language(name: str) -> str:
+    for prefix in ("monitor", "csp", "ada"):
+        if name.startswith(prefix + "-"):
+            return prefix
+    return "distributed"
+
+
+#: Cases whose factory ignores the mutant flag (no negative control).
+_NO_MUTANT = frozenset({
+    "csp-one-slot-buffer", "ada-one-slot-buffer",
+    "csp-bounded-buffer", "ada-bounded-buffer",
+})
+
+
+def case_catalog() -> Dict[str, CaseEntry]:
+    """The verification-case catalog with metadata, in stable order.
+
+    This is the single source the CLI, the serve daemon's ``/cases``
+    endpoint, and resident workers (rebuilding workloads from
+    :class:`repro.engine.CaseRef` names) all resolve cases through.
+    """
+    return {
+        name: CaseEntry(name=name, language=_case_language(name),
+                        has_mutant=name not in _NO_MUTANT, factory=factory)
+        for name, factory in _build_cases().items()
+    }
 
 
 def _build_cases() -> Dict[str, Callable]:
@@ -171,8 +224,15 @@ def _build_cases() -> Dict[str, Callable]:
     }
 
 
-def cmd_list(_args) -> int:
-    for name in sorted(_build_cases()):
+def cmd_list(args) -> int:
+    catalog = case_catalog()
+    if getattr(args, "json", False):
+        from .serve.protocol import catalog_entries
+
+        print(json.dumps({"cases": catalog_entries()}, indent=2,
+                         sort_keys=True))
+        return 0
+    for name in sorted(catalog):
         print(name)
     return 0
 
@@ -409,6 +469,62 @@ def cmd_bench(args) -> int:
                      baseline_path=args.baseline, repeats=args.repeats)
 
 
+def cmd_serve(args) -> int:
+    from .serve import run_daemon
+
+    return run_daemon(host=args.host, port=args.port, jobs=args.jobs,
+                      cache_dir=args.cache_dir,
+                      cache_bytes=args.cache_mb << 20,
+                      job_workers=args.job_workers)
+
+
+def cmd_submit(args) -> int:
+    from .serve import ServeClient
+    from .serve.client import ServeError
+
+    spec: Dict[str, object] = {"case": args.case}
+    if args.mutant:
+        spec["mutant"] = True
+    if args.jobs != 1:
+        spec["jobs"] = args.jobs
+    if not args.por:
+        spec["por"] = False
+    if args.no_compile:
+        spec["compile"] = False
+    if args.history_cap is not None:
+        spec["history_cap"] = args.history_cap
+
+    client = ServeClient(args.host, args.port)
+    try:
+        (job_id,) = client.submit(spec)
+        if args.no_wait:
+            print(job_id)
+            return 0
+        snap = client.wait(job_id, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot reach daemon at "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    if snap["state"] != "done":
+        print(f"job {job_id}: {snap['state']}"
+              + (f" ({snap['error']})" if snap.get("error") else ""),
+              file=sys.stderr)
+        return 2
+    result = snap["result"]
+    print(result["summary"])
+    if args.signature:
+        print(json.dumps(result["signature"]))
+    if args.stats:
+        print(json.dumps(result["stats"], indent=2, sort_keys=True))
+    ok = result["ok"]
+    if args.mutant:
+        return 0 if not ok else 1
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -416,7 +532,11 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list verification cases")
+    p_list = sub.add_parser("list", help="list verification cases")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable catalog (name, language, "
+                             "mutant availability; same body as the serve "
+                             "daemon's GET /cases)")
 
     p_verify = sub.add_parser("verify", help="run a verification case")
     p_verify.add_argument("case")
@@ -505,6 +625,50 @@ def main(argv=None) -> int:
                          help="timing repeats per measurement, best-of "
                               "(default 3)")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the verification daemon (docs/SERVICE.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="resident worker processes, forked once at "
+                              "startup (default 2)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist the shared result cache here "
+                              "(default: memory only)")
+    p_serve.add_argument("--cache-mb", type=int, default=32, metavar="MB",
+                         help="shared result-cache LRU byte budget "
+                              "(default 32)")
+    p_serve.add_argument("--job-workers", type=int, default=2, metavar="N",
+                         help="verifications run concurrently (default 2)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a case to a running serve daemon")
+    p_submit.add_argument("case")
+    p_submit.add_argument("--mutant", action="store_true",
+                          help="run the case's negative control")
+    p_submit.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="shard fan-out for this job (default 1)")
+    p_submit.add_argument("--por", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="partial-order reduction (default on)")
+    p_submit.add_argument("--no-compile", action="store_true",
+                          help="lattice interpreter instead of the "
+                               "compiled checker")
+    p_submit.add_argument("--history-cap", type=int, default=None,
+                          metavar="N", help="history-lattice size cap")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8642)
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the job id and exit (poll with "
+                               "GET /jobs/<id>)")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          metavar="SECONDS",
+                          help="--wait deadline (default 300)")
+    p_submit.add_argument("--signature", action="store_true",
+                          help="also print the report signature as JSON")
+    p_submit.add_argument("--stats", action="store_true",
+                          help="also print engine counters as JSON")
+
     args = parser.parse_args(argv)
     handlers = {
         "list": cmd_list,
@@ -515,6 +679,8 @@ def main(argv=None) -> int:
         "fuzz": cmd_fuzz,
         "profile": cmd_profile,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }
     from .core.errors import VerificationError
 

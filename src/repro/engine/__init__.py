@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..core.checker import DEFAULT_HISTORY_CAP
 from ..core.specification import Specification
 from ..obs.trace import NULL_TRACER
 from ..sim.runtime import Program
@@ -55,6 +56,8 @@ from .cache import (
     CACHE_FORMAT_VERSION,
     CheckOutcome,
     ResultCache,
+    SharedCacheView,
+    SharedResultCache,
     spec_cache_key,
 )
 from .dedupe import DedupeIndex, run_fingerprint
@@ -65,9 +68,12 @@ from .por import (
     make_selector,
 )
 from .pool import (
+    CaseRef,
+    JobCancelled,
     RunRecord,
     Task,
     TaskResult,
+    WorkerPool,
     WorkerState,
     effective_jobs,
     fork_available,
@@ -87,9 +93,11 @@ __all__ = [
     "GuardedProgress", "guard_progress",
     "Shard", "make_shards",
     "CheckOutcome", "ResultCache", "spec_cache_key", "CACHE_FORMAT_VERSION",
+    "SharedResultCache", "SharedCacheView",
     "DedupeIndex", "run_fingerprint",
     "AmpleSelector", "make_selector", "event_independent",
     "DEFAULT_PROVISO_LIMIT",
+    "WorkerPool", "CaseRef", "JobCancelled",
     "run_verification",
 ]
 
@@ -122,6 +130,24 @@ class EngineConfig:
     #: With tracing on, the shard target is pinned to a jobs-invariant
     #: constant so the span structure is identical for every ``jobs``.
     tracer: Optional[object] = None
+    #: history-lattice size cap forwarded to every restriction check
+    #: (the serve API's ``history_cap`` job flag)
+    history_cap: int = DEFAULT_HISTORY_CAP
+    #: a :class:`WorkerPool` to execute tasks on instead of forking a
+    #: fresh ephemeral pool per verification.  A *resident* pool
+    #: additionally requires ``case_ref`` so workers can rebuild the
+    #: workload themselves (see :mod:`repro.engine.pool`)
+    pool: Optional[WorkerPool] = None
+    #: resident-mode rebuild recipe matching (program, specs) -- must
+    #: describe the same workload ``verify`` is called with
+    case_ref: Optional[CaseRef] = None
+    #: a :class:`repro.engine.SharedResultCache` to read/write instead
+    #: of opening a private per-directory cache; ``cache_dir`` is
+    #: ignored when set
+    shared_cache: Optional[SharedResultCache] = None
+    #: polled between task results; truthy aborts the verification with
+    #: :class:`JobCancelled` (the daemon's per-job cancellation)
+    cancel: Optional[object] = None
 
 
 class Engine:
@@ -143,13 +169,22 @@ class Engine:
         correspondence: Correspondence,
         program_spec: Optional[Specification],
         stats: EngineStats,
-    ) -> Optional[ResultCache]:
-        if self.config.cache_dir is None:
+    ) -> "Optional[ResultCache | SharedCacheView]":
+        cfg = self.config
+        if cfg.cache_dir is None and cfg.shared_cache is None:
             return None
         with PhaseTimer(stats, "cache-load", self._progress, self._tracer):
-            key = spec_cache_key(problem_spec, correspondence, program_spec,
-                                 self.config.temporal_mode)
-            cache = ResultCache(self.config.cache_dir, key)
+            key = spec_cache_key(
+                problem_spec, correspondence, program_spec,
+                cfg.temporal_mode,
+                history_cap=(cfg.history_cap
+                             if cfg.history_cap != DEFAULT_HISTORY_CAP
+                             else None))
+            if cfg.shared_cache is not None:
+                cache: "ResultCache | SharedCacheView" = (
+                    cfg.shared_cache.view(key))
+            else:
+                cache = ResultCache(cfg.cache_dir, key)
         stats.cache_enabled = True
         return cache
 
@@ -194,7 +229,7 @@ class Engine:
         with PhaseTimer(stats, "explore+check", self._progress,
                         tracer) as timer:
             tasks = [Task("explore", prefix=s.prefix) for s in shards]
-            results = run_tasks(state, tasks, cfg.jobs, self._progress)
+            results = self._run_tasks(state, tasks)
             absorb(results, timer.span)
             total = sum(len(r.records) for r in results)
             capped = any(r.cap_exceeded for r in results)
@@ -205,12 +240,20 @@ class Engine:
             sample_tasks = [
                 Task("sample", seed=cfg.seed + i) for i in range(cfg.sample)
             ]
-            sampled = run_tasks(state, sample_tasks, cfg.jobs,
-                                self._progress)
+            sampled = self._run_tasks(state, sample_tasks)
             absorb(sampled, timer.span)
             # keep the aborted attempt's results too: their records are
             # empty but their fresh outcomes feed the merge lookup/cache
             return list(results) + sampled, False
+
+    def _run_tasks(self, state: WorkerState, tasks) -> "List[TaskResult]":
+        """Dispatch a task batch: the configured pool, or a one-shot."""
+        cfg = self.config
+        if cfg.pool is not None:
+            return cfg.pool.run(state, tasks, progress=self._progress,
+                                cancel=cfg.cancel)
+        return run_tasks(state, tasks, cfg.jobs, self._progress,
+                         cancel=cfg.cancel)
 
     def _merge(
         self,
@@ -314,6 +357,8 @@ class Engine:
                 cache_snapshot=snapshot,
                 trace=tracer.enabled,
                 por=cfg.por,
+                history_cap=cfg.history_cap,
+                case_ref=cfg.case_ref,
             )
 
             if exploration is not None:

@@ -51,6 +51,17 @@ class DedupeIndex:
         self.cache_hits = 0
         self.computed = 0
 
+    def merge_seed(self, mapping: Mapping[str, T]) -> None:
+        """Fold more seed entries in (resident workers learn what other
+        workers computed in earlier jobs).  Local memo entries keep
+        precedence -- outcomes are pure functions, so any overlap
+        agrees; only the hit counters' attribution differs."""
+        if not mapping:
+            return
+        merged = dict(self._seed)
+        merged.update(mapping)
+        self._seed = merged
+
     def outcome_for(self, fingerprint: str, compute: Callable[[], T]) -> T:
         """The outcome for ``fingerprint``, computing it at most once."""
         if fingerprint in self._memo:

@@ -42,8 +42,10 @@ from .trace import (
     TraceSchemaError,
     Tracer,
     iter_spans,
+    meta_record,
     read_trace,
     structure_dump,
+    trace_records,
     validate_record,
     write_trace,
 )
@@ -52,7 +54,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceData",
     "TraceSchemaError", "read_trace", "write_trace", "validate_record",
-    "structure_dump", "iter_spans",
+    "structure_dump", "iter_spans", "trace_records", "meta_record",
     "MetricsRegistry", "HistogramStat",
     "ExplanationTrace", "ExplainStep", "explain_restriction",
     "load_trace", "render_profile", "phase_breakdown", "span_aggregates",

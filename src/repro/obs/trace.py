@@ -295,23 +295,27 @@ def validate_record(rec: Mapping[str, Any]) -> None:
                     f"explanation record missing {field!r}")
 
 
-def write_trace(
-    path_or_file: Union[str, IO[str]],
+def meta_record() -> Dict[str, Any]:
+    """The schema-v1 meta header every trace stream starts with."""
+    return {"type": "meta", "schema": TRACE_SCHEMA_VERSION, "tool": "repro",
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z")}
+
+
+def trace_records(
     tracer: Tracer,
     metrics: Optional[Any] = None,
     explanations: Sequence[Mapping[str, Any]] = (),
-) -> int:
-    """Write a schema-versioned JSONL trace; returns the record count.
+) -> List[Dict[str, Any]]:
+    """The full schema-v1 record list for one trace, meta header first.
 
     Span times are normalised so the earliest root starts at 0.0 --
     absolute ``perf_counter`` values are meaningless across reboots,
-    deltas are what profiling needs.
+    deltas are what profiling needs.  :func:`write_trace` dumps exactly
+    this list; the serve daemon streams it over HTTP instead.
     """
     spans = tracer.to_records()
     t0 = min((r["t_start"] for r in spans), default=0.0)
-    records: List[Dict[str, Any]] = [
-        {"type": "meta", "schema": TRACE_SCHEMA_VERSION, "tool": "repro",
-         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z")}]
+    records: List[Dict[str, Any]] = [meta_record()]
     for rec in spans:
         rec = dict(rec)
         rec["t_start"] = round(rec["t_start"] - t0, 9)
@@ -322,6 +326,17 @@ def write_trace(
     if not explanations:
         explanations = getattr(tracer, "explanations", ())
     records.extend(dict(e) for e in explanations)
+    return records
+
+
+def write_trace(
+    path_or_file: Union[str, IO[str]],
+    tracer: Tracer,
+    metrics: Optional[Any] = None,
+    explanations: Sequence[Mapping[str, Any]] = (),
+) -> int:
+    """Write a schema-versioned JSONL trace; returns the record count."""
+    records = trace_records(tracer, metrics, explanations)
 
     def dump(fh: IO[str]) -> None:
         for rec in records:

@@ -1,0 +1,148 @@
+"""Blocking client for the serve API (``http.client``, stdlib only).
+
+One connection per request: the daemon answers every call with
+``Connection: close``, and a verification service is not a place where
+connection reuse buys anything measurable.  The event stream is
+exposed as a generator of parsed JSONL records, so callers iterate
+live progress exactly as they would iterate a ``--trace`` file's
+lines.
+
+``repro submit`` is a thin veneer over this class, and the serve test
+suite and CI smoke job drive the daemon through it -- the client *is*
+the reference consumer of the protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..core.errors import VerificationError
+
+
+class ServeError(VerificationError):
+    """A non-2xx daemon response, carrying the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talks to one daemon at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Any = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = (json.dumps(payload).encode("utf-8")
+                    if payload is not None else None)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            try:
+                parsed = json.loads(data.decode("utf-8")) if data else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServeError(resp.status,
+                                 f"non-JSON response: {data[:200]!r}")
+            if resp.status >= 400:
+                raise ServeError(resp.status,
+                                 parsed.get("error", "request failed")
+                                 if isinstance(parsed, dict) else str(parsed))
+            return parsed
+        finally:
+            conn.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def cases(self) -> List[Dict[str, Any]]:
+        """The catalog: name, language, mutant availability."""
+        return self._request("GET", "/cases")["cases"]
+
+    def submit(self, spec_or_specs: Union[Dict[str, Any],
+                                          List[Dict[str, Any]]],
+               ) -> List[str]:
+        """Submit one spec object or a batch; returns the job ids."""
+        out = self._request("POST", "/jobs", payload=spec_or_specs)
+        return [j["id"] for j in out["jobs"]]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.02) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in ("done", "failed", "cancelled"):
+                return snap
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    408, f"job {job_id} not finished within {timeout}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream a job's schema-v1 records, parsed, until it completes."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                data = resp.read()
+                try:
+                    message = json.loads(data.decode("utf-8"))["error"]
+                except Exception:  # noqa: BLE001 - error body is best-effort
+                    message = data[:200].decode("utf-8", "replace")
+                raise ServeError(resp.status, message)
+            buffer = b""
+            while True:
+                chunk = resp.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            conn.close()
+
+    # -- conveniences -------------------------------------------------------
+
+    def verify(self, spec: Dict[str, Any],
+               timeout: float = 300.0) -> Dict[str, Any]:
+        """Submit one job and block for its result snapshot."""
+        (job_id,) = self.submit(spec)
+        return self.wait(job_id, timeout=timeout)
+
+    def ping(self, retries: int = 50, delay: float = 0.1) -> bool:
+        """True once the daemon answers ``/stats`` (startup helper)."""
+        for _ in range(retries):
+            try:
+                self.stats()
+                return True
+            except (OSError, ServeError):
+                time.sleep(delay)
+        return False

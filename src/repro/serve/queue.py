@@ -1,0 +1,161 @@
+"""Job lifecycle for the serve daemon.
+
+A :class:`Job` moves ``queued -> running -> done|failed|cancelled``.
+The daemon's HTTP side lives on an asyncio event loop while the engine
+work runs in executor threads, so everything here is guarded by plain
+``threading`` primitives and read with short critical sections; the
+event-stream endpoint *polls* a job's monotonically growing record
+buffer rather than relying on cross-thread wakeups (a 20 ms poll is
+invisible next to verification times and removes a whole class of
+lost-notification bugs).
+
+Cancellation is a cooperative flag: cancelling a queued job prevents
+it from starting; cancelling a running job trips the engine's
+``cancel`` hook, which raises :class:`repro.engine.JobCancelled`
+between task results (tasks already dispatched to workers finish).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .protocol import JobSpec
+
+
+class JobState:
+    """String constants; states are compared by identity-safe value."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One submitted verification and everything observed about it."""
+
+    id: str
+    spec: JobSpec
+    state: str = JobState.QUEUED
+    #: populated when DONE: signature (canonical JSON), summary text,
+    #: ok flag, and engine counters
+    result: Optional[Dict[str, Any]] = None
+    #: populated when FAILED
+    error: Optional[str] = None
+    #: schema-v1 records (meta first) grown while the job runs; the
+    #: events endpoint streams this buffer by index
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # -- thread-safe accessors (called from loop and executor threads) -----
+
+    def append_records(self, records: List[Dict[str, Any]]) -> None:
+        with self.lock:
+            self.records.extend(records)
+
+    def records_from(self, start: int) -> List[Dict[str, Any]]:
+        with self.lock:
+            return self.records[start:]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` body."""
+        with self.lock:
+            out: Dict[str, Any] = {
+                "id": self.id,
+                "state": self.state,
+                "spec": self.spec.to_json(),
+                "label": self.spec.describe(),
+                "events": len(self.records),
+            }
+            if self.result is not None:
+                out["result"] = self.result
+            if self.error is not None:
+                out["error"] = self.error
+            return out
+
+    def transition(self, state: str, result: Optional[Dict[str, Any]] = None,
+                   error: Optional[str] = None) -> None:
+        with self.lock:
+            self.state = state
+            if result is not None:
+                self.result = result
+            if error is not None:
+                self.error = error
+
+    def start_running(self) -> bool:
+        """QUEUED -> RUNNING; False if the job was cancelled first."""
+        with self.lock:
+            if self.cancel_event.is_set() or self.state != JobState.QUEUED:
+                return False
+            self.state = JobState.RUNNING
+            return True
+
+    @property
+    def finished(self) -> bool:
+        with self.lock:
+            return self.state in JobState.TERMINAL
+
+
+class JobQueue:
+    """Registry of all jobs the daemon has accepted, by id.
+
+    Ids are dense (``j1``, ``j2``, ...): a daemon is one process and
+    restarting it voids outstanding ids, so opaque tokens would buy
+    nothing but unreadable logs.  Execution order and concurrency are
+    the executor's concern (the service submits jobs to a bounded
+    thread pool); this class only tracks identity and lifecycle.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def create(self, spec: JobSpec) -> Job:
+        with self._lock:
+            job = Job(id=f"j{next(self._ids)}", spec=spec)
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def all_jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Optional[bool]:
+        """Request cancellation; None if unknown, False if already done.
+
+        The state flip for a *queued* job happens here (it will never
+        reach an executor thread to do it itself); a running job keeps
+        state RUNNING until the engine unwinds with ``JobCancelled``.
+        """
+        job = self.get(job_id)
+        if job is None:
+            return None
+        with job.lock:
+            if job.state in JobState.TERMINAL:
+                return False
+            job.cancel_event.set()
+            if job.state == JobState.QUEUED:
+                job.state = JobState.CANCELLED
+        return True
+
+    def counts(self) -> Dict[str, int]:
+        out = {state: 0 for state in (
+            JobState.QUEUED, JobState.RUNNING, JobState.DONE,
+            JobState.FAILED, JobState.CANCELLED)}
+        for job in self.all_jobs():
+            with job.lock:
+                out[job.state] = out.get(job.state, 0) + 1
+        return out

@@ -195,7 +195,8 @@ class TestResultCache:
     def test_corrupt_file_starts_empty(self, tmp_path):
         path = tmp_path / "gem-cache-k1.json"
         path.write_text("{not json")
-        assert len(ResultCache(tmp_path, "k1")) == 0
+        with pytest.warns(RuntimeWarning):
+            assert len(ResultCache(tmp_path, "k1")) == 0
 
     def test_keys_separate_workloads(self):
         program, spec, corr, pspec = WORKLOADS["monitor-bounded-buffer"]()
@@ -468,3 +469,139 @@ class TestEnginePlumbing:
         text = engine.last_stats.describe()
         assert "engine:" in text and "runs/s" in text
         assert report.ok
+
+
+# -- shared cache (the serve daemon's cross-request store) ----------------
+
+
+def _cache_writer(directory, fingerprints, barrier):
+    """Child-process body: write disjoint entries, save through the lock."""
+    cache = ResultCache(directory, "shared-key")
+    for fp in fingerprints:
+        cache.put(fp, CheckOutcome(failed_restrictions=(fp,)))
+    barrier.wait()  # maximise save() overlap between the two processes
+    cache.save()
+
+
+class TestCacheConcurrency:
+    def test_two_processes_save_without_losing_entries(self, tmp_path):
+        """Concurrent update()+save() must merge, not last-writer-win:
+        each save re-reads the store under a lock file and folds the
+        other process's entries in before the atomic replace."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        groups = [[f"p{i}-fp{j}" for j in range(5)] for i in range(2)]
+        procs = [ctx.Process(target=_cache_writer,
+                             args=(tmp_path, group, barrier))
+                 for group in groups]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        merged = ResultCache(tmp_path, "shared-key")
+        assert len(merged) == 10
+        for group in groups:
+            for fp in group:
+                assert merged.get(fp).failed_restrictions == (fp,)
+
+    def test_repeated_interleaved_rounds(self, tmp_path):
+        """Several update/save rounds from two live caches on the same
+        path: everything either wrote survives in the final store."""
+        a = ResultCache(tmp_path, "k")
+        b = ResultCache(tmp_path, "k")
+        for i in range(3):
+            a.put(f"a{i}", CheckOutcome())
+            a.save()
+            b.put(f"b{i}", CheckOutcome())
+            b.save()
+        final = ResultCache(tmp_path, "k")
+        assert {f"a{i}" for i in range(3)} <= set(final.snapshot())
+        assert {f"b{i}" for i in range(3)} <= set(final.snapshot())
+
+    def test_corrupt_file_warns(self, tmp_path):
+        path = tmp_path / "gem-cache-k1.json"
+        path.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="starting empty"):
+            cache = ResultCache(tmp_path, "k1")
+        assert len(cache) == 0
+        # ... and the empty cache is fully usable afterwards
+        cache.put("fp", CheckOutcome())
+        cache.save()
+        assert len(ResultCache(tmp_path, "k1")) == 1
+
+    def test_truncated_file_warns(self, tmp_path):
+        cache = ResultCache(tmp_path, "k1")
+        cache.put("fp", CheckOutcome())
+        cache.save()
+        text = cache.path.read_text()
+        cache.path.write_text(text[: len(text) // 2])
+        with pytest.warns(RuntimeWarning, match="starting empty"):
+            assert len(ResultCache(tmp_path, "k1")) == 0
+
+    def test_save_is_atomic_no_partial_files(self, tmp_path):
+        cache = ResultCache(tmp_path, "k1")
+        cache.put("fp", CheckOutcome())
+        cache.save()
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != cache.path.name]
+        assert leftovers == []  # no temp or lock files left behind
+
+
+class TestSharedResultCache:
+    def _outcome(self, tag="r"):
+        return CheckOutcome(failed_restrictions=(tag,))
+
+    def test_view_round_trip(self):
+        from repro.engine import SharedResultCache
+
+        shared = SharedResultCache()
+        view = shared.view("k1")
+        view.put("fp1", self._outcome())
+        assert view.get("fp1").failed_restrictions == ("r",)
+        assert view.snapshot() == {"fp1": view.get("fp1")}
+        assert shared.view("k2").get("fp1") is None  # keys are separate
+
+    def test_byte_budget_evicts_lru_first(self):
+        from repro.engine import SharedResultCache
+        from repro.engine.cache import _entry_bytes
+
+        one = _entry_bytes("fp00", self._outcome())
+        shared = SharedResultCache(max_bytes=one * 3)
+        for i in range(3):
+            shared.update("k", {f"fp{i:02d}": self._outcome()})
+        shared.get("k", "fp00")  # touch: fp01 becomes the eviction victim
+        shared.update("k", {"fp03": self._outcome()})
+        assert shared.get("k", "fp01") is None
+        assert shared.get("k", "fp00") is not None
+        assert shared.bytes_used <= shared.max_bytes
+        assert shared.metrics.get("cache.evictions") == 1.0
+
+    def test_persistent_directory_shared_with_oneshot_path(self, tmp_path):
+        from repro.engine import SharedResultCache
+
+        shared = SharedResultCache(directory=tmp_path)
+        shared.update("k1", {"fp1": self._outcome()})
+        shared.save()
+        # the one-shot --cache path reads the same file...
+        assert ResultCache(tmp_path, "k1").get("fp1") is not None
+        # ... and a fresh shared cache warm-loads it back
+        again = SharedResultCache(directory=tmp_path)
+        assert again.get("k1", "fp1").failed_restrictions == ("r",)
+
+    def test_engine_accepts_shared_cache(self, tmp_path):
+        from repro.engine import SharedResultCache, run_verification
+
+        shared = SharedResultCache()
+        cfg = EngineConfig(shared_cache=shared)
+        cold, cold_stats = run_verification(
+            CounterProgram(2, 2), NOOP_SPEC, NOOP_CORR, config=cfg)
+        warm, warm_stats = run_verification(
+            CounterProgram(2, 2), NOOP_SPEC, NOOP_CORR, config=cfg)
+        assert warm.signature() == cold.signature()
+        assert cold_stats.checks_performed == 1
+        assert warm_stats.checks_performed == 0
+        assert warm_stats.cache_hits == 1
+        assert shared.entries == 1
