@@ -3,7 +3,10 @@
 Measures the compiled restriction checker (:mod:`repro.core.compile`)
 against the reference lattice interpreter on the S1
 chains-with-cross-talk workload (the same shape as
-``benchmarks/bench_checker_scaling.py``), one end-to-end engine
+``benchmarks/bench_checker_scaling.py``), the computation slice
+(:mod:`repro.core.slice`, S9 -- slice-routed vs walked lattice
+checking on a regular implication that holds everywhere, so the walk
+cannot short-circuit), one end-to-end engine
 verification, the serve daemon's warm-resubmission win over the
 per-invocation engine path (:mod:`repro.serve`, S8 -- a real daemon on
 an ephemeral port, signatures asserted identical to one-shot), and the
@@ -126,6 +129,76 @@ def run_checker_bench(quick: bool = False, repeats: int = 3,
             "lattice_s": round(lattice_s, 6),
             "compiled_s": round(compiled_s, 6),
             "speedup": round(lattice_s / compiled_s, 2),
+        }
+    return results
+
+
+#: (name, chains, length, gated) for the ``slice:`` rows; same sizes
+#: and gating policy as the checker rows.
+SLICE_WORKLOADS: Tuple[Tuple[str, int, int, bool], ...] = (
+    ("slice:2x10", 2, 10, False),
+    ("slice:2x20", 2, 20, True),
+    ("slice:3x10", 3, 10, True),
+)
+QUICK_SLICE_WORKLOADS = SLICE_WORKLOADS[:2]
+
+
+def slice_restriction():
+    """The S9 implication formula: □ (∃y:chain1.Step occurred(y) ⊃
+    ∃x:chain0.Step occurred(x)).  It holds on every chain workload
+    (chain1 is rooted in a chain0 cross-enable), so the lattice walk
+    must visit the whole history lattice while the slice certifies the
+    same verdict from a linear union of cubes."""
+    from .core import Exists, Henceforth, Implies, Occurred, Restriction
+
+    return Restriction("s9-implication", Henceforth(Implies(
+        Exists("y", "chain1.Step", Occurred("y")),
+        Exists("x", "chain0.Step", Occurred("x")))))
+
+
+def run_slice_bench(quick: bool = False, repeats: int = 3,
+                    history_cap: int = 5_000_000) -> Dict[str, dict]:
+    """Slice-routed vs walked lattice checking per S9 workload.
+
+    Correctness before timing: the sliced outcome must carry slice
+    provenance (a silent walk fallback would time the wrong thing) and
+    equal the walked verdict and detail.
+    """
+    from .core.checker import check_restriction
+    from .core.slice import classify_restriction
+
+    restriction = slice_restriction()
+    workloads = QUICK_SLICE_WORKLOADS if quick else SLICE_WORKLOADS
+    results: Dict[str, dict] = {}
+    for name, chains, length, gated in workloads:
+        comp = build_chain_workload(chains, length)
+        kind = classify_restriction(comp, restriction)
+        assert kind == "linear", f"{name}: expected a linear slice, {kind}"
+        walk_s, walk = _best_of(repeats, lambda: check_restriction(
+            comp, restriction, temporal_mode="lattice",
+            history_cap=history_cap))
+
+        def slice_once():
+            # a fresh computation per repeat so the timing includes the
+            # classification and cube construction (no warm slicer)
+            fresh = build_chain_workload(chains, length)
+            return check_restriction(fresh, restriction,
+                                     temporal_mode="lattice",
+                                     use_slice=True,
+                                     history_cap=history_cap)
+
+        sliced_s, sliced = _best_of(repeats, slice_once)
+        assert sliced.provenance == "slice", (
+            f"{name}: slice fell back to the walk")
+        assert (walk.holds, walk.detail) == (sliced.holds, sliced.detail), (
+            f"{name}: sliced verdict {sliced} != walked {walk}")
+        results[name] = {
+            "chains": chains,
+            "length": length,
+            "gate": gated,
+            "lattice_s": round(walk_s, 6),
+            "sliced_s": round(sliced_s, 6),
+            "speedup": round(walk_s / sliced_s, 2),
         }
     return results
 
@@ -340,6 +413,7 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
               out=sys.stdout) -> int:
     """The ``repro bench`` entry point (also used by CI bench-smoke)."""
     results = run_checker_bench(quick=quick, repeats=repeats)
+    results.update(run_slice_bench(quick=quick, repeats=repeats))
     if not quick:
         results.update(run_engine_bench())
         results.update(run_serve_bench(repeats=repeats))
@@ -351,6 +425,10 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
                   f"({row['full_s']:.4f}s)   por {row['por_runs']} runs "
                   f"({row['por_s']:.4f}s)   reduction {row['speedup']}x"
                   f"{gated}", file=out)
+        elif "sliced_s" in row:
+            print(f"{name:18s} walked {row['lattice_s']:.4f}s   "
+                  f"sliced {row['sliced_s']:.4f}s   "
+                  f"speedup {row['speedup']}x{gated}", file=out)
         elif "serve_s" in row:
             print(f"{name:18s} one-shot {row['oneshot_s']:.4f}s   "
                   f"daemon {row['serve_s']:.4f}s   "

@@ -13,7 +13,10 @@ Commands:
   ``--no-compile`` falls back from the compiled bitmask checker to the
   reference lattice interpreter (docs/PERF.md), ``--no-por`` disables
   the ample-set partial-order reduction and expands every
-  interleaving (same verdicts either way; docs/ENGINE.md);
+  interleaving (same verdicts either way; docs/ENGINE.md),
+  ``--no-slice`` disables computation slicing and walks the history
+  lattice for every temporal check (same verdicts either way;
+  docs/SLICING.md);
 * ``list`` -- list the available cases (``--json`` adds language and
   mutant-availability metadata, the same body the serve daemon's
   ``GET /cases`` returns);
@@ -256,7 +259,7 @@ def cmd_verify(args) -> int:
                             program_spec=program_spec,
                             jobs=args.jobs, cache_dir=args.cache,
                             temporal_mode=mode,
-                            tracer=tracer, por=args.por)
+                            tracer=tracer, por=args.por, slice=args.slice)
     print(report.summary())
     if args.stats and report.engine_stats is not None:
         print(report.engine_stats.describe())
@@ -489,6 +492,8 @@ def cmd_submit(args) -> int:
         spec["jobs"] = args.jobs
     if not args.por:
         spec["por"] = False
+    if not args.slice:
+        spec["slice"] = False
     if args.no_compile:
         spec["compile"] = False
     if args.history_cap is not None:
@@ -572,6 +577,14 @@ def main(argv=None) -> int:
                                "exploration (default on; --no-por explores "
                                "every interleaving -- same verdicts and "
                                "witnesses, larger run census)")
+    p_verify.add_argument("--slice", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="computation slicing: decide regular "
+                               "temporal restrictions exactly on the "
+                               "join-closed sublattice of satisfying cuts "
+                               "(default on; --no-slice walks the history "
+                               "lattice for every check -- same verdicts "
+                               "either way; docs/SLICING.md)")
 
     p_dot = sub.add_parser("dot", help="print one execution as DOT")
     p_dot.add_argument("case")
@@ -651,6 +664,9 @@ def main(argv=None) -> int:
     p_submit.add_argument("--por", default=True,
                           action=argparse.BooleanOptionalAction,
                           help="partial-order reduction (default on)")
+    p_submit.add_argument("--slice", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="computation slicing (default on)")
     p_submit.add_argument("--no-compile", action="store_true",
                           help="lattice interpreter instead of the "
                                "compiled checker")

@@ -49,7 +49,7 @@ cross-validates the modes on randomised computations.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .computation import Computation
@@ -88,11 +88,20 @@ DEFAULT_HISTORY_CAP = 2_000_000
 
 @dataclass(frozen=True)
 class RestrictionOutcome:
-    """Verdict for one restriction on one computation."""
+    """Verdict for one restriction on one computation.
+
+    ``provenance`` records how a temporal verdict was obtained when
+    slicing was requested -- ``"slice"`` (exact, no lattice walk) or
+    ``"walk"`` (slice declined, lattice/compiled walk decided it);
+    empty otherwise.  Excluded from equality and ``__str__`` so report
+    signatures and differential oracles stay byte-identical with and
+    without the slice.
+    """
 
     name: str
     holds: bool
     detail: str = ""
+    provenance: str = field(default="", compare=False)
 
     def __str__(self) -> str:
         verdict = "OK " if self.holds else "FAIL"
@@ -107,6 +116,10 @@ class CheckResult:
     spec_name: str
     legality_violations: List = field(default_factory=list)
     outcomes: List[RestrictionOutcome] = field(default_factory=list)
+    #: temporal restrictions decided exactly on the slice / via the walk
+    #: after the slice declined (both 0 unless ``use_slice`` was set)
+    slice_hits: int = 0
+    slice_fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -217,8 +230,9 @@ class LatticeChecker:
         if self._visited > self._cap:
             raise ComputationError(
                 f"lattice checker visited more than {self._cap} "
-                "(formula, history) pairs; raise history_cap or shrink the "
-                "computation"
+                "(formula, history) pairs; raise history_cap, shrink the "
+                "computation, or leave slicing enabled (--slice) so regular "
+                "restrictions bypass the walk"
             )
 
     def _always(self, body: Formula, history: History, env: Dict) -> bool:
@@ -283,8 +297,10 @@ def check_restriction(
     max_step: Optional[int] = 1,
     history_cap: int = DEFAULT_HISTORY_CAP,
     with_witness: bool = False,
+    use_slice: bool = False,
     _lattice: Optional[LatticeChecker] = None,
     _compiled: Optional[object] = None,
+    _slice: Optional[object] = None,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> RestrictionOutcome:
@@ -293,6 +309,17 @@ def check_restriction(
     With ``with_witness``, a failing outcome's detail carries a located
     counterexample (the failing history and quantifier bindings) from
     :mod:`repro.core.witness` -- costs roughly one extra check.
+
+    With ``use_slice``, temporal restrictions are first offered to
+    :class:`repro.core.slice.SliceChecker`: shapes it classifies as
+    regular or linear are decided *exactly* on the slice, without any
+    lattice walk and regardless of ``history_cap`` pressure
+    (``checker.slice_hits``); the rest fall through to the normal
+    compiled/lattice path (``checker.slice_fallbacks``).  Verdicts and
+    detail strings are identical either way -- the slice-differential
+    fuzz oracle gates that -- so the default is off here and the engine
+    turns it on.  ``_slice`` shares one :class:`SliceChecker` across a
+    spec's restrictions, like ``_lattice``/``_compiled``.
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`, duck-typed so
     this module needs no obs import) receives ``checker.evals`` /
@@ -329,10 +356,34 @@ def check_restriction(
                 detail = f"{detail}; witness: {witness.describe()}"
         return RestrictionOutcome(restriction.name, False, detail)
 
+    #: "" (slice not consulted) | "slice" (exact verdict) | "walk" (declined)
+    slice_state = [""]
+
     def decide() -> RestrictionOutcome:
         formula = restriction.formula
         temporal = formula.is_temporal()
         mode = temporal_mode
+        if use_slice and temporal and mode in ("compiled", "lattice"):
+            from .slice import SliceChecker
+
+            slicer = _slice if _slice is not None else SliceChecker(
+                computation)
+            analysis = slicer.analyze(restriction)
+            if analysis.verdict is not None:
+                slice_state[0] = "slice"
+                if metrics is not None:
+                    metrics.inc("checker.slice_hits", 1,
+                                restriction=restriction.name)
+                if analysis.verdict:
+                    return RestrictionOutcome(restriction.name, True)
+                # same detail string as the walk: the slice decides the
+                # same branching semantics, and fail() re-derives
+                # witnesses/explanations through the interpreter
+                return fail("fails over the history lattice")
+            slice_state[0] = "walk"
+            if metrics is not None:
+                metrics.inc("checker.slice_fallbacks", 1,
+                            restriction=restriction.name)
         if mode == "compiled":
             from .compile import bind_restriction
 
@@ -389,8 +440,13 @@ def check_restriction(
                                       f"holds on all {count} maximal vhs")
         raise SpecificationError(f"unknown temporal_mode {mode!r}")
 
+    def stamp(outcome: RestrictionOutcome) -> RestrictionOutcome:
+        if slice_state[0] and not outcome.provenance:
+            return replace(outcome, provenance=slice_state[0])
+        return outcome
+
     if metrics is None and not tracing:
-        return decide()
+        return stamp(decide())
 
     #: lattice visits (or vhs count), at least 1 for the top-level pass
     evals = [0]
@@ -405,7 +461,7 @@ def check_restriction(
                     restriction=restriction.name)
         metrics.observe("checker.seconds", time.perf_counter() - started,
                         restriction=restriction.name)
-    return outcome
+    return stamp(outcome)
 
 
 def check_computation(
@@ -416,6 +472,7 @@ def check_computation(
     max_step: Optional[int] = 1,
     history_cap: int = DEFAULT_HISTORY_CAP,
     label_threads: bool = True,
+    use_slice: bool = False,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> CheckResult:
@@ -444,6 +501,11 @@ def check_computation(
         from .compile import plan_for
 
         compiled = plan_for(spec).bind(labelled, history_cap)
+    slicer = None
+    if use_slice and temporal_mode in ("lattice", "compiled"):
+        from .slice import SliceChecker
+
+        slicer = SliceChecker(labelled)
     for restriction in spec.all_restrictions():
         result.outcomes.append(
             check_restriction(
@@ -453,13 +515,19 @@ def check_computation(
                 vhs_cap=vhs_cap,
                 max_step=max_step,
                 history_cap=history_cap,
+                use_slice=use_slice,
                 _lattice=lattice if temporal_mode in ("lattice", "compiled")
                 else None,
                 _compiled=compiled,
+                _slice=slicer,
                 metrics=metrics,
                 tracer=tracer,
             )
         )
+    result.slice_hits = sum(
+        1 for o in result.outcomes if o.provenance == "slice")
+    result.slice_fallbacks = sum(
+        1 for o in result.outcomes if o.provenance == "walk")
     if metrics is not None:
         metrics.inc("checker.computations")
         if temporal_mode == "lattice":

@@ -219,8 +219,9 @@ class CompiledSpec:
         if self.visited > self.cap:
             raise ComputationError(
                 f"compiled checker visited more than {self.cap} "
-                "(formula, history) pairs; raise history_cap or shrink the "
-                "computation"
+                "(formula, history) pairs; raise history_cap, shrink the "
+                "computation, or leave slicing enabled (--slice) so regular "
+                "restrictions bypass the walk"
             )
 
     def addable(self, mask: int) -> int:

@@ -147,6 +147,25 @@ class EventIndex:
                 acc |= 1 << i
         return acc
 
+    def down_closure(self, mask: int) -> int:
+        """``mask`` plus every temporal predecessor of its members -- the
+        least history containing them (⇒ is transitively closed, so one
+        pass over the predecessor table suffices)."""
+        acc = mask
+        pred = self.temporal_pred
+        for i in iter_bits(mask):
+            acc |= pred[i]
+        return acc
+
+    def up_closure(self, mask: int) -> int:
+        """``mask`` plus every temporal successor of its members; its
+        complement is the greatest history avoiding ``mask``."""
+        acc = mask
+        succ = self.temporal_succ
+        for i in iter_bits(mask):
+            acc |= succ[i]
+        return acc
+
 
 def _transpose(table: List[int]) -> List[int]:
     out = [0] * len(table)

@@ -123,6 +123,12 @@ class EngineConfig:
     #: witnesses are identical either way on untruncated exploration --
     #: the reduced run census is just smaller)
     por: bool = True
+    #: computation slicing (:mod:`repro.core.slice`): decide regular
+    #: temporal restrictions exactly on the join-closed sublattice of
+    #: satisfying cuts instead of walking the history lattice.  Default
+    #: on; ``--no-slice`` turns it off (verdicts and details are
+    #: identical either way -- non-regular shapes fall back to the walk)
+    slice: bool = True
     #: target shards per worker; >1 absorbs uneven subtree sizes
     shard_factor: int = 4
     progress: Optional[ProgressFn] = None
@@ -283,6 +289,8 @@ class Engine:
             stats.por_reduced_nodes += tr.por_reduced_nodes
             stats.por_pruned += tr.por_pruned
             stats.por_proviso_expansions += tr.por_proviso_expansions
+            stats.slice_hits += tr.slice_hits
+            stats.slice_fallbacks += tr.slice_fallbacks
 
         fingerprints = set()
         index = 0
@@ -341,6 +349,7 @@ class Engine:
         tracer = self._tracer
         stats = EngineStats()
         stats.por_enabled = cfg.por
+        stats.slice_enabled = cfg.slice
         with tracer.span("verify", attrs={"problem": problem_spec.name},
                          meta={"jobs": cfg.jobs}) as root:
             cache = self._open_cache(problem_spec, correspondence,
@@ -357,6 +366,7 @@ class Engine:
                 cache_snapshot=snapshot,
                 trace=tracer.enabled,
                 por=cfg.por,
+                slice=cfg.slice,
                 history_cap=cfg.history_cap,
                 case_ref=cfg.case_ref,
             )
@@ -376,6 +386,13 @@ class Engine:
             with PhaseTimer(stats, "merge", self._progress, tracer):
                 report = self._merge(results, problem_spec, program_spec,
                                      exhaustive, snapshot, stats)
+
+            if exploration is not None:
+                # slice provenance rides on the exploration the caller
+                # holds, so its describe() can say which temporal
+                # verdicts were decided exactly on the slice
+                exploration.record_slice(stats.slice_hits,
+                                         stats.slice_fallbacks)
 
             if cache is not None:
                 with PhaseTimer(stats, "cache-save", self._progress, tracer):
@@ -427,6 +444,10 @@ class Engine:
         result.dedupe_hits = index.dedupe_hits
         result.cache_hits = index.cache_hits
         result.checks = index.computed
+        result.slice_hits = sum(
+            o.slice_hits for o in result.fresh_outcomes.values())
+        result.slice_fallbacks = sum(
+            o.slice_fallbacks for o in result.fresh_outcomes.values())
         return [result]
 
 

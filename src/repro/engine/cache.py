@@ -56,7 +56,8 @@ from ..verify.correspondence import Correspondence
 
 #: Bump to invalidate every existing cache file (semantic change in
 #: what an outcome record means or how keys are derived).
-CACHE_FORMAT_VERSION = 1
+#: v2: outcomes carry slice provenance counters.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -67,18 +68,25 @@ class CheckOutcome:
     restrictions failed, whether the projection was legal, and whether
     the raw computation satisfied the program specification.  Run-level
     facts (deadlock, truncation) are properties of the *run*, not the
-    computation, and are deliberately not cached.
+    computation, and are deliberately not cached.  ``slice_hits`` /
+    ``slice_fallbacks`` record how many temporal restrictions the
+    computation-slicing path decided exactly vs handed back to the walk
+    -- provenance, also a pure function of the same inputs.
     """
 
     failed_restrictions: Tuple[str, ...] = ()
     legality_ok: bool = True
     program_spec_ok: bool = True
+    slice_hits: int = 0
+    slice_fallbacks: int = 0
 
     def to_json(self) -> dict:
         return {
             "failed": list(self.failed_restrictions),
             "legal": self.legality_ok,
             "prog_ok": self.program_spec_ok,
+            "slice_hits": self.slice_hits,
+            "slice_fb": self.slice_fallbacks,
         }
 
     @staticmethod
@@ -87,6 +95,8 @@ class CheckOutcome:
             failed_restrictions=tuple(data["failed"]),
             legality_ok=bool(data["legal"]),
             program_spec_ok=bool(data["prog_ok"]),
+            slice_hits=int(data.get("slice_hits", 0)),
+            slice_fallbacks=int(data.get("slice_fb", 0)),
         )
 
 

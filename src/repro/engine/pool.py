@@ -108,6 +108,11 @@ class TaskResult:
     por_reduced_nodes: int = 0
     por_pruned: int = 0
     por_proviso_expansions: int = 0
+    #: slice-routing counters summed over this task's *fresh* outcomes
+    #: (cached outcomes keep the provenance of the run that computed
+    #: them); both zero with slicing off
+    slice_hits: int = 0
+    slice_fallbacks: int = 0
     #: serialised trace segment (``Tracer.to_records``), empty unless
     #: the worker state asked for tracing; grafted by the parent in
     #: shard order so the merged trace is deterministic
@@ -137,13 +142,14 @@ class CaseRef:
     max_runs: int = 100_000
     history_cap: int = DEFAULT_HISTORY_CAP
     por: bool = True
+    slice: bool = True
     trace: bool = False
 
     def state_key(self) -> str:
         """Memo key: two refs with equal keys build equivalent states."""
         return repr((self.case, self.mutant, self.inline,
                      self.temporal_mode, self.max_steps, self.max_runs,
-                     self.history_cap, self.por, self.trace))
+                     self.history_cap, self.por, self.slice, self.trace))
 
     def build_objects(self) -> Tuple[Program, Specification, Correspondence,
                                      Optional[Specification]]:
@@ -171,7 +177,7 @@ class CaseRef:
             program, spec, corr, pspec,
             temporal_mode=self.temporal_mode,
             max_steps=self.max_steps, max_runs=self.max_runs,
-            trace=self.trace, por=self.por,
+            trace=self.trace, por=self.por, slice=self.slice,
             history_cap=self.history_cap, case_ref=self,
         )
 
@@ -196,6 +202,7 @@ class WorkerState:
         cache_snapshot: Optional[Dict[str, CheckOutcome]] = None,
         trace: bool = False,
         por: bool = True,
+        slice: bool = True,
         history_cap: int = DEFAULT_HISTORY_CAP,
         case_ref: Optional[CaseRef] = None,
     ) -> None:
@@ -211,6 +218,8 @@ class WorkerState:
         self.trace = trace
         #: when set, explore tasks apply partial-order reduction
         self.por = por
+        #: when set, checks route regular restrictions through the slice
+        self.slice = slice
         #: resident-mode rebuild recipe (None on the one-shot path)
         self.case_ref = case_ref
         #: the shared-cache snapshot this state was built with; resident
@@ -238,19 +247,26 @@ class WorkerState:
         """Check one computation; pure function of (computation, specs)."""
         comp = run.computation
         program_spec_ok = True
+        slice_hits = slice_fallbacks = 0
         if self.program_spec is not None:
-            program_spec_ok = self.program_spec.check(
+            pres = self.program_spec.check(
                 comp, temporal_mode=self.temporal_mode,
                 history_cap=self.history_cap,
-                metrics=metrics).ok
+                use_slice=self.slice, metrics=metrics)
+            program_spec_ok = pres.ok
+            slice_hits += pres.slice_hits
+            slice_fallbacks += pres.slice_fallbacks
         projected = project(comp, self.correspondence)
         result = self.problem_spec.check(
             projected, temporal_mode=self.temporal_mode,
-            history_cap=self.history_cap, metrics=metrics)
+            history_cap=self.history_cap, use_slice=self.slice,
+            metrics=metrics)
         return CheckOutcome(
             failed_restrictions=tuple(result.failed_restrictions()),
             legality_ok=not result.legality_violations,
             program_spec_ok=program_spec_ok,
+            slice_hits=slice_hits + result.slice_hits,
+            slice_fallbacks=slice_fallbacks + result.slice_fallbacks,
         )
 
 
@@ -328,6 +344,10 @@ def _execute_with(state: WorkerState, task: Task) -> TaskResult:
     result.dedupe_hits = index.dedupe_hits - dd0
     result.cache_hits = index.cache_hits - ch0
     result.checks = index.computed - cp0
+    result.slice_hits = sum(
+        o.slice_hits for o in result.fresh_outcomes.values())
+    result.slice_fallbacks = sum(
+        o.slice_fallbacks for o in result.fresh_outcomes.values())
     if selector is not None:
         result.por_nodes = selector.nodes
         result.por_reduced_nodes = selector.reduced_nodes

@@ -115,6 +115,14 @@ class EngineStats:
     por_proviso_expansions = _counter(
         "por.proviso_expansions",
         "full expansions forced by the ignoring-prevention proviso")
+    # computation slicing (repro.core.slice): per-restriction routing
+    # tallies summed over the fresh checks of this verification
+    slice_hits = _counter(
+        "checker.slice_hits",
+        "temporal restriction checks decided exactly on the slice")
+    slice_fallbacks = _counter(
+        "checker.slice_fallbacks",
+        "temporal restriction checks that fell back to the lattice walk")
 
     @property
     def cache_enabled(self) -> bool:
@@ -131,6 +139,14 @@ class EngineStats:
     @por_enabled.setter
     def por_enabled(self, value: bool) -> None:
         self.metrics.set("engine.por_enabled", 1 if value else 0)
+
+    @property
+    def slice_enabled(self) -> bool:
+        return bool(self.metrics.get("engine.slice_enabled"))
+
+    @slice_enabled.setter
+    def slice_enabled(self, value: bool) -> None:
+        self.metrics.set("engine.slice_enabled", 1 if value else 0)
 
     @property
     def phase_seconds(self) -> Dict[str, float]:
@@ -183,6 +199,9 @@ class EngineStats:
              f"{self.por_reduced_nodes} of {self.por_nodes} branch "
              f"point(s), {self.por_proviso_expansions} proviso "
              "expansion(s)") if self.por_enabled else "  por: disabled",
+            (f"  slice: {self.slice_hits} check(s) slice-exact, "
+             f"{self.slice_fallbacks} walk-sampled fallback(s)")
+            if self.slice_enabled else "  slice: disabled",
             f"  throughput: {self.runs_per_second:.1f} runs/s",
         ]
         phases = ", ".join(

@@ -6,8 +6,8 @@ computations, specifications, and programs (:mod:`.generators`,
 (:mod:`.oracles`) -- the strict-partial-order laws of ``⇒``, the
 history-lattice laws of Section 7, fingerprint relabeling invariance,
 composition/projection round-trips, lattice-vs-exact checker agreement,
-replay determinism, and the engine's serial == parallel == cached
-contract.  Failures are greedily shrunk and rendered as runnable pytest
+compiled and slice-routed checker agreement, replay determinism, and
+the engine's serial == parallel == cached contract.  Failures are greedily shrunk and rendered as runnable pytest
 snippets (:mod:`.shrink`); :mod:`.runner` drives the loop behind the
 ``repro fuzz`` CLI subcommand.
 
@@ -34,6 +34,7 @@ from .oracles import (
     check_modes_agree,
     check_order_laws,
     check_replay_determinism,
+    check_slice_agrees,
     identity_correspondence,
     make_oracles,
     oracle_names,
@@ -57,7 +58,7 @@ __all__ = [
     "CheckerArtifact", "ComposeArtifact", "ReplayArtifact",
     "check_order_laws", "check_history_laws", "check_fingerprint_laws",
     "check_compiled_agrees", "check_compose_laws", "check_modes_agree",
-    "check_replay_determinism",
+    "check_replay_determinism", "check_slice_agrees",
     "check_engine_agreement", "identity_correspondence",
     "FuzzProgram", "FuzzProgramSpec", "RecipeProgram",
     "FORK_DROPS_ENABLES", "fuzz_problem_spec", "fuzz_correspondence",

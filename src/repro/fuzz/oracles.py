@@ -329,6 +329,41 @@ def check_compiled_agrees(
     return None
 
 
+def check_slice_agrees(
+    comp: Computation,
+    restriction: Restriction,
+    vhs_cap: int = 50_000,
+    slice_check=None,
+) -> Optional[str]:
+    """Differential oracle: slice-routed vs lattice vs exact checking.
+
+    Computation slicing (:mod:`repro.core.slice`) decides regular
+    temporal restrictions on the join-closed sublattice of satisfying
+    cuts instead of walking the history lattice; its verdict *and
+    detail string* must equal the interpreter's on every shape it
+    accepts (non-regular shapes fall back to the walk, which agrees
+    trivially), and both must agree with exhaustive vhs enumeration.
+    ``slice_check`` is injectable for mutant seeding (a deliberately
+    broken slice evaluator must be caught by this oracle).
+    """
+    impl = slice_check or (lambda c, r: check_restriction(
+        c, r, temporal_mode="lattice", use_slice=True))
+    lattice = check_restriction(comp, restriction, temporal_mode="lattice")
+    sliced = impl(comp, restriction)
+    if (lattice.holds, lattice.detail) != (sliced.holds, sliced.detail):
+        return (f"slice checker disagrees with interpreter on "
+                f"{restriction.name!r}: slice=({sliced.holds}, "
+                f"{sliced.detail!r}) lattice=({lattice.holds}, "
+                f"{lattice.detail!r}) ({restriction.formula.describe()})")
+    exact = check_restriction(comp, restriction, temporal_mode="exact",
+                              vhs_cap=vhs_cap)
+    if sliced.holds != exact.holds:
+        return (f"slice checker disagrees with exact enumeration on "
+                f"{restriction.name!r}: slice={sliced.holds} "
+                f"exact={exact.holds} ({restriction.formula.describe()})")
+    return None
+
+
 def check_replay_determinism(
     program,
     seed: int,
@@ -706,6 +741,15 @@ def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
             "enumeration",
             gen_checker,
             lambda art: check_compiled_agrees(
+                (comp := art.recipe.build()), art.restriction(comp)),
+            lambda art: art.shrink_candidates(),
+        ),
+        Oracle(
+            "slice-differential",
+            "slice-routed checker == lattice interpreter == exact "
+            "enumeration",
+            gen_checker,
+            lambda art: check_slice_agrees(
                 (comp := art.recipe.build()), art.restriction(comp)),
             lambda art: art.shrink_candidates(),
         ),

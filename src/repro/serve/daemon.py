@@ -131,6 +131,7 @@ class VerificationService:
             jobs=spec.jobs,
             temporal_mode=spec.temporal_mode,
             por=spec.por,
+            slice=spec.slice,
             history_cap=spec.history_cap,
             max_steps=spec.max_steps,
             max_runs=spec.max_runs,
@@ -180,6 +181,8 @@ class VerificationService:
                 "checks_performed": stats.checks_performed,
                 "cache_hits": stats.cache_hits,
                 "dedupe_hits": stats.dedupe_hits,
+                "slice_hits": stats.slice_hits,
+                "slice_fallbacks": stats.slice_fallbacks,
             },
         })
 

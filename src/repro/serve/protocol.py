@@ -30,7 +30,7 @@ class ProtocolError(ValueError):
 
 #: Keys accepted in a job-spec JSON object.
 _SPEC_KEYS = frozenset({
-    "case", "mutant", "inline", "jobs", "por", "compile",
+    "case", "mutant", "inline", "jobs", "por", "slice", "compile",
     "history_cap", "max_steps", "max_runs",
 })
 
@@ -41,7 +41,9 @@ class JobSpec:
 
     Mirrors the ``repro verify`` CLI surface: ``compile=False`` is
     ``--no-compile`` (lattice interpreter), ``por=False`` is
-    ``--no-por``, ``jobs`` caps the worker fan-out *for this job* (the
+    ``--no-por``, ``slice=False`` is ``--no-slice`` (walk the history
+    lattice for every temporal check), ``jobs`` caps the worker
+    fan-out *for this job* (the
     resident pool is shared, so this bounds shard parallelism, not
     processes).  ``inline`` carries a fuzz-program payload
     ``{"procs": [...], "deps": [[...], ...], "bug": str|null}`` for
@@ -53,6 +55,7 @@ class JobSpec:
     inline: Optional[Tuple] = None
     jobs: int = 1
     por: bool = True
+    slice: bool = True
     compile: bool = True
     history_cap: int = DEFAULT_HISTORY_CAP
     max_steps: int = DEFAULT_MAX_STEPS
@@ -73,7 +76,8 @@ class JobSpec:
             case=self.case, mutant=self.mutant, inline=self.inline,
             temporal_mode=self.temporal_mode,
             max_steps=self.max_steps, max_runs=self.max_runs,
-            history_cap=self.history_cap, por=self.por, trace=True,
+            history_cap=self.history_cap, por=self.por, slice=self.slice,
+            trace=True,
         )
 
     def describe(self) -> str:
@@ -84,6 +88,8 @@ class JobSpec:
             flags.append("mutant")
         if not self.por:
             flags.append("no-por")
+        if not self.slice:
+            flags.append("no-slice")
         if not self.compile:
             flags.append("no-compile")
         if self.jobs != 1:
@@ -93,7 +99,7 @@ class JobSpec:
     def to_json(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "mutant": self.mutant, "jobs": self.jobs, "por": self.por,
-            "compile": self.compile,
+            "slice": self.slice, "compile": self.compile,
         }
         if self.case is not None:
             out["case"] = self.case
@@ -176,6 +182,7 @@ def parse_job_spec(payload: Any,
         inline=_parse_inline(inline) if inline is not None else None,
         jobs=_int("jobs", 1, 1),
         por=_bool("por", True),
+        slice=_bool("slice", True),
         compile=_bool("compile", True),
         history_cap=_int("history_cap", DEFAULT_HISTORY_CAP, 1),
         max_steps=_int("max_steps", DEFAULT_MAX_STEPS, 1),

@@ -192,6 +192,14 @@ class ExplorationResult:
     exploration -- runs *proven redundant*, a different thing entirely
     from runs *not attempted* because a sample cap replaced exhaustion;
     :meth:`describe` reports the two separately.
+
+    ``slice_hits`` / ``slice_fallbacks`` record, once a verification
+    has consumed these runs, how many temporal restriction checks were
+    decided exactly on the computation slice versus walked over the
+    history lattice (:meth:`record_slice`, filled in by
+    :meth:`repro.engine.Engine.verify`).  Slice-exact verdicts stay
+    exact even when the *run census* is sampled -- provenance worth
+    surfacing separately from the sampled/exhaustive mode.
     """
 
     runs: List[Run] = field(default_factory=list)
@@ -199,6 +207,8 @@ class ExplorationResult:
     sample_seed: Optional[int] = None
     sample_count: Optional[int] = None
     por_pruned: int = 0
+    slice_hits: int = 0
+    slice_fallbacks: int = 0
 
     @property
     def completed_runs(self) -> List[Run]:
@@ -235,13 +245,25 @@ class ExplorationResult:
             provenance = f", {count} sampled, seeds {self.sample_seed}..{last}"
         pruned = (f", {self.por_pruned} branches pruned by por"
                   if self.por_pruned else "")
+        sliced = ""
+        if self.slice_hits or self.slice_fallbacks:
+            sliced = (f", {self.slice_hits} checks slice-exact, "
+                      f"{self.slice_fallbacks} walk fallbacks")
         return (
             f"{mode}: {len(self.runs)} runs "
             f"({self.distinct_computations()} distinct, "
             f"{len(self.completed_runs)} completed, "
             f"{len(self.deadlocked_runs)} deadlocked, "
-            f"{len(self.truncated_runs)} truncated{provenance}{pruned})"
+            f"{len(self.truncated_runs)} truncated"
+            f"{provenance}{pruned}{sliced})"
         )
+
+    def record_slice(self, hits: int, fallbacks: int) -> None:
+        """Annotate with the slice routing tallies of a verification
+        that consumed these runs (provenance only; never affects
+        verdicts)."""
+        self.slice_hits = int(hits)
+        self.slice_fallbacks = int(fallbacks)
 
 
 def explore_or_sample(

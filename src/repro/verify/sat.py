@@ -175,6 +175,7 @@ def verify_program(
     progress=None,
     tracer=None,
     por: bool = True,
+    slice: bool = True,
 ) -> VerificationReport:
     """The paper's proof obligation, executed by :mod:`repro.engine`.
 
@@ -190,6 +191,12 @@ def verify_program(
     are pruned at generation time, preserving the fingerprint set,
     every verdict and every witness; the CLI's ``--no-por`` turns it
     off (run indices and censuses then count all interleavings).
+    ``slice`` (default on) enables computation slicing
+    (:mod:`repro.core.slice`): regular temporal restrictions are
+    decided exactly on the join-closed sublattice of satisfying cuts
+    instead of walking the history lattice; non-regular shapes fall
+    back to the walk, so verdicts and details are identical either
+    way.  The CLI's ``--no-slice`` turns it off.
 
     Pass ``exploration`` to reuse runs already gathered (e.g. when
     verifying one program against several problem variants).
@@ -210,6 +217,7 @@ def verify_program(
         progress=progress,
         tracer=tracer,
         por=por,
+        slice=slice,
     )
     return Engine(config).verify(
         program, problem_spec, correspondence,

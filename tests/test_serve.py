@@ -35,6 +35,7 @@ class TestProtocol:
         assert spec.case == "monitor-bounded-buffer"
         assert not spec.mutant
         assert spec.jobs == 1 and spec.por and spec.compile
+        assert spec.slice  # computation slicing is on by default
         assert spec.temporal_mode == "compiled"
 
     def test_flags_mirror_verify_cli(self):
@@ -58,6 +59,7 @@ class TestProtocol:
         ({"case": "db_update", "jobs": 0}, "'jobs' must be"),
         ({"case": "db_update", "jobs": True}, "'jobs' must be"),
         ({"case": "db_update", "por": 1}, "'por' must be"),
+        ({"case": "db_update", "slice": "yes"}, "'slice' must be"),
         ({"inline": {"procs": []}}, "inline.procs"),
         ({"inline": {"procs": [2], "deps": [[1, 2]]}}, "inline.deps"),
         ({"inline": {"procs": [2], "bug": 7}}, "inline.bug"),
@@ -85,6 +87,14 @@ class TestProtocol:
     def test_spec_json_round_trip(self):
         spec = JobSpec(case="db_update", mutant=True, jobs=2, por=False)
         assert parse_job_spec(spec.to_json()) == spec
+
+    def test_slice_flag_round_trips_and_labels(self):
+        spec = parse_job_spec({"case": "db_update", "slice": False})
+        assert not spec.slice
+        assert parse_job_spec(spec.to_json()) == spec
+        assert "no-slice" in spec.describe()
+        assert not spec.case_ref().slice  # reaches the worker recipe
+        assert parse_job_spec({"case": "db_update"}).describe() == "db_update"
 
 
 class TestCatalogMetadata:
@@ -223,6 +233,42 @@ class TestDaemon:
         assert snap["spec"]["case"] == "csp-one-slot-buffer"
         assert snap["result"]["stats"]["mode"] == "exhaustive"
         assert "summary" in snap["result"]
+
+    def test_sampled_census_is_byte_stable_and_slice_exact(self, client):
+        """A run-capped (sampled) job reports exact slice-backed
+        verdicts, byte-stable across resubmission and across the job's
+        ``jobs`` setting (the resident pool owns the shard layout, so a
+        spec's worker cap must not perturb the sampled census).  Run
+        totals differ from a serial one-shot by design -- shard-level
+        sampling draws per shard -- so the one-shot comparison is over
+        verdicts, and the slice guarantees they are exact either way.
+        Counters cover fresh checks only (a warm shared-cache replay
+        legitimately reports zero hits), so hit counts are asserted on
+        the one-shot side in tests/test_slice.py."""
+        first = client.verify({"case": "ada-readers-writers",
+                               "max_runs": 16})
+        assert first["state"] == "done"
+        stats = first["result"]["stats"]
+        assert stats["mode"] in ("sampled", "reused")
+        assert "slice_hits" in stats and "slice_fallbacks" in stats
+        assert stats["slice_fallbacks"] == 0
+        for spec in ({"case": "ada-readers-writers", "max_runs": 16},
+                     {"case": "ada-readers-writers", "max_runs": 16,
+                      "jobs": 2}):
+            again = client.verify(spec)
+            assert again["result"]["signature"] == first["result"]["signature"]
+            assert again["result"]["stats"]["slice_fallbacks"] == 0
+        oneshot = oneshot_signature("ada-readers-writers", max_runs=16)
+        daemon_sig = first["result"]["signature"]
+        assert daemon_sig[6] == oneshot[6]  # restriction verdicts
+        assert daemon_sig[1] == oneshot[1] is False  # both sampled
+
+    def test_no_slice_job_keeps_the_signature(self, client):
+        on = client.verify({"case": "csp-bounded-buffer"})
+        off = client.verify({"case": "csp-bounded-buffer", "slice": False})
+        assert off["state"] == "done"
+        assert off["result"]["signature"] == on["result"]["signature"]
+        assert off["result"]["stats"]["slice_hits"] == 0
 
     def test_unknown_job_is_404(self, client):
         with pytest.raises(ServeError) as exc:
