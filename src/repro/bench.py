@@ -419,7 +419,9 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
         results.update(run_serve_bench(repeats=repeats))
     results.update(run_por_bench(quick=quick))
     for name, row in results.items():
-        gated = "   [gated]" if row.get("gate") else ""
+        # every row says whether its ratio participates in the baseline
+        # gate -- an [info] row that regresses is reported, never fatal
+        gated = "   [gated]" if row.get("gate") else "   [info]"
         if "full_runs" in row:
             print(f"{name:18s} full {row['full_runs']} runs "
                   f"({row['full_s']:.4f}s)   por {row['por_runs']} runs "
@@ -437,6 +439,9 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
             print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
                   f"compiled {row['compiled_s']:.4f}s   "
                   f"speedup {row['speedup']}x{gated}", file=out)
+    n_gated = sum(1 for row in results.values() if row.get("gate"))
+    print(f"{n_gated} gated workload(s), "
+          f"{len(results) - n_gated} informational", file=out)
 
     # gate before (over)writing, so a regressing run never replaces the
     # baseline it failed against

@@ -35,10 +35,20 @@ Commands:
   JSON baseline and a speedup-ratio regression gate (``--json``
   writes/gates against ``BENCH_checker.json``; see docs/PERF.md);
 * ``serve`` -- run the resident verification daemon (:mod:`repro.serve`:
-  fork-once worker pool, shared result cache, JSON-over-HTTP API;
-  see docs/SERVICE.md);
+  fork-once worker pool, shared result cache, JSON-over-HTTP API,
+  Prometheus ``/metrics`` + ``/healthz`` + ``/readyz``, and -- unless
+  ``--no-history`` -- a run-history row per completed job;
+  see docs/SERVICE.md and docs/TELEMETRY.md);
 * ``submit`` -- send one case to a running daemon and print its report
-  summary (exit codes mirror ``verify``).
+  summary (exit codes mirror ``verify``);
+* ``history`` -- analyse the persistent run history
+  (:mod:`repro.obs.runhistory`): ``list``/``show`` browse recorded
+  runs, ``trends`` summarises per-(case, flags) timing, and
+  ``regressions`` exits non-zero when the latest run of any series is
+  slower (or prunes worse) than its median-of-last-N baseline beyond
+  ``--tolerance`` -- CI consumes it directly;
+* ``top`` -- live text dashboard over a running daemon's ``/metrics``,
+  ``/stats`` and ``/jobs`` (``--once`` prints a single frame).
 
 The CLI is a thin veneer over the library; every command's work is one
 or two public API calls.
@@ -241,6 +251,8 @@ def cmd_list(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    import time
+
     from .verify import verify_program
 
     cases = _build_cases()
@@ -255,12 +267,23 @@ def cmd_verify(args) -> int:
         tracer = Tracer()
     program, spec, correspondence, program_spec = cases[args.case](args.mutant)
     mode = "lattice" if args.no_compile else "compiled"
+    started = time.perf_counter()
     report = verify_program(program, spec, correspondence,
                             program_spec=program_spec,
                             jobs=args.jobs, cache_dir=args.cache,
                             temporal_mode=mode,
                             tracer=tracer, por=args.por, slice=args.slice)
+    wall_s = time.perf_counter() - started
     print(report.summary())
+    if args.history:
+        from .obs import RunHistory, record_report
+
+        run_id = record_report(
+            RunHistory(args.history), source="cli", case=args.case,
+            flags={"jobs": args.jobs, "por": args.por, "slice": args.slice,
+                   "compile": not args.no_compile, "mutant": args.mutant},
+            report=report, wall_s=wall_s)
+        print(f"history: run #{run_id} recorded in {args.history}")
     if args.stats and report.engine_stats is not None:
         print(report.engine_stats.describe())
     if (args.witness or args.witness_dot) and not report.ok:
@@ -460,7 +483,7 @@ def cmd_fuzz(args) -> int:
 def cmd_profile(args) -> int:
     from .obs import load_trace, render_profile
 
-    data = load_trace(args.trace)
+    data = load_trace(args.trace, strict=args.strict)
     print(render_profile(data, top=args.top))
     return 0
 
@@ -473,12 +496,16 @@ def cmd_bench(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from .obs.runhistory import DEFAULT_HISTORY_DB
     from .serve import run_daemon
 
+    history_db = (None if args.no_history
+                  else (args.history_db or DEFAULT_HISTORY_DB))
     return run_daemon(host=args.host, port=args.port, jobs=args.jobs,
                       cache_dir=args.cache_dir,
                       cache_bytes=args.cache_mb << 20,
-                      job_workers=args.job_workers)
+                      job_workers=args.job_workers,
+                      history_db=history_db)
 
 
 def cmd_submit(args) -> int:
@@ -528,6 +555,54 @@ def cmd_submit(args) -> int:
     if args.mutant:
         return 0 if not ok else 1
     return 0 if ok else 1
+
+
+def cmd_history(args) -> int:
+    import os
+
+    from .obs import RunHistory, parse_tolerance
+    from .obs.runhistory import render_list, render_show, render_trends
+
+    if not os.path.exists(args.db):
+        print(f"error: history db {args.db!r} does not exist "
+              "(run with --history, or point --db at the daemon's)",
+              file=sys.stderr)
+        return 2
+    history = RunHistory(args.db)
+    if args.history_command == "list":
+        print(render_list(history.runs(case=args.case, limit=args.limit)))
+        return 0
+    if args.history_command == "show":
+        row = history.run(args.run_id)
+        if row is None:
+            print(f"error: no run #{args.run_id} in {args.db}",
+                  file=sys.stderr)
+            return 2
+        print(render_show(row))
+        return 0
+    if args.history_command == "trends":
+        print(render_trends(history.trends(case=args.case,
+                                           window=args.window)))
+        return 0
+    # regressions: the CI gate -- non-zero exit when anything regressed
+    found = history.regressions(case=args.case,
+                                baseline_runs=args.window,
+                                tolerance=parse_tolerance(args.tolerance))
+    for regression in found:
+        print(f"REGRESSION: {regression.describe()}")
+    series = len(history.trends(case=args.case))
+    if found:
+        print(f"{len(found)} regression(s) across {series} series")
+        return 1
+    print(f"no regressions across {series} series")
+    return 0
+
+
+def cmd_top(args) -> int:
+    from .obs import run_top
+
+    return run_top(host=args.host, port=args.port,
+                   interval=args.interval, once=args.once)
 
 
 def main(argv=None) -> int:
@@ -585,6 +660,12 @@ def main(argv=None) -> int:
                                "(default on; --no-slice walks the history "
                                "lattice for every check -- same verdicts "
                                "either way; docs/SLICING.md)")
+    p_verify.add_argument("--history", nargs="?", metavar="DB",
+                          const="repro_history.sqlite", default=None,
+                          help="record this run in the persistent run "
+                               "history (default file: "
+                               "repro_history.sqlite; analyse with "
+                               "'repro history'; docs/TELEMETRY.md)")
 
     p_dot = sub.add_parser("dot", help="print one execution as DOT")
     p_dot.add_argument("case")
@@ -619,6 +700,11 @@ def main(argv=None) -> int:
     p_profile.add_argument("trace", metavar="TRACE.jsonl")
     p_profile.add_argument("--top", type=int, default=10, metavar="N",
                            help="rows per ranking table (default 10)")
+    p_profile.add_argument("--strict", action="store_true",
+                           help="reject a truncated or corrupt stream "
+                                "outright instead of profiling its valid "
+                                "prefix with a warning (a stream with no "
+                                "valid header is always rejected)")
 
     p_bench = sub.add_parser(
         "bench", help="compiled-checker benchmarks with a regression gate "
@@ -653,6 +739,11 @@ def main(argv=None) -> int:
                               "(default 32)")
     p_serve.add_argument("--job-workers", type=int, default=2, metavar="N",
                          help="verifications run concurrently (default 2)")
+    p_serve.add_argument("--history-db", default=None, metavar="DB",
+                         help="record one run-history row per completed "
+                              "job here (default: repro_history.sqlite)")
+    p_serve.add_argument("--no-history", action="store_true",
+                         help="do not record run history")
 
     p_submit = sub.add_parser(
         "submit", help="submit a case to a running serve daemon")
@@ -685,6 +776,56 @@ def main(argv=None) -> int:
     p_submit.add_argument("--stats", action="store_true",
                           help="also print engine counters as JSON")
 
+    p_history = sub.add_parser(
+        "history", help="analyse the persistent run history "
+                        "(docs/TELEMETRY.md)")
+    hsub = p_history.add_subparsers(dest="history_command", required=True)
+
+    def _history_common(p, with_case=True):
+        p.add_argument("--db", default="repro_history.sqlite", metavar="DB",
+                       help="history database (default: "
+                            "repro_history.sqlite)")
+        if with_case:
+            p.add_argument("--case", default=None,
+                           help="restrict to one case")
+
+    h_list = hsub.add_parser("list", help="latest recorded runs")
+    _history_common(h_list)
+    h_list.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="rows to show (default 20)")
+
+    h_show = hsub.add_parser("show", help="one run in full, as JSON")
+    _history_common(h_show, with_case=False)
+    h_show.add_argument("run_id", type=int, metavar="RUN_ID")
+
+    h_trends = hsub.add_parser(
+        "trends", help="per-(case, flags) timing summary")
+    _history_common(h_trends)
+    h_trends.add_argument("--window", type=int, default=5, metavar="N",
+                          help="runs in the median window (default 5)")
+
+    h_reg = hsub.add_parser(
+        "regressions",
+        help="gate: non-zero exit when the latest run of any series "
+             "regressed against its median-of-last-N baseline")
+    _history_common(h_reg)
+    h_reg.add_argument("--window", type=int, default=5, metavar="N",
+                       help="baseline runs per series (default 5)")
+    h_reg.add_argument("--tolerance", default="1.5", metavar="RATIO",
+                       help="allowed slowdown/prune-loss factor, e.g. "
+                            "1.5 or 10x (default 1.5)")
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a running serve daemon")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=8642)
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="poll/redraw interval (default 1.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no ANSI "
+                            "clear; scripting/tests)")
+
     args = parser.parse_args(argv)
     handlers = {
         "list": cmd_list,
@@ -697,6 +838,8 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "history": cmd_history,
+        "top": cmd_top,
     }
     from .core.errors import VerificationError
 

@@ -14,7 +14,15 @@ Three legs, three modules (plus the offline analyser):
   unrolling flipped the verdict, rendered as text and DOT;
 * :mod:`.profile` -- ``repro profile TRACE.jsonl``: per-phase and
   per-span timing breakdowns, top restrictions by evaluation cost,
-  worker utilisation.
+  worker utilisation;
+* :mod:`.telemetry` -- Prometheus text exposition (render + parse)
+  over a :class:`MetricsRegistry`, and the :class:`TelemetryHub`
+  background sampler the serve daemon's ``GET /metrics`` rides on;
+* :mod:`.runhistory` -- the persistent (sqlite, WAL) run-history
+  store behind ``--history`` and ``repro history
+  list/show/trends/regressions``;
+* :mod:`.top` -- the ``repro top`` live dashboard over a daemon's
+  ``/metrics`` + ``/stats`` + ``/jobs``.
 
 Layering: ``obs.metrics`` and ``obs.trace`` import nothing above
 :mod:`repro.core.errors`, so every layer (core checker, scheduler,
@@ -24,12 +32,31 @@ handed no tracer use :data:`NULL_TRACER` and pay a truthiness check.
 """
 
 from .explain import ExplainStep, ExplanationTrace, explain_restriction
-from .metrics import HistogramStat, MetricsRegistry
+from .metrics import HistogramStat, MetricKindError, MetricsRegistry
+from .runhistory import (
+    HistorySchemaError,
+    Regression,
+    RunHistory,
+    RunRow,
+    parse_tolerance,
+    record_report,
+    stats_snapshot,
+)
+from .telemetry import (
+    PrometheusParseError,
+    PrometheusScrape,
+    TelemetryHub,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+)
+from .top import render_top, run_top
 from .profile import (
     load_trace,
     phase_breakdown,
     render_profile,
     restriction_costs,
+    serve_progress_events,
     span_aggregates,
     worker_utilisation,
 )
@@ -55,8 +82,13 @@ __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceData",
     "TraceSchemaError", "read_trace", "write_trace", "validate_record",
     "structure_dump", "iter_spans", "trace_records", "meta_record",
-    "MetricsRegistry", "HistogramStat",
+    "MetricsRegistry", "HistogramStat", "MetricKindError",
     "ExplanationTrace", "ExplainStep", "explain_restriction",
     "load_trace", "render_profile", "phase_breakdown", "span_aggregates",
-    "restriction_costs", "worker_utilisation",
+    "restriction_costs", "worker_utilisation", "serve_progress_events",
+    "render_prometheus", "parse_prometheus", "metric_name",
+    "PrometheusScrape", "PrometheusParseError", "TelemetryHub",
+    "RunHistory", "RunRow", "Regression", "HistorySchemaError",
+    "parse_tolerance", "record_report", "stats_snapshot",
+    "render_top", "run_top",
 ]

@@ -2,10 +2,11 @@
 
 Observability's second leg (spans in :mod:`repro.obs.trace` are the
 first): cheap numeric aggregates that survive process boundaries.  A
-:class:`MetricsRegistry` holds *counters* (monotone or gauge-set
-floats) and *histograms* (count/sum/min/max aggregates -- enough for
-means and extremes without storing samples), both keyed by a metric
-name plus a small label mapping, Prometheus-style::
+:class:`MetricsRegistry` holds *counters* (monotone, via ``inc``),
+*gauges* (set-to-current, via ``set``) and *histograms*
+(count/sum/min/max aggregates -- enough for means and extremes without
+storing samples), all keyed by a metric name plus a small label
+mapping, Prometheus-style::
 
     registry.inc("checker.evals", 42, restriction="mutex-rw")
     registry.observe("checker.seconds", 0.0031, restriction="mutex-rw")
@@ -25,11 +26,29 @@ a registry without import cycles.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: (metric name, sorted (label, value) pairs) -- the storage key.
 _Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Distinct label sets allowed per metric name before the registry
+#: folds further ones into a single ``{overflow="true"}`` series.
+DEFAULT_LABEL_SET_LIMIT = 1024
+
+#: The label set runaway-cardinality samples are folded into.
+_OVERFLOW_LABELS: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+
+class MetricKindError(ValueError):
+    """``inc``/``set``/``observe`` disagree about what a key is.
+
+    A key is a *counter* (only ever ``inc``), a *gauge* (only ever
+    ``set``) or a *histogram* (only ever ``observe``); the first write
+    fixes the kind and a mismatching later write raises instead of
+    silently giving last-writer-wins numbers.
+    """
 
 
 def _key(name: str, labels: Mapping[str, Any]) -> _Key:
@@ -65,22 +84,68 @@ class HistogramStat:
 
 
 class MetricsRegistry:
-    """Labelled counters and histograms with deterministic merge."""
+    """Labelled counters, gauges and histograms with deterministic merge.
 
-    def __init__(self) -> None:
+    Kinds are **sticky per key**: the first of ``inc`` (counter),
+    ``set`` (gauge) or ``observe`` (histogram) on a ``(name, labels)``
+    key fixes its kind, and a mismatching later write raises
+    :class:`MetricKindError` -- no last-writer-wins.  A per-name
+    **cardinality guard** caps distinct label sets at
+    ``label_set_limit``: past it, the registry warns once per name and
+    folds further label sets into one ``{overflow="true"}`` series, so
+    a buggy high-cardinality label (a run index, a fingerprint) cannot
+    grow the registry without bound.
+    """
+
+    def __init__(self,
+                 label_set_limit: int = DEFAULT_LABEL_SET_LIMIT) -> None:
         self._counters: Dict[_Key, float] = {}
         self._histograms: Dict[_Key, HistogramStat] = {}
+        #: key -> "counter" | "gauge" | "histogram" (sticky)
+        self._kinds: Dict[_Key, str] = {}
+        self._label_set_limit = max(1, int(label_set_limit))
+        self._name_keys: Dict[str, int] = {}
+        self._overflowed: set = set()
 
-    # -- counters ----------------------------------------------------------
+    def _admit(self, key: _Key, kind: str) -> _Key:
+        """Kind bookkeeping + cardinality guard; may re-route ``key``."""
+        held = self._kinds.get(key)
+        if held is not None:
+            if held != kind:
+                raise MetricKindError(
+                    f"metric {key[0]!r}{dict(key[1])} is a {held}; "
+                    f"refusing a {kind} write")
+            return key
+        name = key[0]
+        n = self._name_keys.get(name, 0)
+        if n >= self._label_set_limit and key[1] != _OVERFLOW_LABELS:
+            if name not in self._overflowed:
+                self._overflowed.add(name)
+                warnings.warn(
+                    f"metric {name!r} exceeded {self._label_set_limit} "
+                    f"distinct label sets; further label sets fold into "
+                    f"{name}{{overflow=\"true\"}}",
+                    RuntimeWarning, stacklevel=3)
+            return self._admit((name, _OVERFLOW_LABELS), kind)
+        self._name_keys[name] = n + 1
+        self._kinds[key] = kind
+        return key
+
+    def kind(self, name: str, **labels: Any) -> Optional[str]:
+        """The sticky kind of ``name{labels}``, or None if unwritten."""
+        return self._kinds.get(_key(name, labels))
+
+    # -- counters and gauges -----------------------------------------------
 
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
         """Add ``value`` to counter ``name{labels}``."""
-        k = _key(name, labels)
+        k = self._admit(_key(name, labels), "counter")
         self._counters[k] = self._counters.get(k, 0.0) + value
 
     def set(self, name: str, value: float, **labels: Any) -> None:
-        """Set counter ``name{labels}`` to ``value`` (gauge semantics)."""
-        self._counters[_key(name, labels)] = float(value)
+        """Set gauge ``name{labels}`` to ``value``."""
+        k = self._admit(_key(name, labels), "gauge")
+        self._counters[k] = float(value)
 
     def get(self, name: str, default: float = 0.0, **labels: Any) -> float:
         return self._counters.get(_key(name, labels), default)
@@ -100,7 +165,7 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one sample into histogram ``name{labels}``."""
-        k = _key(name, labels)
+        k = self._admit(_key(name, labels), "histogram")
         stat = self._histograms.get(k)
         if stat is None:
             stat = self._histograms[k] = HistogramStat()
@@ -125,10 +190,16 @@ class MetricsRegistry:
     # -- transport ---------------------------------------------------------
 
     def records(self) -> List[Dict[str, Any]]:
-        """All metrics as plain dicts (picklable, JSONL-ready), sorted."""
+        """All metrics as plain dicts (picklable, JSONL-ready), sorted.
+
+        The ``kind`` field carries the sticky key kind, so gauges
+        survive transport: a merge applies them with set semantics
+        rather than summing them like counters.
+        """
         out: List[Dict[str, Any]] = []
         for (name, labels), value in sorted(self._counters.items()):
-            out.append({"type": "metric", "kind": "counter", "name": name,
+            kind = self._kinds.get((name, labels), "counter")
+            out.append({"type": "metric", "kind": kind, "name": name,
                         "labels": dict(labels), "value": value})
         for (name, labels), stat in sorted(self._histograms.items()):
             out.append({"type": "metric", "kind": "histogram", "name": name,
@@ -137,17 +208,20 @@ class MetricsRegistry:
         return out
 
     def merge_records(self, records: Iterable[Mapping[str, Any]]) -> None:
-        """Fold serialized :meth:`records` in: counters add, histograms
-        combine.  Merging the same registry's records twice double-counts
-        -- callers merge each segment exactly once, in shard order."""
+        """Fold serialized :meth:`records` in: counters add, gauges set
+        (the incoming value wins), histograms combine.  Merging the same
+        registry's records twice double-counts the counters -- callers
+        merge each segment exactly once, in shard order."""
         for rec in records:
             if rec.get("type") != "metric":
                 continue
             labels = dict(rec.get("labels", {}))
             if rec["kind"] == "counter":
                 self.inc(rec["name"], float(rec["value"]), **labels)
+            elif rec["kind"] == "gauge":
+                self.set(rec["name"], float(rec["value"]), **labels)
             elif rec["kind"] == "histogram":
-                k = _key(rec["name"], labels)
+                k = self._admit(_key(rec["name"], labels), "histogram")
                 stat = self._histograms.setdefault(k, HistogramStat())
                 stat.combine(HistogramStat(
                     count=int(rec["count"]), total=float(rec["sum"]),
@@ -155,12 +229,7 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in (in-process convenience)."""
-        for (name, labels), value in other._counters.items():
-            self._counters[(name, labels)] = (
-                self._counters.get((name, labels), 0.0) + value)
-        for (name, labels), stat in other._histograms.items():
-            agg = self._histograms.setdefault((name, labels), HistogramStat())
-            agg.combine(stat)
+        self.merge_records(other.records())
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._histograms)

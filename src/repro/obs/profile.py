@@ -13,10 +13,19 @@ needs answered before anything can be optimised:
 * **worker utilisation** -- per-worker busy time over the explore+check
   window, which shows shard imbalance directly.
 
+The same analyses run on a serve daemon's ``/jobs/<id>/events``
+stream saved to a file: the stream is a schema-v1 trace whose extra
+``serve.progress`` counter records (live ``phase:*`` / ``task:done``
+events, payload stringified into labels) fold into the phase breakdown
+when no spans or phase metrics made it into the stream, and are
+summarised in their own section.
+
 Everything here is a pure function of the parsed
 :class:`repro.obs.trace.TraceData`; the CLI wrapper just reads, renders
 and prints.  Reading validates every record against the schema, so
-``repro profile`` doubles as the trace validator CI uses.
+``repro profile`` doubles as the trace validator CI uses -- pass
+``strict=False`` to salvage the valid prefix of a truncated or corrupt
+stream instead (the report then opens with a truncation warning).
 """
 
 from __future__ import annotations
@@ -27,16 +36,18 @@ from .metrics import HistogramStat, MetricsRegistry
 from .trace import Span, TraceData, iter_spans, read_trace
 
 
-def load_trace(path: str) -> TraceData:
+def load_trace(path: str, strict: bool = True) -> TraceData:
     """Read + validate a trace file (thin alias of :func:`read_trace`)."""
-    return read_trace(path)
+    return read_trace(path, strict=strict)
 
 
 def phase_breakdown(data: TraceData) -> List[Tuple[str, float]]:
     """(phase name, accumulated seconds), longest first.
 
     Prefers ``phase:*`` spans; falls back to the ``engine.phase_seconds``
-    metric so traces written without span detail still profile.
+    metric so traces written without span detail still profile, then to
+    ``serve.progress`` ``phase:end`` events (which carry the elapsed
+    seconds as a label) so a live event stream profiles too.
     """
     acc: Dict[str, float] = {}
     for span in iter_spans(data.spans):
@@ -47,7 +58,34 @@ def phase_breakdown(data: TraceData) -> List[Tuple[str, float]]:
         registry = MetricsRegistry()
         registry.merge_records(data.metric_records)
         acc = registry.by_label("engine.phase_seconds", "phase")
+    if not acc:
+        for rec in data.metric_records:
+            labels = rec.get("labels", {})
+            if (rec.get("name") == "serve.progress"
+                    and labels.get("event") == "phase:end"):
+                try:
+                    seconds = float(labels.get("seconds", ""))
+                except ValueError:
+                    continue
+                name = labels.get("phase", "?")
+                acc[name] = acc.get(name, 0.0) + seconds
     return sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def serve_progress_events(data: TraceData) -> List[Tuple[str, int]]:
+    """(event, occurrences) from ``serve.progress`` records, sorted.
+
+    Empty for ``--trace`` files -- only daemon event streams carry
+    these -- so the profile report shows the section exactly when it
+    profiles a serve stream.
+    """
+    acc: Dict[str, int] = {}
+    for rec in data.metric_records:
+        if rec.get("name") != "serve.progress":
+            continue
+        event = rec.get("labels", {}).get("event", "?")
+        acc[event] = acc.get(event, 0) + int(rec.get("value", 1))
+    return sorted(acc.items())
 
 
 def span_aggregates(data: TraceData) -> List[Tuple[str, HistogramStat]]:
@@ -106,6 +144,9 @@ def render_profile(data: TraceData, top: int = 10) -> str:
     lines.append(f"trace: schema v{schema}, created {created}, "
                  f"{n_spans} span(s), {len(data.metric_records)} metric(s), "
                  f"{len(data.explanations)} explanation(s)")
+    if data.truncated:
+        lines.append(f"WARNING: stream truncated after "
+                     f"{data.records_read} valid record(s): {data.error}")
 
     phases = phase_breakdown(data)
     lines.append("")
@@ -138,9 +179,18 @@ def render_profile(data: TraceData, top: int = 10) -> str:
     else:
         lines.append("  (no checker metrics in trace)")
 
+    progress = serve_progress_events(data)
+    if progress:
+        lines.append("")
+        lines.append("serve progress (live events):")
+        for event, count in progress:
+            lines.append(f"  {event:16s} {count:6d} event(s)")
+
     workers = worker_utilisation(data)
     lines.append("")
-    lines.append("workers:")
+    # a stream with live serve events came from the daemon, where task
+    # spans name the *resident* pool's workers
+    lines.append("workers (resident pool):" if progress else "workers:")
     if workers:
         for worker, n_tasks, busy, util in workers:
             lines.append(f"  {worker:24s} {n_tasks:4d} task(s)  "

@@ -1,0 +1,294 @@
+"""Prometheus exposition and background sampling for the serve daemon.
+
+Two pieces, both dependency-free (stdlib + :mod:`repro.obs.metrics`
+only) so the daemon, the CLI dashboard and the tests share one
+implementation:
+
+* :func:`render_prometheus` -- a :class:`MetricsRegistry` (or its
+  :meth:`~MetricsRegistry.records` list) rendered in the Prometheus
+  text exposition format (version 0.0.4): ``# TYPE`` lines per family,
+  label escaping, counters as counters, gauges as gauges, histograms
+  as ``summary`` families plus ``_min``/``_max`` gauge families.
+  Metric names are mangled (``engine.runs`` -> ``repro_engine_runs``)
+  because Prometheus names admit no dots.  :func:`parse_prometheus`
+  is the matching reader -- ``repro top`` and the test suite consume
+  scrapes through it, so the format is round-tripped, not just
+  emitted.
+* :class:`TelemetryHub` -- a background daemon thread that invokes a
+  *sampler* callback against a registry on a fixed interval, so gauges
+  describing live state (queue depth, jobs in flight, cache bytes,
+  uptime) are refreshed off the request path: a ``GET /metrics``
+  scrape only renders the registry, it never walks the pool or takes
+  job locks.  A sampler that raises is warned about once and disabled
+  (the same contract as engine progress hooks) -- telemetry must never
+  take the service down.
+
+Exposition is observability, not verification state: nothing here
+feeds back into reports, and the serve test suite asserts report
+signatures are byte-identical with telemetry on and off.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import warnings
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Tuple, Union)
+
+from .metrics import MetricsRegistry
+
+#: Prefix every exposed metric family carries.
+METRIC_PREFIX = "repro"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str) -> str:
+    """``engine.runs`` -> ``repro_engine_runs`` (Prometheus-legal)."""
+    return f"{METRIC_PREFIX}_{_NAME_RE.sub('_', name)}"
+
+
+def _label_name(name: str) -> str:
+    mangled = _LABEL_RE.sub("_", name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled or "_"
+
+
+def _escape_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_value(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def _format_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_label_name(k)}="{_escape_value(str(v))}"'
+        for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    source: Union[MetricsRegistry, Iterable[Mapping[str, Any]]],
+) -> str:
+    """The Prometheus text-format body for one registry snapshot.
+
+    Families are emitted in sorted name order, each preceded by its
+    ``# TYPE`` line.  A family whose keys disagree on kind (possible:
+    kinds are sticky per *key*, not per name) is exposed as
+    ``untyped``.  Histograms become ``summary`` families (``_count`` +
+    ``_sum`` samples) plus ``_min``/``_max`` gauge families, which is
+    everything :class:`~repro.obs.metrics.HistogramStat` aggregates.
+    """
+    records = (source.records() if isinstance(source, MetricsRegistry)
+               else list(source))
+    # family name -> (kinds seen, scalar samples, histogram samples)
+    scalars: Dict[str, List[Tuple[Mapping[str, str], float]]] = {}
+    histograms: Dict[str, List[Tuple[Mapping[str, str],
+                                     Mapping[str, float]]]] = {}
+    kinds: Dict[str, set] = {}
+    for rec in records:
+        if rec.get("type") != "metric":
+            continue
+        family = metric_name(rec["name"])
+        kinds.setdefault(family, set()).add(rec["kind"])
+        if rec["kind"] == "histogram":
+            histograms.setdefault(family, []).append(
+                (rec.get("labels", {}),
+                 {"count": float(rec["count"]), "sum": float(rec["sum"]),
+                  "min": float(rec["min"]), "max": float(rec["max"])}))
+        else:
+            scalars.setdefault(family, []).append(
+                (rec.get("labels", {}), float(rec["value"])))
+
+    lines: List[str] = []
+    for family in sorted(set(scalars) | set(histograms)):
+        seen = kinds[family]
+        if seen == {"counter"}:
+            family_type = "counter"
+        elif seen == {"gauge"}:
+            family_type = "gauge"
+        elif seen == {"histogram"}:
+            family_type = "summary"
+        else:
+            family_type = "untyped"
+        lines.append(f"# TYPE {family} {family_type}")
+        for labels, value in scalars.get(family, ()):
+            lines.append(
+                f"{family}{_labels_text(labels)} {_format_number(value)}")
+        if family in histograms:
+            for labels, stat in histograms[family]:
+                text = _labels_text(labels)
+                lines.append(
+                    f"{family}_count{text} {_format_number(stat['count'])}")
+                lines.append(
+                    f"{family}_sum{text} {_format_number(stat['sum'])}")
+            for suffix in ("min", "max"):
+                lines.append(f"# TYPE {family}_{suffix} gauge")
+                for labels, stat in histograms[family]:
+                    lines.append(
+                        f"{family}_{suffix}{_labels_text(labels)} "
+                        f"{_format_number(stat[suffix])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PrometheusParseError(ValueError):
+    """A line the text-format reader cannot interpret."""
+
+
+#: One parsed sample: (family, ((label, value), ...)) -> float.
+Sample = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class PrometheusScrape:
+    """A parsed ``/metrics`` body: samples plus family types."""
+
+    def __init__(self) -> None:
+        self.samples: Dict[Sample, float] = {}
+        self.types: Dict[str, str] = {}
+
+    def value(self, family: str, default: float = 0.0,
+              **labels: str) -> float:
+        key = (family, tuple(sorted(
+            (k, str(v)) for k, v in labels.items())))
+        return self.samples.get(key, default)
+
+    def family(self, family: str) -> Dict[Tuple[Tuple[str, str], ...],
+                                          float]:
+        return {labels: v for (name, labels), v in self.samples.items()
+                if name == family}
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def parse_prometheus(text: str) -> PrometheusScrape:
+    """Parse a text-format exposition body (the subset we emit).
+
+    Raises :class:`PrometheusParseError` on any line that is neither a
+    comment, blank, nor a well-formed sample -- the tests use this to
+    assert ``GET /metrics`` output *parses*, so leniency here would
+    hollow out the acceptance criterion.
+    """
+    scrape = PrometheusScrape()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                scrape.types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"line {lineno}: bad sample {line!r}")
+        name, labels_text, value_text = match.groups()
+        labels: List[Tuple[str, str]] = []
+        if labels_text:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(labels_text):
+                labels.append((pair.group(1),
+                               _unescape_value(pair.group(2))))
+                consumed = pair.end()
+            rest = labels_text[consumed:].strip().strip(",")
+            if rest:
+                raise PrometheusParseError(
+                    f"line {lineno}: bad labels {labels_text!r}")
+        try:
+            if value_text == "+Inf":
+                value = float("inf")
+            elif value_text == "-Inf":
+                value = float("-inf")
+            else:
+                value = float(value_text)
+        except ValueError:
+            raise PrometheusParseError(
+                f"line {lineno}: bad value {value_text!r}") from None
+        scrape.samples[(name, tuple(sorted(labels)))] = value
+    return scrape
+
+
+#: A sampler sets gauges on the registry it is handed.
+Sampler = Callable[[MetricsRegistry], None]
+
+
+class TelemetryHub:
+    """Runs a sampler against a registry on a background thread.
+
+    The daemon's scrape path only *renders* the registry; everything
+    that requires walking live state (pool, queue, cache) happens here,
+    on this thread, at ``interval`` seconds -- so a slow or contended
+    sample can delay gauge freshness but never a scrape or a job.
+    """
+
+    def __init__(self, registry: MetricsRegistry, sampler: Sampler,
+                 interval: float = 0.5) -> None:
+        self.registry = registry
+        self.interval = max(0.05, float(interval))
+        self._sampler: Optional[Sampler] = sampler
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: completed sample passes (also the readiness signal: a hub
+        #: that has sampled at least once has seen the pool primed)
+        self.samples = 0
+
+    def sample_now(self) -> bool:
+        """One guarded sample pass; False once the sampler is disabled."""
+        if self._sampler is None:
+            return False
+        try:
+            self._sampler(self.registry)
+        except Exception as exc:  # noqa: BLE001 - never kill the daemon
+            self._sampler = None
+            warnings.warn(
+                f"telemetry sampler raised {exc!r}; sampling disabled",
+                RuntimeWarning, stacklevel=2)
+            return False
+        self.samples += 1
+        return True
+
+    def start(self) -> "TelemetryHub":
+        if self._thread is not None:
+            return self
+        self.sample_now()  # prime the gauges before the first scrape
+
+        def run() -> None:
+            while not self._stop.wait(self.interval):
+                if not self.sample_now():
+                    return
+
+        self._thread = threading.Thread(
+            target=run, name="telemetry-hub", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

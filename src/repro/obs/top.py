@@ -1,0 +1,122 @@
+"""``repro top`` -- a live text dashboard over a serve daemon.
+
+Polls ``GET /metrics`` (Prometheus text), ``GET /stats`` and ``GET
+/jobs`` and renders one compact screen: pool and queue occupancy,
+shared-cache size, the engine/POR/slice counters of the work done so
+far, and the most recent jobs with their wall times.  Rendering is a
+pure function (:func:`render_top`) over the three snapshots so tests
+can assert on the output without a terminal or a ticking clock; the
+polling loop (:func:`run_top`) owns the clock, the ANSI clear, and the
+exit code.
+
+The dashboard reads the *exposition*, not the service internals --
+``/metrics`` through :func:`repro.obs.telemetry.parse_prometheus` --
+so it doubles as a continuous check that the daemon's Prometheus
+output stays parseable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional, TextIO
+
+from .telemetry import PrometheusScrape, parse_prometheus
+
+#: ANSI: clear screen, cursor home.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GiB"
+
+
+def render_top(scrape: PrometheusScrape, stats: Mapping[str, Any],
+               jobs: List[Mapping[str, Any]], *, endpoint: str = "",
+               max_jobs: int = 12) -> str:
+    """One dashboard frame from the three polled snapshots."""
+    val = scrape.value
+    pool = stats.get("pool", {})
+    counts = stats.get("jobs", {})
+    cache = stats.get("cache", {})
+    lines: List[str] = []
+
+    uptime = val("repro_serve_uptime_seconds")
+    lines.append(f"repro top -- {endpoint or 'serve daemon'}"
+                 f"   uptime {uptime:8.1f}s")
+    lines.append(
+        f"pool   : {pool.get('workers', '?')} worker(s)"
+        f"{' resident' if pool.get('resident') else ''}   "
+        f"inflight {int(val('repro_serve_jobs_inflight'))}   "
+        f"queued {int(val('repro_serve_queue_depth'))}   "
+        f"utilisation {val('repro_serve_worker_utilisation'):.0%}")
+    lines.append(
+        f"jobs   : {counts.get('done', 0)} done, "
+        f"{counts.get('running', 0)} running, "
+        f"{counts.get('queued', 0)} queued, "
+        f"{counts.get('failed', 0)} failed, "
+        f"{counts.get('cancelled', 0)} cancelled")
+    lines.append(
+        f"cache  : {int(cache.get('entries', 0))} entries, "
+        f"{_fmt_bytes(float(cache.get('bytes', 0)))}, "
+        f"{int(val('repro_cache_evictions'))} eviction(s), "
+        f"hits {int(cache.get('hits', 0))} / "
+        f"misses {int(cache.get('misses', 0))}")
+    lines.append(
+        f"engine : runs {int(val('repro_engine_runs'))}   "
+        f"distinct {int(val('repro_engine_distinct_computations'))}   "
+        f"fresh checks {int(val('repro_engine_checks_performed'))}   "
+        f"cache hits {int(val('repro_engine_cache_hits'))}   "
+        f"dedupe {int(val('repro_engine_dedupe_hits'))}")
+    lines.append(
+        f"por    : nodes {int(val('repro_por_nodes'))}   "
+        f"pruned {int(val('repro_por_pruned_interleavings'))}   "
+        f"slice hits {int(val('repro_checker_slice_hits'))} / "
+        f"fallbacks {int(val('repro_checker_slice_fallbacks'))}")
+
+    lines.append("")
+    lines.append(f"latest job(s) (of {len(jobs)}):")
+    if jobs:
+        for job in jobs[-max_jobs:]:
+            wall = job.get("wall_s")
+            wall_text = f"{wall:8.3f}s" if wall is not None else "        -"
+            lines.append(f"  {job.get('id', '?'):>5}  "
+                         f"{job.get('state', '?'):9s}  {wall_text}  "
+                         f"{job.get('label', '?')}")
+    else:
+        lines.append("  (no jobs submitted yet)")
+    return "\n".join(lines)
+
+
+def run_top(host: str = "127.0.0.1", port: int = 8642,
+            interval: float = 1.0, once: bool = False,
+            out: Optional[TextIO] = None) -> int:
+    """Poll-and-render loop behind ``repro top``; Ctrl-C exits cleanly."""
+    from ..serve.client import ServeClient, ServeError
+
+    stream = out if out is not None else sys.stdout
+    client = ServeClient(host, port, timeout=10.0)
+    endpoint = f"http://{host}:{port}"
+    try:
+        while True:
+            try:
+                scrape = parse_prometheus(client.metrics_text())
+                stats = client.stats()
+                jobs = client.jobs_list()
+            except (OSError, ServeError) as exc:
+                print(f"repro top: cannot reach {endpoint}: {exc}",
+                      file=sys.stderr)
+                return 1
+            frame = render_top(scrape, stats, jobs, endpoint=endpoint)
+            if once:
+                print(frame, file=stream)
+                return 0
+            print(_CLEAR + frame, file=stream, flush=True)
+            time.sleep(max(0.1, interval))
+    except KeyboardInterrupt:
+        print("", file=stream)
+        return 0

@@ -279,7 +279,7 @@ def validate_record(rec: Mapping[str, Any]) -> None:
             raise TraceSchemaError("span attrs/meta must be objects")
     elif rtype == "metric":
         kind = rec.get("kind")
-        if kind == "counter":
+        if kind in ("counter", "gauge"):
             required: Tuple[str, ...] = ("name", "labels", "value")
         elif kind == "histogram":
             required = ("name", "labels", "count", "sum", "min", "max")
@@ -351,21 +351,47 @@ def write_trace(
 
 
 class TraceData:
-    """A parsed trace: span forest + raw metric/explanation records."""
+    """A parsed trace: span forest + raw metric/explanation records.
+
+    ``error`` is only populated by tolerant reads
+    (``read_trace(..., strict=False)``): a structured description of
+    the first malformed line, after which reading stopped -- the rest
+    of the object is the valid prefix.  Strict reads either raise or
+    leave it ``None``.
+    """
 
     def __init__(self) -> None:
         self.meta: Dict[str, Any] = {}
         self.spans: List[Span] = []
         self.metric_records: List[Dict[str, Any]] = []
         self.explanations: List[Dict[str, Any]] = []
+        self.error: Optional[str] = None
+        #: records successfully parsed (the valid-prefix length)
+        self.records_read: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when a tolerant read stopped at a malformed line."""
+        return self.error is not None
 
 
-def read_trace(path_or_file: Union[str, IO[str]]) -> TraceData:
+def read_trace(path_or_file: Union[str, IO[str]],
+               strict: bool = True) -> TraceData:
     """Parse and validate a JSONL trace written by :func:`write_trace`.
 
     Every line is validated; the span tree is rebuilt from sid/parent
-    links.  Raises :class:`TraceSchemaError` on any malformed line --
-    a half-understood trace is worse than none.
+    links.  ``strict=True`` (the default) raises
+    :class:`TraceSchemaError` on any malformed line -- a
+    half-understood trace is worse than none when the question is
+    whether a writer is schema-correct.
+
+    ``strict=False`` is for streams a daemon may have died mid-write
+    on: the first malformed line *after a valid meta header* stops
+    reading and is reported on ``TraceData.error``, and the valid
+    prefix is returned intact.  A stream whose header itself is missing
+    or malformed still raises -- there is no prefix worth salvaging,
+    and the writer-side contract (header first, before any payload
+    record) makes a bad header corruption of a different kind.
     """
     if isinstance(path_or_file, str):
         with open(path_or_file, "r", encoding="utf-8") as fh:
@@ -375,6 +401,13 @@ def read_trace(path_or_file: Union[str, IO[str]]) -> TraceData:
 
     data = TraceData()
     by_sid: Dict[int, Span] = {}
+
+    def bad(message: str) -> TraceData:
+        if not data.meta or strict:
+            raise TraceSchemaError(message)
+        data.error = message
+        return data
+
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -382,33 +415,34 @@ def read_trace(path_or_file: Union[str, IO[str]]) -> TraceData:
         try:
             rec = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise TraceSchemaError(f"line {lineno}: invalid JSON: {exc}")
+            return bad(f"line {lineno}: invalid JSON: {exc}")
         try:
             validate_record(rec)
         except TraceSchemaError as exc:
-            raise TraceSchemaError(f"line {lineno}: {exc}")
+            return bad(f"line {lineno}: {exc}")
         if lineno == 1 and rec["type"] != "meta":
-            raise TraceSchemaError("first record must be the meta header")
+            return bad("first record must be the meta header")
         if rec["type"] == "meta":
             data.meta = dict(rec)
         elif rec["type"] == "span":
             span = Span(rec["name"], rec["attrs"], rec["meta"])
             span.t_start = float(rec["t_start"])
             span.t_end = float(rec["t_end"])
-            by_sid[int(rec["sid"])] = span
             parent = rec["parent"]
             if parent is None:
                 data.spans.append(span)
             elif int(parent) in by_sid:
                 by_sid[int(parent)].children.append(span)
             else:
-                raise TraceSchemaError(
+                return bad(
                     f"line {lineno}: span {rec['sid']} references unknown "
                     f"parent {parent}")
+            by_sid[int(rec["sid"])] = span
         elif rec["type"] == "metric":
             data.metric_records.append(rec)
         else:
             data.explanations.append(rec)
+        data.records_read += 1
     if not data.meta:
         raise TraceSchemaError("trace has no meta header")
     return data

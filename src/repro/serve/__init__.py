@@ -36,10 +36,14 @@ API summary (all request/response bodies JSON)::
 
     GET  /cases            catalog: name, language, mutant availability
     POST /jobs             submit one spec or a list of specs
+    GET  /jobs             light listing of every accepted job
     GET  /jobs/<id>        status; report signature+summary when done
     GET  /jobs/<id>/events schema-v1 JSONL stream (live, then full)
     POST /jobs/<id>/cancel best-effort cancellation
     GET  /stats            pool, queue, and cache metrics
+    GET  /metrics          Prometheus text exposition (not JSON)
+    GET  /healthz          liveness (200 whenever the loop is up)
+    GET  /readyz           readiness (503 until the pool is primed)
 """
 
 from .client import ServeClient

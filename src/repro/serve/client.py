@@ -65,6 +65,17 @@ class ServeClient:
         finally:
             conn.close()
 
+    def _raw(self, method: str, path: str) -> "tuple[int, bytes]":
+        """(status, body) without JSON decoding -- /metrics is text."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, path)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
     # -- endpoints ----------------------------------------------------------
 
     def cases(self) -> List[Dict[str, Any]]:
@@ -86,6 +97,28 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/stats")
+
+    def jobs_list(self) -> List[Dict[str, Any]]:
+        """Light rows for every job the daemon has accepted."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text body of ``GET /metrics``."""
+        status, body = self._raw("GET", "/metrics")
+        if status >= 400:
+            raise ServeError(status, body[:200].decode("utf-8", "replace"))
+        return body.decode("utf-8")
+
+    def healthz(self) -> bool:
+        """Liveness: True iff ``GET /healthz`` answered 200."""
+        status, _body = self._raw("GET", "/healthz")
+        return status == 200
+
+    def readyz(self) -> bool:
+        """Readiness: True iff the daemon reports its pool primed
+        (``GET /readyz`` answers 503 until then -- not an error)."""
+        status, _body = self._raw("GET", "/readyz")
+        return status == 200
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 0.02) -> Dict[str, Any]:

@@ -10,8 +10,22 @@ Two halves, deliberately decoupled:
   nothing about HTTP; tests drive it directly.
 * :class:`ServeServer` is a hand-rolled ``asyncio`` HTTP/1.1 front end
   (stdlib only -- the whole repo's no-new-dependencies rule applies to
-  the daemon too).  It parses just enough HTTP to route the six
-  endpoints and streams job events as close-delimited JSONL.
+  the daemon too).  It parses just enough HTTP to route the endpoints
+  and streams job events as close-delimited JSONL.
+
+Telemetry rides on the same split: the service owns a cumulative
+:class:`repro.obs.MetricsRegistry` (every finished job's engine
+metrics fold in, counters accumulating and gauges taking the latest
+value) plus a :class:`repro.obs.TelemetryHub` whose background sampler
+refreshes the *live* gauges -- queue depth, jobs in flight, worker
+utilisation, cache size, uptime -- so ``GET /metrics`` only renders a
+registry snapshot (Prometheus text format) and never walks the pool
+on the scrape path.  ``GET /healthz`` answers whenever the loop is up
+(liveness); ``GET /readyz`` answers 200 only once the resident pool
+is primed and the service is not shutting down.  When constructed
+with a ``history_db`` path, the service also records one
+:class:`repro.obs.RunHistory` row per completed job (including
+failures), which ``repro history`` analyses offline.
 
 Every job runs through :class:`repro.engine.Engine` with the *same*
 configuration surface as ``repro verify``; the only differences are
@@ -26,6 +40,8 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -37,7 +53,16 @@ from ..engine import (
     SharedResultCache,
     WorkerPool,
 )
-from ..obs import MetricsRegistry, Tracer, meta_record, trace_records
+from ..obs import (
+    MetricsRegistry,
+    RunHistory,
+    TelemetryHub,
+    Tracer,
+    meta_record,
+    render_prometheus,
+    stats_snapshot,
+    trace_records,
+)
 from .protocol import (
     JobSpec,
     ProtocolError,
@@ -60,8 +85,13 @@ class VerificationService:
         cache_dir: Optional[str] = None,
         cache_bytes: int = 32 << 20,
         job_workers: int = 2,
+        history_db: Optional[str] = None,
+        telemetry_interval: float = 0.5,
     ) -> None:
         self.metrics = MetricsRegistry()
+        #: serialises registry mutation (job merges, sampler, service
+        #: counters) against exposition renders
+        self._metrics_lock = threading.RLock()
         self.shared_cache = SharedResultCache(
             max_bytes=cache_bytes, directory=cache_dir, metrics=self.metrics)
         # fork NOW, while the process is small and holds no workload:
@@ -77,6 +107,61 @@ class VerificationService:
         self._objects_lock = threading.Lock()
         self.job_workers = max(1, job_workers)
         self._closed = False
+        self.history = RunHistory(history_db) if history_db else None
+        self._started_at = time.monotonic()
+        self.hub = TelemetryHub(self.metrics, self._sample,
+                                interval=telemetry_interval).start()
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _inc(self, name: str, value: float = 1.0) -> None:
+        with self._metrics_lock:
+            self.metrics.inc(name, value)
+
+    def _sample(self, registry: MetricsRegistry) -> None:
+        """The hub's sampler: refresh every live-state gauge."""
+        counts = self.queue.counts()
+        with self._metrics_lock:
+            registry.set("serve.queue.depth", counts["queued"])
+            registry.set("serve.jobs.inflight", counts["running"])
+            registry.set("serve.worker.utilisation",
+                         counts["running"] / self.job_workers)
+            registry.set("serve.workers", self.pool.workers)
+            registry.set("serve.job_workers", self.job_workers)
+            registry.set("serve.uptime.seconds",
+                         time.monotonic() - self._started_at)
+            registry.set("serve.cache.entries", self.shared_cache.entries)
+            registry.set("serve.cache.bytes", self.shared_cache.bytes_used)
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text format)."""
+        with self._metrics_lock:
+            return render_prometheus(self.metrics)
+
+    @property
+    def ready(self) -> bool:
+        """Pool primed (the hub has sampled it) and not shutting down."""
+        return not self._closed and self.hub.samples > 0
+
+    def _record_history(self, job: Job, *, ok: bool, mode: str,
+                        signature: Any, wall_s: float,
+                        stats: Dict[str, Any]) -> None:
+        """One history row per completed job; never fails the job."""
+        if self.history is None:
+            return
+        spec = job.spec
+        try:
+            self.history.record(
+                source="serve",
+                case=spec.case if spec.case else "inline",
+                flags={"jobs": spec.jobs, "por": spec.por,
+                       "slice": spec.slice, "compile": spec.compile,
+                       "mutant": spec.mutant},
+                ok=ok, mode=mode, signature=signature, wall_s=wall_s,
+                stats=stats)
+        except Exception as exc:  # noqa: BLE001 - history is best-effort
+            warnings.warn(f"run-history write failed: {exc!r}",
+                          RuntimeWarning, stacklevel=2)
 
     # -- workload construction ---------------------------------------------
 
@@ -103,14 +188,14 @@ class VerificationService:
             raise VerificationError("service is shutting down")
         jobs = [self.queue.create(spec) for spec in specs]
         for job in jobs:
-            self.metrics.inc("serve.jobs.submitted")
+            self._inc("serve.jobs.submitted")
             self._executor.submit(self._run_job, job)
         return jobs
 
     def _run_job(self, job: Job) -> None:
         if not job.start_running():
             # cancelled while queued; JobQueue.cancel already flipped it
-            self.metrics.inc("serve.jobs.cancelled")
+            self._inc("serve.jobs.cancelled")
             return
         job.append_records([meta_record()])
         spec = job.spec
@@ -147,15 +232,21 @@ class VerificationService:
             engine = Engine(config)
             report = engine.verify(program, pspec, corr, program_spec=prspec)
         except JobCancelled:
-            self.metrics.inc("serve.jobs.cancelled")
+            self._inc("serve.jobs.cancelled")
             job.transition(JobState.CANCELLED)
             return
         except GemError as exc:
-            self.metrics.inc("serve.jobs.failed")
+            self._inc("serve.jobs.failed")
+            self._record_history(job, ok=False, mode="failed",
+                                 signature=[], wall_s=job.wall_s or 0.0,
+                                 stats={})
             job.transition(JobState.FAILED, error=str(exc))
             return
         except Exception as exc:  # noqa: BLE001 - a job must not kill the daemon
-            self.metrics.inc("serve.jobs.failed")
+            self._inc("serve.jobs.failed")
+            self._record_history(job, ok=False, mode="failed",
+                                 signature=[], wall_s=job.wall_s or 0.0,
+                                 stats={})
             job.transition(JobState.FAILED,
                            error=f"{type(exc).__name__}: {exc}")
             return
@@ -165,13 +256,24 @@ class VerificationService:
         # the full schema-v1 trace, minus its meta header (the stream
         # already opened with one): spans then metrics then explanations
         job.append_records(trace_records(tracer, stats.metrics)[1:])
-        self.metrics.inc("serve.jobs.done")
-        self.metrics.inc("serve.cache.hits", stats.cache_hits)
-        self.metrics.inc("serve.cache.misses", stats.checks_performed)
+        self._inc("serve.jobs.done")
+        self._inc("serve.cache.hits", stats.cache_hits)
+        self._inc("serve.cache.misses", stats.checks_performed)
+        # fold the job's engine metrics into the cumulative service
+        # registry: counters accumulate across jobs, gauges (the
+        # engine.* stats view) take the latest job's value
+        with self._metrics_lock:
+            self.metrics.merge_records(stats.metrics.records())
+        wall_s = job.wall_s or 0.0
+        signature = signature_json(report.signature())
+        self._record_history(job, ok=report.ok, mode=stats.mode,
+                             signature=signature, wall_s=wall_s,
+                             stats=stats_snapshot(stats))
         job.transition(JobState.DONE, result={
             "ok": report.ok,
-            "signature": signature_json(report.signature()),
+            "signature": signature,
             "summary": report.summary(),
+            "wall_s": wall_s,
             "stats": {
                 "mode": stats.mode,
                 "jobs": stats.jobs,
@@ -181,6 +283,8 @@ class VerificationService:
                 "checks_performed": stats.checks_performed,
                 "cache_hits": stats.cache_hits,
                 "dedupe_hits": stats.dedupe_hits,
+                "por_nodes": stats.por_nodes,
+                "por_pruned": stats.por_pruned,
                 "slice_hits": stats.slice_hits,
                 "slice_fallbacks": stats.slice_fallbacks,
             },
@@ -205,6 +309,7 @@ class VerificationService:
 
     def close(self) -> None:
         self._closed = True
+        self.hub.stop()
         self._executor.shutdown(wait=True)
         self.pool.close()
         self.shared_cache.save()
@@ -222,7 +327,8 @@ class _HttpError(Exception):
 
 _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 405: "Method Not Allowed",
-                409: "Conflict", 500: "Internal Server Error"}
+                409: "Conflict", 500: "Internal Server Error",
+                503: "Service Unavailable"}
 
 _MAX_BODY = 4 << 20
 
@@ -267,8 +373,22 @@ def _response(status: int, payload: Any) -> bytes:
     return head.encode("ascii") + body
 
 
+#: The content type Prometheus scrapers expect from /metrics.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _text_response(status: int, text: str,
+                   content_type: str = _METRICS_CONTENT_TYPE) -> bytes:
+    body = text.encode("utf-8")
+    head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
 class ServeServer:
-    """Routes the six serve endpoints onto a :class:`VerificationService`."""
+    """Routes the serve endpoints onto a :class:`VerificationService`."""
 
     def __init__(self, service: VerificationService,
                  host: str = "127.0.0.1", port: int = 0) -> None:
@@ -325,6 +445,22 @@ class ServeServer:
             return
         if path == "/stats" and method == "GET":
             writer.write(_response(200, self.service.stats_json()))
+            return
+        if path == "/metrics" and method == "GET":
+            writer.write(_text_response(200, self.service.metrics_text()))
+            return
+        if path == "/healthz" and method == "GET":
+            # liveness: the loop answered, nothing else is claimed
+            writer.write(_response(200, {"ok": True}))
+            return
+        if path == "/readyz" and method == "GET":
+            ready = self.service.ready
+            writer.write(_response(200 if ready else 503,
+                                   {"ready": ready}))
+            return
+        if path == "/jobs" and method == "GET":
+            writer.write(_response(
+                200, {"jobs": self.service.queue.listing()}))
             return
         if path == "/jobs" and method == "POST":
             await self._submit(body, writer)
@@ -472,11 +608,13 @@ async def serve_forever(host: str, port: int,
 
 def run_daemon(host: str = "127.0.0.1", port: int = 8642,
                jobs: int = 2, cache_dir: Optional[str] = None,
-               cache_bytes: int = 32 << 20, job_workers: int = 2) -> int:
+               cache_bytes: int = 32 << 20, job_workers: int = 2,
+               history_db: Optional[str] = None) -> int:
     """Blocking entry point behind ``repro serve``."""
     service = VerificationService(jobs=jobs, cache_dir=cache_dir,
                                   cache_bytes=cache_bytes,
-                                  job_workers=job_workers)
+                                  job_workers=job_workers,
+                                  history_db=history_db)
     try:
         asyncio.run(serve_forever(host, port, service))
     except KeyboardInterrupt:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -54,6 +55,9 @@ class Job:
     records: List[Dict[str, Any]] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: perf-counter stamps: running start, terminal transition
+    t_started: Optional[float] = None
+    t_finished: Optional[float] = None
 
     # -- thread-safe accessors (called from loop and executor threads) -----
 
@@ -65,6 +69,20 @@ class Job:
         with self.lock:
             return self.records[start:]
 
+    def _wall_s(self) -> Optional[float]:
+        # caller holds self.lock
+        if self.t_started is None:
+            return None
+        end = (self.t_finished if self.t_finished is not None
+               else time.perf_counter())
+        return end - self.t_started
+
+    @property
+    def wall_s(self) -> Optional[float]:
+        """Running/ran seconds: live for a running job, final after."""
+        with self.lock:
+            return self._wall_s()
+
     def snapshot(self) -> Dict[str, Any]:
         """The ``GET /jobs/<id>`` body."""
         with self.lock:
@@ -75,16 +93,34 @@ class Job:
                 "label": self.spec.describe(),
                 "events": len(self.records),
             }
+            wall = self._wall_s()
+            if wall is not None:
+                out["wall_s"] = wall
             if self.result is not None:
                 out["result"] = self.result
             if self.error is not None:
                 out["error"] = self.error
             return out
 
+    def listing(self) -> Dict[str, Any]:
+        """The light ``GET /jobs`` row: identity + state, no payloads."""
+        with self.lock:
+            out: Dict[str, Any] = {
+                "id": self.id,
+                "state": self.state,
+                "label": self.spec.describe(),
+            }
+            wall = self._wall_s()
+            if wall is not None:
+                out["wall_s"] = wall
+            return out
+
     def transition(self, state: str, result: Optional[Dict[str, Any]] = None,
                    error: Optional[str] = None) -> None:
         with self.lock:
             self.state = state
+            if state in JobState.TERMINAL and self.t_finished is None:
+                self.t_finished = time.perf_counter()
             if result is not None:
                 self.result = result
             if error is not None:
@@ -96,6 +132,7 @@ class Job:
             if self.cancel_event.is_set() or self.state != JobState.QUEUED:
                 return False
             self.state = JobState.RUNNING
+            self.t_started = time.perf_counter()
             return True
 
     @property
@@ -150,6 +187,11 @@ class JobQueue:
             if job.state == JobState.QUEUED:
                 job.state = JobState.CANCELLED
         return True
+
+    def listing(self) -> List[Dict[str, Any]]:
+        """Light rows for every job, submission order (the ``GET /jobs``
+        body and what ``repro top`` tails)."""
+        return [job.listing() for job in self.all_jobs()]
 
     def counts(self) -> Dict[str, int]:
         out = {state: 0 for state in (

@@ -190,6 +190,31 @@ class TestTrace:
         assert main(["profile", str(bad)]) == 2
         assert "unknown record type" in capsys.readouterr().err
 
+    def test_profile_salvages_truncated_trace(self, tmp_path, capsys):
+        # default is tolerant: a stream the daemon died mid-write on
+        # still profiles, with a truncation warning up front
+        path = tmp_path / "t.jsonl"
+        assert main(["verify", CASE, "--trace", str(path)]) == 0
+        capsys.readouterr()
+        # a proper prefix of a JSON line is never valid JSON, so this
+        # always leaves a torn final record
+        path.write_text(path.read_text()[:-10])
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: stream truncated" in out
+        assert "phases:" in out
+
+    def test_profile_strict_rejects_truncated_trace(self, tmp_path,
+                                                    capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["verify", CASE, "--trace", str(path)]) == 0
+        capsys.readouterr()
+        # a proper prefix of a JSON line is never valid JSON, so this
+        # always leaves a torn final record
+        path.write_text(path.read_text()[:-10])
+        assert main(["profile", str(path), "--strict"]) == 2
+        assert capsys.readouterr().err
+
     def test_fuzz_trace(self, tmp_path, capsys):
         from repro.obs import read_trace
 

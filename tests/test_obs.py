@@ -178,6 +178,82 @@ class TestSchemaValidation:
             read_trace(buf)
 
 
+# -- tolerant reads of damaged streams ------------------------------------
+
+
+def sample_trace_text():
+    """A valid multi-record stream (meta + 3 spans + 2 metrics)."""
+    metrics = MetricsRegistry()
+    metrics.inc("checker.evals", 7, restriction="r1")
+    metrics.inc("engine.phase_seconds", 0.5, phase="explore")
+    buf = io.StringIO()
+    write_trace(buf, build_sample_tracer(), metrics)
+    return buf.getvalue()
+
+
+class TestTolerantReader:
+    def test_valid_stream_is_not_truncated(self):
+        data = read_trace(io.StringIO(sample_trace_text()), strict=False)
+        assert not data.truncated and data.error is None
+        assert data.records_read == 6
+
+    def test_salvages_prefix_of_json_cut_mid_line(self):
+        # a daemon killed mid-write leaves a half-serialised last line
+        text = sample_trace_text()
+        lines = text.splitlines()
+        damaged = "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]])
+        data = read_trace(io.StringIO(damaged), strict=False)
+        assert data.truncated
+        assert "invalid JSON" in data.error
+        assert data.records_read == len(lines) - 1
+        # the valid prefix parsed completely: the span tree and the
+        # first metric survive
+        assert structure_dump(data.spans) \
+            == structure_dump(build_sample_tracer().roots)
+        assert [r["name"] for r in data.metric_records] == ["checker.evals"]
+
+    def test_strict_still_raises_on_the_same_stream(self):
+        text = sample_trace_text()[:-20]
+        with pytest.raises(TraceSchemaError):
+            read_trace(io.StringIO(text), strict=True)
+        with pytest.raises(TraceSchemaError):
+            read_trace(io.StringIO(text))  # strict is the default
+
+    def test_salvages_prefix_before_corrupt_record(self):
+        text = sample_trace_text() + '{"type": "nonsense"}\n'
+        data = read_trace(io.StringIO(text), strict=False)
+        assert data.truncated
+        assert "unknown record type" in data.error
+        assert data.records_read == 6
+
+    def test_salvages_prefix_before_orphan_span(self):
+        text = (sample_trace_text()
+                + '{"type": "span", "sid": 99, "parent": 42, "name": "s", '
+                  '"attrs": {}, "meta": {}, "t_start": 0.0, "t_end": 0.0}\n')
+        data = read_trace(io.StringIO(text), strict=False)
+        assert data.truncated
+        assert "unknown parent 42" in data.error
+        assert structure_dump(data.spans) \
+            == structure_dump(build_sample_tracer().roots)
+
+    def test_garbage_header_raises_even_tolerantly(self):
+        # no valid meta header -> no prefix worth salvaging
+        with pytest.raises(TraceSchemaError, match="unknown record type"):
+            read_trace(io.StringIO('{"type": "nonsense"}\n'), strict=False)
+        with pytest.raises(TraceSchemaError, match="invalid JSON"):
+            read_trace(io.StringIO("not json at all\n"), strict=False)
+        with pytest.raises(TraceSchemaError, match="meta header"):
+            read_trace(io.StringIO(""), strict=False)
+
+    def test_truncated_stream_still_profiles(self):
+        text = sample_trace_text()
+        damaged = text[: text.rindex("{") ] + '{"half'
+        data = read_trace(io.StringIO(damaged), strict=False)
+        report = render_profile(data)
+        assert "WARNING: stream truncated" in report
+        assert "phase" in report
+
+
 # -- fork-pool merge determinism ------------------------------------------
 
 
