@@ -388,6 +388,119 @@ def run_por_bench(quick: bool = False,
     return results
 
 
+#: Minimum no-monitor-vs-monitored explore+check ratio for the gated
+#: ``dfa:early-violation`` row -- an absolute floor asserted on every
+#: run, independent of the baseline-relative gate.
+DFA_GATE_MIN = 5.0
+
+#: Minimum end-to-end ``verify_program`` ratio (dfa off vs on) for the
+#: gated ``dfa:noeager`` row.  Smaller than the synthetic row's floor
+#: because a full verification also pays exploration, projection and
+#: legality checking on both sides.
+DFA_NOEAGER_GATE_MIN = 1.2
+
+
+def run_dfa_bench(quick: bool = False) -> Dict[str, dict]:
+    """Restriction-automata rows (:mod:`repro.core.automata`, S11).
+
+    ``dfa:early-violation`` -- the ring mark-budget workload
+    (:mod:`repro.problems.ring`): every branch violates the cubic □
+    within a handful of steps, so the monitor decides whole subtrees
+    from tiny prefixes and the per-computation check skips the walk.
+    Explore + check-every-distinct-computation, with and without the
+    monitor; fingerprint sets and verdicts are asserted equal before
+    the ratio is reported, and the ratio must clear
+    :data:`DFA_GATE_MIN` on every run.
+
+    ``dfa:noeager`` (full mode only) -- the same restriction end to
+    end: ``verify_program`` on the mutant ``monitor-tally-mesa``
+    catalog case with the automata disabled vs enabled.  Report
+    signatures are asserted byte-identical and the speedup must clear
+    :data:`DFA_NOEAGER_GATE_MIN`.
+    """
+    from .core.automata import AutomatonMonitor, automata_plan_for
+    from .core.checker import check_computation
+    from .problems.ring import RingProgram, ring_spec
+    from .sim.scheduler import explore
+
+    results: Dict[str, dict] = {}
+    spec = ring_spec()
+    program = RingProgram(workers=2, rounds=4)
+
+    def census(with_monitor: bool):
+        monitor = (AutomatonMonitor(automata_plan_for(spec), spec)
+                   if with_monitor else None)
+        t0 = time.perf_counter()
+        verdicts = {}
+        for run in explore(program, dfa=monitor):
+            fp = run.computation.stable_fingerprint()
+            if fp in verdicts:
+                continue
+            verdicts[fp] = check_computation(
+                run.computation, spec, use_slice=True,
+                use_dfa=with_monitor,
+                decided=dict(run.decided) if with_monitor else None).ok
+        return time.perf_counter() - t0, verdicts, monitor
+
+    plain_s, plain, _ = census(False)
+    dfa_s, decided, monitor = census(True)
+    assert set(plain) == set(decided), (
+        "dfa:early-violation: monitored fingerprint set differs from "
+        "unmonitored")
+    assert plain == decided, (
+        "dfa:early-violation: monitored verdicts differ from unmonitored")
+    assert monitor.cuts > 0, (
+        "dfa:early-violation: the monitor cut no branches")
+    ratio = plain_s / dfa_s
+    assert ratio >= DFA_GATE_MIN, (
+        f"dfa:early-violation: {ratio:.1f}x is below the "
+        f"{DFA_GATE_MIN:.0f}x floor")
+    results["dfa:early-violation"] = {
+        "gate": True,
+        "distinct": len(plain),
+        "cuts": monitor.cuts,
+        "nodfa_s": round(plain_s, 6),
+        "dfa_s": round(dfa_s, 6),
+        "speedup": round(ratio, 2),
+    }
+    if quick:
+        return results
+
+    from .langs.monitor import MonitorProgram, tally_system
+    from .problems.ring import mark_correspondence, tally_spec
+    from .verify import verify_program
+
+    def end_to_end(dfa: bool):
+        return verify_program(
+            MonitorProgram(tally_system(2, 3, mutant=True),
+                           eager_reductions=False, semantics="mesa"),
+            tally_spec(2), mark_correspondence(), dfa=dfa)
+
+    t0 = time.perf_counter()
+    off = end_to_end(False)
+    nodfa_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = end_to_end(True)
+    with_s = time.perf_counter() - t0
+    assert off.signature() == on.signature(), (
+        "dfa:noeager: report signature differs with the monitor on")
+    assert not on.ok, "dfa:noeager: the mutant must be caught"
+    assert on.engine_stats.dfa_cuts > 0, (
+        "dfa:noeager: the monitor cut no branches")
+    e2e_ratio = nodfa_s / with_s
+    assert e2e_ratio >= DFA_NOEAGER_GATE_MIN, (
+        f"dfa:noeager: {e2e_ratio:.2f}x end-to-end is below the "
+        f"{DFA_NOEAGER_GATE_MIN:.1f}x floor")
+    results["dfa:noeager"] = {
+        "gate": True,
+        "cuts": on.engine_stats.dfa_cuts,
+        "nodfa_s": round(nodfa_s, 6),
+        "dfa_s": round(with_s, 6),
+        "speedup": round(e2e_ratio, 2),
+    }
+    return results
+
+
 def compare_to_baseline(results: Dict[str, dict], baseline: dict,
                         tolerance: float = GATE_TOLERANCE) -> List[str]:
     """Regression messages for gated workloads present in both runs."""
@@ -408,16 +521,41 @@ def compare_to_baseline(results: Dict[str, dict], baseline: dict,
     return regressions
 
 
+def _suite_selected(only: Optional[str], prefix: str) -> bool:
+    """Whether a row-name filter can match rows from this suite."""
+    return only is None or prefix.startswith(only) or only.startswith(prefix)
+
+
 def run_bench(quick: bool = False, json_path: Optional[str] = None,
               baseline_path: Optional[str] = None, repeats: int = 3,
-              out=sys.stdout) -> int:
-    """The ``repro bench`` entry point (also used by CI bench-smoke)."""
-    results = run_checker_bench(quick=quick, repeats=repeats)
-    results.update(run_slice_bench(quick=quick, repeats=repeats))
+              only: Optional[str] = None, out=sys.stdout) -> int:
+    """The ``repro bench`` entry point (also used by CI bench-smoke).
+
+    ``only`` restricts the run to rows whose name starts with that
+    prefix (``--only por``, ``--only dfa:noeager``); suites that cannot
+    produce a matching row are skipped entirely, and the gated/info
+    summary counts the subset actually run.
+    """
+    results: Dict[str, dict] = {}
+    if _suite_selected(only, "checker:"):
+        results.update(run_checker_bench(quick=quick, repeats=repeats))
+    if _suite_selected(only, "slice:"):
+        results.update(run_slice_bench(quick=quick, repeats=repeats))
     if not quick:
-        results.update(run_engine_bench())
-        results.update(run_serve_bench(repeats=repeats))
-    results.update(run_por_bench(quick=quick))
+        if _suite_selected(only, "engine:"):
+            results.update(run_engine_bench())
+        if _suite_selected(only, "serve:"):
+            results.update(run_serve_bench(repeats=repeats))
+    if _suite_selected(only, "por:"):
+        results.update(run_por_bench(quick=quick))
+    if _suite_selected(only, "dfa:"):
+        results.update(run_dfa_bench(quick=quick))
+    if only is not None:
+        results = {name: row for name, row in results.items()
+                   if name.startswith(only)}
+        if not results:
+            print(f"no bench rows match --only {only!r}", file=out)
+            return 2
     for name, row in results.items():
         # every row says whether its ratio participates in the baseline
         # gate -- an [info] row that regresses is reported, never fatal
@@ -434,6 +572,10 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
         elif "serve_s" in row:
             print(f"{name:18s} one-shot {row['oneshot_s']:.4f}s   "
                   f"daemon {row['serve_s']:.4f}s   "
+                  f"speedup {row['speedup']}x{gated}", file=out)
+        elif "nodfa_s" in row:
+            print(f"{name:18s} no-dfa {row['nodfa_s']:.4f}s   "
+                  f"dfa {row['dfa_s']:.4f}s ({row['cuts']} cut(s))   "
                   f"speedup {row['speedup']}x{gated}", file=out)
         else:
             print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
@@ -495,9 +637,13 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3, metavar="N",
                         help="timing repeats per measurement, best-of "
                              "(default 3)")
+    parser.add_argument("--only", default=None, metavar="PREFIX",
+                        help="run only rows whose name starts with this "
+                             "prefix (e.g. 'por', 'dfa:noeager')")
     args = parser.parse_args(argv)
     return run_bench(quick=args.quick, json_path=args.json,
-                     baseline_path=args.baseline, repeats=args.repeats)
+                     baseline_path=args.baseline, repeats=args.repeats,
+                     only=args.only)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,9 @@ Commands:
   interleaving (same verdicts either way; docs/ENGINE.md),
   ``--no-slice`` disables computation slicing and walks the history
   lattice for every temporal check (same verdicts either way;
-  docs/SLICING.md);
+  docs/SLICING.md), ``--no-dfa`` disables restriction automata and
+  never cuts doomed branches early (same verdicts either way;
+  docs/PERF.md);
 * ``list`` -- list the available cases (``--json`` adds language and
   mutant-availability metadata, the same body the serve daemon's
   ``GET /cases`` returns);
@@ -132,8 +134,9 @@ def _build_cases() -> Dict[str, Callable]:
         one_slot_buffer_system,
         readers_writers_monitor_writers_first,
         readers_writers_system,
+        tally_system,
     )
-    from .problems import bounded_buffer, one_slot_buffer, readers_writers
+    from .problems import bounded_buffer, one_slot_buffer, readers_writers, ring
     from .problems.db_update import (
         DbUpdateProgram,
         db_update_spec,
@@ -213,6 +216,18 @@ def _build_cases() -> Dict[str, Callable]:
                 bounded_buffer.ada_correspondence(),
                 ada_program_spec(system))
 
+    def monitor_tally(mutant: bool):
+        # Mesa semantics without eager reductions: the monitor-lock
+        # interleavings stay in the tree, and the mutant's duplicate
+        # mark stamps break the mark budget in every branch within a
+        # few steps -- the restriction-automata (--dfa) showcase
+        system = tally_system(2, 3, mutant=mutant)
+        return (MonitorProgram(system, eager_reductions=False,
+                               semantics="mesa"),
+                ring.tally_spec(2),
+                ring.mark_correspondence(),
+                None if mutant else monitor_program_spec(system))
+
     def db_update(mutant: bool):
         # the paper's distributed-database application; the mutant loses
         # broadcasts, so full-propagation (and convergence) fail
@@ -231,6 +246,7 @@ def _build_cases() -> Dict[str, Callable]:
         "csp-one-slot-buffer": csp_osb,
         "ada-one-slot-buffer": ada_osb,
         "monitor-bounded-buffer": monitor_bb,
+        "monitor-tally-mesa": monitor_tally,
         "csp-bounded-buffer": csp_bb,
         "ada-bounded-buffer": ada_bb,
         "db_update": db_update,
@@ -272,7 +288,8 @@ def cmd_verify(args) -> int:
                             program_spec=program_spec,
                             jobs=args.jobs, cache_dir=args.cache,
                             temporal_mode=mode,
-                            tracer=tracer, por=args.por, slice=args.slice)
+                            tracer=tracer, por=args.por, slice=args.slice,
+                            dfa=args.dfa)
     wall_s = time.perf_counter() - started
     print(report.summary())
     if args.history:
@@ -281,7 +298,8 @@ def cmd_verify(args) -> int:
         run_id = record_report(
             RunHistory(args.history), source="cli", case=args.case,
             flags={"jobs": args.jobs, "por": args.por, "slice": args.slice,
-                   "compile": not args.no_compile, "mutant": args.mutant},
+                   "dfa": args.dfa, "compile": not args.no_compile,
+                   "mutant": args.mutant},
             report=report, wall_s=wall_s)
         print(f"history: run #{run_id} recorded in {args.history}")
     if args.stats and report.engine_stats is not None:
@@ -492,7 +510,8 @@ def cmd_bench(args) -> int:
     from .bench import run_bench
 
     return run_bench(quick=args.quick, json_path=args.json,
-                     baseline_path=args.baseline, repeats=args.repeats)
+                     baseline_path=args.baseline, repeats=args.repeats,
+                     only=args.only)
 
 
 def cmd_serve(args) -> int:
@@ -521,6 +540,8 @@ def cmd_submit(args) -> int:
         spec["por"] = False
     if not args.slice:
         spec["slice"] = False
+    if not args.dfa:
+        spec["dfa"] = False
     if args.no_compile:
         spec["compile"] = False
     if args.history_cap is not None:
@@ -660,6 +681,14 @@ def main(argv=None) -> int:
                                "(default on; --no-slice walks the history "
                                "lattice for every check -- same verdicts "
                                "either way; docs/SLICING.md)")
+    p_verify.add_argument("--dfa", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="restriction automata: resolve temporal "
+                               "checks by compiled DFA and cut doomed "
+                               "branches early during exploration "
+                               "(default on; --no-dfa takes the ordinary "
+                               "route for every check -- same verdicts "
+                               "and witnesses either way; docs/PERF.md)")
     p_verify.add_argument("--history", nargs="?", metavar="DB",
                           const="repro_history.sqlite", default=None,
                           help="record this run in the persistent run "
@@ -723,6 +752,9 @@ def main(argv=None) -> int:
     p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
                          help="timing repeats per measurement, best-of "
                               "(default 3)")
+    p_bench.add_argument("--only", default=None, metavar="PREFIX",
+                         help="run only rows whose name starts with this "
+                              "prefix (e.g. 'por', 'dfa:noeager')")
 
     p_serve = sub.add_parser(
         "serve", help="run the verification daemon (docs/SERVICE.md)")
@@ -758,6 +790,9 @@ def main(argv=None) -> int:
     p_submit.add_argument("--slice", default=True,
                           action=argparse.BooleanOptionalAction,
                           help="computation slicing (default on)")
+    p_submit.add_argument("--dfa", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="restriction automata (default on)")
     p_submit.add_argument("--no-compile", action="store_true",
                           help="lattice interpreter instead of the "
                                "compiled checker")

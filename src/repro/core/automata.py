@@ -1,0 +1,796 @@
+"""On-the-fly temporal checking: restriction DFAs over the event alphabet.
+
+Every temporal restriction used to be decided *post-hoc*: the scheduler
+enumerates complete runs, and only then does the checker (compiled
+pipeline, slice, or lattice walk) pass verdict per computation.  This
+module compiles each □/◇ restriction into a minimal DFA over the
+alphabet "event *i* was added to the execution prefix", so that a
+per-path :class:`AutomatonMonitor` threaded through
+:func:`repro.sim.scheduler.explore` can decide restrictions *while*
+exploring:
+
+* a restriction whose DFA reaches its **rejecting sink** on some prefix
+  is *provably violated by every completion* of that prefix -- the whole
+  subtree below carries an early-violation verdict and the expensive
+  per-computation check is skipped for it;
+* a restriction whose DFA reaches its **accepting sink** is provably
+  satisfied by every completion, and likewise never re-checked below.
+
+The run *census* is never changed: GEM reports count runs, deadlocks
+and failing-run indices, so the monitor cuts **checking work**, not
+runs, and report signatures are byte-identical with the monitor on or
+off (gated by tests and the ``dfa-differential`` fuzz oracle).
+
+Soundness certificates
+----------------------
+Enable edges only ever point old → new (builder semantics), which makes
+every prefix of an execution *relation-stable*: the temporal/enable
+relations, thread labels, and history predicates among prefix events
+never change as the execution extends, and every down-closed cut of the
+prefix is a reachable cut of the completion.  On top of that:
+
+``BOX_REJECT`` (□ body, under an optional ∀-prefix -- hoisting is valid
+because GEM quantifier domains are rigid):  eligible when *falsity
+transfers* (:func:`_transfers`): the body false at a fixed cut of the
+prefix is false at that same cut in every extension.  Since a □ failing
+on the prefix exhibits a reachable prefix cut where the body is false,
+and prefix cuts remain reachable cuts of every completion, the
+completion provably fails -- the DFA may enter its rejecting sink.
+Transfer is a syntactic analysis over the *exact stability* of every
+non-``PyPred`` atom at fixed bindings, with quantifier-domain growth
+discharged by occurrence-guardedness (``∃`` gains no witness the cut
+does not contain) and vacuity (``∀`` over unoccurred bindings holds
+trivially).
+
+``DIA_ACCEPT`` (◇ body at top level):  every maximal chain of the
+history lattice ends at the full history, so ``body`` true at the top
+implies ``AF body`` unconditionally.  Eligible when *truth transfers*
+(the body true at the prefix's top stays true at that cut in every
+extension, new quantifier bindings included) *and* the body is monotone
+in the history at rigid domains -- together: true at the extension's
+own top, so the DFA may enter its accepting sink.
+
+``DIA_LEAF``:  a boolean/quantifier tree whose non-temporal atoms are
+history-independent and whose ◇-leaves have *monotone* bodies satisfies
+``F  ⟺  strip(F)`` evaluated at the full history (``◇q ⟺ q@top`` in
+both directions for monotone ``q``).  Not an early decision -- domains
+grow -- but a checker fast path at complete computations: no lattice
+walk at all (``provenance="dfa"``).
+
+``INERT``:  everything else (``PyPred`` bodies, nested temporal,
+counting quantifiers, quantifier blow-up past the cap) is left entirely
+to the post-hoc pipeline, with the reason recorded and counted.
+
+Overhead control mirrors the related LTLf2DFA work's cache/explosion
+handling: a *significance trigger* skips every scheduler step that
+emitted no correspondence-kept event (no freeze, no projection), guard
+evaluation is memoised per projected-prefix fingerprint (diamond
+prefixes collapse), probing stops after :data:`DEFAULT_PROBE_BUDGET`
+guard evaluations and :data:`DEFAULT_PROJECTION_BUDGET` projections, a
+quantifier cap rules out grounding blow-ups up front, and the per-spec
+analysis (:class:`AutomataPlan`) is cached both on the spec instance
+and in a module-level table keyed by spec fingerprint so resident
+serve workers never re-analyse a resubmitted workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .formula import (
+    And,
+    AtControl,
+    AtElement,
+    AtMostOne,
+    Concurrent,
+    DataCmp,
+    DataEq,
+    DistinctThreads,
+    ElementPrecedes,
+    Enables,
+    EventEq,
+    Eventually,
+    Exists,
+    ExistsUnique,
+    FalseF,
+    ForAll,
+    Formula,
+    Henceforth,
+    Iff,
+    Implies,
+    New,
+    Not,
+    Occurred,
+    Or,
+    Potential,
+    PyPred,
+    Restriction,
+    SameThread,
+    TemporallyPrecedes,
+    TrueF,
+)
+from .history import full_history
+
+#: Per-monitor probe budget: after this many guard evaluations (memo
+#: misses, each one restriction check on one projected prefix) an
+#: undecided monitor goes dormant (decisions already taken stay valid).
+DEFAULT_PROBE_BUDGET = 1024
+#: Per-monitor projection budget: :meth:`AutomatonMonitor.advance`
+#: projects, labels and fingerprints at most this many prefixes (memo
+#: hits included) before going dormant -- the hard bound on total
+#: monitor overhead per task, independent of guard work.
+DEFAULT_PROJECTION_BUDGET = 8192
+#: Quantifier-count cap: restrictions with more quantifiers than this
+#: are classified inert rather than risking grounding blow-up per probe.
+DEFAULT_QUANTIFIER_CAP = 8
+#: Memoised guard verdicts kept per monitor (prefix fingerprints).
+_GUARD_MEMO_CAP = 4096
+#: Module-level AutomataPlan cache entries kept (spec fingerprints).
+_PLAN_CACHE_CAP = 128
+
+# -- automaton kinds --------------------------------------------------------
+
+BOX_REJECT = "box-reject"
+DIA_ACCEPT = "dia-accept"
+DIA_LEAF = "dia-leaf"
+INERT = "inert"
+
+# -- DFA states (shared by every restriction automaton: the minimal
+#    3-state machine WATCH --guard--> ACCEPT|REJECT, sinks absorbing) --
+
+WATCH = "watch"
+ACCEPT = "accept"
+REJECT = "reject"
+
+#: Atoms whose value depends only on the bound events and the
+#: computation's (extension-stable) relations -- never on the history.
+_HISTORY_INDEPENDENT = (TrueF, FalseF, Concurrent, EventEq, DataEq,
+                        DataCmp, SameThread, DistinctThreads)
+#: Atoms monotone-increasing in the history (each is "relation holds and
+#: the operands occurred"): once true at a cut, true at every extension.
+_MONOTONE_ATOMS = (Occurred, AtElement, Enables, ElementPrecedes,
+                   TemporallyPrecedes)
+#: Atoms extension-stable at a *fixed* cut but not monotone (``new``,
+#: ``potential``, ``at`` can flip in both directions as the cut grows).
+_STABLE_ATOMS = (New, Potential, AtControl)
+
+
+def _count_quantifiers(f: Formula) -> int:
+    n = 1 if isinstance(f, (ForAll, Exists, ExistsUnique, AtMostOne)) else 0
+    return n + sum(_count_quantifiers(c) for c in f._children())
+
+
+def _history_independent(f: Formula) -> bool:
+    """Every atom of ``f`` is history-independent; no temporal, no PyPred."""
+    if isinstance(f, _HISTORY_INDEPENDENT):
+        return True
+    if isinstance(f, (_MONOTONE_ATOMS + _STABLE_ATOMS)) or isinstance(
+            f, (PyPred, Henceforth, Eventually)):
+        return False
+    if isinstance(f, (ForAll, Exists, ExistsUnique, AtMostOne, Not, And, Or,
+                      Implies, Iff)):
+        return all(_history_independent(c) for c in f._children())
+    return False
+
+
+def _occ_guarded(f: Formula, var: str) -> bool:
+    """``f`` true at a cut forces ``occurred(var)`` at that cut.
+
+    Sound syntactic under-approximation: every :data:`_MONOTONE_ATOMS`
+    atom's evaluation conjoins ``history.occurred`` for each operand, so
+    any such atom mentioning ``var`` guards it.  Events *new* in an
+    extension are never members of a prefix cut, so a guarded body can
+    gain no new bindings at a fixed cut -- the lemma both quantifier
+    transfer rules below lean on.
+    """
+    if isinstance(f, (Occurred, AtElement)):
+        return f.var == var
+    if isinstance(f, (Enables, ElementPrecedes, TemporallyPrecedes)):
+        return var in (f.a, f.b)
+    if isinstance(f, And):
+        return any(_occ_guarded(p, var) for p in f.parts)
+    if isinstance(f, Or):
+        # Or(()) is constant-false: "true ⇒ occurred" holds vacuously
+        return all(_occ_guarded(p, var) for p in f.parts)
+    if isinstance(f, (Exists, ExistsUnique)):
+        # a witness binding makes the body true, so the body's guard
+        # fires -- unless the inner quantifier shadows ``var``
+        return f.var != var and _occ_guarded(f.body, var)
+    # ForAll/AtMostOne can be vacuously true; Not/Implies/Iff give no
+    # positive occurrence guarantee
+    return False
+
+
+def _vacuous(f: Formula, var: str) -> bool:
+    """``¬occurred(var)`` at a cut forces ``f`` true there.
+
+    The ∀-rule's companion lemma: bindings new in an extension are
+    absent from every prefix cut, so a vacuous body is true of them and
+    a ``∀`` that held over the prefix domain still holds over the grown
+    one.
+    """
+    if isinstance(f, TrueF):
+        return True
+    if isinstance(f, Not):
+        # ¬ψ with ψ ⇒ occurred(var): an unoccurred binding falsifies ψ
+        return _occ_guarded(f.body, var)
+    if isinstance(f, Implies):
+        return (_occ_guarded(f.antecedent, var)
+                or _vacuous(f.consequent, var))
+    if isinstance(f, Or):
+        return any(_vacuous(p, var) for p in f.parts)
+    if isinstance(f, And):
+        return all(_vacuous(p, var) for p in f.parts)
+    if isinstance(f, ForAll):
+        return f.var != var and _vacuous(f.body, var)
+    return False
+
+
+def _transfers(f: Formula, up: bool) -> bool:
+    """Truth (``up``) / falsity (``not up``) of ``f`` at a **fixed** cut
+    of a prefix transfers to that same cut viewed in any extension.
+
+    The crux: enable edges only point old → new, so relations, thread
+    labels and cut membership among prefix events never change as the
+    execution extends -- every non-``PyPred`` atom is *exactly stable*
+    at a fixed (cut, old-bindings) pair.  Only quantifier domains grow.
+    Hence the rules:
+
+    * atoms transfer both ways; connectives recurse with ``Implies``
+      flipping its antecedent and ``Iff`` needing both sides both ways;
+    * ``∃`` transfers truth (an old witness stays a witness) and
+      transfers falsity only when the body is occurrence-guarded in the
+      bound variable (no *new* binding can satisfy it at an old cut);
+    * ``∀`` transfers falsity (an old counterexample survives) and
+      transfers truth only when new bindings are vacuously satisfied;
+    * counting quantifiers need the witness *set* pinned: body stable
+      both ways and occurrence-guarded;
+    * ``PyPred`` receives the full :class:`History` -- including the
+      ambient computation -- and transfers nothing; nested temporal
+      operators move the cut and are handled by the outer classifier.
+    """
+    if isinstance(f, (_HISTORY_INDEPENDENT + _MONOTONE_ATOMS
+                      + _STABLE_ATOMS)):
+        return True
+    if isinstance(f, Not):
+        return _transfers(f.body, not up)
+    if isinstance(f, (And, Or)):
+        return all(_transfers(p, up) for p in f.parts)
+    if isinstance(f, Implies):
+        return (_transfers(f.antecedent, not up)
+                and _transfers(f.consequent, up))
+    if isinstance(f, Iff):
+        return all(_transfers(side, d)
+                   for side in (f.left, f.right) for d in (True, False))
+    if isinstance(f, Exists):
+        if not _transfers(f.body, up):
+            return False
+        return up or _occ_guarded(f.body, f.var)
+    if isinstance(f, ForAll):
+        if not _transfers(f.body, up):
+            return False
+        return (not up) or _vacuous(f.body, f.var)
+    if isinstance(f, (ExistsUnique, AtMostOne)):
+        return (_transfers(f.body, True) and _transfers(f.body, False)
+                and _occ_guarded(f.body, f.var))
+    return False
+
+
+def _contains_pypred(f: Formula) -> bool:
+    return isinstance(f, PyPred) or any(
+        _contains_pypred(c) for c in f._children())
+
+
+def _domain_classes(dom) -> Optional[frozenset]:
+    """Event classes a quantifier domain draws from (None = any)."""
+    from .formula import AllEvents, ClassAnywhere, ClassAt, UnionDomain
+
+    if isinstance(dom, ClassAnywhere):
+        return frozenset((dom.event_class,))
+    if isinstance(dom, ClassAt):
+        return frozenset((dom.ref.event_class,))
+    if isinstance(dom, UnionDomain):
+        out = set()
+        for part in dom.parts:
+            classes = _domain_classes(part)
+            if classes is None:
+                return None
+            out |= classes
+        return frozenset(out)
+    if isinstance(dom, AllEvents):
+        return None
+    return None
+
+
+def _alphabet(f: Formula) -> Optional[frozenset]:
+    """The automaton's input alphabet: event classes whose arrival can
+    change the formula's verdict on a growing prefix (None = every
+    event is a letter).
+
+    Sound because (a) enable edges only point old → new, so any cut of
+    an extended prefix restricts -- by repeatedly dropping maximal new
+    events -- to a cut of the unextended prefix with the same
+    domain-class membership, and (b) when every atom is
+    history-independent or occurrence-monotone over *bound* variables,
+    a formula's truth at a cut depends only on which domain-class
+    events the cut contains.  The cut-sensitive stable atoms (``new``,
+    ``potential``, ``at``) read the whole cut, so they widen the
+    alphabet to everything, as do ``PyPred`` and all-events domains.
+    """
+    if isinstance(f, (_HISTORY_INDEPENDENT + _MONOTONE_ATOMS)):
+        return frozenset()
+    if isinstance(f, _STABLE_ATOMS):
+        return None
+    if isinstance(f, (Henceforth, Eventually, Not)):
+        return _alphabet(f.body)
+    if isinstance(f, (And, Or, Implies, Iff)):
+        out = set()
+        for child in f._children():
+            classes = _alphabet(child)
+            if classes is None:
+                return None
+            out |= classes
+        return frozenset(out)
+    if isinstance(f, (ForAll, Exists, ExistsUnique, AtMostOne)):
+        dom_classes = _domain_classes(f.dom)
+        body_classes = _alphabet(f.body)
+        if dom_classes is None or body_classes is None:
+            return None
+        return dom_classes | body_classes
+    return None
+
+
+def _monotone(f: Formula, pol: int) -> bool:
+    """Monotone in the history at *fixed* quantifier domains: once true
+    at a cut, true at every larger cut of the same computation.
+
+    The ``DIA_LEAF`` ◇-body certificate (``◇q ⟺ q@top`` both ways).
+    """
+    if isinstance(f, _HISTORY_INDEPENDENT):
+        return True
+    if isinstance(f, _MONOTONE_ATOMS):
+        return pol > 0
+    if isinstance(f, Not):
+        return _monotone(f.body, -pol)
+    if isinstance(f, (And, Or)):
+        return all(_monotone(p, pol) for p in f.parts)
+    if isinstance(f, Implies):
+        return (_monotone(f.antecedent, -pol)
+                and _monotone(f.consequent, pol))
+    if isinstance(f, Iff):
+        return (_history_independent(f.left)
+                and _history_independent(f.right))
+    if isinstance(f, (ForAll, Exists)):
+        # domains are rigid within one computation: ∀/∃ of monotone
+        # bodies are monotone
+        return _monotone(f.body, pol)
+    if isinstance(f, (ExistsUnique, AtMostOne)):
+        # tallies are not monotone unless every term is history-constant
+        return _history_independent(f.body)
+    return False
+
+
+def _dia_leaf(f: Formula) -> bool:
+    """``F ⟺ strip(F)@full-history`` certificate for the whole tree."""
+    if isinstance(f, Eventually):
+        return _monotone(f.body, 1)
+    if isinstance(f, Henceforth) or isinstance(f, PyPred):
+        return False
+    if isinstance(f, _HISTORY_INDEPENDENT):
+        return True
+    if isinstance(f, (_MONOTONE_ATOMS + _STABLE_ATOMS)):
+        # outer atoms are evaluated at the *empty* history by the
+        # lattice semantics; only history-independent ones transfer
+        return False
+    if isinstance(f, (ForAll, Exists, ExistsUnique, AtMostOne, Not, And, Or,
+                      Implies, Iff)):
+        return all(_dia_leaf(c) for c in f._children())
+    return False
+
+
+def _strip(f: Formula) -> Formula:
+    """Replace every ◇-leaf by its body (valid under :func:`_dia_leaf`)."""
+    if isinstance(f, Eventually):
+        return f.body
+    if isinstance(f, Not):
+        return Not(_strip(f.body))
+    if isinstance(f, And):
+        return And(tuple(_strip(p) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(_strip(p) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(_strip(f.antecedent), _strip(f.consequent))
+    if isinstance(f, Iff):
+        return Iff(_strip(f.left), _strip(f.right))
+    if isinstance(f, ForAll):
+        return ForAll(f.var, f.dom, _strip(f.body))
+    if isinstance(f, Exists):
+        return Exists(f.var, f.dom, _strip(f.body))
+    if isinstance(f, ExistsUnique):
+        return ExistsUnique(f.var, f.dom, _strip(f.body))
+    if isinstance(f, AtMostOne):
+        return AtMostOne(f.var, f.dom, _strip(f.body))
+    return f
+
+
+@dataclass(frozen=True)
+class RestrictionAutomaton:
+    """The minimal DFA for one temporal restriction.
+
+    All four kinds share the same 3-state presentation over the "event
+    added" alphabet: ``WATCH`` (initial), plus absorbing ``ACCEPT`` and
+    ``REJECT`` sinks.  The transition *guard* is the memoised predicate
+    :meth:`probe` evaluates on a projected prefix; ``INERT`` automata
+    have no transitions out of ``WATCH`` at all and ``DIA_LEAF`` ones
+    transition only on the final letter (the complete computation).
+    """
+
+    restriction: Restriction
+    kind: str
+    #: why an ``INERT`` classification was made ("" otherwise)
+    reason: str = ""
+    #: ``strip(F)`` for the ◇-kinds (what :meth:`resolve_at_top` evaluates)
+    stripped: Optional[Formula] = field(default=None, compare=False)
+    #: the DFA's input alphabet: problem-level event classes that are
+    #: letters (can move the machine); ``None`` = every event class
+    alphabet: Optional[frozenset] = field(default=None, compare=False)
+
+    @property
+    def name(self) -> str:
+        return self.restriction.name
+
+    @property
+    def monitorable(self) -> bool:
+        """Can this automaton leave ``WATCH`` on a *proper* prefix?"""
+        return self.kind in (BOX_REJECT, DIA_ACCEPT)
+
+    @property
+    def leaf_resolvable(self) -> bool:
+        """Can the checker resolve this at the top without any walk?"""
+        return self.kind in (DIA_ACCEPT, DIA_LEAF)
+
+    def states(self) -> Tuple[str, ...]:
+        if self.kind == INERT:
+            return (WATCH,)
+        return (WATCH, ACCEPT) if self.kind != BOX_REJECT else (WATCH, REJECT)
+
+    def probe(self, prefix, temporal_mode: str, history_cap: int,
+              use_slice: bool = True) -> Optional[bool]:
+        """One guard evaluation on a projected, thread-labelled prefix.
+
+        Returns the restriction's (completion-wide) verdict when the DFA
+        leaves ``WATCH``, else ``None``.  Pure function of the prefix
+        computation -- replay, sharding and witnesses stay byte-identical.
+        """
+        if self.kind == BOX_REJECT:
+            from .checker import check_restriction
+
+            outcome = check_restriction(
+                prefix, self.restriction, temporal_mode=temporal_mode,
+                history_cap=history_cap, use_slice=use_slice)
+            return False if not outcome.holds else None
+        if self.kind == DIA_ACCEPT:
+            assert self.stripped is not None
+            if self.stripped.holds_at(full_history(prefix)):
+                return True
+            return None
+        return None
+
+    def resolve_at_top(self, computation) -> bool:
+        """Checker fast path at a complete computation (◇-kinds only)."""
+        assert self.stripped is not None
+        return self.stripped.holds_at(full_history(computation))
+
+    def describe(self) -> str:
+        tail = f" ({self.reason})" if self.reason else ""
+        return f"{self.name}: {self.kind}{tail}"
+
+
+def classify_restriction(
+        restriction: Restriction,
+        quantifier_cap: int = DEFAULT_QUANTIFIER_CAP,
+) -> RestrictionAutomaton:
+    """Compile one temporal restriction to its :class:`RestrictionAutomaton`.
+
+    Non-temporal restrictions never reach here (the checker evaluates
+    them at the full history directly); they classify inert if they do.
+    """
+    formula = restriction.formula
+    if not formula.is_temporal():
+        return RestrictionAutomaton(restriction, INERT, "not temporal")
+    if _count_quantifiers(formula) > quantifier_cap:
+        return RestrictionAutomaton(
+            restriction, INERT,
+            f"more than {quantifier_cap} quantifiers (grounding cap)")
+    # hoist the ∀-prefix over □ (valid: GEM domains are rigid, so
+    # ∀x.□p ⟺ □∀x.p) and look for the safety shape: a □ fails on the
+    # prefix at some prefix cut, prefix cuts survive into every
+    # extension, and a falsity-transferring body stays false there
+    body = formula
+    while isinstance(body, ForAll):
+        body = body.body
+    if isinstance(body, Henceforth) and _transfers(body.body, False):
+        return RestrictionAutomaton(restriction, BOX_REJECT,
+                                    alphabet=_alphabet(formula))
+    # ◇ accepts early when its body, true at the prefix *top*, (a)
+    # transfers to that cut in every extension and (b) is monotone, so
+    # it stays true at the extension's own top -- where every maximal
+    # chain ends
+    if isinstance(formula, Eventually) and _monotone(
+            formula.body, 1) and _transfers(formula.body, True):
+        return RestrictionAutomaton(restriction, DIA_ACCEPT,
+                                    stripped=formula.body,
+                                    alphabet=_alphabet(formula))
+    if _dia_leaf(formula):
+        return RestrictionAutomaton(restriction, DIA_LEAF,
+                                    stripped=_strip(formula))
+    if _contains_pypred(formula):
+        return RestrictionAutomaton(restriction, INERT, "opaque PyPred body")
+    if isinstance(body, Henceforth):
+        return RestrictionAutomaton(
+            restriction, INERT, "□-body falsity not extension-stable")
+    return RestrictionAutomaton(restriction, INERT, "shape not regular")
+
+
+def spec_fingerprint(spec) -> str:
+    """Stable digest of a specification's declarative content.
+
+    Keys the module-level :class:`AutomataPlan` (and compile-plan) memo:
+    two spec *instances* with equal fingerprints have identical element
+    vocabularies and restriction formulas, so their formula-level
+    analyses coincide.  ``PyPred`` contributes only its name -- safe
+    here because predicates with captured closures are never compiled:
+    both plans treat them as opaque fallbacks, so a memoised plan never
+    evaluates a stale closure.
+    """
+    parts = [f"spec:{spec.name}"]
+    parts.extend(sorted(f"element:{n}" for n in spec.element_names()))
+    parts.extend(sorted(
+        f"group:{g.name}:{','.join(sorted(map(str, g.members)))}"
+        for g in spec.groups))
+    parts.extend(sorted(
+        f"restriction:{r.name}={r.formula.describe()}"
+        for r in spec.all_restrictions()))
+    parts.extend(sorted(f"thread:{t.name}" for t in spec.thread_types))
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+class AutomataPlan:
+    """Computation-independent DFA compilation of one specification.
+
+    The per-restriction automata plus the classification census the
+    stats/describe surfaces report.  Built once per spec (see
+    :func:`automata_plan_for`); binding to a computation is free -- the
+    automata carry no per-computation state (guards are evaluated
+    against whatever prefix the monitor hands them).
+    """
+
+    __slots__ = ("automata", "temporal", "monitorable", "leaf", "inert")
+
+    def __init__(self, spec,
+                 quantifier_cap: int = DEFAULT_QUANTIFIER_CAP) -> None:
+        self.automata: Dict[str, RestrictionAutomaton] = {}
+        for r in spec.all_restrictions():
+            if r.formula.is_temporal():
+                self.automata[r.name] = classify_restriction(
+                    r, quantifier_cap)
+        self.temporal = len(self.automata)
+        self.monitorable = sum(
+            1 for a in self.automata.values() if a.monitorable)
+        self.leaf = sum(
+            1 for a in self.automata.values() if a.kind == DIA_LEAF)
+        self.inert = sum(
+            1 for a in self.automata.values() if a.kind == INERT)
+
+    def automaton(self, name: str) -> Optional[RestrictionAutomaton]:
+        return self.automata.get(name)
+
+    def describe(self) -> str:
+        lines = [f"automata: {self.temporal} temporal restriction(s), "
+                 f"{self.monitorable} monitorable, {self.leaf} leaf-"
+                 f"resolvable, {self.inert} dfa-inert"]
+        for a in self.automata.values():
+            lines.append(f"  {a.describe()}")
+        return "\n".join(lines)
+
+
+#: spec fingerprint -> AutomataPlan (cross-instance memo; resident serve
+#: workers hit this when an inline spec is resubmitted and rebuilt)
+_PLAN_CACHE: Dict[str, AutomataPlan] = {}
+
+
+def automata_plan_for(spec) -> AutomataPlan:
+    """The spec's :class:`AutomataPlan`, cached on the instance *and* in
+    a module-level table keyed by :func:`spec_fingerprint`.
+
+    The double memo mirrors :func:`repro.core.compile.plan_for` plus the
+    cross-instance layer serve needs: a resubmitted inline workload
+    rebuilds fresh spec objects in every resident worker, and the
+    fingerprint hit spares re-classifying every restriction.
+    """
+    plan: Optional[AutomataPlan] = getattr(spec, "_automata_plan", None)
+    if plan is not None:
+        return plan
+    fp = spec_fingerprint(spec)
+    plan = _PLAN_CACHE.get(fp)
+    if plan is None:
+        plan = AutomataPlan(spec)
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[fp] = plan
+    spec._automata_plan = plan
+    return plan
+
+
+class _MonitorNode:
+    """Immutable per-path product state: which automata still watch,
+    the verdicts decided so far on this path, and how many raw prefix
+    events the significance trigger has already scanned."""
+
+    __slots__ = ("active", "decided", "seen")
+
+    def __init__(self, active: Tuple[int, ...],
+                 decided: Tuple[Tuple[str, bool], ...],
+                 seen: int = 0) -> None:
+        self.active = active
+        self.decided = decided
+        self.seen = seen
+
+
+class AutomatonMonitor:
+    """The per-task DFA product the scheduler threads through its DFS.
+
+    One monitor per explore task; nodes (:class:`_MonitorNode`) are
+    immutable and flow down the recursion, so sibling subtrees never see
+    each other's decisions -- every decision is a pure function of the
+    path's own prefix.  The interaction rule with partial-order
+    reduction: POR picks the ample branches first, the monitor then
+    probes whatever prefix is actually explored -- neither consults the
+    other, so both remain pure functions of state+path.
+
+    ``correspondence=None`` monitors raw computations (unit tests,
+    benches); the engine always passes the problem correspondence so
+    probes see exactly what :meth:`WorkerState.compute_outcome` checks.
+    """
+
+    def __init__(self, plan: AutomataPlan, problem_spec, correspondence=None,
+                 temporal_mode: str = "compiled",
+                 history_cap: int = 2_000_000,
+                 probe_budget: int = DEFAULT_PROBE_BUDGET,
+                 projection_budget: int = DEFAULT_PROJECTION_BUDGET) -> None:
+        self._spec = problem_spec
+        self._corr = correspondence
+        self._mode = temporal_mode
+        self._cap = history_cap
+        self._budget = probe_budget
+        self._proj_budget = projection_budget
+        self._watch: Tuple[RestrictionAutomaton, ...] = tuple(
+            a for a in plan.automata.values() if a.monitorable)
+        #: union input alphabet of the watched machines (None = every
+        #: event class is a letter and can trigger a probe)
+        self._alphabet: Optional[frozenset] = frozenset()
+        for a in self._watch:
+            if a.alphabet is None:
+                self._alphabet = None
+                break
+            self._alphabet = self._alphabet | a.alphabet
+        #: (automaton name, projected-prefix fingerprint) -> verdict|None
+        self._memo: Dict[Tuple[str, str], Optional[bool]] = {}
+        #: guard evaluations performed (memo misses)
+        self.probes = 0
+        #: prefixes projected/labelled/fingerprinted (memo hits included)
+        self.projections = 0
+        #: early-violation verdicts decided (rejecting sinks reached)
+        self.cuts = 0
+        #: satisfied-early verdicts decided (accepting sinks reached)
+        self.accepts = 0
+        #: probes abandoned on an unexpected projection/labelling error
+        self.probe_errors = 0
+
+    @property
+    def watching(self) -> int:
+        return len(self._watch)
+
+    def root(self) -> _MonitorNode:
+        return _MonitorNode(tuple(range(len(self._watch))), ())
+
+    def _fresh_significant(self, state, node: _MonitorNode):
+        """``(raw_count, fresh)``: did a *letter* arrive since this
+        path last looked?
+
+        The trigger that keeps per-node overhead flat: a guard verdict
+        can only change when an event is appended that (a) the
+        correspondence keeps and (b) projects into the union input
+        alphabet of the watched machines -- so scheduler steps that
+        emit bookkeeping events or significant-but-unwatched classes
+        (the vast majority in language interpreters) are skipped
+        without freezing, projecting or fingerprinting anything.  Falls
+        back to "always fresh" for interpreter states without a
+        peekable builder.
+        """
+        builder = getattr(state, "builder", None)
+        events = (builder.events_so_far()
+                  if builder is not None
+                  and hasattr(builder, "events_so_far") else None)
+        if events is None:
+            return node.seen, True
+        n = len(events)
+        if n == node.seen:
+            return n, False
+        for ev in events[node.seen:]:
+            if self._corr is None:
+                if self._alphabet is None or (
+                        ev.event_class in self._alphabet):
+                    return n, True
+                continue
+            rule = self._corr.rule_for(ev)
+            if rule is not None and (
+                    self._alphabet is None
+                    or rule.target_class in self._alphabet):
+                return n, True
+        return n, False
+
+    def advance(self, node: _MonitorNode, state,
+                depth: int) -> _MonitorNode:
+        """Feed one scheduler node's prefix to the remaining automata.
+
+        Returns ``node`` unchanged when nothing was decided (the common
+        case; free once every automaton is decided or the budgets are
+        spent, and nearly free when the last steps emitted no
+        significant event)."""
+        if not node.active:
+            return node
+        if (self.probes >= self._budget
+                or self.projections >= self._proj_budget):
+            return node
+        seen, fresh = self._fresh_significant(state, node)
+        if not fresh:
+            if seen == node.seen:
+                return node
+            return _MonitorNode(node.active, node.decided, seen)
+        try:
+            self.projections += 1
+            prefix = state.computation()
+            if self._corr is not None:
+                from ..verify.projection import project
+
+                prefix = project(prefix, self._corr)
+            prefix = self._spec.label_threads(prefix)
+            fp = prefix.stable_fingerprint()
+        except Exception:
+            self.probe_errors += 1
+            return _MonitorNode(node.active, node.decided, seen)
+        active = []
+        decided = list(node.decided)
+        for idx in node.active:
+            automaton = self._watch[idx]
+            verdict = self._guard(automaton, prefix, fp)
+            if verdict is None:
+                active.append(idx)
+                continue
+            decided.append((automaton.name, verdict))
+            if verdict:
+                self.accepts += 1
+            else:
+                self.cuts += 1
+        return _MonitorNode(tuple(active), tuple(decided), seen)
+
+    def _guard(self, automaton: RestrictionAutomaton, prefix,
+               fp: str) -> Optional[bool]:
+        key = (automaton.name, fp)
+        if key in self._memo:
+            return self._memo[key]
+        self.probes += 1
+        try:
+            verdict = automaton.probe(prefix, self._mode, self._cap)
+        except Exception:
+            self.probe_errors += 1
+            verdict = None
+        if len(self._memo) < _GUARD_MEMO_CAP:
+            self._memo[key] = verdict
+        return verdict
+
+    def decided(self, node: _MonitorNode) -> Tuple[Tuple[str, bool], ...]:
+        return node.decided

@@ -91,11 +91,14 @@ class RestrictionOutcome:
     """Verdict for one restriction on one computation.
 
     ``provenance`` records how a temporal verdict was obtained when
-    slicing was requested -- ``"slice"`` (exact, no lattice walk) or
-    ``"walk"`` (slice declined, lattice/compiled walk decided it);
-    empty otherwise.  Excluded from equality and ``__str__`` so report
-    signatures and differential oracles stay byte-identical with and
-    without the slice.
+    slicing or DFA routing was requested -- ``"slice"`` (exact, no
+    lattice walk), ``"walk"`` (slice declined, lattice/compiled walk
+    decided it), ``"dfa"`` (restriction automaton resolved it at the
+    full history, no walk), or ``"dfa-early"`` (the exploration-time
+    automaton monitor decided it on a proper prefix and the check was
+    skipped); empty otherwise.  Excluded from equality and ``__str__``
+    so report signatures and differential oracles stay byte-identical
+    with and without either routing.
     """
 
     name: str
@@ -120,6 +123,12 @@ class CheckResult:
     #: after the slice declined (both 0 unless ``use_slice`` was set)
     slice_hits: int = 0
     slice_fallbacks: int = 0
+    #: temporal restrictions decided by the automaton route -- early
+    #: (monitor verdicts) or at the full history (leaf-resolvable) --
+    #: and restrictions whose shape the DFA compiler rejected (both 0
+    #: unless ``use_dfa`` was set)
+    dfa_hits: int = 0
+    dfa_inert: int = 0
 
     @property
     def ok(self) -> bool:
@@ -298,9 +307,12 @@ def check_restriction(
     history_cap: int = DEFAULT_HISTORY_CAP,
     with_witness: bool = False,
     use_slice: bool = False,
+    use_dfa: bool = False,
+    decided: Optional[Dict[str, bool]] = None,
     _lattice: Optional[LatticeChecker] = None,
     _compiled: Optional[object] = None,
     _slice: Optional[object] = None,
+    _automata: Optional[object] = None,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> RestrictionOutcome:
@@ -336,6 +348,19 @@ def check_restriction(
     shared across a spec's restrictions by :func:`check_computation`;
     without it, compiled mode compiles the single restriction on the
     spot.
+
+    With ``use_dfa``, temporal restrictions route through
+    :mod:`repro.core.automata`: a verdict already present in
+    ``decided`` (the exploration-time automaton monitor's early
+    decisions, semantically equal to what this check would derive) is
+    taken as-is (``provenance="dfa-early"``), and restrictions whose
+    automaton is leaf-resolvable (◇ with monotone bodies) are evaluated
+    at the full history with no lattice walk (``provenance="dfa"``).
+    Failing verdicts still re-derive witnesses/explanations through the
+    interpreter via ``fail()``, so diagnostics are byte-identical with
+    the route off.  ``_automata`` shares one
+    :class:`repro.core.automata.AutomataPlan` across a spec's
+    restrictions.
     """
     tracing = tracer is not None and getattr(tracer, "enabled", False)
 
@@ -358,11 +383,38 @@ def check_restriction(
 
     #: "" (slice not consulted) | "slice" (exact verdict) | "walk" (declined)
     slice_state = [""]
+    #: "" | "dfa-early" (monitor verdict reused) | "dfa" (leaf-resolved)
+    dfa_state = [""]
 
     def decide() -> RestrictionOutcome:
         formula = restriction.formula
         temporal = formula.is_temporal()
         mode = temporal_mode
+        if temporal and decided is not None and restriction.name in decided:
+            dfa_state[0] = "dfa-early"
+            if metrics is not None:
+                metrics.inc("checker.dfa_early", 1,
+                            restriction=restriction.name)
+            if decided[restriction.name]:
+                return RestrictionOutcome(restriction.name, True)
+            # verdict semantically equal to the walk's; detail matches
+            # byte-for-byte and fail() re-derives witnesses/explanations
+            # through the interpreter, so diagnostics are route-invariant
+            return fail("fails over the history lattice")
+        if use_dfa and temporal and mode in ("compiled", "lattice"):
+            from .automata import classify_restriction
+
+            automaton = (_automata.automaton(restriction.name)
+                         if _automata is not None
+                         else classify_restriction(restriction))
+            if automaton is not None and automaton.leaf_resolvable:
+                dfa_state[0] = "dfa"
+                if metrics is not None:
+                    metrics.inc("checker.dfa_hits", 1,
+                                restriction=restriction.name)
+                if automaton.resolve_at_top(computation):
+                    return RestrictionOutcome(restriction.name, True)
+                return fail("fails over the history lattice")
         if use_slice and temporal and mode in ("compiled", "lattice"):
             from .slice import SliceChecker
 
@@ -441,6 +493,8 @@ def check_restriction(
         raise SpecificationError(f"unknown temporal_mode {mode!r}")
 
     def stamp(outcome: RestrictionOutcome) -> RestrictionOutcome:
+        if dfa_state[0] and not outcome.provenance:
+            return replace(outcome, provenance=dfa_state[0])
         if slice_state[0] and not outcome.provenance:
             return replace(outcome, provenance=slice_state[0])
         return outcome
@@ -473,6 +527,8 @@ def check_computation(
     history_cap: int = DEFAULT_HISTORY_CAP,
     label_threads: bool = True,
     use_slice: bool = False,
+    use_dfa: bool = False,
+    decided: Optional[Dict[str, bool]] = None,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> CheckResult:
@@ -506,6 +562,11 @@ def check_computation(
         from .slice import SliceChecker
 
         slicer = SliceChecker(labelled)
+    automata = None
+    if use_dfa and temporal_mode in ("lattice", "compiled"):
+        from .automata import automata_plan_for
+
+        automata = automata_plan_for(spec)
     for restriction in spec.all_restrictions():
         result.outcomes.append(
             check_restriction(
@@ -516,10 +577,13 @@ def check_computation(
                 max_step=max_step,
                 history_cap=history_cap,
                 use_slice=use_slice,
+                use_dfa=use_dfa,
+                decided=decided,
                 _lattice=lattice if temporal_mode in ("lattice", "compiled")
                 else None,
                 _compiled=compiled,
                 _slice=slicer,
+                _automata=automata,
                 metrics=metrics,
                 tracer=tracer,
             )
@@ -528,6 +592,13 @@ def check_computation(
         1 for o in result.outcomes if o.provenance == "slice")
     result.slice_fallbacks = sum(
         1 for o in result.outcomes if o.provenance == "walk")
+    result.dfa_hits = sum(
+        1 for o in result.outcomes if o.provenance in ("dfa", "dfa-early"))
+    if automata is not None:
+        from .automata import INERT
+
+        result.dfa_inert = sum(
+            1 for a in automata.automata.values() if a.kind == INERT)
     if metrics is not None:
         metrics.inc("checker.computations")
         if temporal_mode == "lattice":

@@ -754,12 +754,35 @@ class SpecPlan:
                             compilable=self.compilable)
 
 
+#: Cross-instance plan memo, keyed by spec fingerprint.  A resident
+#: serve worker receives a *fresh* Specification instance per submitted
+#: job even when the spec content is identical (inline fuzz-spec
+#: resubmission, catalog case rebuilds); the fingerprint key lets those
+#: reuse the analysed plan instead of re-walking formula ASTs.  FIFO
+#: eviction; tiny (plans hold per-restriction analysis, not closures).
+_PLAN_MEMO: Dict[str, SpecPlan] = {}
+_PLAN_MEMO_CAP = 128
+
+
 def plan_for(spec) -> SpecPlan:
-    """The specification's :class:`SpecPlan`, built once and cached on
-    the spec instance (shared by fork-inherited engine workers)."""
+    """The specification's :class:`SpecPlan`, built once per spec
+    *content*: cached on the spec instance (shared by fork-inherited
+    engine workers) and, across instances, in a module-level memo keyed
+    by :func:`repro.core.automata.spec_fingerprint` -- safe because the
+    plan holds only formula-level analysis, and restrictions the
+    analysis cannot see through (``PyPred``) are marked non-compilable,
+    so a memoised plan never evaluates another instance's closures."""
     plan: Optional[SpecPlan] = getattr(spec, "_compile_plan", None)
     if plan is None:
-        plan = SpecPlan(spec)
+        from .automata import spec_fingerprint
+
+        key = spec_fingerprint(spec)
+        plan = _PLAN_MEMO.get(key)
+        if plan is None:
+            plan = SpecPlan(spec)
+            while len(_PLAN_MEMO) >= _PLAN_MEMO_CAP:
+                _PLAN_MEMO.pop(next(iter(_PLAN_MEMO)))
+            _PLAN_MEMO[key] = plan
         spec._compile_plan = plan
     return plan
 

@@ -341,6 +341,16 @@ class ComputationBuilder:
             return len(self._events)
         return self._counts.get(element, 0)
 
+    def events_so_far(self) -> List[Event]:
+        """The events added so far, in call order (live list: read-only).
+
+        A constant-time peek for callers that must not pay
+        :meth:`freeze` just to look at recent events -- the automaton
+        monitor's significance trigger scans the tail of this list at
+        every scheduler node.
+        """
+        return self._events
+
     def last_event_at(self, element: ElementName) -> Optional[Event]:
         """Most recently added event at ``element``, if any."""
         count = self._counts.get(element, 0)

@@ -129,6 +129,14 @@ class EngineConfig:
     #: on; ``--no-slice`` turns it off (verdicts and details are
     #: identical either way -- non-regular shapes fall back to the walk)
     slice: bool = True
+    #: restriction automata (:mod:`repro.core.automata`): compile
+    #: temporal restrictions to DFAs over the event alphabet, resolve
+    #: leaf-eligible checks by automaton, and monitor exploration
+    #: prefixes so doomed branches record early verdicts.  Default on;
+    #: ``--no-dfa`` turns it off (fingerprint sets, verdicts and
+    #: witnesses are byte-identical either way -- non-regular shapes are
+    #: dfa-inert and always take the ordinary route)
+    dfa: bool = True
     #: target shards per worker; >1 absorbs uneven subtree sizes
     shard_factor: int = 4
     progress: Optional[ProgressFn] = None
@@ -291,6 +299,13 @@ class Engine:
             stats.por_proviso_expansions += tr.por_proviso_expansions
             stats.slice_hits += tr.slice_hits
             stats.slice_fallbacks += tr.slice_fallbacks
+            stats.dfa_probes += tr.dfa_probes
+            stats.dfa_cuts += tr.dfa_cuts
+            stats.dfa_accepts += tr.dfa_accepts
+            stats.dfa_hits += tr.dfa_hits
+            # inert is a property of the compiled plan, not of work
+            # done, so tasks report the same figure: keep the max
+            stats.dfa_inert = max(stats.dfa_inert, tr.dfa_inert)
 
         fingerprints = set()
         index = 0
@@ -350,6 +365,7 @@ class Engine:
         stats = EngineStats()
         stats.por_enabled = cfg.por
         stats.slice_enabled = cfg.slice
+        stats.dfa_enabled = cfg.dfa
         with tracer.span("verify", attrs={"problem": problem_spec.name},
                          meta={"jobs": cfg.jobs}) as root:
             cache = self._open_cache(problem_spec, correspondence,
@@ -367,6 +383,7 @@ class Engine:
                 trace=tracer.enabled,
                 por=cfg.por,
                 slice=cfg.slice,
+                dfa=cfg.dfa,
                 history_cap=cfg.history_cap,
                 case_ref=cfg.case_ref,
             )
@@ -393,6 +410,8 @@ class Engine:
                 # verdicts were decided exactly on the slice
                 exploration.record_slice(stats.slice_hits,
                                          stats.slice_fallbacks)
+                exploration.record_dfa(stats.dfa_cuts, stats.dfa_accepts,
+                                       stats.dfa_inert)
 
             if cache is not None:
                 with PhaseTimer(stats, "cache-save", self._progress, tracer):
@@ -448,6 +467,10 @@ class Engine:
             o.slice_hits for o in result.fresh_outcomes.values())
         result.slice_fallbacks = sum(
             o.slice_fallbacks for o in result.fresh_outcomes.values())
+        result.dfa_hits = sum(
+            o.dfa_hits for o in result.fresh_outcomes.values())
+        result.dfa_inert = max(
+            (o.dfa_inert for o in result.fresh_outcomes.values()), default=0)
         return [result]
 
 

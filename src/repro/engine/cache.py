@@ -14,7 +14,10 @@ An entry is keyed by the pair
 where the *specification key* digests every declarative input that a
 verdict depends on: the problem specification's restrictions (name +
 formula text), elements and groups, the correspondence rules, the
-program specification (if any), and the temporal mode.  Each
+program specification (if any), and the temporal mode.  Routing
+accelerators (slice, DFA) never participate: their verdicts are
+byte-identical to the walk's, so entries are shared across
+``--slice``/``--dfa`` settings by design.  Each
 specification key gets its own JSON file in the cache directory, so
 unrelated workloads never collide and invalidation is per-workload.
 
@@ -72,6 +75,10 @@ class CheckOutcome:
     ``slice_fallbacks`` record how many temporal restrictions the
     computation-slicing path decided exactly vs handed back to the walk
     -- provenance, also a pure function of the same inputs.
+    ``dfa_hits`` / ``dfa_inert`` are the automaton route's analogues
+    (restrictions resolved by a DFA -- early or at the full history --
+    vs shapes the compiler classified inert); tolerated as absent in
+    older cache files since they are provenance, not semantics.
     """
 
     failed_restrictions: Tuple[str, ...] = ()
@@ -79,6 +86,8 @@ class CheckOutcome:
     program_spec_ok: bool = True
     slice_hits: int = 0
     slice_fallbacks: int = 0
+    dfa_hits: int = 0
+    dfa_inert: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -87,6 +96,8 @@ class CheckOutcome:
             "prog_ok": self.program_spec_ok,
             "slice_hits": self.slice_hits,
             "slice_fb": self.slice_fallbacks,
+            "dfa_hits": self.dfa_hits,
+            "dfa_inert": self.dfa_inert,
         }
 
     @staticmethod
@@ -97,6 +108,8 @@ class CheckOutcome:
             program_spec_ok=bool(data["prog_ok"]),
             slice_hits=int(data.get("slice_hits", 0)),
             slice_fallbacks=int(data.get("slice_fb", 0)),
+            dfa_hits=int(data.get("dfa_hits", 0)),
+            dfa_inert=int(data.get("dfa_inert", 0)),
         )
 
 

@@ -113,6 +113,15 @@ class TaskResult:
     #: them); both zero with slicing off
     slice_hits: int = 0
     slice_fallbacks: int = 0
+    #: automaton-monitor counters for this task's exploration (guard
+    #: probes, rejecting/accepting sinks reached) plus DFA-routing
+    #: tallies over fresh outcomes (hits summed; inert is a per-plan
+    #: property, so the max, not the sum); all zero with --no-dfa
+    dfa_probes: int = 0
+    dfa_cuts: int = 0
+    dfa_accepts: int = 0
+    dfa_hits: int = 0
+    dfa_inert: int = 0
     #: serialised trace segment (``Tracer.to_records``), empty unless
     #: the worker state asked for tracing; grafted by the parent in
     #: shard order so the merged trace is deterministic
@@ -143,13 +152,15 @@ class CaseRef:
     history_cap: int = DEFAULT_HISTORY_CAP
     por: bool = True
     slice: bool = True
+    dfa: bool = True
     trace: bool = False
 
     def state_key(self) -> str:
         """Memo key: two refs with equal keys build equivalent states."""
         return repr((self.case, self.mutant, self.inline,
                      self.temporal_mode, self.max_steps, self.max_runs,
-                     self.history_cap, self.por, self.slice, self.trace))
+                     self.history_cap, self.por, self.slice, self.dfa,
+                     self.trace))
 
     def build_objects(self) -> Tuple[Program, Specification, Correspondence,
                                      Optional[Specification]]:
@@ -178,7 +189,7 @@ class CaseRef:
             temporal_mode=self.temporal_mode,
             max_steps=self.max_steps, max_runs=self.max_runs,
             trace=self.trace, por=self.por, slice=self.slice,
-            history_cap=self.history_cap, case_ref=self,
+            dfa=self.dfa, history_cap=self.history_cap, case_ref=self,
         )
 
 
@@ -203,6 +214,7 @@ class WorkerState:
         trace: bool = False,
         por: bool = True,
         slice: bool = True,
+        dfa: bool = True,
         history_cap: int = DEFAULT_HISTORY_CAP,
         case_ref: Optional[CaseRef] = None,
     ) -> None:
@@ -220,6 +232,9 @@ class WorkerState:
         self.por = por
         #: when set, checks route regular restrictions through the slice
         self.slice = slice
+        #: when set, temporal restrictions route through compiled
+        #: restriction automata (leaf resolution + prefix monitoring)
+        self.dfa = dfa
         #: resident-mode rebuild recipe (None on the one-shot path)
         self.case_ref = case_ref
         #: the shared-cache snapshot this state was built with; resident
@@ -240,6 +255,30 @@ class WorkerState:
             plan_for(problem_spec)
             if program_spec is not None:
                 plan_for(program_spec)
+        if dfa and temporal_mode in ("compiled", "lattice"):
+            # same pre-fork/per-key priming story for automata plans
+            from ..core.automata import automata_plan_for
+
+            automata_plan_for(problem_spec)
+            if program_spec is not None:
+                automata_plan_for(program_spec)
+
+    def make_monitor(self):
+        """A fresh per-task :class:`AutomatonMonitor`, or ``None``.
+
+        ``None`` when the DFA route is off, the temporal mode is not
+        automaton-eligible, or no restriction compiled to a monitorable
+        automaton (the monitor would only burn probe budget)."""
+        if not self.dfa or self.temporal_mode not in ("compiled", "lattice"):
+            return None
+        from ..core.automata import AutomatonMonitor, automata_plan_for
+
+        plan = automata_plan_for(self.problem_spec)
+        if not plan.monitorable:
+            return None
+        return AutomatonMonitor(
+            plan, self.problem_spec, correspondence=self.correspondence,
+            temporal_mode=self.temporal_mode, history_cap=self.history_cap)
 
     def compute_outcome(self, run: Run,
                         metrics: Optional[MetricsRegistry] = None
@@ -248,25 +287,33 @@ class WorkerState:
         comp = run.computation
         program_spec_ok = True
         slice_hits = slice_fallbacks = 0
+        dfa_hits = dfa_inert = 0
         if self.program_spec is not None:
             pres = self.program_spec.check(
                 comp, temporal_mode=self.temporal_mode,
                 history_cap=self.history_cap,
-                use_slice=self.slice, metrics=metrics)
+                use_slice=self.slice, use_dfa=self.dfa, metrics=metrics)
             program_spec_ok = pres.ok
             slice_hits += pres.slice_hits
             slice_fallbacks += pres.slice_fallbacks
+            dfa_hits += pres.dfa_hits
+            dfa_inert += pres.dfa_inert
         projected = project(comp, self.correspondence)
+        # monitor verdicts were decided on projected prefixes of this
+        # run, so they apply to the problem-spec check only
+        decided = dict(run.decided) if run.decided else None
         result = self.problem_spec.check(
             projected, temporal_mode=self.temporal_mode,
             history_cap=self.history_cap, use_slice=self.slice,
-            metrics=metrics)
+            use_dfa=self.dfa, decided=decided, metrics=metrics)
         return CheckOutcome(
             failed_restrictions=tuple(result.failed_restrictions()),
             legality_ok=not result.legality_violations,
             program_spec_ok=program_spec_ok,
             slice_hits=slice_hits + result.slice_hits,
             slice_fallbacks=slice_fallbacks + result.slice_fallbacks,
+            dfa_hits=dfa_hits + result.dfa_hits,
+            dfa_inert=dfa_inert + result.dfa_inert,
         )
 
 
@@ -313,6 +360,7 @@ def _execute_with(state: WorkerState, task: Task) -> TaskResult:
         ))
 
     selector = make_selector(state.por) if task.kind == "explore" else None
+    monitor = state.make_monitor() if task.kind == "explore" else None
     with tracer.span(
             "task",
             attrs={"kind": task.kind,
@@ -323,7 +371,8 @@ def _execute_with(state: WorkerState, task: Task) -> TaskResult:
             if task.kind == "explore":
                 for run in explore(state.program, max_steps=state.max_steps,
                                    max_runs=state.max_runs,
-                                   prefix=task.prefix, por=selector):
+                                   prefix=task.prefix, por=selector,
+                                   dfa=monitor):
                     consume(run)
             elif task.kind == "sample":
                 consume(run_random(state.program, task.seed,
@@ -348,11 +397,19 @@ def _execute_with(state: WorkerState, task: Task) -> TaskResult:
         o.slice_hits for o in result.fresh_outcomes.values())
     result.slice_fallbacks = sum(
         o.slice_fallbacks for o in result.fresh_outcomes.values())
+    result.dfa_hits = sum(
+        o.dfa_hits for o in result.fresh_outcomes.values())
+    result.dfa_inert = max(
+        (o.dfa_inert for o in result.fresh_outcomes.values()), default=0)
     if selector is not None:
         result.por_nodes = selector.nodes
         result.por_reduced_nodes = selector.reduced_nodes
         result.por_pruned = selector.pruned
         result.por_proviso_expansions = selector.proviso_expansions
+    if monitor is not None:
+        result.dfa_probes = monitor.probes
+        result.dfa_cuts = monitor.cuts
+        result.dfa_accepts = monitor.accepts
     if tracing:
         result.spans = tracer.to_records()
         result.metrics = metrics.records() if metrics is not None else []

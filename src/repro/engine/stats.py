@@ -123,6 +123,23 @@ class EngineStats:
     slice_fallbacks = _counter(
         "checker.slice_fallbacks",
         "temporal restriction checks that fell back to the lattice walk")
+    # restriction automata (repro.core.automata): exploration-time
+    # monitor activity plus checker-side DFA routing
+    dfa_probes = _counter(
+        "dfa.probes", "guard probes the automaton monitor evaluated")
+    dfa_cuts = _counter(
+        "dfa.cuts",
+        "branches cut early: a restriction hit its rejecting sink on a "
+        "proper prefix")
+    dfa_accepts = _counter(
+        "dfa.accepts",
+        "restrictions satisfied early on a proper prefix (accepting sink)")
+    dfa_hits = _counter(
+        "checker.dfa_hits",
+        "restriction checks resolved by an automaton (leaf or early)")
+    dfa_inert = _counter(
+        "checker.dfa_inert",
+        "restrictions whose shape compiled to no automaton (dfa-inert)")
 
     @property
     def cache_enabled(self) -> bool:
@@ -147,6 +164,14 @@ class EngineStats:
     @slice_enabled.setter
     def slice_enabled(self, value: bool) -> None:
         self.metrics.set("engine.slice_enabled", 1 if value else 0)
+
+    @property
+    def dfa_enabled(self) -> bool:
+        return bool(self.metrics.get("engine.dfa_enabled"))
+
+    @dfa_enabled.setter
+    def dfa_enabled(self, value: bool) -> None:
+        self.metrics.set("engine.dfa_enabled", 1 if value else 0)
 
     @property
     def phase_seconds(self) -> Dict[str, float]:
@@ -202,6 +227,12 @@ class EngineStats:
             (f"  slice: {self.slice_hits} check(s) slice-exact, "
              f"{self.slice_fallbacks} walk-sampled fallback(s)")
             if self.slice_enabled else "  slice: disabled",
+            (f"  dfa: {self.dfa_cuts} branch(es) cut early, "
+             f"{self.dfa_accepts} satisfied early "
+             f"({self.dfa_probes} probe(s)), {self.dfa_hits} check(s) "
+             f"automaton-resolved, {self.dfa_inert} restriction(s) "
+             "dfa-inert")
+            if self.dfa_enabled else "  dfa: disabled",
             f"  throughput: {self.runs_per_second:.1f} runs/s",
         ]
         phases = ", ".join(

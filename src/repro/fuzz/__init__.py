@@ -28,6 +28,7 @@ from .oracles import (
     ReplayArtifact,
     check_compiled_agrees,
     check_compose_laws,
+    check_dfa_agrees,
     check_engine_agreement,
     check_fingerprint_laws,
     check_history_laws,
@@ -44,6 +45,7 @@ from .programs import (
     FuzzProgram,
     FuzzProgramSpec,
     RecipeProgram,
+    dfa_problem_spec,
     fuzz_correspondence,
     fuzz_problem_spec,
     random_program_spec,
@@ -59,9 +61,11 @@ __all__ = [
     "check_order_laws", "check_history_laws", "check_fingerprint_laws",
     "check_compiled_agrees", "check_compose_laws", "check_modes_agree",
     "check_replay_determinism", "check_slice_agrees",
+    "check_dfa_agrees",
     "check_engine_agreement", "identity_correspondence",
     "FuzzProgram", "FuzzProgramSpec", "RecipeProgram",
     "FORK_DROPS_ENABLES", "fuzz_problem_spec", "fuzz_correspondence",
+    "dfa_problem_spec",
     "random_program_spec",
     "FuzzConfig", "FuzzFailure", "FuzzStats", "run_fuzz", "seed_token",
     "shrink_failure", "repro_snippet",

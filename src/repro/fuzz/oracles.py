@@ -41,6 +41,7 @@ from .generators import (
 from .programs import (
     FuzzProgram,
     FuzzProgramSpec,
+    dfa_problem_spec,
     fuzz_correspondence,
     fuzz_problem_spec,
     random_program_spec,
@@ -361,6 +362,81 @@ def check_slice_agrees(
         return (f"slice checker disagrees with exact enumeration on "
                 f"{restriction.name!r}: slice={sliced.holds} "
                 f"exact={exact.holds} ({restriction.formula.describe()})")
+    return None
+
+
+def check_dfa_agrees(
+    spec: FuzzProgramSpec,
+    max_steps: int = 64,
+    max_runs: int = 100_000,
+    monitor_factory=None,
+) -> Optional[str]:
+    """The restriction-automata soundness contract.
+
+    The :class:`~repro.core.automata.AutomatonMonitor` threads through
+    exploration as a pure observer, so three laws must hold on every
+    program: (1) the monitored exploration's run census -- choices,
+    fingerprints, deadlock/truncation flags -- is byte-identical to the
+    unmonitored one's; (2) every verdict the monitor decides on a
+    *prefix* equals the ground-truth lattice verdict on the completed
+    computation (box-reject prefixes stay violating in every
+    completion, dia-accept prefixes stay satisfied); and (3) routing
+    the checker through the automata (``use_dfa`` plus the recorded
+    early verdicts) reproduces the plain checker's per-restriction
+    verdicts exactly.
+
+    Runs over :func:`dfa_problem_spec` -- the fuzz spec extended with a
+    box-reject budget restriction and a dia-accept liveness one, so
+    both automaton sinks actually fire across seeds.
+    ``monitor_factory`` is injectable for mutant seeding (a monitor
+    that mis-decides or perturbs exploration must be caught here).
+    """
+    from ..core.automata import AutomatonMonitor, automata_plan_for
+    from ..core.checker import check_computation
+
+    program = FuzzProgram(spec)
+    problem_spec = dfa_problem_spec(spec)
+    plan = automata_plan_for(problem_spec)
+    make = monitor_factory or (
+        lambda: AutomatonMonitor(plan, problem_spec))
+
+    plain = list(explore(program, max_steps=max_steps, max_runs=max_runs))
+    monitored = list(explore(program, max_steps=max_steps,
+                             max_runs=max_runs, dfa=make()))
+
+    def census(runs):
+        return [(r.choices, r.computation.stable_fingerprint(),
+                 r.deadlocked, r.truncated) for r in runs]
+
+    if census(plain) != census(monitored):
+        return (f"the monitor perturbed exploration: {len(plain)} plain "
+                f"run(s) vs {len(monitored)} monitored")
+
+    verdicts_by_fp: Dict[str, Tuple[Dict[str, bool], Dict[str, bool]]] = {}
+    for run in monitored:
+        if run.truncated:
+            continue
+        comp = run.computation
+        fp = comp.stable_fingerprint()
+        cached = verdicts_by_fp.get(fp)
+        if cached is None:
+            truth = {o.name: o.holds for o in check_computation(
+                comp, problem_spec, temporal_mode="lattice").outcomes}
+            base = {o.name: o.holds for o in check_computation(
+                comp, problem_spec).outcomes}
+            cached = verdicts_by_fp[fp] = (truth, base)
+        truth, base = cached
+        for name, holds in run.decided:
+            if truth.get(name) != holds:
+                return (f"monitor decided {name!r}={holds} on a prefix of "
+                        f"run {run.choices} but the completed computation "
+                        f"says {truth.get(name)}")
+        routed = {o.name: o.holds for o in check_computation(
+            comp, problem_spec, use_dfa=True,
+            decided=dict(run.decided)).outcomes}
+        if routed != base:
+            return (f"dfa-routed checker disagrees on run {run.choices}: "
+                    f"{routed} with the automata vs {base} without")
     return None
 
 
@@ -752,6 +828,14 @@ def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
             lambda art: check_slice_agrees(
                 (comp := art.recipe.build()), art.restriction(comp)),
             lambda art: art.shrink_candidates(),
+        ),
+        Oracle(
+            "dfa-differential",
+            "automaton monitor: exploration unperturbed, early verdicts "
+            "== completed-computation verdicts, dfa routing == plain",
+            gen_engine,
+            check_dfa_agrees,
+            lambda spec: spec.shrink_candidates(),
         ),
         Oracle(
             "replay-determinism",

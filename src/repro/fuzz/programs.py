@@ -221,6 +221,43 @@ def fuzz_problem_spec(spec: FuzzProgramSpec) -> Specification:
     )
 
 
+def dfa_problem_spec(spec: FuzzProgramSpec) -> Specification:
+    """:func:`fuzz_problem_spec` plus automaton-eligible restrictions.
+
+    The base fuzz spec's only restriction is an opaque ``PyPred``
+    (deliberately dfa-inert), so a dfa-differential oracle run over it
+    would never exercise the monitor.  This variant adds two temporal
+    restrictions the automata compiler accepts:
+
+    * ``step-budget`` (box-reject): no three distinct ``Step`` events
+      share a step index -- violated, early, exactly when at least
+      three processes run, and holding otherwise, so both verdicts
+      arise across random specs;
+    * ``some-step`` (dia-accept): ◇ some event occurred -- satisfied on
+      the first step, exercising the accepting-sink path.
+    """
+    from ..core.formula import (And, ClassAnywhere, DataEq, Eventually,
+                                EventEq, Exists, ForAll, Henceforth, Implies,
+                                Not, Occurred, Param)
+
+    step = ClassAnywhere("Step")
+    distinct = And((Not(EventEq("x", "y")), Not(EventEq("y", "z")),
+                    Not(EventEq("x", "z"))))
+    same_index = And((DataEq(Param("x", "s"), Param("y", "s")),
+                      DataEq(Param("y", "s"), Param("z", "s"))))
+    all_occurred = And((Occurred("x"), Occurred("y"), Occurred("z")))
+    budget = Henceforth(ForAll("x", step, ForAll("y", step, ForAll(
+        "z", step, Implies(And((distinct, same_index)),
+                           Not(all_occurred))))))
+    some_step = Eventually(Exists("x", step, Occurred("x")))
+    return fuzz_problem_spec(spec).extended(restrictions=[
+        Restriction("step-budget", budget,
+                    comment="no step index reached by three processes"),
+        Restriction("some-step", some_step,
+                    comment="at least one step runs"),
+    ])
+
+
 def fuzz_correspondence(spec: FuzzProgramSpec) -> Correspondence:
     """Identity correspondence: every Step event is significant."""
     return Correspondence(rules=tuple(

@@ -51,6 +51,8 @@ from .programs import (
     readers_writers_monitor_writers_priority,
     readers_writers_monitor_writers_first,
     readers_writers_system,
+    tally_monitor,
+    tally_system,
     writer_script,
 )
 
@@ -71,5 +73,6 @@ __all__ = [
     "one_slot_buffer_monitor", "one_slot_buffer_monitor_unguarded",
     "one_slot_buffer_system", "bounded_buffer_monitor",
     "bounded_buffer_system", "producer_script", "consumer_script",
+    "tally_monitor", "tally_system",
     "SITE_STARTREAD", "SITE_ENDREAD", "SITE_STARTWRITE", "SITE_ENDWRITE",
 ]

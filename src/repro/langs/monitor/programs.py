@@ -378,3 +378,54 @@ def bounded_buffer_system(
         monitor=monitor or bounded_buffer_monitor(capacity),
         callers=(Caller("producer", producer_script(items)), *consumers),
     )
+
+
+# -- Tally -------------------------------------------------------------------
+
+def tally_monitor(name: str = "tally") -> MonitorDecl:
+    """A trivial counting monitor: ``Bump`` increments a shared tally.
+
+    The monitor itself is correct in every variant of the tally system;
+    it exists to put a monitor-lock protocol (and, without eager
+    reductions, its interleavings) between the workers' marks.
+    """
+    count = VarRef("count")
+    return MonitorDecl(
+        name=name,
+        variables=(("count", 0),),
+        conditions=(),
+        entries=(
+            Entry("Bump", (), (
+                Assign("count", BinOp("+", count, Lit(1)), label="bump"),
+            )),
+        ),
+        init=(Assign("count", Lit(0)),),
+    )
+
+
+def tally_system(
+    workers: int = 2,
+    rounds: int = 3,
+    mutant: bool = False,
+) -> MonitorSystem:
+    """``workers`` callers each do ``rounds`` of (note ``Mark``, call Bump).
+
+    The problem spec (:func:`repro.problems.ring.tally_spec`) forbids
+    three marks with the same ``w`` stamp.  The correct variant stamps
+    each mark uniquely (``worker1:0``, ``worker1:1``, ...); the mutant
+    stamps every mark with just the worker's name, so with ``rounds >=
+    3`` every single execution violates the budget -- and does so within
+    the first few scheduler steps of some worker, which is exactly the
+    early-violation shape the restriction automata prune.
+    """
+    callers = []
+    for i in range(workers):
+        name = f"worker{i + 1}"
+        script = []
+        for r in range(rounds):
+            stamp = name if mutant else f"{name}:{r}"
+            script.append(NoteOp.make("Mark", w=stamp))
+            script.append(CallOp.make("Bump"))
+        callers.append(Caller(name, tuple(script)))
+    return MonitorSystem(monitor=tally_monitor(), callers=tuple(callers),
+                         data_elements=())

@@ -323,6 +323,11 @@ def stats_snapshot(stats: Any) -> Dict[str, Any]:
         "por_pruned": stats.por_pruned,
         "slice_hits": stats.slice_hits,
         "slice_fallbacks": stats.slice_fallbacks,
+        "dfa_probes": stats.dfa_probes,
+        "dfa_cuts": stats.dfa_cuts,
+        "dfa_accepts": stats.dfa_accepts,
+        "dfa_hits": stats.dfa_hits,
+        "dfa_inert": stats.dfa_inert,
     }
 
 

@@ -77,6 +77,11 @@ def render_top(scrape: PrometheusScrape, stats: Mapping[str, Any],
         f"pruned {int(val('repro_por_pruned_interleavings'))}   "
         f"slice hits {int(val('repro_checker_slice_hits'))} / "
         f"fallbacks {int(val('repro_checker_slice_fallbacks'))}")
+    lines.append(
+        f"dfa    : probes {int(val('repro_dfa_probes'))}   "
+        f"cuts {int(val('repro_dfa_cuts'))}   "
+        f"accepts {int(val('repro_dfa_accepts'))}   "
+        f"checks resolved {int(val('repro_checker_dfa_hits'))}")
 
     lines.append("")
     lines.append(f"latest job(s) (of {len(jobs)}):")

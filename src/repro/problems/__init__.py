@@ -10,10 +10,11 @@ from . import (
     game_of_life,
     one_slot_buffer,
     readers_writers,
+    ring,
     variable,
 )
 
 __all__ = [
     "variable", "readers_writers", "one_slot_buffer", "bounded_buffer",
-    "buffer_base", "db_update", "game_of_life",
+    "buffer_base", "db_update", "game_of_life", "ring",
 ]

@@ -1,0 +1,137 @@
+"""Mark-budget workloads: early-violation stress cases for the DFA route.
+
+Two related workloads built around one restriction, ``ring-mark-budget``:
+
+    □ ∀x,y,z : Mark .  (distinct(x,y,z) ∧ x.w = y.w = z.w) ⊃
+                       ¬(occurred(x) ∧ occurred(y) ∧ occurred(z))
+
+"no worker stamps three marks" -- three quantifiers make every direct
+check cubic in the number of marks, while the body's shape (history-
+independent guard, monotone consequent under negation) is exactly what
+:mod:`repro.core.automata` compiles to a box-reject automaton.  When the
+budget is exceeded, *every* branch of the exploration violates the
+restriction within a handful of steps, so the automaton monitor decides
+the whole subtree from a tiny prefix and the checker skips the cubic
+walk on every distinct computation.
+
+* :class:`RingProgram` -- the pure scheduler workload: ``workers``
+  processes each stamp ``rounds`` marks at one shared ``ring`` element.
+  Every interleaving is a distinct partial order (the shared element
+  totally orders the marks), so the run census is the binomial
+  ``C(workers*rounds, rounds)`` and checking dominates exploration.
+  Used by the ``dfa:early-violation`` benchmark row.
+* :func:`tally_system` (in :mod:`repro.langs.monitor.programs`) plus
+  :func:`tally_spec` / :func:`mark_correspondence` here -- the same
+  restriction over a Monitor-language system verified end to end
+  through projection.  The mutant stamps every mark with the worker's
+  name (three same-stamp marks: illegal everywhere, early); the correct
+  variant stamps each round uniquely.  The ``monitor-tally-mesa``
+  catalog case and the ``dfa:noeager`` benchmark row use it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.element import ElementDecl
+from ..core.event import EventClass, ParamSpec
+from ..core.formula import (
+    And,
+    ClassAnywhere,
+    DataEq,
+    EventEq,
+    ForAll,
+    Henceforth,
+    Implies,
+    Not,
+    Occurred,
+    Param,
+    Restriction,
+)
+from ..core.specification import Specification
+from ..sim.runtime import Action, SimpleState
+
+MARK = ClassAnywhere("Mark")
+
+#: Event class shared by both workloads: one mark, stamped ``w``.
+MARK_CLASS = EventClass("Mark", (ParamSpec("w"),))
+
+
+def ring_restriction() -> Restriction:
+    """□ "no three distinct marks share a stamp" (violated early or never)."""
+    distinct = And((Not(EventEq("x", "y")), Not(EventEq("y", "z")),
+                    Not(EventEq("x", "z"))))
+    same_stamp = And((DataEq(Param("x", "w"), Param("y", "w")),
+                      DataEq(Param("y", "w"), Param("z", "w"))))
+    all_occurred = And((Occurred("x"), Occurred("y"), Occurred("z")))
+    body = ForAll("x", MARK, ForAll("y", MARK, ForAll("z", MARK, Implies(
+        And((distinct, same_stamp)), Not(all_occurred)))))
+    return Restriction(
+        "ring-mark-budget", Henceforth(body),
+        comment="no worker stamps three marks",
+    )
+
+
+def ring_spec(element_names: Iterable[str] = ("ring",)) -> Specification:
+    """The mark-budget specification over the given mark-bearing elements."""
+    return Specification(
+        "ring-marks",
+        elements=[ElementDecl(name, (MARK_CLASS,))
+                  for name in element_names],
+        restrictions=[ring_restriction()],
+    )
+
+
+class RingState(SimpleState):
+    """``workers`` processes each stamping ``rounds`` marks at ``ring``."""
+
+    def __init__(self, workers: int, rounds: int) -> None:
+        super().__init__()
+        self.left = {f"W{i}": rounds for i in range(workers)}
+
+    def enabled(self) -> List[Action]:
+        return [Action(p, "mark", key=p)
+                for p, n in sorted(self.left.items()) if n > 0]
+
+    def step(self, action: Action) -> None:
+        self.left[action.process] -= 1
+        self.emit(action.process, "ring", "Mark", {"w": action.process})
+
+    def is_final(self) -> bool:
+        return all(n == 0 for n in self.left.values())
+
+
+class RingProgram:
+    """Factory of fresh :class:`RingState` initial states."""
+
+    def __init__(self, workers: int = 2, rounds: int = 5) -> None:
+        self.workers = workers
+        self.rounds = rounds
+
+    def initial_state(self) -> RingState:
+        return RingState(self.workers, self.rounds)
+
+
+def tally_spec(workers: int = 2) -> Specification:
+    """The mark-budget spec over the tally system's worker elements."""
+    return ring_spec(f"worker{i + 1}" for i in range(workers))
+
+
+def mark_correspondence():
+    """Projection keeping only the workers' ``Mark`` events (with stamps)."""
+    from ..verify import (
+        Correspondence,
+        SignificantEvents,
+        process_from_param_or_element,
+    )
+
+    def same_element(ev):
+        return ev.element
+
+    def keep_stamp(ev):
+        return {"w": ev.param("w")}
+
+    rules = (SignificantEvents("mark", "*", "Mark", same_element, "Mark",
+                               params=keep_stamp),)
+    return Correspondence(rules,
+                          process_of=process_from_param_or_element("by"))

@@ -155,8 +155,8 @@ class VerificationService:
                 source="serve",
                 case=spec.case if spec.case else "inline",
                 flags={"jobs": spec.jobs, "por": spec.por,
-                       "slice": spec.slice, "compile": spec.compile,
-                       "mutant": spec.mutant},
+                       "slice": spec.slice, "dfa": spec.dfa,
+                       "compile": spec.compile, "mutant": spec.mutant},
                 ok=ok, mode=mode, signature=signature, wall_s=wall_s,
                 stats=stats)
         except Exception as exc:  # noqa: BLE001 - history is best-effort
@@ -217,6 +217,7 @@ class VerificationService:
             temporal_mode=spec.temporal_mode,
             por=spec.por,
             slice=spec.slice,
+            dfa=spec.dfa,
             history_cap=spec.history_cap,
             max_steps=spec.max_steps,
             max_runs=spec.max_runs,
@@ -287,6 +288,11 @@ class VerificationService:
                 "por_pruned": stats.por_pruned,
                 "slice_hits": stats.slice_hits,
                 "slice_fallbacks": stats.slice_fallbacks,
+                "dfa_probes": stats.dfa_probes,
+                "dfa_cuts": stats.dfa_cuts,
+                "dfa_accepts": stats.dfa_accepts,
+                "dfa_hits": stats.dfa_hits,
+                "dfa_inert": stats.dfa_inert,
             },
         })
 

@@ -30,7 +30,7 @@ class ProtocolError(ValueError):
 
 #: Keys accepted in a job-spec JSON object.
 _SPEC_KEYS = frozenset({
-    "case", "mutant", "inline", "jobs", "por", "slice", "compile",
+    "case", "mutant", "inline", "jobs", "por", "slice", "dfa", "compile",
     "history_cap", "max_steps", "max_runs",
 })
 
@@ -42,7 +42,8 @@ class JobSpec:
     Mirrors the ``repro verify`` CLI surface: ``compile=False`` is
     ``--no-compile`` (lattice interpreter), ``por=False`` is
     ``--no-por``, ``slice=False`` is ``--no-slice`` (walk the history
-    lattice for every temporal check), ``jobs`` caps the worker
+    lattice for every temporal check), ``dfa=False`` is ``--no-dfa``
+    (no restriction automata), ``jobs`` caps the worker
     fan-out *for this job* (the
     resident pool is shared, so this bounds shard parallelism, not
     processes).  ``inline`` carries a fuzz-program payload
@@ -56,6 +57,7 @@ class JobSpec:
     jobs: int = 1
     por: bool = True
     slice: bool = True
+    dfa: bool = True
     compile: bool = True
     history_cap: int = DEFAULT_HISTORY_CAP
     max_steps: int = DEFAULT_MAX_STEPS
@@ -77,7 +79,7 @@ class JobSpec:
             temporal_mode=self.temporal_mode,
             max_steps=self.max_steps, max_runs=self.max_runs,
             history_cap=self.history_cap, por=self.por, slice=self.slice,
-            trace=True,
+            dfa=self.dfa, trace=True,
         )
 
     def describe(self) -> str:
@@ -90,6 +92,8 @@ class JobSpec:
             flags.append("no-por")
         if not self.slice:
             flags.append("no-slice")
+        if not self.dfa:
+            flags.append("no-dfa")
         if not self.compile:
             flags.append("no-compile")
         if self.jobs != 1:
@@ -99,7 +103,7 @@ class JobSpec:
     def to_json(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "mutant": self.mutant, "jobs": self.jobs, "por": self.por,
-            "slice": self.slice, "compile": self.compile,
+            "slice": self.slice, "dfa": self.dfa, "compile": self.compile,
         }
         if self.case is not None:
             out["case"] = self.case
@@ -183,6 +187,7 @@ def parse_job_spec(payload: Any,
         jobs=_int("jobs", 1, 1),
         por=_bool("por", True),
         slice=_bool("slice", True),
+        dfa=_bool("dfa", True),
         compile=_bool("compile", True),
         history_cap=_int("history_cap", DEFAULT_HISTORY_CAP, 1),
         max_steps=_int("max_steps", DEFAULT_MAX_STEPS, 1),

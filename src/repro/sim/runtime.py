@@ -169,6 +169,11 @@ class Run:
     deadlocked: bool = False
     truncated: bool = False
     blocked: Tuple[str, ...] = ()
+    #: restriction verdicts the automaton monitor decided on a proper
+    #: prefix of this run (``(name, holds)`` pairs); the checker skips
+    #: re-deriving these (provenance ``"dfa-early"``) -- verdicts are
+    #: identical either way, so reports never depend on this field
+    decided: Tuple[Tuple[str, bool], ...] = ()
 
     @property
     def completed(self) -> bool:

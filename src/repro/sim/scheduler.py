@@ -84,6 +84,7 @@ def explore(
     max_runs: int = DEFAULT_MAX_RUNS,
     prefix: Sequence[int] = (),
     por: Optional[object] = None,
+    dfa: Optional[object] = None,
 ) -> Iterator[Run]:
     """Enumerate every maximal run of ``program``, depth-first.
 
@@ -104,12 +105,20 @@ def explore(
     indices still index the *full* enabled list, so recorded runs
     replay through :func:`replay_prefix` unchanged, and the reduced run
     set is a subset of the full DFS order.
+
+    ``dfa`` (an :class:`repro.core.automata.AutomatonMonitor`,
+    duck-typed) enables on-the-fly temporal checking: internal nodes
+    feed their prefix to the monitor's restriction DFAs, and verdicts
+    decided early (rejecting/accepting sinks reached) ride on each
+    ``Run.decided`` so the checker can skip those restrictions.  POR
+    prunes first, the monitor probes second; both are pure functions of
+    state+path, so the run census, replay and witnesses are unchanged.
     """
     if max_steps < 1:
         raise VerificationError("max_steps must be positive")
     produced = 0
 
-    def rec(choices: Tuple[int, ...]) -> Iterator[Run]:
+    def rec(choices: Tuple[int, ...], mnode) -> Iterator[Run]:
         nonlocal produced
         if por is None:
             state = replay_prefix(program, choices)
@@ -124,22 +133,30 @@ def explore(
                     f"more than {max_runs} runs; raise max_runs or shrink "
                     "the program"
                 )
+            decided = mnode.decided if mnode is not None else ()
             if actions:
                 yield Run(state.computation(), choices, truncated=True,
-                          blocked=tuple(str(a) for a in actions))
+                          blocked=tuple(str(a) for a in actions),
+                          decided=decided)
             elif state.is_final():
-                yield Run(state.computation(), choices)
+                yield Run(state.computation(), choices, decided=decided)
             else:
-                yield Run(state.computation(), choices, deadlocked=True)
+                yield Run(state.computation(), choices, deadlocked=True,
+                          decided=decided)
             return
+        # probe only at internal nodes: a leaf's "prefix" is the full
+        # computation, which the checker is about to examine anyway
+        if mnode is not None:
+            mnode = dfa.advance(mnode, state, len(choices))
         if por is None:
             branches = range(len(actions))
         else:
             branches = por.ample(state, actions, postponed)
         for i in branches:
-            yield from rec(choices + (i,))
+            yield from rec(choices + (i,), mnode)
 
-    return rec(tuple(prefix))
+    root = dfa.root() if dfa is not None else None
+    return rec(tuple(prefix), root)
 
 
 def run_random(
@@ -209,6 +226,13 @@ class ExplorationResult:
     por_pruned: int = 0
     slice_hits: int = 0
     slice_fallbacks: int = 0
+    #: restriction verdicts decided early by the automaton monitor
+    #: during this exploration (rejecting sinks = branches whose checks
+    #: were cut, accepting sinks = satisfied-early) and how many
+    #: temporal restrictions were DFA-inert (:meth:`record_dfa`)
+    dfa_cuts: int = 0
+    dfa_accepts: int = 0
+    dfa_inert: int = 0
 
     @property
     def completed_runs(self) -> List[Run]:
@@ -249,13 +273,18 @@ class ExplorationResult:
         if self.slice_hits or self.slice_fallbacks:
             sliced = (f", {self.slice_hits} checks slice-exact, "
                       f"{self.slice_fallbacks} walk fallbacks")
+        dfa = ""
+        if self.dfa_cuts or self.dfa_accepts or self.dfa_inert:
+            dfa = (f", {self.dfa_cuts} branches cut early by dfa "
+                   f"({self.dfa_accepts} satisfied-early), "
+                   f"{self.dfa_inert} restrictions dfa-inert")
         return (
             f"{mode}: {len(self.runs)} runs "
             f"({self.distinct_computations()} distinct, "
             f"{len(self.completed_runs)} completed, "
             f"{len(self.deadlocked_runs)} deadlocked, "
             f"{len(self.truncated_runs)} truncated"
-            f"{provenance}{pruned}{sliced})"
+            f"{provenance}{pruned}{sliced}{dfa})"
         )
 
     def record_slice(self, hits: int, fallbacks: int) -> None:
@@ -264,6 +293,13 @@ class ExplorationResult:
         verdicts)."""
         self.slice_hits = int(hits)
         self.slice_fallbacks = int(fallbacks)
+
+    def record_dfa(self, cuts: int, accepts: int, inert: int) -> None:
+        """Annotate with the automaton monitor's tallies (provenance
+        only; never affects verdicts)."""
+        self.dfa_cuts = int(cuts)
+        self.dfa_accepts = int(accepts)
+        self.dfa_inert = int(inert)
 
 
 def explore_or_sample(
@@ -274,6 +310,7 @@ def explore_or_sample(
     seed: int = 0,
     tracer: Optional[object] = None,
     por: Optional[object] = None,
+    dfa: Optional[object] = None,
 ) -> ExplorationResult:
     """Exhaustive exploration when it fits in ``max_runs``, else sampling.
 
@@ -292,6 +329,12 @@ def explore_or_sample(
     count is reported either way, so a result can honestly say both
     "N runs were sampled" and "M branches were pruned before the cap
     was hit".
+
+    ``dfa`` (an :class:`repro.core.automata.AutomatonMonitor`) enables
+    on-the-fly temporal checking of the exhaustive attempt; sampled
+    walks are never monitored (each is a single path, checked once
+    post-hoc anyway).  The monitor's early-verdict tallies land on the
+    result either way.
     """
     if tracer is None:
         from ..obs.trace import NULL_TRACER
@@ -300,21 +343,28 @@ def explore_or_sample(
     def pruned() -> int:
         return por.pruned if por is not None else 0
 
+    def cuts() -> "Tuple[int, int]":
+        if dfa is None:
+            return 0, 0
+        return dfa.cuts, dfa.accepts
+
     try:
         with tracer.span("explore") as span:
             runs = list(explore(program, max_steps=max_steps,
-                                max_runs=max_runs, por=por))
+                                max_runs=max_runs, por=por, dfa=dfa))
             span.set_meta(runs=len(runs), por_pruned=pruned())
-        return ExplorationResult(runs=runs, exhaustive=True,
-                                 por_pruned=pruned())
+        result = ExplorationResult(runs=runs, exhaustive=True,
+                                   por_pruned=pruned())
     except RunCapExceeded:
         with tracer.span("sample", attrs={"seed": seed, "count": sample}):
             runs = sample_runs(program, sample, seed=seed,
                                max_steps=max_steps)
-        return ExplorationResult(
+        result = ExplorationResult(
             runs=runs,
             exhaustive=False,
             sample_seed=seed,
             sample_count=sample,
             por_pruned=pruned(),
         )
+    result.dfa_cuts, result.dfa_accepts = cuts()
+    return result

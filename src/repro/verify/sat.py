@@ -176,6 +176,7 @@ def verify_program(
     tracer=None,
     por: bool = True,
     slice: bool = True,
+    dfa: bool = True,
 ) -> VerificationReport:
     """The paper's proof obligation, executed by :mod:`repro.engine`.
 
@@ -197,6 +198,13 @@ def verify_program(
     instead of walking the history lattice; non-regular shapes fall
     back to the walk, so verdicts and details are identical either
     way.  The CLI's ``--no-slice`` turns it off.
+    ``dfa`` (default on) enables restriction automata
+    (:mod:`repro.core.automata`): temporal restrictions compile to DFAs
+    over the event alphabet, leaf-eligible checks are resolved by
+    automaton, and exploration prefixes are monitored so doomed
+    branches record their verdicts early.  Fingerprint sets, verdicts
+    and witnesses are byte-identical either way; the CLI's ``--no-dfa``
+    turns it off.
 
     Pass ``exploration`` to reuse runs already gathered (e.g. when
     verifying one program against several problem variants).
@@ -218,6 +226,7 @@ def verify_program(
         tracer=tracer,
         por=por,
         slice=slice,
+        dfa=dfa,
     )
     return Engine(config).verify(
         program, problem_spec, correspondence,

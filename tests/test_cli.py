@@ -19,7 +19,7 @@ class TestList:
     def test_lists_all_cases(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out.splitlines()
-        assert len(out) == 10
+        assert len(out) == 11
         assert out == sorted(out)
         assert CASE in out
         assert {line.split("-")[0] for line in out} == {"monitor", "csp",
