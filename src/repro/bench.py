@@ -501,6 +501,119 @@ def run_dfa_bench(quick: bool = False) -> Dict[str, dict]:
     return results
 
 
+#: Minimum memoised-search-vs-brute-force *work* ratio (permutations
+#: examined by the oracle / states expanded by the search) for the
+#: gated ``objects:witness-*`` rows -- an absolute floor asserted on
+#: every run.  The memoised witness search is exponential in
+#: operations where the permutation oracle is factorial, so on the
+#: 8-operation bench histories the gap is two to three orders of
+#: magnitude; the floor only guards against the search degenerating
+#: into the oracle it is supposed to dominate.  Like the POR rows'
+#: run-count ratios, the work ratio is deterministic on any machine,
+#: which is what makes the baseline gate meaningful; wall times ride
+#: along as context.
+OBJECTS_GATE_MIN = 25.0
+
+#: (row name, object type, history seed).  The seeds are pinned to
+#: corrupted histories that are neither linearizable nor sequentially
+#: consistent, so both searches must exhaust -- the brute-force side
+#: cannot exit early on a lucky witness.
+OBJECTS_WORKLOADS: Tuple[Tuple[str, str, int], ...] = (
+    ("objects:witness-register", "register", 0),
+    ("objects:witness-queue", "queue", 1),
+)
+QUICK_OBJECTS_WORKLOADS = OBJECTS_WORKLOADS[:1]
+
+
+def run_objects_bench(quick: bool = False,
+                      repeats: int = 3) -> Dict[str, dict]:
+    """Consistency-checking benchmarks (S12, ``docs/OBJECTS.md``).
+
+    ``objects:witness-*`` (gated): the production memoised witness
+    search (:func:`repro.verify.consistency.linearizable`) against the
+    brute-force permutation oracle on a pinned seeded 8-operation
+    history.  Verdict equality is asserted before any measurement, and
+    the gated ``speedup`` is the *work* ratio -- permutations examined
+    by the oracle over states expanded by the search -- which is
+    deterministic for the pinned history, so the baseline comparison
+    cannot flake on timer noise.  It must clear
+    :data:`OBJECTS_GATE_MIN` on every run.  Wall times for both sides
+    are reported as context (the search is timed over a batch; single
+    calls are microseconds).
+
+    ``objects:verify-catalog`` (informational): end-to-end
+    ``verify_program`` wall time over the four correct object workloads
+    -- the cost of a full consistency verdict per distinct computation
+    through the standard engine pipeline.
+    """
+    import random as _random
+
+    from .verify.consistency import (
+        brute_force_linearizable,
+        decider_work,
+        linearizable,
+        random_object_history,
+    )
+
+    results: Dict[str, dict] = {}
+    workloads = QUICK_OBJECTS_WORKLOADS if quick else OBJECTS_WORKLOADS
+    for name, object_type, seed in workloads:
+        history = random_object_history(
+            _random.Random(seed), object_type, n_procs=2, ops_per_proc=4,
+            corrupt=True)
+        fast, slow = linearizable(history), brute_force_linearizable(history)
+        assert fast == slow, (
+            f"{name}: witness search says {fast}, brute force says {slow}")
+        assert not slow, (
+            f"{name}: pinned history became linearizable; the brute-force "
+            f"side would exit early and the ratio would be meaningless")
+        mark = decider_work()
+        linearizable(history)
+        brute_force_linearizable(history)
+        work = decider_work()
+        search_nodes = work["search_nodes"] - mark["search_nodes"]
+        brute_perms = work["brute_perms"] - mark["brute_perms"]
+        ratio = brute_perms / search_nodes
+        assert ratio >= OBJECTS_GATE_MIN, (
+            f"{name}: {ratio:.1f}x over the permutation oracle is below "
+            f"the {OBJECTS_GATE_MIN:.0f}x floor")
+        batch = 200
+        search_s, _ = _best_of(repeats, lambda: [
+            linearizable(history) for _ in range(batch)])
+        search_s /= batch
+        brute_s, _ = _best_of(repeats,
+                              lambda: brute_force_linearizable(history))
+        results[name] = {
+            "gate": True,
+            "ops": len(history.ops),
+            "search_nodes": search_nodes,
+            "brute_perms": brute_perms,
+            "brute_s": round(brute_s, 6),
+            "search_s": round(search_s, 6),
+            "speedup": round(ratio, 2),
+        }
+
+    if not quick:
+        from .problems.objects import object_case
+        from .verify import verify_program
+
+        def verify_all():
+            for object_type in ("register", "queue", "lock", "counter"):
+                program, spec, corr, _pspec = object_case(object_type)
+                report = verify_program(program, spec, corr)
+                assert report.ok, (
+                    f"objects:verify-catalog: correct {object_type} "
+                    f"workload failed verification")
+
+        verify_s, _ = _best_of(1, verify_all)
+        results["objects:verify-catalog"] = {
+            "gate": False,
+            "cases": 4,
+            "verify_s": round(verify_s, 6),
+        }
+    return results
+
+
 def compare_to_baseline(results: Dict[str, dict], baseline: dict,
                         tolerance: float = GATE_TOLERANCE) -> List[str]:
     """Regression messages for gated workloads present in both runs."""
@@ -550,6 +663,8 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
         results.update(run_por_bench(quick=quick))
     if _suite_selected(only, "dfa:"):
         results.update(run_dfa_bench(quick=quick))
+    if _suite_selected(only, "objects:"):
+        results.update(run_objects_bench(quick=quick, repeats=repeats))
     if only is not None:
         results = {name: row for name, row in results.items()
                    if name.startswith(only)}
@@ -577,6 +692,15 @@ def run_bench(quick: bool = False, json_path: Optional[str] = None,
             print(f"{name:18s} no-dfa {row['nodfa_s']:.4f}s   "
                   f"dfa {row['dfa_s']:.4f}s ({row['cuts']} cut(s))   "
                   f"speedup {row['speedup']}x{gated}", file=out)
+        elif "brute_s" in row:
+            print(f"{name:18s} brute-force {row['brute_perms']} perms "
+                  f"({row['brute_s']:.4f}s)   "
+                  f"search {row['search_nodes']} nodes "
+                  f"({row['search_s']:.6f}s, {row['ops']} op(s))   "
+                  f"work ratio {row['speedup']}x{gated}", file=out)
+        elif "verify_s" in row:
+            print(f"{name:18s} verified {row['cases']} case(s) in "
+                  f"{row['verify_s']:.4f}s{gated}", file=out)
         else:
             print(f"{name:18s} interpreted {row['lattice_s']:.4f}s   "
                   f"compiled {row['compiled_s']:.4f}s   "

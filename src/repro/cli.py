@@ -82,7 +82,7 @@ class CaseEntry:
 
 
 def _case_language(name: str) -> str:
-    for prefix in ("monitor", "csp", "ada"):
+    for prefix in ("monitor", "csp", "ada", "objects"):
         if name.startswith(prefix + "-"):
             return prefix
     return "distributed"
@@ -92,6 +92,7 @@ def _case_language(name: str) -> str:
 _NO_MUTANT = frozenset({
     "csp-one-slot-buffer", "ada-one-slot-buffer",
     "csp-bounded-buffer", "ada-bounded-buffer",
+    "objects-counter",
 })
 
 
@@ -137,6 +138,7 @@ def _build_cases() -> Dict[str, Callable]:
         tally_system,
     )
     from .problems import bounded_buffer, one_slot_buffer, readers_writers, ring
+    from .problems.objects import object_case
     from .problems.db_update import (
         DbUpdateProgram,
         db_update_spec,
@@ -238,6 +240,20 @@ def _build_cases() -> Dict[str, Callable]:
                 identity_correspondence(2, requests),
                 None)
 
+    def objects_factory(object_type: str):
+        # distributed-object workloads: linearizability / sequential
+        # consistency decided as projection properties; the mutants are
+        # the planted non-linearizable faults (stale read, dropped
+        # dequeue, double acquire).  The counter has no negative
+        # control, so per the _NO_MUTANT contract its factory ignores
+        # the flag (object_program itself rejects unknown mutants).
+        from .problems.objects import MUTANTS
+
+        def factory(mutant: bool):
+            return object_case(object_type,
+                               mutant=mutant and object_type in MUTANTS)
+        return factory
+
     return {
         "monitor-readers-writers": monitor_rw,
         "csp-readers-writers": csp_rw,
@@ -250,6 +266,10 @@ def _build_cases() -> Dict[str, Callable]:
         "csp-bounded-buffer": csp_bb,
         "ada-bounded-buffer": ada_bb,
         "db_update": db_update,
+        "objects-register": objects_factory("register"),
+        "objects-queue": objects_factory("queue"),
+        "objects-lock": objects_factory("lock"),
+        "objects-counter": objects_factory("counter"),
     }
 
 

@@ -31,6 +31,11 @@ from ..core.history import History, all_histories, maximal_history_sequences
 from ..engine import EngineConfig, run_verification
 from ..engine.por import AmpleSelector
 from ..sim.scheduler import explore, replay_prefix, run_random
+from ..verify.consistency import (
+    OBJECT_TYPES,
+    check_history_agreement,
+    random_object_history,
+)
 from ..verify.correspondence import Correspondence, SignificantEvents
 from ..verify.projection import project
 from .generators import (
@@ -641,9 +646,90 @@ def check_por_agrees(
     return None
 
 
+def check_objects_agree(
+    artifact: "ObjectsArtifact",
+    linearizable_impl: Optional[Callable] = None,
+    sc_impl: Optional[Callable] = None,
+) -> Optional[str]:
+    """The consistency-checker contract on one object history.
+
+    For a seeded random history (built by replaying random scripts
+    through the correct concurrent object semantics, optionally with
+    corrupted response values): the memoised witness search and the
+    brute-force permutation search must agree on linearizability and
+    on sequential consistency, and linearizable must imply SC.  For a
+    planted-mutant artifact, the history is a real execution of the
+    mutant workload program (stale read, dropped dequeue, double
+    acquire) and *both* deciders must additionally reject it as
+    non-linearizable -- the oracle kills the planted mutants, not just
+    compares implementations.
+
+    ``linearizable_impl`` / ``sc_impl`` inject the implementation under
+    test (defaults: the production checkers in
+    :mod:`repro.verify.consistency`); the killed-mutant tests pass
+    deliberately lying ones.
+    """
+    from ..problems.objects import planted_mutant_history
+    from ..verify.consistency import (
+        brute_force_linearizable,
+        linearizable,
+    )
+
+    if artifact.planted is not None:
+        history = planted_mutant_history(artifact.planted)
+    else:
+        rng = random.Random(artifact.seed)
+        history = random_object_history(
+            rng, artifact.object_type, n_procs=artifact.n_procs,
+            ops_per_proc=artifact.ops_per_proc, corrupt=artifact.corrupt)
+    message = check_history_agreement(
+        history, linearizable_impl=linearizable_impl, sc_impl=sc_impl)
+    if message is not None:
+        return message
+    if artifact.planted is not None:
+        lin_fn = linearizable_impl or linearizable
+        if lin_fn(history):
+            return (f"planted mutant {artifact.planted!r} judged "
+                    "linearizable by the witness search")
+        if brute_force_linearizable(history):
+            return (f"planted mutant {artifact.planted!r} judged "
+                    "linearizable by the brute-force oracle")
+    return None
+
+
 # ---------------------------------------------------------------------------
 # Composite artifacts
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObjectsArtifact:
+    """A seeded object-history spec for the objects-differential oracle.
+
+    Pure data (strings, ints, bools), so ``repr`` round-trips into the
+    shrinker's pytest repro snippets.  ``planted`` selects one of the
+    planted non-linearizable mutants instead of a random history.
+    """
+
+    object_type: str
+    seed: int
+    n_procs: int = 2
+    ops_per_proc: int = 3
+    corrupt: bool = False
+    planted: Optional[str] = None
+
+    def shrink_candidates(self) -> Iterator["ObjectsArtifact"]:
+        if self.planted is not None:
+            return
+        if self.ops_per_proc > 1:
+            yield replace(self, ops_per_proc=self.ops_per_proc - 1)
+        if self.n_procs > 2:
+            yield replace(self, n_procs=self.n_procs - 1)
+        if self.corrupt:
+            yield replace(self, corrupt=False)
+
+    def __len__(self) -> int:
+        return self.n_procs * self.ops_per_proc
 
 
 @dataclass(frozen=True)
@@ -771,6 +857,25 @@ def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
         return random_program_spec(rng, max_procs=3, max_steps_per_proc=2,
                                    dep_density=0.5)
 
+    _PLANTED = (("stale-read", "register"), ("dropped-dequeue", "queue"),
+                ("double-acquire", "lock"))
+
+    def gen_objects(rng: random.Random) -> ObjectsArtifact:
+        if rng.random() < 0.2:
+            kind, object_type = _PLANTED[rng.randrange(len(_PLANTED))]
+            return ObjectsArtifact(object_type=object_type, seed=0,
+                                   planted=kind)
+        # sizes keep every history within the brute-force oracle's cap
+        # (lock scripts round odd lengths up to a trailing release)
+        n_procs, ops_per_proc = rng.choice(((2, 2), (2, 3), (2, 3), (3, 2)))
+        return ObjectsArtifact(
+            object_type=OBJECT_TYPES[rng.randrange(len(OBJECT_TYPES))],
+            seed=rng.randrange(2 ** 31),
+            n_procs=n_procs,
+            ops_per_proc=ops_per_proc,
+            corrupt=rng.random() < 0.5,
+        )
+
     oracles = [
         Oracle(
             "order-laws",
@@ -858,6 +963,15 @@ def make_oracles(jobs: int = 2) -> Dict[str, Oracle]:
             gen_engine,
             check_por_agrees,
             lambda spec: spec.shrink_candidates(),
+        ),
+        Oracle(
+            "objects-differential",
+            "object-history consistency: witness search == brute-force "
+            "permutation oracle for linearizability and SC; planted "
+            "non-linearizable mutants rejected",
+            gen_objects,
+            check_objects_agree,
+            lambda art: art.shrink_candidates(),
         ),
     ]
     return {o.name: o for o in oracles}

@@ -1,13 +1,16 @@
 """GEM problem specifications: the concurrency problems the paper
 describes (One Slot Buffer, Bounded Buffer, five Readers/Writers
-versions) and its two distributed applications (database update,
-asynchronous Game of Life)."""
+versions), its two distributed applications (database update,
+asynchronous Game of Life), and the distributed-object workloads
+(register, queue, lock, counter under linearizability / sequential
+consistency)."""
 
 from . import (
     bounded_buffer,
     buffer_base,
     db_update,
     game_of_life,
+    objects,
     one_slot_buffer,
     readers_writers,
     ring,
@@ -16,5 +19,5 @@ from . import (
 
 __all__ = [
     "variable", "readers_writers", "one_slot_buffer", "bounded_buffer",
-    "buffer_base", "db_update", "game_of_life", "ring",
+    "buffer_base", "db_update", "game_of_life", "ring", "objects",
 ]

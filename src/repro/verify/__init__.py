@@ -1,6 +1,17 @@
 """The GEM verification method (Section 9): significant objects,
-projection, and ``PROG sat R`` checking."""
+projection, and ``PROG sat R`` checking -- plus consistency models
+(linearizability, sequential consistency) decided over projected
+object histories."""
 
+from .consistency import (
+    ObjectHistory,
+    Operation,
+    brute_force_linearizable,
+    brute_force_sequentially_consistent,
+    history_of,
+    linearizable,
+    sequentially_consistent,
+)
 from .correspondence import (
     Correspondence,
     SignificantEvents,
@@ -21,4 +32,7 @@ __all__ = [
     "process_from_param", "process_from_param_or_element",
     "project", "verify_program", "check_projection",
     "VerificationReport", "RestrictionVerdict",
+    "ObjectHistory", "Operation", "history_of",
+    "linearizable", "sequentially_consistent",
+    "brute_force_linearizable", "brute_force_sequentially_consistent",
 ]

@@ -1,0 +1,567 @@
+"""Consistency of concurrent-object histories as projection properties.
+
+A concurrent object (register, FIFO queue, mutex lock, counter --
+:mod:`repro.problems.objects`) is observed through *invocation* and
+*response* events.  In GEM terms the object is one element whose
+``Inv``/``Res`` events are sequenced by the element order, so a
+projected computation carries everything a consistency model needs:
+
+* **program order** -- each process's operations appear in its
+  submission order (the per-process subsequence of the element order);
+* **real-time order** ``a ⊏ b`` -- operation ``a``'s response
+  temporally precedes (``⇒``, here: element-precedes) operation ``b``'s
+  invocation.
+
+A history is **sequentially consistent** iff some *legal* sequential
+ordering of its operations (one in which every operation's return
+value is what the object's sequential semantics dictates) extends
+program order; it is **linearizable** iff some legal ordering extends
+program order *and* real-time order.  Both are projection properties:
+pure functions of the projected partial order, so they are stable
+across interleavings that the engine dedupes to one computation and
+safe to use as GEM restrictions.
+
+Two independent deciders live here, on purpose (this module's archetype
+is *test*):
+
+* :func:`linearizable` / :func:`sequentially_consistent` -- the
+  production checker: a memoised depth-first search over
+  ``(completed-operation set, object state)`` pairs, in the style of
+  Wing & Gong / Lowe.  Exponential in operations, not factorial.
+* :func:`brute_force_linearizable` /
+  :func:`brute_force_sequentially_consistent` -- the reference oracle:
+  memoised permutation search over the matched call/response pairs.
+  Factorial; only usable on small histories, used only to gate the
+  production checker (the ``objects-differential`` fuzz oracle and
+  ``tests/test_objects.py``).
+
+See ``docs/OBJECTS.md`` for the model and the oracle design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from itertools import permutations
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Return value of a successful mutating operation with no data answer.
+OK = "ok"
+#: Return value of a dequeue that found the queue empty.
+EMPTY = "empty"
+
+#: The object types with built-in sequential semantics.
+OBJECT_TYPES: Tuple[str, ...] = ("register", "queue", "lock", "counter")
+
+#: Sentinel returned by :func:`sequential_apply` when the operation is
+#: illegal at that state with that return value.  A distinct object --
+#: never ``None`` -- because legal states can themselves be ``None``
+#: (a register before its first write).
+ILLEGAL = object()
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One matched invocation/response pair.
+
+    ``process`` is the invoking process, ``kind`` the operation name in
+    the object's vocabulary (``read``/``write``, ``enq``/``deq``,
+    ``acq``/``rel``, ``inc``/``get``), ``arg`` the invocation argument
+    (``None`` for argument-less operations) and ``ret`` the response
+    value.
+    """
+
+    process: str
+    kind: str
+    arg: Any = None
+    ret: Any = None
+
+
+@dataclass(frozen=True)
+class ObjectHistory:
+    """A complete concurrent-object history.
+
+    ``ops`` lists matched operations in invocation order; operations of
+    the same process are therefore in program order.  ``precedes`` is
+    the real-time order as index pairs: ``(i, j)`` means operation
+    ``i``'s response happened before operation ``j``'s invocation.
+    """
+
+    object_type: str
+    ops: Tuple[Operation, ...]
+    precedes: FrozenSet[Tuple[int, int]]
+
+    def program_order(self) -> FrozenSet[Tuple[int, int]]:
+        """Per-process order pairs (``ops`` is invocation-ordered)."""
+        pairs = set()
+        for i, a in enumerate(self.ops):
+            for j in range(i + 1, len(self.ops)):
+                if self.ops[j].process == a.process:
+                    pairs.add((i, j))
+        return frozenset(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Sequential semantics
+# ---------------------------------------------------------------------------
+#
+# One model per object type: an initial state plus a transition
+# ``apply(state, op) -> new state | ILLEGAL``.  States are hashable so
+# both deciders can memoise on them.
+
+
+def _apply_register(state, op: Operation):
+    if op.kind == "write":
+        return op.arg if op.ret == OK else ILLEGAL
+    if op.kind == "read":
+        return state if op.ret == state else ILLEGAL
+    return ILLEGAL
+
+
+def _apply_queue(state: Tuple, op: Operation):
+    if op.kind == "enq":
+        return state + (op.arg,) if op.ret == OK else ILLEGAL
+    if op.kind == "deq":
+        if not state:
+            return state if op.ret == EMPTY else ILLEGAL
+        return state[1:] if op.ret == state[0] else ILLEGAL
+    return ILLEGAL
+
+
+#: Lock model state when no process holds the lock.
+FREE = "free"
+
+
+def _apply_lock(state, op: Operation):
+    if op.kind == "acq":
+        return op.process if state == FREE and op.ret == OK else ILLEGAL
+    if op.kind == "rel":
+        return FREE if state == op.process and op.ret == OK else ILLEGAL
+    return ILLEGAL
+
+
+def _apply_counter(state: int, op: Operation):
+    if op.kind == "inc":
+        return state + 1 if op.ret == state + 1 else ILLEGAL
+    if op.kind == "get":
+        return state if op.ret == state else ILLEGAL
+    return ILLEGAL
+
+
+_MODELS: Dict[str, Tuple[Any, Callable]] = {
+    "register": (None, _apply_register),
+    "queue": ((), _apply_queue),
+    "lock": (FREE, _apply_lock),
+    "counter": (0, _apply_counter),
+}
+
+
+#: Monotone work counters, deterministic for a fixed history:
+#: ``search_nodes`` counts states expanded by the memoised witness
+#: search, ``brute_perms`` counts permutations examined by the
+#: brute-force oracle (each costs a position map plus an order scan,
+#: whether or not it survives to replay).  ``repro bench`` gates the
+#: search-vs-oracle ratio on these instead of microsecond wall times,
+#: so the gate is machine-independent and cannot flake on timer noise.
+_work = {"search_nodes": 0, "brute_perms": 0}
+
+
+def decider_work() -> Dict[str, int]:
+    """Snapshot of the monotone decider work counters (see bench)."""
+    return dict(_work)
+
+
+def sequential_apply(object_type: str, state, op: Operation):
+    """One step of the object's sequential semantics, or :data:`ILLEGAL`."""
+    _init, fn = _MODELS[object_type]
+    return fn(state, op)
+
+
+def initial_state(object_type: str):
+    if object_type not in _MODELS:
+        raise ValueError(f"unknown object type {object_type!r}; "
+                         f"known: {OBJECT_TYPES}")
+    return _MODELS[object_type][0]
+
+
+# ---------------------------------------------------------------------------
+# The production checker: memoised set-based DFS
+# ---------------------------------------------------------------------------
+
+
+def _witness_search(history: ObjectHistory,
+                    order: FrozenSet[Tuple[int, int]]) -> bool:
+    """Is there a legal sequential witness extending ``order``?
+
+    Depth-first search over ``(frozenset of completed operations,
+    object state)``: at each node, any operation whose required
+    predecessors are all completed may be tried next; the sequential
+    model rejects illegal return values immediately.  Failed nodes are
+    memoised, so the search is bounded by distinct (subset, state)
+    pairs -- exponential in the number of operations, never factorial.
+    """
+    n = len(history.ops)
+    preds: List[FrozenSet[int]] = [frozenset() for _ in range(n)]
+    by_target: Dict[int, set] = {j: set() for j in range(n)}
+    for i, j in order:
+        by_target[j].add(i)
+    for j in range(n):
+        preds[j] = frozenset(by_target[j])
+    failed: set = set()
+
+    def search(done: FrozenSet[int], state) -> bool:
+        _work["search_nodes"] += 1
+        if len(done) == n:
+            return True
+        key = (done, state)
+        if key in failed:
+            return False
+        for i in range(n):
+            if i in done or not preds[i] <= done:
+                continue
+            nxt = sequential_apply(history.object_type, state,
+                                   history.ops[i])
+            if nxt is ILLEGAL:
+                continue
+            if search(done | {i}, nxt):
+                return True
+        failed.add(key)
+        return False
+
+    return search(frozenset(), initial_state(history.object_type))
+
+
+def linearizable(history: ObjectHistory) -> bool:
+    """Legal witness extending program order *and* real-time order?"""
+    return _witness_search(
+        history, history.precedes | history.program_order())
+
+
+def sequentially_consistent(history: ObjectHistory) -> bool:
+    """Legal witness extending program order (real time ignored)?"""
+    return _witness_search(history, history.program_order())
+
+
+# ---------------------------------------------------------------------------
+# The reference oracle: memoised permutation search
+# ---------------------------------------------------------------------------
+
+#: Hard cap on brute-force history size -- 9! ≈ 363k permutations is
+#: the largest a test or bench should ever replay.
+BRUTE_FORCE_MAX_OPS = 9
+
+
+def _brute_force(history: ObjectHistory,
+                 order: FrozenSet[Tuple[int, int]]) -> bool:
+    """Enumerate every permutation of the matched pairs.
+
+    A permutation is a witness iff it extends ``order`` and replays
+    legally through the sequential model.  Replays of shared prefixes
+    are memoised (keyed by the prefix tuple), which is the only
+    cleverness allowed here: this is the slow, obviously-correct
+    implementation the fast one is gated against.
+    """
+    n = len(history.ops)
+    if n > BRUTE_FORCE_MAX_OPS:
+        raise ValueError(
+            f"brute-force search capped at {BRUTE_FORCE_MAX_OPS} "
+            f"operations (got {n}); use linearizable()/"
+            f"sequentially_consistent() instead")
+    prefix_cache: Dict[Tuple[int, ...], Any] = {}
+    init = initial_state(history.object_type)
+
+    def replay(prefix: Tuple[int, ...]):
+        """State after replaying ``prefix``, or :data:`ILLEGAL`."""
+        if not prefix:
+            return init
+        if prefix in prefix_cache:
+            return prefix_cache[prefix]
+        state = replay(prefix[:-1])
+        out = ILLEGAL if state is ILLEGAL else sequential_apply(
+            history.object_type, state, history.ops[prefix[-1]])
+        prefix_cache[prefix] = out
+        return out
+
+    for perm in permutations(range(n)):
+        _work["brute_perms"] += 1
+        pos = {op: k for k, op in enumerate(perm)}
+        if any(pos[i] > pos[j] for i, j in order):
+            continue
+        if replay(perm) is not ILLEGAL:
+            return True
+    return False
+
+
+def brute_force_linearizable(history: ObjectHistory) -> bool:
+    return _brute_force(
+        history, history.precedes | history.program_order())
+
+
+def brute_force_sequentially_consistent(history: ObjectHistory) -> bool:
+    return _brute_force(history, history.program_order())
+
+
+# ---------------------------------------------------------------------------
+# Extraction from GEM computations
+# ---------------------------------------------------------------------------
+
+
+def history_of(comp, object_type: str, object_element: str = "obj",
+               occurred=None) -> ObjectHistory:
+    """The object history carried by a (projected) computation.
+
+    Walks the ``Inv``/``Res`` events at ``object_element`` in element
+    order -- the GEM real-time order -- matching each invocation with
+    its process's next response.  ``occurred`` optionally filters to a
+    history prefix (an ``eid -> bool`` predicate, e.g.
+    ``history.occurred``); responses whose invocation was filtered out
+    are ignored, and unmatched (pending) invocations are dropped:
+    consistency here is defined over *complete* histories, which is
+    what the object programs produce at every final computation.
+    """
+    events = [ev for ev in comp.events_at(object_element)
+              if occurred is None or occurred(ev.eid)]
+    ops: List[Operation] = []
+    spans: List[Tuple[int, int]] = []  # (inv position, res position)
+    pending: Dict[str, Tuple[int, int]] = {}  # process -> (op index, inv pos)
+    for pos, ev in enumerate(events):
+        by = ev.param("by")
+        if ev.event_class == "Inv":
+            pending[by] = (len(ops), pos)
+            ops.append(Operation(process=by, kind=ev.param("op"),
+                                 arg=ev.param("arg")))
+            spans.append((pos, -1))
+        elif ev.event_class == "Res" and by in pending:
+            idx, inv_pos = pending.pop(by)
+            ops[idx] = replace(ops[idx], ret=ev.param("val"))
+            spans[idx] = (inv_pos, pos)
+    keep = [i for i, (_, res) in enumerate(spans) if res >= 0]
+    renum = {old: new for new, old in enumerate(keep)}
+    precedes = frozenset(
+        (renum[i], renum[j])
+        for i in keep for j in keep
+        if i != j and spans[i][1] < spans[j][0]
+    )
+    return ObjectHistory(
+        object_type=object_type,
+        ops=tuple(ops[i] for i in keep),
+        precedes=precedes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seeded random histories (fuzzing / differential sweeps)
+# ---------------------------------------------------------------------------
+
+
+def _random_script(rng: random.Random, object_type: str,
+                   ops_per_proc: int) -> List[Tuple[str, Any]]:
+    script: List[Tuple[str, Any]] = []
+    if object_type == "lock":
+        # acquire/release must alternate or the simulation deadlocks
+        for k in range(ops_per_proc):
+            script.append(("acq", None) if k % 2 == 0 else ("rel", None))
+        if len(script) % 2 == 1:
+            script.append(("rel", None))
+        return script
+    for _ in range(ops_per_proc):
+        if object_type == "register":
+            if rng.random() < 0.5:
+                script.append(("write", rng.randrange(1, 4)))
+            else:
+                script.append(("read", None))
+        elif object_type == "queue":
+            if rng.random() < 0.6:
+                script.append(("enq", rng.randrange(1, 4)))
+            else:
+                script.append(("deq", None))
+        else:  # counter
+            script.append(("inc", None) if rng.random() < 0.5
+                          else ("get", None))
+    return script
+
+
+def random_object_history(rng: random.Random, object_type: str,
+                          n_procs: int = 2, ops_per_proc: int = 2,
+                          corrupt: bool = False) -> ObjectHistory:
+    """A seeded random complete history of one shared object.
+
+    Random per-process scripts are run through the object's *correct*
+    concurrent semantics (operations take effect at the response) under
+    a random interleaving, so the raw history is linearizable by
+    construction.  With ``corrupt``, a few response values are then
+    rewritten at random -- stale values, phantom elements, wrong counts
+    -- which is what gives the differential sweeps non-linearizable
+    and non-SC histories to disagree about.
+    """
+    procs = [f"p{i + 1}" for i in range(n_procs)]
+    scripts = {p: _random_script(rng, object_type, ops_per_proc)
+               for p in procs}
+    pc = {p: 0 for p in procs}
+    pending: Dict[str, Tuple[str, Any]] = {}
+    # concrete object state (correct semantics)
+    value: Any = None
+    items: List[Any] = []
+    holders: set = set()
+    count = 0
+
+    ops: List[Operation] = []
+    spans: List[Tuple[int, int]] = []
+    open_idx: Dict[str, int] = {}
+    clock = 0
+
+    def steppable(p: str) -> bool:
+        if p in pending:
+            kind = pending[p][0]
+            return kind != "acq" or not holders
+        return pc[p] < len(scripts[p])
+
+    while True:
+        ready = [p for p in procs if steppable(p)]
+        if not ready:
+            break
+        p = rng.choice(ready)
+        if p not in pending:  # invoke
+            kind, arg = scripts[p][pc[p]]
+            pc[p] += 1
+            pending[p] = (kind, arg)
+            open_idx[p] = len(ops)
+            ops.append(Operation(process=p, kind=kind, arg=arg))
+            spans.append((clock, -1))
+        else:  # respond: the operation takes effect now
+            kind, arg = pending.pop(p)
+            if kind == "write":
+                value, ret = arg, OK
+            elif kind == "read":
+                ret = value
+            elif kind == "enq":
+                items.append(arg)
+                ret = OK
+            elif kind == "deq":
+                ret = items.pop(0) if items else EMPTY
+            elif kind == "acq":
+                holders.add(p)
+                ret = OK
+            elif kind == "rel":
+                holders.discard(p)
+                ret = OK
+            elif kind == "inc":
+                count += 1
+                ret = count
+            else:  # get
+                ret = count
+            idx = open_idx.pop(p)
+            ops[idx] = replace(ops[idx], ret=ret)
+            spans[idx] = (spans[idx][0], clock)
+        clock += 1
+
+    if corrupt and ops:
+        for _ in range(rng.randrange(1, 3)):
+            idx = rng.randrange(len(ops))
+            op = ops[idx]
+            pool: List[Any] = [OK, EMPTY, None, 0, 1, 2, 3,
+                               op.ret, "p1", "p2"]
+            ops[idx] = replace(op, ret=rng.choice(pool))
+
+    precedes = frozenset(
+        (i, j) for i in range(len(ops)) for j in range(len(ops))
+        if i != j and spans[i][1] >= 0 and spans[i][1] < spans[j][0]
+    )
+    return ObjectHistory(object_type=object_type, ops=tuple(ops),
+                         precedes=precedes)
+
+
+def relabel_processes(history: ObjectHistory,
+                      mapping: Dict[str, str]) -> ObjectHistory:
+    """The same history with process ids renamed (verdict-invariant)."""
+    return replace(history, ops=tuple(
+        replace(op, process=mapping.get(op.process, op.process))
+        for op in history.ops))
+
+
+def permute_ops(history: ObjectHistory,
+                perm: Sequence[int]) -> ObjectHistory:
+    """The same history with operations re-enumerated by ``perm``.
+
+    ``perm[k]`` is the old index of the operation now at position
+    ``k``.  Because ``ops`` index order *is* each process's program
+    order (there is no separate timestamp), the re-enumeration must
+    keep every process's operations in their original relative order
+    -- any interleaving of the per-process sequences is fine, anything
+    else silently describes a different history, so it is rejected.
+    Verdicts are order-structure properties, so every admissible
+    re-enumeration must leave them unchanged -- the Hypothesis
+    property tests assert exactly that.
+    """
+    old_of_new = list(perm)
+    last_seen: Dict[str, int] = {}
+    for old in old_of_new:
+        p = history.ops[old].process
+        if last_seen.get(p, -1) > old:
+            raise ValueError(
+                f"permutation reorders process {p!r}'s operations; "
+                f"only program-order-preserving re-enumerations are "
+                f"meaningful")
+        last_seen[p] = old
+    new_of_old = {old: new for new, old in enumerate(old_of_new)}
+    return ObjectHistory(
+        object_type=history.object_type,
+        ops=tuple(history.ops[i] for i in old_of_new),
+        precedes=frozenset((new_of_old[i], new_of_old[j])
+                           for i, j in history.precedes),
+    )
+
+
+def check_history_agreement(
+    history: ObjectHistory,
+    linearizable_impl: Optional[Callable[[ObjectHistory], bool]] = None,
+    sc_impl: Optional[Callable[[ObjectHistory], bool]] = None,
+) -> Optional[str]:
+    """The consistency-checker laws on one history (None = all hold).
+
+    * the memoised search agrees with the brute-force permutation
+      search, for both linearizability and sequential consistency;
+    * linearizable ⇒ sequentially consistent.
+
+    ``linearizable_impl`` / ``sc_impl`` are the injectable
+    implementations under test (defaults: the production checkers);
+    the killed-mutant tests pass deliberately lying ones to prove the
+    laws have teeth.
+    """
+    lin_fn = linearizable_impl or linearizable
+    sc_fn = sc_impl or sequentially_consistent
+    lin, lin_ref = lin_fn(history), brute_force_linearizable(history)
+    if lin != lin_ref:
+        return (f"linearizability disagrees on {history.object_type}: "
+                f"search says {lin}, brute force says {lin_ref}")
+    sc, sc_ref = sc_fn(history), brute_force_sequentially_consistent(history)
+    if sc != sc_ref:
+        return (f"sequential consistency disagrees on "
+                f"{history.object_type}: search says {sc}, "
+                f"brute force says {sc_ref}")
+    if lin and not sc:
+        return (f"{history.object_type}: linearizable history judged "
+                f"not sequentially consistent")
+    return None
+
+
+__all__ = [
+    "OK", "EMPTY", "FREE", "ILLEGAL", "OBJECT_TYPES",
+    "Operation", "ObjectHistory",
+    "sequential_apply", "initial_state", "decider_work",
+    "linearizable", "sequentially_consistent",
+    "brute_force_linearizable", "brute_force_sequentially_consistent",
+    "BRUTE_FORCE_MAX_OPS",
+    "history_of", "random_object_history",
+    "relabel_processes", "permute_ops",
+    "check_history_agreement",
+]

@@ -19,11 +19,12 @@ class TestList:
     def test_lists_all_cases(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out.splitlines()
-        assert len(out) == 11
+        assert len(out) == 15
         assert out == sorted(out)
         assert CASE in out
         assert {line.split("-")[0] for line in out} == {"monitor", "csp",
-                                                        "ada", "db_update"}
+                                                        "ada", "db_update",
+                                                        "objects"}
 
 
 class TestVerify:

@@ -283,7 +283,7 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "monitor-readers-writers" in out
-        assert len(out.strip().splitlines()) == 11
+        assert len(out.strip().splitlines()) == 15
 
     def test_examples(self, capsys):
         from repro.cli import main
